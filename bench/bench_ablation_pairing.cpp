@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: what the outlier-victim pair buys.
+ *
+ * Compares, on the same transformer-like tensors:
+ *   - clip-all      : int4 with no outlier mechanism (MSE-optimal clip);
+ *   - sparse outlier: int4 normals + FP16 outliers in a coordinate list
+ *                     (the GOBO/OLAccel-style encoding) — better MSE but
+ *                     unaligned, with index overhead bits;
+ *   - OVP (OliVe)   : outliers embedded in the aligned stream at zero
+ *                     index cost, paying only the victims.
+ *
+ * Reports MSE plus the effective storage bits per element, the
+ * hardware-relevant cost the paper's Table 1 contrasts.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/uniform.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/distribution.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+int
+main()
+{
+    std::printf("== Ablation: OVP vs clip-all vs sparse outlier "
+                "encoding ==\n\n");
+
+    Table t({"Max sigma", "Encoding", "MSE", "SQNR (dB)", "Bits/elem",
+             "Aligned?"});
+    Rng rng(31);
+    for (double max_sigma : {20.0, 80.0, 200.0}) {
+        const Tensor tensor =
+            transformerLikeTensor({65536}, max_sigma, 0.008, rng);
+        const auto xs = tensor.data();
+
+        // Clip-all int4.
+        const float uscale = searchUniformScale(xs, 7);
+        const auto clip_rt = uniformFakeQuant(xs, uscale, 7);
+
+        // Sparse outlier: 3-sigma outliers kept FP16 via coordinate
+        // list (32-bit coordinate + 16-bit payload per outlier).
+        const double sigma = stats::robustSigma(xs);
+        std::vector<float> sparse_rt(xs.begin(), xs.end());
+        size_t n_outliers = 0;
+        {
+            std::vector<float> normals;
+            for (float v : xs) {
+                if (std::fabs(v) > 3.0 * sigma)
+                    ++n_outliers;
+                else
+                    normals.push_back(v);
+            }
+            const float nscale = searchUniformScale(normals, 7);
+            for (auto &v : sparse_rt) {
+                if (std::fabs(v) <= 3.0 * sigma) {
+                    v = uniformFakeQuant({{v}}, nscale, 7)[0];
+                }
+                // outliers: FP16 — error negligible, keep exact here
+            }
+        }
+        const double sparse_bits =
+            4.0 + 48.0 * static_cast<double>(n_outliers) /
+                      static_cast<double>(xs.size());
+
+        // OVP.
+        const OliveQuantizer q;
+        QuantDecision d;
+        const auto ovp_rt = q.fakeQuant(xs, &d);
+
+        const std::string tag = Table::num(max_sigma, 0);
+        t.addRow({tag, "clip-all int4", Table::num(stats::mse(xs, clip_rt), 6),
+                  Table::num(stats::sqnrDb(xs, clip_rt), 2), "4.00", "yes"});
+        t.addRow({tag, "sparse outlier (coord list)",
+                  Table::num(stats::mse(xs, sparse_rt), 6),
+                  Table::num(stats::sqnrDb(xs, sparse_rt), 2),
+                  Table::num(sparse_bits, 2), "no"});
+        t.addRow({tag, "OVP (OliVe)", Table::num(stats::mse(xs, ovp_rt), 6),
+                  Table::num(stats::sqnrDb(xs, ovp_rt), 2), "4.00", "yes"});
+    }
+    t.print();
+
+    std::printf("\nOVP approaches the sparse encoding's error at exactly "
+                "4 aligned bits/element; clip-all collapses as the tail "
+                "grows.\n");
+    return 0;
+}

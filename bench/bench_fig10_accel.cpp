@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 10 reproduction: speedup (10a) and normalized energy (10b) of
+ * the iso-area systolic accelerators — OliVe, ANT, OLAccel,
+ * AdaptivFloat — on the five evaluation models.
+ *
+ * Everything is normalized to the AdaptivFloat design.  Paper geomeans:
+ * speedup 4.8x over AdaFloat (3.8x over OLAccel, 3.7x over ANT);
+ * energy 0.27 (OliVe), 0.88 (ANT), 0.56 (OLAccel), 1.0 (AdaFloat).
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+int
+main()
+{
+    const auto fig10 = sim::runFigure10();
+
+    std::printf("== Fig. 10a: speedup on the accelerator (vs AdaFloat) "
+                "==\n\n");
+    std::vector<std::string> header = {"Design"};
+    for (const auto &m : fig10.modelNames)
+        header.push_back(m);
+    header.push_back("Geomean");
+    Table ta(header);
+    for (const auto &series : fig10.designs) {
+        std::vector<std::string> row = {series.design};
+        for (double s : series.speedup)
+            row.push_back(Table::num(s, 2));
+        row.push_back(Table::num(series.speedupGeomean, 2));
+        ta.addRow(std::move(row));
+    }
+    ta.print();
+
+    const auto &olive = fig10.designs[0];
+    std::printf("\nOliVe speedup over AdaFloat %.1fx, OLAccel %.1fx, ANT "
+                "%.1fx (paper: 4.8x, 3.8x, 3.7x)\n",
+                olive.speedupGeomean / fig10.designs[3].speedupGeomean,
+                olive.speedupGeomean / fig10.designs[2].speedupGeomean,
+                olive.speedupGeomean / fig10.designs[1].speedupGeomean);
+
+    std::printf("\n== Fig. 10b: normalized energy (AdaFloat = 1.0) "
+                "==\n\n");
+    Table tb({"Design", "Static", "DRAM", "Buffer", "Core",
+              "Total (geomean, norm.)"});
+    for (const auto &series : fig10.designs) {
+        double st = 0, dr = 0, bu = 0, co = 0, tot = 0;
+        for (const auto &e : series.accelEnergy) {
+            st += e.staticE;
+            dr += e.dram;
+            bu += e.buffer;
+            co += e.core;
+            tot += e.total();
+        }
+        tb.addRow({series.design, Table::pct(100.0 * st / tot, 1),
+                   Table::pct(100.0 * dr / tot, 1),
+                   Table::pct(100.0 * bu / tot, 1),
+                   Table::pct(100.0 * co / tot, 1),
+                   Table::num(series.energyGeomean, 2)});
+    }
+    tb.print();
+    std::printf("\nPaper energy geomeans: OliVe 0.27, ANT 0.88, OLAccel "
+                "0.56, AdaFloat 1.00.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 2 reproduction: outlier comparison of a CNN model and a
+ * Transformer model.
+ *
+ * Prints, for a zoo of tensors sorted by Max-sigma: the normalized
+ * maximum value (Max sigma), and the percentage of values beyond 3 and
+ * 6 sigma — the two curves of Fig. 2a (ResNet-18-like) and Fig. 2b
+ * (BERT-base-like).  The headline observation to verify: the
+ * transformer's Max sigma is an order of magnitude above the CNN's
+ * (paper: 28 sigma vs 325 sigma), while outlier ratios stay below
+ * ~0.5 %.
+ */
+
+#include <cstdio>
+
+#include "models/config.hpp"
+#include "models/synthetic.hpp"
+#include "tensor/distribution.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+namespace {
+
+void
+profileZoo(const char *title, const std::vector<Tensor> &zoo)
+{
+    std::printf("\n-- %s (%zu tensors, sorted by Max sigma) --\n", title,
+                zoo.size());
+    Table t({"Tensor ID", "Max sigma", ">3sigma %", ">6sigma %"});
+    double max_sigma = 0.0;
+    for (size_t i = 0; i < zoo.size(); ++i) {
+        const auto p = profileTensor(zoo[i]);
+        max_sigma = std::max(max_sigma, p.maxSigma);
+        // Print every 4th tensor plus the extremes to keep the series
+        // readable.
+        if (i % 4 == 0 || i + 1 == zoo.size()) {
+            t.addRow({std::to_string(i + 1), Table::num(p.maxSigma, 1),
+                      Table::num(p.gt3SigmaPct, 3),
+                      Table::num(p.gt6SigmaPct, 3)});
+        }
+    }
+    t.print();
+    std::printf("max over zoo: %.1f sigma\n", max_sigma);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 2: outlier comparison, CNN vs Transformer ==\n");
+
+    // Fig. 2a: ResNet-18-like tensors (48 conv/fc tensors).
+    Rng cnn_rng(42);
+    std::vector<Tensor> cnn_zoo;
+    for (int i = 0; i < 48; ++i)
+        cnn_zoo.push_back(cnnLikeTensor({32768}, cnn_rng));
+    std::sort(cnn_zoo.begin(), cnn_zoo.end(),
+              [](const Tensor &a, const Tensor &b) {
+                  return profileTensor(a).maxSigma <
+                         profileTensor(b).maxSigma;
+              });
+    profileZoo("ResNet-18 on ImageNet (CNN-like)", cnn_zoo);
+
+    // Fig. 2b: BERT-base tensors on MNLI (145 tensors up to 325 sigma).
+    const auto bert = models::bertBase();
+    const auto bert_zoo = models::makeTensorZoo(bert, 145, 131072, 7);
+    profileZoo("BERT-base on MNLI (Transformer-like)", bert_zoo);
+
+    std::printf("\nPaper reference: CNN max ~28 sigma; Transformer max "
+                "~325 sigma; >3sigma ratios < 0.5%%.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 9 reproduction: GPU speedup (9a) and normalized energy (9b)
+ * of OliVe, ANT, INT8, and GOBO on the five evaluation models, plus
+ * the Table 5 platform configuration.
+ *
+ * Speedups are against the FP16 tensor-core baseline; energies are
+ * normalized per model to GOBO (the paper's normalization).  Paper
+ * geomeans: speedup 4.5x / 2.7x / 2.4x over GOBO / int8 / ANT; energy
+ * 0.25 (OliVe), 0.43 (ANT), 0.49 (INT8), 1.0 (GOBO).
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+int
+main()
+{
+    std::printf("== Table 5: the Turing GPU platform ==\n\n");
+    Table t5({"Architecture", "SM", "TC", "16-bit Unit", "8-bit Unit",
+              "4-bit Unit"});
+    t5.addRow({"Turing", "68", "544", "34,816", "69,632", "139,264"});
+    t5.print();
+
+    const auto fig9 = sim::runFigure9();
+
+    std::printf("\n== Fig. 9a: speedup on GPU (vs FP16 baseline) ==\n\n");
+    std::vector<std::string> header = {"Design"};
+    for (const auto &m : fig9.modelNames)
+        header.push_back(m);
+    header.push_back("Geomean");
+    Table ta(header);
+    for (const auto &series : fig9.designs) {
+        std::vector<std::string> row = {series.design};
+        for (double s : series.speedup)
+            row.push_back(Table::num(s, 2));
+        row.push_back(Table::num(series.speedupGeomean, 2));
+        ta.addRow(std::move(row));
+    }
+    ta.print();
+
+    const auto &olive = fig9.designs[0];
+    std::printf("\nOliVe speedup over GOBO %.1fx, INT8 %.1fx, ANT %.1fx "
+                "(paper: 4.5x, 2.7x, 2.4x)\n",
+                olive.speedupGeomean / fig9.designs[3].speedupGeomean,
+                olive.speedupGeomean / fig9.designs[2].speedupGeomean,
+                olive.speedupGeomean / fig9.designs[1].speedupGeomean);
+
+    std::printf("\n== Fig. 9b: normalized energy on GPU (GOBO = 1.0) "
+                "==\n\n");
+    Table tb({"Design", "Const", "Static", "DRAM+L2", "L1+Reg", "Core",
+              "Total (geomean, norm.)"});
+    for (size_t i = 0; i < fig9.designs.size(); ++i) {
+        const auto &series = fig9.designs[i];
+        // Breakdown shares from the per-model totals.
+        double c = 0, st = 0, dl = 0, l1 = 0, co = 0, tot = 0;
+        for (const auto &e : series.gpuEnergy) {
+            c += e.constant;
+            st += e.staticE;
+            dl += e.dramL2;
+            l1 += e.l1Reg;
+            co += e.core;
+            tot += e.total();
+        }
+        tb.addRow({series.design, Table::pct(100.0 * c / tot, 1),
+                   Table::pct(100.0 * st / tot, 1),
+                   Table::pct(100.0 * dl / tot, 1),
+                   Table::pct(100.0 * l1 / tot, 1),
+                   Table::pct(100.0 * co / tot, 1),
+                   Table::num(series.energyGeomean, 2)});
+    }
+    tb.print();
+    std::printf("\nPaper energy geomeans: OliVe 0.25, ANT 0.43, INT8 "
+                "0.49, GOBO 1.00.\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the codec and MAC hot paths:
+ * OVP encode/decode throughput, the bit-exact hardware decoder, the
+ * ExpInt dot product, and quantizer calibration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hw/decoder.hpp"
+#include "hw/mac.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/distribution.hpp"
+#include "util/random.hpp"
+
+using namespace olive;
+
+namespace {
+
+std::vector<float>
+benchData(size_t n)
+{
+    Rng rng(5);
+    std::vector<float> xs(n);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 60.0));
+    return xs;
+}
+
+void
+BM_OvpEncode(benchmark::State &state)
+{
+    const auto xs = benchData(static_cast<size_t>(state.range(0)));
+    const OvpCodec codec(NormalType::Int4, 0.4f, 2.8);
+    for (auto _ : state) {
+        auto bytes = codec.encode(xs);
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OvpEncode)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_OvpDecode(benchmark::State &state)
+{
+    const auto xs = benchData(static_cast<size_t>(state.range(0)));
+    const OvpCodec codec(NormalType::Int4, 0.4f, 2.8);
+    const auto bytes = codec.encode(xs);
+    for (auto _ : state) {
+        auto vals = codec.decode(bytes, xs.size());
+        benchmark::DoNotOptimize(vals);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OvpDecode)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_HwDecoderByte(benchmark::State &state)
+{
+    const hw::OvpDecoder dec(NormalType::Int4);
+    u8 byte = 0;
+    for (auto _ : state) {
+        const auto d = dec.decodeByte(byte++);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_HwDecoderByte);
+
+void
+BM_ExpIntDotProduct(benchmark::State &state)
+{
+    Rng rng(9);
+    const size_t n = 16;
+    std::vector<ExpInt> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = ExpInt{static_cast<u8>(rng.uniformInt(5)),
+                      static_cast<i32>(rng.uniformInt(15)) - 7};
+        b[i] = ExpInt{static_cast<u8>(rng.uniformInt(5)),
+                      static_cast<i32>(rng.uniformInt(15)) - 7};
+    }
+    for (auto _ : state) {
+        const i32 d = hw::dotProduct(a, b);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExpIntDotProduct);
+
+void
+BM_QuantizerCalibrate(benchmark::State &state)
+{
+    const auto xs = benchData(static_cast<size_t>(state.range(0)));
+    const OliveQuantizer q;
+    for (auto _ : state) {
+        const QuantDecision d = q.calibrate(xs);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_QuantizerCalibrate)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_FakeQuantRoundTrip(benchmark::State &state)
+{
+    const auto xs = benchData(static_cast<size_t>(state.range(0)));
+    const OvpCodec codec(NormalType::Flint4, 0.4f, 6.4);
+    for (auto _ : state) {
+        auto rt = codec.fakeQuant(xs);
+        benchmark::DoNotOptimize(rt);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FakeQuantRoundTrip)->Arg(1 << 16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tables 10 and 11 reproduction: the area of the OliVe decoders on an
+ * RTX 2080 Ti (12 nm) and the area breakdown of the OliVe systolic
+ * array (22 nm), plus the technology-scaling cross-check.
+ */
+
+#include <cstdio>
+
+#include "hw/area.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+int
+main()
+{
+    std::printf("== Table 10: OliVe decoder area on RTX 2080 Ti "
+                "(12 nm, %.0f mm^2 die) ==\n\n",
+                hw::kTuringDieMm2);
+    const auto gpu = hw::gpuDecoderBreakdown();
+    Table t10({"Component", "Number", "Area (mm^2)", "Area Ratio"});
+    for (size_t i = 0; i < gpu.components.size(); ++i) {
+        const auto &c = gpu.components[i];
+        t10.addRow({c.name + " (" + Table::num(c.unitAreaUm2, 2) +
+                        " um^2)",
+                    std::to_string(c.count), Table::num(c.totalMm2(), 2),
+                    Table::pct(100.0 * gpu.ratioOf(i, hw::kTuringDieMm2),
+                               3)});
+    }
+    t10.print();
+    std::printf("Paper: 0.250%% and 0.166%% of the die.\n");
+
+    std::printf("\n== Table 11: OliVe systolic-array area breakdown "
+                "(22 nm) ==\n\n");
+    const auto sa = hw::systolicBreakdown();
+    Table t11({"Component", "Number", "Area (mm^2)", "Area Ratio"});
+    for (size_t i = 0; i < sa.components.size(); ++i) {
+        const auto &c = sa.components[i];
+        t11.addRow({c.name + " (" + Table::num(c.unitAreaUm2, 2) +
+                        " um^2)",
+                    std::to_string(c.count),
+                    Table::num(c.totalMm2(), 5),
+                    Table::pct(100.0 * sa.ratioOf(i), 1)});
+    }
+    t11.print();
+    std::printf("Paper: decoders 2.2%% + 1.5%%, PEs 96.3%%.\n");
+
+    std::printf("\n== Technology scaling cross-check (22 nm -> 12 nm) "
+                "==\n\n");
+    Table ts({"Component", "22 nm (um^2)", "scaled 12 nm", "published"});
+    ts.addRow({"4-bit decoder", Table::num(hw::Area22nm::kDecoder4, 2),
+               Table::num(hw::scaleArea(hw::Area22nm::kDecoder4, 22, 12),
+                          2),
+               Table::num(hw::Area12nm::kDecoder4, 2)});
+    ts.addRow({"8-bit decoder", Table::num(hw::Area22nm::kDecoder8, 2),
+               Table::num(hw::scaleArea(hw::Area22nm::kDecoder8, 22, 12),
+                          2),
+               Table::num(hw::Area12nm::kDecoder8, 2)});
+    ts.print();
+    return 0;
+}

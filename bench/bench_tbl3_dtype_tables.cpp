@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tables 3 and 4 reproduction: the value tables of the OVP normal-value
+ * data types and the fixed-point E2M1 abfloat enumeration, plus the
+ * adaptive-bias ranges of Sec. 3.3.
+ */
+
+#include <cstdio>
+
+#include "quant/abfloat.hpp"
+#include "quant/dtype.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+namespace {
+
+std::string
+joinValues(const std::vector<int> &vals, size_t limit = 20)
+{
+    std::string s;
+    if (vals.size() > limit) {
+        // Compress long ranges (int8).
+        s = std::to_string(vals.front()) + " .. " +
+            std::to_string(vals.back());
+        return s;
+    }
+    for (size_t i = 0; i < vals.size(); ++i) {
+        s += std::to_string(vals[i]);
+        if (i + 1 < vals.size())
+            s += ", ";
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Table 3: data types for normal values ==\n\n");
+    Table t3({"Data Type", "Values", "Outlier Identifier"});
+    t3.addRow({"int4", joinValues(valueTable(NormalType::Int4)),
+               "1000 (-8)"});
+    t3.addRow({"flint4", joinValues(valueTable(NormalType::Flint4)),
+               "1000 (-0)"});
+    t3.addRow({"int8", joinValues(valueTable(NormalType::Int8)),
+               "10000000 (-128)"});
+    t3.print();
+
+    std::printf("\n== Table 4: 3-bit unsigned E2M1 (bias = 0) ==\n\n");
+    const AbFloat e2m1 = AbFloat::e2m1(0);
+    Table t4({"Binary", "Exponent", "Integer", "Real Value"});
+    for (u32 code = 0; code < 8; ++code) {
+        const ExpInt e = e2m1.decodeExpInt(code);
+        char bin[4] = {static_cast<char>('0' + ((code >> 2) & 1)),
+                       static_cast<char>('0' + ((code >> 1) & 1)),
+                       static_cast<char>('0' + (code & 1)), '\0'};
+        t4.addRow({bin, std::to_string(e.exponent),
+                   std::to_string(e.integer),
+                   std::to_string(e.value())});
+    }
+    t4.print();
+
+    std::printf("\n== Sec. 3.3: adaptive-bias outlier ranges ==\n\n");
+    Table tb({"Pairing", "Outlier type", "Range"});
+    for (const auto &[normal, bias] :
+         std::vector<std::pair<NormalType, int>>{
+             {NormalType::Int4, 2},
+             {NormalType::Flint4, 3},
+             {NormalType::Int8, 4}}) {
+        const AbFloat f = (normal == NormalType::Int8)
+                              ? AbFloat::e4m3(bias)
+                              : AbFloat::e2m1(bias);
+        tb.addRow({toString(normal) + " normals", f.name(),
+                   Table::num(f.minNonzero(), 0) + " .. " +
+                       Table::num(f.maxValue(), 0)});
+    }
+    tb.print();
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table 9 reproduction: PTQ proxy perplexity on the large language
+ * models (GPT2-XL, BLOOM-7B1, OPT-6.7B) for FP32, int8, 8-bit OliVe,
+ * int4, 4-bit ANT, and 4-bit OliVe on the WikiText-proxy and C4-proxy
+ * streams.
+ *
+ * Each (model, dataset) pair calibrates the teacher's temperature to
+ * the paper's FP32 perplexity and scores every scheme on the same text;
+ * cells are medians over three backbone seeds to tame the proxy's
+ * small-model variance.  The proxy's perplexity ceiling is the
+ * vocabulary size (1024), so the paper's 1E+4-scale int4 blowups appear
+ * here as values near that ceiling.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "eval/perplexity.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+namespace {
+
+constexpr u64 kSeeds[3] = {3, 5, 9};
+constexpr const char *kSchemes[] = {"fp32", "int8", "olive8",
+                                    "int4", "ant4", "olive4"};
+constexpr const char *kLabels[] = {"FP32", "int8", "8-bit OliVe",
+                                   "int4", "4-bit ANT", "4-bit OliVe"};
+
+/** All six scheme cells for one (model, dataset): median over seeds. */
+std::vector<double>
+columnCells(const models::ModelConfig &config, double target, u64 text_seed)
+{
+    std::vector<std::vector<double>> per_scheme(6);
+    for (u64 seed : kSeeds) {
+        eval::LmModel lm = eval::makeLm(config, seed);
+        const auto text = eval::calibrateToTarget(lm, target, 16, 12,
+                                                  text_seed + seed * 31);
+        for (size_t s = 0; s < 6; ++s)
+            per_scheme[s].push_back(eval::table9Cell(lm, text, kSchemes[s]));
+        std::printf(".");
+        std::fflush(stdout);
+    }
+    std::vector<double> medians(6);
+    for (size_t s = 0; s < 6; ++s) {
+        std::sort(per_scheme[s].begin(), per_scheme[s].end());
+        medians[s] = per_scheme[s][1];
+    }
+    return medians;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Table 9: PTQ proxy perplexity on LLMs (lower is "
+                "better; ceiling = vocab 1024) ==\n\n");
+
+    // Paper FP32 rows (Wiki, C4) per model.
+    struct Col { const char *model; const char *ds; double target; u64 seed; };
+    const Col cols[] = {
+        {"GPT2-XL", "Wiki", 17.48, 1001}, {"GPT2-XL", "C4", 16.30, 2002},
+        {"BLOOM-7B1", "Wiki", 13.05, 1001}, {"BLOOM-7B1", "C4", 14.94, 2002},
+        {"OPT-6.7B", "Wiki", 22.14, 1001}, {"OPT-6.7B", "C4", 10.63, 2002},
+    };
+
+    std::vector<std::vector<double>> grid; // [col][scheme]
+    std::vector<std::string> header = {"Method"};
+    for (const auto &c : cols) {
+        header.push_back(std::string(c.model) + " " + c.ds);
+        grid.push_back(
+            columnCells(models::byName(c.model), c.target, c.seed));
+    }
+    std::printf("\n\n");
+
+    Table t(std::move(header));
+    for (size_t s = 0; s < 6; ++s) {
+        std::vector<std::string> row = {kLabels[s]};
+        for (const auto &col : grid) {
+            row.push_back(col[s] > 500.0 ? Table::sci(col[s])
+                                         : Table::num(col[s], 2));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print();
+
+    std::printf("\nPaper shape: 8-bit OliVe ~ FP32; int8 degrades and "
+                "breaks on OPT-6.7B; int4 collapses by orders of "
+                "magnitude; 4-bit OliVe degrades moderately and beats "
+                "4-bit ANT.\n");
+    return 0;
+}

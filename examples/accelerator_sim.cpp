@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Accelerator design-space example: run one model's inference GEMM
+ * workload through both performance simulators and print per-design
+ * latency, speedup, and energy breakdowns.
+ *
+ *   ./build/examples/accelerator_sim --model BLOOM-7B1
+ */
+
+#include <cstdio>
+
+#include "models/workload.hpp"
+#include "sim/gpu.hpp"
+#include "sim/systolic.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv, {{"model", "BERT-base"}});
+    const auto config = models::byName(args.get("model"));
+    const auto ops = models::inferenceGemms(config);
+
+    std::printf("== %s: %llu GEMM MACs, %llu weight elements ==\n\n",
+                config.name.c_str(),
+                static_cast<unsigned long long>(models::totalMacs(ops)),
+                static_cast<unsigned long long>(
+                    models::totalWeightElems(ops)));
+
+    // GPU platform (Fig. 9 designs).
+    const sim::GpuModel gpu;
+    const double fp16_cycles = gpu.run(ops, sim::gpuFp16()).cycles;
+    Table gt({"GPU design", "Cycles (M)", "Speedup vs FP16", "Energy (mJ)",
+              "const", "static", "dram+l2", "l1+reg", "core"});
+    for (const auto &d : sim::figure9Designs()) {
+        const auto r = gpu.run(ops, d);
+        gt.addRow({d.name, Table::num(r.cycles / 1e6, 2),
+                   Table::num(fp16_cycles / r.cycles, 2),
+                   Table::num(r.energy.total() / 1e9, 1),
+                   Table::num(r.energy.constant / 1e9, 1),
+                   Table::num(r.energy.staticE / 1e9, 1),
+                   Table::num(r.energy.dramL2 / 1e9, 1),
+                   Table::num(r.energy.l1Reg / 1e9, 1),
+                   Table::num(r.energy.core / 1e9, 1)});
+    }
+    gt.print();
+
+    // Systolic accelerator platform (Fig. 10 designs, iso-area).
+    std::printf("\n");
+    const sim::SystolicModel accel;
+    const double ada_cycles =
+        accel.run(ops, sim::accelAdafloat()).cycles;
+    Table at({"Accelerator", "PEs", "Cycles (M)", "Speedup vs AdaFloat",
+              "Energy (mJ)", "static", "dram", "buffer", "core"});
+    for (const auto &d : sim::figure10Designs()) {
+        const auto r = accel.run(ops, d);
+        at.addRow({d.name, Table::num(r.peCount, 0),
+                   Table::num(r.cycles / 1e6, 2),
+                   Table::num(ada_cycles / r.cycles, 2),
+                   Table::num(r.energy.total() / 1e9, 1),
+                   Table::num(r.energy.staticE / 1e9, 1),
+                   Table::num(r.energy.dram / 1e9, 1),
+                   Table::num(r.energy.buffer / 1e9, 1),
+                   Table::num(r.energy.core / 1e9, 1)});
+    }
+    at.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GLUE-proxy PTQ evaluation (the Table 6 pipeline as an example).
+ *
+ * Trains a task head on the FP32 synthetic backbone, then evaluates any
+ * set of quantization schemes:
+ *
+ *   ./build/examples/glue_eval --model BERT-base --task SST-2 \
+ *       --schemes fp32,olive4,int4,os6 --qat 0
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "eval/accuracy.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+namespace {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep)) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv,
+              {{"model", "BERT-base"},
+               {"task", "SST-2"},
+               {"schemes", "fp32,olive4,olive8,int4,int8,os4,os6,ant4"},
+               {"qat", "0"},
+               {"seed", "1"},
+               {"train", "144"},
+               {"test", "144"}});
+
+    const auto config = models::byName(args.get("model"));
+    const auto task = eval::taskByName(args.get("task"));
+    const bool qat = args.getBool("qat");
+
+    std::printf("== GLUE-proxy PTQ: %s on %s (%s) ==\n",
+                config.name.c_str(), task.name.c_str(),
+                eval::metricLabel(task.metric).c_str());
+
+    eval::TaskEvaluator evaluator(config, task,
+                                  static_cast<u64>(args.getInt("seed")),
+                                  static_cast<size_t>(args.getInt("train")),
+                                  static_cast<size_t>(args.getInt("test")));
+
+    Table t({"Scheme", eval::metricLabel(task.metric)});
+    t.addRow({"FP32 (source)", Table::num(evaluator.evalFp32(), 2)});
+    for (const auto &id : split(args.get("schemes"), ',')) {
+        if (id == "fp32")
+            continue;
+        const SchemePtr scheme = eval::makeScheme(id);
+        const double metric = evaluator.evalScheme(*scheme, qat);
+        t.addRow({scheme->name(), Table::num(metric, 2)});
+    }
+    t.print();
+    return 0;
+}

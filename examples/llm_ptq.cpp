@@ -1,0 +1,72 @@
+/**
+ * @file
+ * LLM post-training quantization with the proxy-perplexity harness (the
+ * Table 9 pipeline as an example).
+ *
+ *   ./build/examples/llm_ptq --model OPT-6.7B --target-ppl 22.14 \
+ *       --schemes fp32,int8,olive8,int4,ant4,olive4
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "eval/perplexity.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+namespace {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep)) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv,
+              {{"model", "GPT2-XL"},
+               {"target-ppl", "17.48"},
+               {"schemes", "fp32,int8,olive8,int4,ant4,olive4"},
+               {"seqs", "32"},
+               {"len", "16"},
+               {"seed", "3"}});
+
+    const auto config = models::byName(args.get("model"));
+    const double target = args.getDouble("target-ppl");
+
+    std::printf("== LLM PTQ proxy perplexity: %s (target FP32 ppl %.2f, "
+                "vocab %zu) ==\n",
+                config.name.c_str(), target, config.evalVocab);
+
+    eval::LmModel lm =
+        eval::makeLm(config, static_cast<u64>(args.getInt("seed")));
+    const auto text = eval::calibrateToTarget(
+        lm, target, static_cast<size_t>(args.getInt("seqs")),
+        static_cast<size_t>(args.getInt("len")),
+        static_cast<u64>(args.getInt("seed")) * 31 + 7);
+    std::printf("calibrated temperature: %.3f\n\n", lm.temperature);
+
+    Table t({"Scheme", "Perplexity"});
+    for (const auto &id : split(args.get("schemes"), ',')) {
+        const double ppl = eval::table9Cell(lm, text, id);
+        t.addRow({id, ppl > 500.0 ? Table::sci(ppl) : Table::num(ppl, 2)});
+    }
+    t.print();
+    std::printf("\n(note: the proxy's perplexity ceiling is the vocab "
+                "size, %zu)\n",
+                config.evalVocab);
+    return 0;
+}

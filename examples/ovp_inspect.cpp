@@ -1,0 +1,125 @@
+/**
+ * @file
+ * OVP encoding inspector: encode a small tensor and dump every pair —
+ * raw values, the Algorithm 1 classification, the packed byte(s), and
+ * the decoded exponent-integer operands — the paper's Fig. 1b and
+ * Fig. 4 as a terminal tool.
+ *
+ *   ./build/examples/ovp_inspect --type int4 --values "1.5,2.6,0,-98,17.6,0,7.1,-6.8"
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "hw/decoder.hpp"
+#include "quant/ovp.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+
+using namespace olive;
+
+namespace {
+
+std::string
+bits4(u32 v)
+{
+    std::string s;
+    for (int i = 3; i >= 0; --i)
+        s += static_cast<char>('0' + ((v >> i) & 1));
+    return s;
+}
+
+std::string
+bits8(u32 v)
+{
+    std::string s;
+    for (int i = 7; i >= 0; --i)
+        s += static_cast<char>('0' + ((v >> i) & 1));
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv,
+              {{"type", "int4"},
+               {"values", "1.5,2.6,0,-98,17.6,0,7.1,-6.8,1.2,6.3,30.7,0"},
+               {"scale", "0"},
+               {"threshold", "0"}});
+
+    NormalType type = NormalType::Int4;
+    if (args.get("type") == "flint4")
+        type = NormalType::Flint4;
+    else if (args.get("type") == "int8")
+        type = NormalType::Int8;
+    else if (args.get("type") != "int4")
+        OLIVE_FATAL("--type must be int4, flint4, or int8");
+
+    std::vector<float> values;
+    std::stringstream ss(args.get("values"));
+    std::string item;
+    while (std::getline(ss, item, ','))
+        values.push_back(std::stof(item));
+    if (values.size() % 2)
+        values.push_back(0.0f);
+    OLIVE_ASSERT(!values.empty(), "no values given");
+
+    // Default scale/threshold: the Fig. 1b setting — normals on a
+    // roughly unit grid, 3-robust-sigma threshold.
+    double threshold = args.getDouble("threshold");
+    if (threshold <= 0.0)
+        threshold = std::max(3.0 * stats::robustSigma(values), 1e-3);
+    float scale = static_cast<float>(args.getDouble("scale"));
+    if (scale <= 0.0f)
+        scale = static_cast<float>(threshold / maxNormalMagnitude(type));
+
+    const OvpCodec codec(type, scale, threshold);
+    const hw::OvpDecoder decoder(type);
+    std::printf("== OVP inspector: %s normals + %s outliers ==\n",
+                toString(type).c_str(),
+                codec.outlierType().name().c_str());
+    std::printf("scale %.4f, threshold %.4f (|x| beyond it is an "
+                "outlier)\n\n",
+                scale, threshold);
+
+    const bool is4 = bitWidth(type) == 4;
+    for (size_t p = 0; p * 2 < values.size(); ++p) {
+        const float v1 = values[2 * p];
+        const float v2 = values[2 * p + 1];
+        u32 c1, c2;
+        codec.encodePair(v1, v2, c1, c2);
+        float d1, d2;
+        codec.decodePair(c1, c2, d1, d2);
+
+        const u32 identifier = outlierIdentifier(type);
+        const char *kind = "normal-normal";
+        if (c2 == identifier)
+            kind = "left outlier (O-V)";
+        else if (c1 == identifier)
+            kind = "right outlier (V-O)";
+
+        const auto hw_pair = decoder.decodeCodes(c1, c2);
+        std::printf("pair %zu: (%8.2f, %8.2f)  %-19s\n", p, v1, v2, kind);
+        if (is4) {
+            std::printf("  codes %s|%s (byte 0x%02x)   ", bits4(c2).c_str(),
+                        bits4(c1).c_str(),
+                        (static_cast<unsigned>(c2) << 4) | c1);
+        } else {
+            std::printf("  codes %s %s            ", bits8(c1).c_str(),
+                        bits8(c2).c_str());
+        }
+        std::printf("decoded (%8.2f, %8.2f)\n", d1, d2);
+        std::printf("  hw operands: <e=%d, i=%d>%s  <e=%d, i=%d>%s\n",
+                    hw_pair.first.exponent, hw_pair.first.integer,
+                    hw_pair.firstIsOutlier ? " [outlier]" : "",
+                    hw_pair.second.exponent, hw_pair.second.integer,
+                    hw_pair.secondIsOutlier ? " [outlier]" : "");
+    }
+
+    const auto rt = codec.fakeQuant(values);
+    std::printf("\ntensor SQNR: %.2f dB over %zu values\n",
+                stats::sqnrDb(values, rt), values.size());
+    return 0;
+}

@@ -1,0 +1,96 @@
+#include "adaptivfloat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+
+double
+AdaptivFloatFormat::maxValue() const
+{
+    const double integer =
+        static_cast<double>((1 << (mantBits + 1)) - 1);
+    const int max_exp = (1 << expBits) - 1;
+    return std::ldexp(integer, max_exp + bias - mantBits);
+}
+
+double
+AdaptivFloatFormat::quantize(double x) const
+{
+    if (x == 0.0)
+        return 0.0;
+    const double sign = (x < 0.0) ? -1.0 : 1.0;
+    double mag = std::fabs(x);
+
+    // value = (1.mantissa) * 2^(exp + bias); mantissa has mantBits bits.
+    int exp = static_cast<int>(std::floor(std::log2(mag))) - bias;
+    const int max_exp = (1 << expBits) - 1;
+
+    if (exp < 0) {
+        // Below the smallest binade: round to zero or the minimum value.
+        const double min_val = std::ldexp(1.0, bias);
+        return (mag < 0.5 * min_val) ? 0.0 : sign * min_val;
+    }
+    if (exp > max_exp)
+        exp = max_exp;
+
+    const double binade = std::ldexp(1.0, exp + bias);
+    double frac = mag / binade; // in [1, 2) when in range
+    frac = std::min(frac, 2.0 - std::ldexp(1.0, -mantBits));
+    const double steps = std::ldexp(1.0, mantBits);
+    const double mant = std::nearbyint((frac - 1.0) * steps) / steps;
+    double q = (1.0 + mant) * binade;
+    q = std::min(q, maxValue());
+    return sign * q;
+}
+
+AdaptivFloatFormat
+adaptivFloatFit(std::span<const float> xs, int bits)
+{
+    OLIVE_ASSERT(bits == 4 || bits == 8, "AdaptivFloat supports 4/8 bits");
+    AdaptivFloatFormat fmt;
+    if (bits == 4) {
+        fmt.expBits = 2;
+        fmt.mantBits = 1;
+    } else {
+        fmt.expBits = 4;
+        fmt.mantBits = 3;
+    }
+    const double amax = stats::absMax(xs);
+    if (amax <= 0.0) {
+        fmt.bias = 0;
+        return fmt;
+    }
+    // Pick the bias so the top binade covers amax (the AdaptivFloat
+    // paper's closed-form bias selection).
+    const int max_exp = (1 << fmt.expBits) - 1;
+    fmt.bias = static_cast<int>(std::floor(std::log2(amax))) - max_exp;
+    return fmt;
+}
+
+AdaptivFloatScheme::AdaptivFloatScheme(int bits)
+    : bits_(bits)
+{
+    OLIVE_ASSERT(bits == 4 || bits == 8, "AdaptivFloat supports 4/8 bits");
+}
+
+std::string
+AdaptivFloatScheme::name() const
+{
+    return std::to_string(bits_) + "-bit AdaptivFloat";
+}
+
+std::vector<float>
+AdaptivFloatScheme::apply(std::span<const float> xs, TensorKind)
+{
+    const AdaptivFloatFormat fmt = adaptivFloatFit(xs, bits_);
+    std::vector<float> out(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        out[i] = static_cast<float>(fmt.quantize(xs[i]));
+    return out;
+}
+
+} // namespace olive

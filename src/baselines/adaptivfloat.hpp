@@ -1,0 +1,57 @@
+/**
+ * @file
+ * AdaptivFloat baseline (Tambe et al., DAC 2020): low-bit floating point
+ * with a per-tensor optimal exponent bias.
+ *
+ * Unlike OliVe's abfloat — whose bias pushes the representable range
+ * *above* the normal values to dedicate all codes to outliers —
+ * AdaptivFloat centers its range on the whole tensor: the bias is chosen
+ * so the maximum representable value just covers the tensor's absolute
+ * maximum.  The format keeps subnormal-free semantics with an implicit
+ * leading one; the bias may be negative (fractional values).
+ */
+
+#ifndef OLIVE_BASELINES_ADAPTIVFLOAT_HPP
+#define OLIVE_BASELINES_ADAPTIVFLOAT_HPP
+
+#include "quant/scheme.hpp"
+
+namespace olive {
+
+/** One AdaptivFloat format instance (per-tensor bias). */
+struct AdaptivFloatFormat
+{
+    int expBits = 2;   //!< Exponent field width.
+    int mantBits = 1;  //!< Mantissa field width.
+    int bias = 0;      //!< Per-tensor exponent bias (may be negative).
+
+    /** Largest representable magnitude. */
+    double maxValue() const;
+
+    /** Quantize one value to the nearest representable. */
+    double quantize(double x) const;
+};
+
+/** Choose the bias so maxValue() just covers max|xs|. */
+AdaptivFloatFormat adaptivFloatFit(std::span<const float> xs, int bits);
+
+/** AdaptivFloat as a Scheme (weights and activations). */
+class AdaptivFloatScheme : public Scheme
+{
+  public:
+    /** @param bits Total width including sign: 4 (E2M1) or 8 (E4M3). */
+    explicit AdaptivFloatScheme(int bits = 8);
+
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return bits_; }
+    int activationBits() const override { return bits_; }
+
+  private:
+    int bits_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_BASELINES_ADAPTIVFLOAT_HPP

@@ -1,0 +1,166 @@
+#include "ant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/uniform.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+
+namespace {
+
+/** Nearest-value fake quant over an arbitrary sorted value table. */
+std::vector<float>
+tableFakeQuant(std::span<const float> xs, const std::vector<int> &values,
+               float scale)
+{
+    std::vector<float> out(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double x = static_cast<double>(xs[i]) / scale;
+        auto it = std::lower_bound(values.begin(), values.end(), x);
+        int q;
+        if (it == values.begin()) {
+            q = values.front();
+        } else if (it == values.end()) {
+            q = values.back();
+        } else {
+            const int hi = *it;
+            const int lo = *(it - 1);
+            q = (x - lo <= hi - x) ? lo : hi;
+        }
+        out[i] = static_cast<float>(q) * scale;
+    }
+    return out;
+}
+
+std::vector<float>
+subsample(std::span<const float> xs, size_t cap)
+{
+    if (xs.size() <= cap)
+        return std::vector<float>(xs.begin(), xs.end());
+    std::vector<float> s;
+    s.reserve(cap);
+    const size_t stride = xs.size() / cap;
+    for (size_t i = 0; i < xs.size() && s.size() < cap; i += stride)
+        s.push_back(xs[i]);
+    return s;
+}
+
+} // namespace
+
+AntDecision
+antCalibrate4bit(std::span<const float> xs)
+{
+    const auto s = subsample(xs, 8192);
+    const double amax = stats::absMax(s);
+    OLIVE_ASSERT(amax > 0.0, "cannot calibrate an all-zero tensor");
+
+    AntDecision best;
+    best.mse = std::numeric_limits<double>::infinity();
+
+    for (NormalType type : {NormalType::Int4, NormalType::Flint4}) {
+        const auto values = valueTable(type);
+        const int max_mag = maxNormalMagnitude(type);
+        constexpr int kPoints = 32;
+        for (int i = 0; i < kPoints; ++i) {
+            const double frac = static_cast<double>(i) / (kPoints - 1);
+            const double clip = amax * (0.02 + 0.98 * frac);
+            const float scale = static_cast<float>(clip / max_mag);
+            const auto rt = tableFakeQuant(s, values, scale);
+            const double m = stats::mse(s, rt);
+            if (m < best.mse) {
+                best.mse = m;
+                best.type = type;
+                best.scale = scale;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<float>
+antFakeQuant(std::span<const float> xs, const AntDecision &d)
+{
+    return tableFakeQuant(xs, valueTable(d.type), d.scale);
+}
+
+AntScheme::AntScheme(int bits, bool mixed_precision,
+                     double escalate_threshold)
+    : bits_(bits),
+      mixedPrecision_(mixed_precision),
+      escalateThreshold_(escalate_threshold)
+{
+    OLIVE_ASSERT(bits == 4 || bits == 8, "ANT supports 4/8 bits");
+}
+
+std::string
+AntScheme::name() const
+{
+    return std::to_string(bits_) + "-bit ANT" +
+           (mixedPrecision_ ? " (mixed)" : "");
+}
+
+std::vector<float>
+AntScheme::apply(std::span<const float> xs, TensorKind)
+{
+    ++applied_;
+    if (bits_ == 8) {
+        const float scale = searchUniformScale(xs, 127);
+        return uniformFakeQuant(xs, scale, 127);
+    }
+
+    AntDecision d = antCalibrate4bit(xs);
+    if (mixedPrecision_) {
+        // Relative error test: if 4-bit ANT cannot represent the tensor
+        // well (outlier-heavy tensors), fall back to int8.
+        double power = 0.0;
+        for (float x : xs)
+            power += static_cast<double>(x) * x;
+        power /= static_cast<double>(xs.size());
+        if (power > 0.0 && d.mse / power > escalateThreshold_) {
+            ++escalated_;
+            const float scale = searchUniformScale(xs, 127);
+            return uniformFakeQuant(xs, scale, 127);
+        }
+    }
+    return antFakeQuant(xs, d);
+}
+
+Scheme::Applier
+AntScheme::calibrate(std::span<const float> calibration, TensorKind)
+{
+    ++applied_;
+    if (bits_ == 8) {
+        const float scale = searchUniformScale(calibration, 127);
+        return [scale](std::span<const float> xs) {
+            return uniformFakeQuant(xs, scale, 127);
+        };
+    }
+    AntDecision d = antCalibrate4bit(calibration);
+    if (mixedPrecision_) {
+        double power = 0.0;
+        for (float x : calibration)
+            power += static_cast<double>(x) * x;
+        power /= static_cast<double>(calibration.size());
+        if (power > 0.0 && d.mse / power > escalateThreshold_) {
+            ++escalated_;
+            const float scale = searchUniformScale(calibration, 127);
+            return [scale](std::span<const float> xs) {
+                return uniformFakeQuant(xs, scale, 127);
+            };
+        }
+    }
+    return [d](std::span<const float> xs) { return antFakeQuant(xs, d); };
+}
+
+double
+AntScheme::escalationRate() const
+{
+    return applied_ ? static_cast<double>(escalated_) /
+                          static_cast<double>(applied_)
+                    : 0.0;
+}
+
+} // namespace olive

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ANT baseline (Guo et al., MICRO 2022): fixed-length adaptive numerical
+ * data type quantization.
+ *
+ * ANT picks, per tensor, the 4-bit data type (int4 or flint4) whose
+ * value distribution best matches the tensor, by MSE.  It has no outlier
+ * mechanism: values beyond the representable range clip.  Its
+ * mixed-precision mode escalates tensors whose 4-bit relative error is
+ * too high to int8 — the paper observes ~80 % of LLM layers end up int8
+ * under PTQ, which is why ANT's speedup collapses toward the int8
+ * baseline in Figs. 9/10.
+ */
+
+#ifndef OLIVE_BASELINES_ANT_HPP
+#define OLIVE_BASELINES_ANT_HPP
+
+#include "quant/dtype.hpp"
+#include "quant/scheme.hpp"
+
+namespace olive {
+
+/** Result of ANT's per-tensor type/scale selection. */
+struct AntDecision
+{
+    NormalType type = NormalType::Int4;
+    float scale = 1.0f;
+    double mse = 0.0;
+    bool escalated = false;  //!< True if mixed precision chose int8.
+};
+
+/**
+ * Calibrate ANT on @p xs at 4 bits: choose int4 vs flint4 and an
+ * MSE-optimal scale.  (flint4's non-uniform grid gives it more dynamic
+ * range, which is why ANT prefers it for long-tailed tensors.)
+ */
+AntDecision antCalibrate4bit(std::span<const float> xs);
+
+/** Fake-quantize with a frozen ANT decision (clipping, no outliers). */
+std::vector<float> antFakeQuant(std::span<const float> xs,
+                                const AntDecision &d);
+
+/** The ANT scheme. */
+class AntScheme : public Scheme
+{
+  public:
+    /**
+     * @param bits Base precision, 4 or 8.
+     * @param mixed_precision Allow per-tensor escalation of 4-bit
+     *        tensors to int8 when the relative MSE exceeds
+     *        @p escalate_threshold.
+     * @param escalate_threshold Relative MSE (MSE / mean square) above
+     *        which a tensor escalates to int8.
+     */
+    AntScheme(int bits, bool mixed_precision = true,
+              double escalate_threshold = 1e-3);
+
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    Applier calibrate(std::span<const float> calibration,
+                      TensorKind kind) override;
+    int weightBits() const override { return bits_; }
+    int activationBits() const override { return bits_; }
+
+    /** Fraction of apply() calls that escalated to int8 so far. */
+    double escalationRate() const;
+
+  private:
+    int bits_;
+    bool mixedPrecision_;
+    double escalateThreshold_;
+    u64 applied_ = 0;
+    u64 escalated_ = 0;
+};
+
+} // namespace olive
+
+#endif // OLIVE_BASELINES_ANT_HPP

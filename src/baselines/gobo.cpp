@@ -1,0 +1,131 @@
+#include "gobo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace olive {
+
+double
+GoboEncoding::outlierRatio(size_t total) const
+{
+    return total ? static_cast<double>(outlierIdx.size()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+GoboEncoding
+goboEncode(std::span<const float> xs, int bits, double outlier_sigma,
+           int lloyd_iters)
+{
+    OLIVE_ASSERT(bits >= 2 && bits <= 4, "GOBO dictionaries are 2-4 bits");
+    GoboEncoding enc;
+    const double m = stats::mean(xs);
+    const double sigma = stats::stddev(xs);
+    const double limit = outlier_sigma * sigma;
+
+    // Split into Gaussian group and outlier group.
+    std::vector<float> gauss;
+    gauss.reserve(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (sigma > 0.0 && std::fabs(xs[i] - m) > limit) {
+            enc.outlierIdx.push_back(static_cast<u32>(i));
+            enc.outlierVal.push_back(xs[i]);
+        } else {
+            gauss.push_back(xs[i]);
+        }
+    }
+
+    // Initialize centroids uniformly over the Gaussian group's range,
+    // then refine with Lloyd iterations (GOBO's dictionary fit).
+    const size_t k = size_t{1} << bits;
+    float lo = 0.0f, hi = 0.0f;
+    if (!gauss.empty()) {
+        lo = *std::min_element(gauss.begin(), gauss.end());
+        hi = *std::max_element(gauss.begin(), gauss.end());
+    }
+    enc.centroids.resize(k);
+    for (size_t c = 0; c < k; ++c) {
+        enc.centroids[c] =
+            lo + (hi - lo) * (static_cast<float>(c) + 0.5f) /
+                     static_cast<float>(k);
+    }
+
+    auto nearest = [&](float v) {
+        size_t best = 0;
+        float bestd = std::fabs(v - enc.centroids[0]);
+        for (size_t c = 1; c < k; ++c) {
+            const float d = std::fabs(v - enc.centroids[c]);
+            if (d < bestd) {
+                bestd = d;
+                best = c;
+            }
+        }
+        return best;
+    };
+
+    for (int it = 0; it < lloyd_iters; ++it) {
+        std::vector<double> sum(k, 0.0);
+        std::vector<size_t> cnt(k, 0);
+        for (float v : gauss) {
+            const size_t c = nearest(v);
+            sum[c] += v;
+            ++cnt[c];
+        }
+        for (size_t c = 0; c < k; ++c) {
+            if (cnt[c] > 0)
+                enc.centroids[c] =
+                    static_cast<float>(sum[c] / static_cast<double>(cnt[c]));
+        }
+    }
+
+    // Assign final codes in original order (identifier-free: outliers
+    // live purely in the coordinate list).
+    enc.codes.resize(xs.size());
+    size_t out_cursor = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (out_cursor < enc.outlierIdx.size() &&
+            enc.outlierIdx[out_cursor] == i) {
+            enc.codes[i] = 0; // placeholder; decoded from the list
+            ++out_cursor;
+        } else {
+            enc.codes[i] = static_cast<u8>(nearest(xs[i]));
+        }
+    }
+    return enc;
+}
+
+std::vector<float>
+goboDecode(const GoboEncoding &enc, size_t n)
+{
+    OLIVE_ASSERT(enc.codes.size() == n, "GOBO code stream size mismatch");
+    std::vector<float> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = enc.centroids[enc.codes[i]];
+    for (size_t j = 0; j < enc.outlierIdx.size(); ++j)
+        out[enc.outlierIdx[j]] = enc.outlierVal[j];
+    return out;
+}
+
+GoboScheme::GoboScheme(int bits, double outlier_sigma)
+    : bits_(bits), outlierSigma_(outlier_sigma)
+{
+}
+
+std::string
+GoboScheme::name() const
+{
+    return std::to_string(bits_) + "-bit GOBO (weights only)";
+}
+
+std::vector<float>
+GoboScheme::apply(std::span<const float> xs, TensorKind kind)
+{
+    if (kind == TensorKind::Activation)
+        return std::vector<float>(xs.begin(), xs.end());
+    const auto enc = goboEncode(xs, bits_, outlierSigma_);
+    return goboDecode(enc, xs.size());
+}
+
+} // namespace olive

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GOBO baseline (Zadeh et al., MICRO 2020): weight-only outlier-aware
+ * quantization with a global sparse coordinate list.
+ *
+ * GOBO splits weights into a Gaussian group (quantized to a small
+ * centroid dictionary, 3-4 bits per weight) and an outlier group kept at
+ * full precision and addressed through a coordinate list.  Activations
+ * are untouched, and on GPU the compute stays FP16 — GOBO only
+ * compresses DRAM traffic.  Both properties are what the performance
+ * model penalizes in Fig. 9.
+ */
+
+#ifndef OLIVE_BASELINES_GOBO_HPP
+#define OLIVE_BASELINES_GOBO_HPP
+
+#include "quant/scheme.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+
+/** GOBO encoding of one weight tensor. */
+struct GoboEncoding
+{
+    std::vector<float> centroids;  //!< Dictionary for the Gaussian group.
+    std::vector<u8> codes;         //!< Per-weight centroid index.
+    std::vector<u32> outlierIdx;   //!< Coordinate list (flat indices).
+    std::vector<float> outlierVal; //!< Full-precision outlier values.
+
+    /** Fraction of weights stored as outliers. */
+    double outlierRatio(size_t total) const;
+};
+
+/**
+ * Encode @p xs with GOBO: values beyond @p outlier_sigma standard
+ * deviations go to the outlier list; the rest map to 2^bits centroids
+ * refined with Lloyd iterations.
+ */
+GoboEncoding goboEncode(std::span<const float> xs, int bits,
+                        double outlier_sigma = 3.3, int lloyd_iters = 6);
+
+/** Reconstruct the tensor from a GOBO encoding. */
+std::vector<float> goboDecode(const GoboEncoding &enc, size_t n);
+
+/** GOBO as a Scheme (weight-only; activations pass through). */
+class GoboScheme : public Scheme
+{
+  public:
+    /** @param bits Dictionary bits for the Gaussian group (3 or 4). */
+    explicit GoboScheme(int bits = 4, double outlier_sigma = 3.3);
+
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return bits_; }
+    int activationBits() const override { return 32; } //!< weight-only
+
+  private:
+    int bits_;
+    double outlierSigma_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_BASELINES_GOBO_HPP

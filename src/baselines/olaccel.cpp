@@ -1,0 +1,83 @@
+#include "olaccel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace olive {
+
+OlaccelEncoding
+olaccelEncode(std::span<const float> xs, double outlier_frac,
+              int outlier_bits)
+{
+    OLIVE_ASSERT(outlier_frac >= 0.0 && outlier_frac < 0.5,
+                 "outlier fraction out of range");
+    OlaccelEncoding enc;
+    enc.decoded.resize(xs.size());
+    if (xs.empty())
+        return enc;
+
+    // Magnitude threshold at the (1 - outlier_frac) quantile.
+    std::vector<float> mags(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        mags[i] = std::fabs(xs[i]);
+    const double thresh =
+        stats::percentile(mags, 100.0 * (1.0 - outlier_frac));
+
+    double normal_max = 0.0, outlier_max = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (mags[i] > thresh) {
+            enc.outlierIdx.push_back(static_cast<u32>(i));
+            outlier_max = std::max(outlier_max, double{mags[i]});
+        } else {
+            normal_max = std::max(normal_max, double{mags[i]});
+        }
+    }
+
+    const int nmaxq = 7; // 4-bit normals
+    const int omaxq = (1 << (outlier_bits - 1)) - 1;
+    enc.normalScale =
+        (normal_max > 0.0) ? static_cast<float>(normal_max / nmaxq) : 1.0f;
+    enc.outlierScale =
+        (outlier_max > 0.0) ? static_cast<float>(outlier_max / omaxq) : 1.0f;
+
+    size_t cursor = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const bool is_outlier = cursor < enc.outlierIdx.size() &&
+                                enc.outlierIdx[cursor] == i;
+        if (is_outlier) {
+            ++cursor;
+            double q = std::nearbyint(xs[i] / enc.outlierScale);
+            q = std::clamp(q, static_cast<double>(-omaxq),
+                           static_cast<double>(omaxq));
+            enc.decoded[i] = static_cast<float>(q * enc.outlierScale);
+        } else {
+            double q = std::nearbyint(xs[i] / enc.normalScale);
+            q = std::clamp(q, static_cast<double>(-nmaxq),
+                           static_cast<double>(nmaxq));
+            enc.decoded[i] = static_cast<float>(q * enc.normalScale);
+        }
+    }
+    return enc;
+}
+
+OlaccelScheme::OlaccelScheme(double outlier_frac, int outlier_bits)
+    : outlierFrac_(outlier_frac), outlierBits_(outlier_bits)
+{
+}
+
+std::string
+OlaccelScheme::name() const
+{
+    return "OLAccel (4-bit + " + std::to_string(outlierBits_) +
+           "-bit outliers)";
+}
+
+std::vector<float>
+OlaccelScheme::apply(std::span<const float> xs, TensorKind)
+{
+    return olaccelEncode(xs, outlierFrac_, outlierBits_).decoded;
+}
+
+} // namespace olive

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * OLAccel baseline (Park et al., ISCA 2018): outlier-aware low-precision
+ * quantization with element-wise mixed precision.
+ *
+ * A small fraction of the largest-magnitude values (the outliers) keep
+ * high precision (8/16-bit) and are addressed through a coordinate
+ * list; the dense remainder is quantized at 4 bits with a range computed
+ * over non-outliers only.  Extended to transformers with both weight and
+ * activation quantization, as the paper's methodology section does.
+ */
+
+#ifndef OLIVE_BASELINES_OLACCEL_HPP
+#define OLIVE_BASELINES_OLACCEL_HPP
+
+#include "quant/scheme.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+
+/** OLAccel encoding summary for one tensor. */
+struct OlaccelEncoding
+{
+    float normalScale = 1.0f;      //!< 4-bit scale over non-outliers.
+    float outlierScale = 1.0f;     //!< High-precision scale.
+    std::vector<u32> outlierIdx;   //!< Coordinate list.
+    std::vector<float> decoded;    //!< Reconstructed values.
+};
+
+/**
+ * Encode with OLAccel: the top @p outlier_frac fraction by magnitude is
+ * quantized at @p outlier_bits, the rest at 4 bits over the reduced
+ * range.
+ */
+OlaccelEncoding olaccelEncode(std::span<const float> xs, double outlier_frac,
+                              int outlier_bits);
+
+/** OLAccel as a Scheme. */
+class OlaccelScheme : public Scheme
+{
+  public:
+    /**
+     * @param outlier_frac Fraction of values kept high precision (the
+     *        OLAccel paper uses ~3 %).
+     * @param outlier_bits Precision of outliers (8 or 16).
+     */
+    explicit OlaccelScheme(double outlier_frac = 0.03, int outlier_bits = 8);
+
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return 4; }
+    int activationBits() const override { return 4; }
+
+  private:
+    double outlierFrac_;
+    int outlierBits_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_BASELINES_OLACCEL_HPP

@@ -1,0 +1,90 @@
+#include "outlier_suppression.hpp"
+
+#include "baselines/uniform.hpp"
+#include "util/common.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+
+OutlierSuppressionScheme::OutlierSuppressionScheme(int bits)
+    : bits_(bits), maxq_((1 << (bits - 1)) - 1)
+{
+    OLIVE_ASSERT(bits == 4 || bits == 6 || bits == 8,
+                 "OS proxy supports 4/6/8 bits");
+}
+
+std::string
+OutlierSuppressionScheme::name() const
+{
+    return std::to_string(bits_) + "-bit Outlier Suppression";
+}
+
+namespace {
+
+/**
+ * The suppression itself: Outlier Suppression's activation path clips
+ * the (gamma-migrated) activations to a tight learned range — that is
+ * the method's point, and its accuracy cost on models whose activation
+ * outliers are functionally important.  We model the learned range as
+ * at most kSuppressSigma standard deviations.
+ */
+constexpr double kSuppressSigma = 8.0;
+
+float
+suppressedScale(std::span<const float> xs, int maxq)
+{
+    const float mse_scale = searchUniformScale(xs, maxq);
+    const double sigma = stats::stddev(xs);
+    const float clip_scale =
+        static_cast<float>(kSuppressSigma * sigma / maxq);
+    return (sigma > 0.0 && clip_scale < mse_scale) ? clip_scale
+                                                   : mse_scale;
+}
+
+} // namespace
+
+std::vector<float>
+OutlierSuppressionScheme::apply(std::span<const float> xs, TensorKind kind)
+{
+    if (kind == TensorKind::Activation) {
+        const float scale = suppressedScale(xs, maxq_);
+        return uniformFakeQuant(xs, scale, maxq_);
+    }
+    const float scale = searchUniformScale(xs, maxq_);
+    return uniformFakeQuant(xs, scale, maxq_);
+}
+
+Scheme::Applier
+OutlierSuppressionScheme::calibrate(std::span<const float> calibration,
+                                    TensorKind kind)
+{
+    const float scale = (kind == TensorKind::Activation)
+                            ? suppressedScale(calibration, maxq_)
+                            : searchUniformScale(calibration, maxq_);
+    const int maxq = maxq_;
+    return [scale, maxq](std::span<const float> xs) {
+        return uniformFakeQuant(xs, scale, maxq);
+    };
+}
+
+std::vector<float>
+OutlierSuppressionScheme::applyMatrix(std::span<const float> xs, size_t rows,
+                                      size_t cols, TensorKind kind)
+{
+    if (kind == TensorKind::Activation || rows * cols != xs.size())
+        return apply(xs, kind);
+
+    // Per-output-channel weight quantization: gamma migration folds the
+    // LayerNorm scale into each output row, which is equivalent to a
+    // free per-row scale factor.
+    std::vector<float> out(xs.size());
+    for (size_t r = 0; r < rows; ++r) {
+        const auto row = xs.subspan(r * cols, cols);
+        const float scale = searchUniformScale(row, maxq_);
+        const auto rt = uniformFakeQuant(row, scale, maxq_);
+        std::copy(rt.begin(), rt.end(), out.begin() + r * cols);
+    }
+    return out;
+}
+
+} // namespace olive

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Outlier Suppression baseline (Wei et al., NeurIPS 2022), the paper's
+ * strongest software-only comparator ("OS" in Tables 6 and 8).
+ *
+ * The original method migrates the LayerNorm gamma into the following
+ * weights and clips activations token-wise with a learned range.  The
+ * effect, from the quantizer's point of view, is per-channel scale
+ * factors plus an aggressively clipped range — which we model directly:
+ * per-output-channel symmetric int quantization of weights with an
+ * MSE-optimal clip, and per-tensor clipped quantization of activations.
+ * The "QAT" rows of the paper additionally fine-tune downstream
+ * parameters; our evaluation harness reproduces that by retraining the
+ * task head after quantization (see eval::accuracy).
+ */
+
+#ifndef OLIVE_BASELINES_OUTLIER_SUPPRESSION_HPP
+#define OLIVE_BASELINES_OUTLIER_SUPPRESSION_HPP
+
+#include "quant/scheme.hpp"
+
+namespace olive {
+
+/** Outlier Suppression proxy as a Scheme. */
+class OutlierSuppressionScheme : public Scheme
+{
+  public:
+    /** @param bits Precision for weights and activations (4 or 6). */
+    explicit OutlierSuppressionScheme(int bits);
+
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    std::vector<float> applyMatrix(std::span<const float> xs, size_t rows,
+                                   size_t cols, TensorKind kind) override;
+    Applier calibrate(std::span<const float> calibration,
+                      TensorKind kind) override;
+    int weightBits() const override { return bits_; }
+    int activationBits() const override { return bits_; }
+
+  private:
+    int bits_;
+    int maxq_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_BASELINES_OUTLIER_SUPPRESSION_HPP

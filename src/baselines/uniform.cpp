@@ -1,0 +1,91 @@
+#include "uniform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/common.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+
+float
+searchUniformScale(std::span<const float> xs, int maxq)
+{
+    const double amax = stats::absMax(xs);
+    OLIVE_ASSERT(amax > 0.0, "cannot quantize an all-zero tensor");
+
+    // Subsample for the search to bound cost on large tensors.
+    constexpr size_t kCap = 8192;
+    std::vector<float> s;
+    if (xs.size() > kCap) {
+        const size_t stride = xs.size() / kCap;
+        s.reserve(kCap);
+        for (size_t i = 0; i < xs.size() && s.size() < kCap; i += stride)
+            s.push_back(xs[i]);
+    } else {
+        s.assign(xs.begin(), xs.end());
+    }
+
+    double best_mse = std::numeric_limits<double>::infinity();
+    float best_scale = static_cast<float>(amax / maxq);
+    constexpr int kPoints = 40;
+    for (int i = 0; i < kPoints; ++i) {
+        const double frac = static_cast<double>(i) / (kPoints - 1);
+        const double clip = amax * (0.05 + 0.95 * frac);
+        const float scale = static_cast<float>(clip / maxq);
+        const auto rt = uniformFakeQuant(s, scale, maxq);
+        const double m = stats::mse(s, rt);
+        if (m < best_mse) {
+            best_mse = m;
+            best_scale = scale;
+        }
+    }
+    return best_scale;
+}
+
+std::vector<float>
+uniformFakeQuant(std::span<const float> xs, float scale, int maxq)
+{
+    OLIVE_ASSERT(scale > 0.0f, "uniform scale must be positive");
+    std::vector<float> out(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double q = std::nearbyint(static_cast<double>(xs[i]) / scale);
+        q = std::clamp(q, static_cast<double>(-maxq),
+                       static_cast<double>(maxq));
+        out[i] = static_cast<float>(q * scale);
+    }
+    return out;
+}
+
+UniformIntScheme::UniformIntScheme(int bits)
+    : bits_(bits), maxq_((1 << (bits - 1)) - 1)
+{
+    OLIVE_ASSERT(bits == 4 || bits == 6 || bits == 8,
+                 "uniform int supports 4/6/8 bits");
+}
+
+std::string
+UniformIntScheme::name() const
+{
+    return "int" + std::to_string(bits_);
+}
+
+std::vector<float>
+UniformIntScheme::apply(std::span<const float> xs, TensorKind)
+{
+    const float scale = searchUniformScale(xs, maxq_);
+    return uniformFakeQuant(xs, scale, maxq_);
+}
+
+Scheme::Applier
+UniformIntScheme::calibrate(std::span<const float> calibration, TensorKind)
+{
+    const float scale = searchUniformScale(calibration, maxq_);
+    const int maxq = maxq_;
+    return [scale, maxq](std::span<const float> xs) {
+        return uniformFakeQuant(xs, scale, maxq);
+    };
+}
+
+} // namespace olive

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Symmetric uniform integer quantization (the "int8" / "int4" rows of
+ * the paper's tables) with MSE-optimal clipping.
+ *
+ * This is the standard PTQ baseline: a single per-tensor scale, values
+ * round to the nearest integer in [-maxq, maxq] and saturate beyond.
+ * There is no outlier mechanism, so the scale search must trade outlier
+ * clipping against bulk resolution — the trade-off OliVe removes.
+ */
+
+#ifndef OLIVE_BASELINES_UNIFORM_HPP
+#define OLIVE_BASELINES_UNIFORM_HPP
+
+#include "quant/scheme.hpp"
+
+namespace olive {
+
+/**
+ * MSE-optimal symmetric scale for quantizing @p xs onto [-maxq, maxq].
+ * Searches clip ratios between 0.05 and 1.0 of the absolute maximum.
+ */
+float searchUniformScale(std::span<const float> xs, int maxq);
+
+/** Fake-quantize @p xs uniformly with the given scale and maxq. */
+std::vector<float> uniformFakeQuant(std::span<const float> xs, float scale,
+                                    int maxq);
+
+/** Symmetric uniform int quantization of weights and activations. */
+class UniformIntScheme : public Scheme
+{
+  public:
+    /** @param bits 4 or 8. */
+    explicit UniformIntScheme(int bits);
+
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    Applier calibrate(std::span<const float> calibration,
+                      TensorKind kind) override;
+    int weightBits() const override { return bits_; }
+    int activationBits() const override { return bits_; }
+
+  private:
+    int bits_;
+    int maxq_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_BASELINES_UNIFORM_HPP

@@ -1,0 +1,296 @@
+#include "accuracy.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include "models/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace eval {
+
+namespace {
+
+constexpr size_t kHeadHidden = 32;
+constexpr int kHeadEpochs = 220;
+constexpr float kHeadLr = 0.5f;
+
+/**
+ * Noise-augmentation strength for head training, relative to the
+ * per-feature RMS.  Fine-tuned checkpoints have robust decision margins
+ * (flat minima); training the proxy head on jittered features
+ * reproduces that robustness, so mild quantization noise (4-bit OliVe,
+ * ~10 % relative feature MSE) is absorbed while catastrophic schemes
+ * (int4 clipping, ~35 %+) still collapse.
+ */
+constexpr float kAugmentNoise = 0.45f;
+constexpr int kAugmentReplicas = 4;
+
+/** Stack @p feats with noisy replicas for robust head training. */
+Tensor
+augmentFeatures(const Tensor &feats, std::vector<int> &labels, Rng &rng)
+{
+    const size_t n = feats.dim(0);
+    const size_t d = feats.dim(1);
+    // Per-feature RMS sets the noise scale.
+    std::vector<float> rms(d, 0.0f);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < d; ++j)
+            rms[j] += feats.at(i, j) * feats.at(i, j);
+    for (size_t j = 0; j < d; ++j)
+        rms[j] = std::sqrt(rms[j] / static_cast<float>(n));
+
+    Tensor out({n * (1 + kAugmentReplicas), d});
+    std::vector<int> out_labels;
+    out_labels.reserve(out.dim(0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < d; ++j)
+            out.at(i, j) = feats.at(i, j);
+        out_labels.push_back(labels[i]);
+    }
+    for (int r = 0; r < kAugmentReplicas; ++r) {
+        for (size_t i = 0; i < n; ++i) {
+            const size_t row = n * (1 + static_cast<size_t>(r)) + i;
+            for (size_t j = 0; j < d; ++j) {
+                out.at(row, j) =
+                    feats.at(i, j) +
+                    kAugmentNoise * rms[j] *
+                        static_cast<float>(rng.gaussian());
+            }
+            out_labels.push_back(labels[i]);
+        }
+    }
+    labels = std::move(out_labels);
+    return out;
+}
+
+/**
+ * Mean-pool a (seq, d) tensor into a d vector and layer-normalize the
+ * result.  The normalization models the final LayerNorm every
+ * transformer applies before its pooler/classifier; it absorbs the
+ * systematic distribution drift a quantized backbone introduces, which
+ * otherwise shifts all features coherently and defeats the head.
+ */
+void
+meanPool(const Tensor &h, std::span<float> out)
+{
+    const size_t seq = h.dim(0);
+    const size_t d = h.dim(1);
+    for (size_t j = 0; j < d; ++j)
+        out[j] = 0.0f;
+    for (size_t t = 0; t < seq; ++t) {
+        for (size_t j = 0; j < d; ++j)
+            out[j] += h.at(t, j);
+    }
+    const float inv = 1.0f / static_cast<float>(seq);
+    for (size_t j = 0; j < d; ++j)
+        out[j] *= inv;
+
+    double mean = 0.0;
+    for (size_t j = 0; j < d; ++j)
+        mean += out[j];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+        const double dv = out[j] - mean;
+        var += dv * dv;
+    }
+    var /= static_cast<double>(d);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + 1e-6));
+    for (size_t j = 0; j < d; ++j)
+        out[j] = (out[j] - static_cast<float>(mean)) * inv_std;
+}
+
+/**
+ * Per-token LayerNorm of a (seq, d) feature tensor — the final LN every
+ * transformer applies before a token-level head; absorbs the coherent
+ * per-token scale the gamma-spike channels impose.
+ */
+Tensor
+lnRows(const Tensor &h)
+{
+    Tensor out({h.dim(0), h.dim(1)});
+    const size_t d = h.dim(1);
+    for (size_t t = 0; t < h.dim(0); ++t) {
+        double mean = 0.0;
+        for (size_t j = 0; j < d; ++j)
+            mean += h.at(t, j);
+        mean /= static_cast<double>(d);
+        double var = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+            const double dv = h.at(t, j) - mean;
+            var += dv * dv;
+        }
+        var /= static_cast<double>(d);
+        const double inv = 1.0 / std::sqrt(var + 1e-6);
+        for (size_t j = 0; j < d; ++j) {
+            out.at(t, j) = static_cast<float>(
+                (h.at(t, j) - mean) * inv);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TaskEvaluator::TaskEvaluator(const models::ModelConfig &config,
+                             const TaskSpec &task, u64 seed, size_t train_n,
+                             size_t test_n)
+    : config_(config),
+      task_(task),
+      seed_(seed),
+      backbone_(models::makeBackbone(config, seed)),
+      // The head trains on clean labels; label noise only caps the test
+      // metric (the task's irreducible difficulty).
+      train_(makeClassifData(
+          [&] {
+              TaskSpec t = task;
+              t.labelNoise = 0.0;
+              return t;
+          }(),
+          config, train_n, seed, seed * 7919 + 11)),
+      test_(makeClassifData(task, config, test_n, seed,
+                            seed * 104729 + 23))
+{
+    fp32TrainFeatures_ = features(backbone_, nullptr, train_);
+    Rng head_rng(seed ^ 0xaeadULL);
+    head_.emplace(config_.evalDModel, kHeadHidden, task_.classes, head_rng);
+    std::vector<int> aug_labels = train_.labels;
+    const Tensor aug =
+        augmentFeatures(fp32TrainFeatures_, aug_labels, head_rng);
+    head_->fit(aug, aug_labels, kHeadEpochs, kHeadLr);
+}
+
+Tensor
+TaskEvaluator::features(const nn::Transformer &backbone, Scheme *act_scheme,
+                        const ClassifData &data) const
+{
+    Tensor out({data.x.size(), config_.evalDModel});
+    SiteCachedScheme *cache = dynamic_cast<SiteCachedScheme *>(act_scheme);
+    for (size_t i = 0; i < data.x.size(); ++i) {
+        if (cache)
+            cache->beginForward();
+        const Tensor h = backbone.forward(data.x[i], act_scheme);
+        meanPool(h, out.row(i));
+    }
+    return out;
+}
+
+double
+TaskEvaluator::score(const std::vector<int> &pred,
+                     const std::vector<int> &labels) const
+{
+    switch (task_.metric) {
+      case Metric::AccuracyPct:
+        return stats::accuracyPct(pred, labels);
+      case Metric::Matthews:
+        return 100.0 * stats::matthews(pred, labels);
+      case Metric::PearsonPct: {
+        std::vector<float> p(pred.begin(), pred.end());
+        std::vector<float> l(labels.begin(), labels.end());
+        return 100.0 * stats::pearson(p, l);
+      }
+    }
+    OLIVE_PANIC("unknown Metric");
+}
+
+double
+TaskEvaluator::evalFp32()
+{
+    const Tensor feats = features(backbone_, nullptr, test_);
+    return score(head_->predict(feats), test_.labels);
+}
+
+double
+TaskEvaluator::evalScheme(Scheme &scheme, bool qat)
+{
+    const nn::Transformer qbackbone =
+        nn::quantizeTransformer(backbone_, scheme);
+
+    const bool quant_acts = scheme.transformsActivations();
+    SiteCachedScheme act_cache(scheme);
+    Scheme *act = quant_acts ? &act_cache : nullptr;
+
+    nn::ClassifierHead head = *head_;
+    if (qat) {
+        // Quantization-aware fine-tuning: refit the head on quantized
+        // train features so downstream parameters adapt to the noise.
+        const Tensor qtrain = features(qbackbone, act, train_);
+        Rng head_rng(seed_ ^ 0xaeadULL);
+        head = nn::ClassifierHead(config_.evalDModel, kHeadHidden,
+                                  task_.classes, head_rng);
+        std::vector<int> aug_labels = train_.labels;
+        const Tensor aug = augmentFeatures(qtrain, aug_labels, head_rng);
+        head.fit(aug, aug_labels, kHeadEpochs, kHeadLr);
+    }
+
+    const Tensor feats = features(qbackbone, act, test_);
+    return score(head.predict(feats), test_.labels);
+}
+
+SpanEvaluator::SpanEvaluator(const models::ModelConfig &config, bool v2,
+                             u64 seed, size_t train_n, size_t test_n)
+    : config_(config),
+      seed_(seed),
+      backbone_(models::makeBackbone(config, seed)),
+      train_(makeSpanData(config, train_n, seed, seed * 6151 + 3, v2)),
+      test_(makeSpanData(config, test_n, seed, seed * 75403 + 5, v2))
+{
+    Rng head_rng(seed ^ 0x59a9ULL);
+    head_.emplace(config_.evalDModel, head_rng);
+    // A few epochs of per-example SGD on FP32 token features.
+    for (int epoch = 0; epoch < 60; ++epoch) {
+        for (size_t i = 0; i < train_.x.size(); ++i) {
+            const Tensor h =
+                lnRows(backbone_.forward(train_.x[i], nullptr));
+            head_->trainStep(h, train_.start[i], train_.end[i], 0.05f);
+        }
+    }
+}
+
+SpanEvaluator::Result
+SpanEvaluator::evalBackbone(const nn::Transformer &backbone,
+                            Scheme *act_scheme)
+{
+    SiteCachedScheme *cache = dynamic_cast<SiteCachedScheme *>(act_scheme);
+    double f1_sum = 0.0;
+    size_t exact = 0;
+    for (size_t i = 0; i < test_.x.size(); ++i) {
+        if (cache)
+            cache->beginForward();
+        const Tensor h =
+            lnRows(backbone.forward(test_.x[i], act_scheme));
+        const auto [ps, pe] = head_->predictSpan(h);
+        const int gs = test_.start[i];
+        const int ge = test_.end[i];
+        if (ps == gs && pe == ge)
+            ++exact;
+        const int inter_lo = std::max(ps, gs);
+        const int inter_hi = std::min(pe, ge);
+        const int overlap = std::max(0, inter_hi - inter_lo + 1);
+        const int len_p = pe - ps + 1;
+        const int len_g = ge - gs + 1;
+        if (overlap > 0)
+            f1_sum += 2.0 * overlap / static_cast<double>(len_p + len_g);
+    }
+    const double n = static_cast<double>(test_.x.size());
+    return {100.0 * f1_sum / n, 100.0 * static_cast<double>(exact) / n};
+}
+
+SpanEvaluator::Result
+SpanEvaluator::evalFp32()
+{
+    return evalBackbone(backbone_, nullptr);
+}
+
+SpanEvaluator::Result
+SpanEvaluator::evalScheme(Scheme &scheme)
+{
+    const nn::Transformer qbackbone =
+        nn::quantizeTransformer(backbone_, scheme);
+    const bool quant_acts = scheme.transformsActivations();
+    SiteCachedScheme act_cache(scheme);
+    return evalBackbone(qbackbone, quant_acts ? &act_cache : nullptr);
+}
+
+} // namespace eval
+} // namespace olive

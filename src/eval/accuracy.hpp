@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The train-then-PTQ accuracy pipeline reproducing the paper's GLUE and
+ * SQuAD experiments (Tables 6-8, Fig. 3).
+ *
+ * Flow per (model, task):
+ *   1. build the synthetic outlier-calibrated backbone (the "pretrained
+ *      checkpoint");
+ *   2. compute FP32 features for the train split and fit the task head
+ *      (the "fine-tuned" model);
+ *   3. for each scheme: quantize the backbone weights, re-run the test
+ *      split with per-site-calibrated activation quantization, and
+ *      score the head's predictions — PTQ;
+ *   4. QAT variants additionally refit the head on quantized train
+ *      features (the quantization-aware fine-tuning the "QAT" rows of
+ *      the paper perform).
+ */
+
+#ifndef OLIVE_EVAL_ACCURACY_HPP
+#define OLIVE_EVAL_ACCURACY_HPP
+
+#include <optional>
+
+#include "models/config.hpp"
+#include "nn/head.hpp"
+#include "nn/transformer.hpp"
+#include "schemes.hpp"
+#include "tasks.hpp"
+
+namespace olive {
+namespace eval {
+
+/** Evaluator for one (model, classification task) pair. */
+class TaskEvaluator
+{
+  public:
+    /**
+     * Builds the backbone, generates data, trains the FP32 head.
+     * @param train_n / test_n Examples per split.
+     */
+    TaskEvaluator(const models::ModelConfig &config, const TaskSpec &task,
+                  u64 seed = 1, size_t train_n = 144, size_t test_n = 144);
+
+    /** FP32 ("source") metric on the test split. */
+    double evalFp32();
+
+    /**
+     * Metric under @p scheme.  @p qat refits the head on quantized
+     * train features first.
+     */
+    double evalScheme(Scheme &scheme, bool qat = false);
+
+    const models::ModelConfig &config() const { return config_; }
+    const TaskSpec &task() const { return task_; }
+
+  private:
+    /** Mean-pooled backbone features of a dataset. */
+    Tensor features(const nn::Transformer &backbone, Scheme *act_scheme,
+                    const ClassifData &data) const;
+
+    /** Metric of predictions against labels for this task. */
+    double score(const std::vector<int> &pred,
+                 const std::vector<int> &labels) const;
+
+    models::ModelConfig config_;
+    TaskSpec task_;
+    u64 seed_;
+    nn::Transformer backbone_;
+    ClassifData train_;
+    ClassifData test_;
+    Tensor fp32TrainFeatures_;
+    std::optional<nn::ClassifierHead> head_;
+};
+
+/** Evaluator for the SQuAD-proxy span task (Table 8). */
+class SpanEvaluator
+{
+  public:
+    SpanEvaluator(const models::ModelConfig &config, bool v2, u64 seed = 1,
+                  size_t train_n = 128, size_t test_n = 128);
+
+    /** Result pair: {F1 %, exact-match %} as the paper reports. */
+    struct Result
+    {
+        double f1 = 0.0;
+        double em = 0.0;
+    };
+
+    Result evalFp32();
+    Result evalScheme(Scheme &scheme);
+
+  private:
+    Result evalBackbone(const nn::Transformer &backbone,
+                        Scheme *act_scheme);
+
+    models::ModelConfig config_;
+    u64 seed_;
+    nn::Transformer backbone_;
+    SpanData train_;
+    SpanData test_;
+    std::optional<nn::SpanHead> head_;
+};
+
+} // namespace eval
+} // namespace olive
+
+#endif // OLIVE_EVAL_ACCURACY_HPP

@@ -1,0 +1,151 @@
+#include "perplexity.hpp"
+
+#include <cmath>
+
+#include "models/synthetic.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace olive {
+namespace eval {
+
+Tensor
+LmModel::logits(const std::vector<int> &tokens, Scheme *act_scheme) const
+{
+    OLIVE_ASSERT(!tokens.empty(), "logits of empty sequence");
+    const size_t d = backbone.dModel;
+    Tensor x({tokens.size(), d});
+    for (size_t t = 0; t < tokens.size(); ++t) {
+        const auto tok = static_cast<size_t>(tokens[t]);
+        OLIVE_ASSERT(tok < vocab, "token out of range");
+        for (size_t j = 0; j < d; ++j)
+            x.at(t, j) = embedding.at(tok, j);
+    }
+    const Tensor h = backbone.forward(x, act_scheme);
+    Tensor lg = matmulTransB(h, embedding);
+    ops::scale(lg, static_cast<float>(1.0 / temperature));
+    return lg;
+}
+
+LmModel
+makeLm(const models::ModelConfig &config, u64 seed)
+{
+    LmModel lm;
+    lm.vocab = config.evalVocab;
+    lm.backbone = models::makeBackbone(config, seed);
+    lm.backbone.causal = true;
+    lm.embedding = Tensor({lm.vocab, config.evalDModel});
+    Rng rng(seed ^ 0xe4bedULL);
+    // Embeddings carry the model's activation outlier structure: token
+    // vectors are the activations the first layer sees.
+    models::fillOutlierTensor(lm.embedding, 1.0,
+                              config.profile.actOutlierProb,
+                              config.profile.clusterProb,
+                              config.profile.actMaxSigma * 0.5, rng);
+    return lm;
+}
+
+TokenData
+sampleText(const LmModel &model, size_t n, size_t len, Rng &rng)
+{
+    TokenData text;
+    text.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<int> seq;
+        seq.push_back(static_cast<int>(rng.uniformInt(model.vocab)));
+        while (seq.size() < len) {
+            const Tensor lg = model.logits(seq);
+            auto row = lg.row(lg.dim(0) - 1);
+            std::vector<float> p(row.begin(), row.end());
+            ops::softmaxRow(p);
+            // Inverse-CDF sampling.
+            double u = rng.uniform();
+            int tok = static_cast<int>(model.vocab) - 1;
+            for (size_t v = 0; v < p.size(); ++v) {
+                u -= p[v];
+                if (u <= 0.0) {
+                    tok = static_cast<int>(v);
+                    break;
+                }
+            }
+            seq.push_back(tok);
+        }
+        text.push_back(std::move(seq));
+    }
+    return text;
+}
+
+double
+perplexity(const LmModel &model, const TokenData &text, Scheme *act_scheme)
+{
+    SiteCachedScheme *cache = dynamic_cast<SiteCachedScheme *>(act_scheme);
+    double ce_sum = 0.0;
+    size_t count = 0;
+    for (const auto &seq : text) {
+        if (seq.size() < 2)
+            continue;
+        if (cache)
+            cache->beginForward();
+        const Tensor lg = model.logits(seq, act_scheme);
+        for (size_t t = 0; t + 1 < seq.size(); ++t) {
+            ce_sum += ops::crossEntropyRow(lg.row(t), seq[t + 1]);
+            ++count;
+        }
+    }
+    OLIVE_ASSERT(count > 0, "no next-token predictions");
+    return std::exp(ce_sum / static_cast<double>(count));
+}
+
+TokenData
+calibrateToTarget(LmModel &model, double target_ppl, size_t n, size_t len,
+                  u64 seed)
+{
+    OLIVE_ASSERT(target_ppl > 1.0 &&
+                     target_ppl < static_cast<double>(model.vocab),
+                 "target perplexity must be within (1, vocab)");
+    // Log-space binary search: raw logit magnitudes vary wildly with
+    // the embedding outlier profile, so the useful temperature can sit
+    // anywhere over several orders of magnitude.
+    double lo = 0.05, hi = 5000.0;
+    const size_t calib_n = n;
+    for (int iter = 0; iter < 18; ++iter) {
+        model.temperature = std::sqrt(lo * hi);
+        Rng rng(seed + 101);
+        const TokenData text = sampleText(model, calib_n, len, rng);
+        const double ppl = perplexity(model, text);
+        if (ppl < target_ppl)
+            lo = model.temperature;
+        else
+            hi = model.temperature;
+    }
+    model.temperature = std::sqrt(lo * hi);
+    Rng rng(seed + 101);
+    return sampleText(model, n, len, rng);
+}
+
+LmModel
+quantizeLm(const LmModel &model, Scheme &scheme)
+{
+    LmModel q;
+    q.vocab = model.vocab;
+    q.temperature = model.temperature;
+    q.embedding = model.embedding.clone();
+    q.backbone = nn::quantizeTransformer(model.backbone, scheme);
+    return q;
+}
+
+double
+table9Cell(const LmModel &fp32_model, const TokenData &text,
+           const std::string &scheme_id)
+{
+    if (scheme_id == "fp32")
+        return perplexity(fp32_model, text);
+    const SchemePtr scheme = makeScheme(scheme_id);
+    const LmModel student = quantizeLm(fp32_model, *scheme);
+    const bool quant_acts = scheme->transformsActivations();
+    SiteCachedScheme cache(*scheme);
+    return perplexity(student, text, quant_acts ? &cache : nullptr);
+}
+
+} // namespace eval
+} // namespace olive

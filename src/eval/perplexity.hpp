@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Teacher-student proxy perplexity for the Table 9 LLM experiments.
+ *
+ * A synthetic decoder-only LM (tied input/output embeddings over a
+ * proxy vocabulary) plays the FP32 teacher.  Evaluation text is sampled
+ * from the teacher itself, so the teacher's perplexity equals its own
+ * output entropy; the softmax temperature is calibrated per
+ * (model, dataset) pair so the FP32 row lands at the paper's value.
+ * A quantized student is then scored on the same text: quantization
+ * error on outlier-bearing tensors distorts its logits and raises its
+ * cross-entropy — exactly the degradation mechanism Table 9 measures.
+ * The proxy's perplexity ceiling is the vocabulary size (reached when a
+ * scheme destroys the logits, e.g. int4).
+ */
+
+#ifndef OLIVE_EVAL_PERPLEXITY_HPP
+#define OLIVE_EVAL_PERPLEXITY_HPP
+
+#include <vector>
+
+#include "models/config.hpp"
+#include "nn/transformer.hpp"
+#include "schemes.hpp"
+#include "tensor/tensor.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace eval {
+
+/** A decoder-only LM with tied embeddings. */
+struct LmModel
+{
+    Tensor embedding;          //!< (vocab, d), tied in/out.
+    nn::Transformer backbone;  //!< Causal.
+    double temperature = 1.0;  //!< Applied to output logits.
+    size_t vocab = 0;
+
+    /**
+     * Next-token logit rows for a token sequence: returns
+     * (len, vocab), already divided by the temperature.  @p act_scheme
+     * quantizes backbone activations (see nn::Transformer::forward).
+     */
+    Tensor logits(const std::vector<int> &tokens,
+                  Scheme *act_scheme = nullptr) const;
+};
+
+/** Build the synthetic LM for @p config (eval dims). */
+LmModel makeLm(const models::ModelConfig &config, u64 seed);
+
+/** Token sequences used as evaluation text. */
+using TokenData = std::vector<std::vector<int>>;
+
+/** Sample @p n sequences of @p len tokens from the (FP32) model. */
+TokenData sampleText(const LmModel &model, size_t n, size_t len, Rng &rng);
+
+/**
+ * Perplexity of @p model on @p text: exp of the mean next-token
+ * cross-entropy.  @p act_scheme optionally quantizes activations.
+ */
+double perplexity(const LmModel &model, const TokenData &text,
+                  Scheme *act_scheme = nullptr);
+
+/**
+ * Binary-search the temperature so the model's own perplexity on its
+ * own samples hits @p target_ppl, then regenerate the final text.
+ * Returns the text; the model's temperature is updated in place.
+ */
+TokenData calibrateToTarget(LmModel &model, double target_ppl, size_t n,
+                            size_t len, u64 seed);
+
+/** Quantize an LM's backbone weights with @p scheme (embeddings FP32). */
+LmModel quantizeLm(const LmModel &model, Scheme &scheme);
+
+/** One Table 9 cell: perplexity of scheme @p id on calibrated text. */
+double table9Cell(const LmModel &fp32_model, const TokenData &text,
+                  const std::string &scheme_id);
+
+} // namespace eval
+} // namespace olive
+
+#endif // OLIVE_EVAL_PERPLEXITY_HPP

@@ -1,0 +1,106 @@
+#include "schemes.hpp"
+
+#include <algorithm>
+#include "baselines/adaptivfloat.hpp"
+#include "baselines/ant.hpp"
+#include "baselines/gobo.hpp"
+#include "baselines/olaccel.hpp"
+#include "baselines/outlier_suppression.hpp"
+#include "baselines/uniform.hpp"
+#include "transforms.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace eval {
+
+SchemePtr
+makeScheme(const std::string &id)
+{
+    if (id == "fp32")
+        return std::make_unique<Fp32Scheme>();
+    if (id == "olive4")
+        return std::make_unique<OliveScheme>(4);
+    if (id == "olive8")
+        return std::make_unique<OliveScheme>(8);
+    if (id == "olive4-weights")
+        return std::make_unique<OliveWeightOnlyScheme>(4);
+    if (id == "int4")
+        return std::make_unique<UniformIntScheme>(4);
+    if (id == "int6")
+        return std::make_unique<UniformIntScheme>(6);
+    if (id == "int8")
+        return std::make_unique<UniformIntScheme>(8);
+    if (id == "ant4")
+        return std::make_unique<AntScheme>(4, /*mixed=*/false);
+    if (id == "ant4-mixed")
+        return std::make_unique<AntScheme>(4, /*mixed=*/true);
+    if (id == "ant8")
+        return std::make_unique<AntScheme>(8);
+    if (id == "os4")
+        return std::make_unique<OutlierSuppressionScheme>(4);
+    if (id == "os6")
+        return std::make_unique<OutlierSuppressionScheme>(6);
+    if (id == "q8bert")
+        return std::make_unique<UniformIntScheme>(8);
+    if (id == "gobo")
+        return std::make_unique<GoboScheme>(4);
+    if (id == "gobo3")
+        return std::make_unique<GoboScheme>(3);
+    if (id == "olaccel")
+        return std::make_unique<OlaccelScheme>();
+    if (id == "adafloat4")
+        return std::make_unique<AdaptivFloatScheme>(4);
+    if (id == "adafloat8")
+        return std::make_unique<AdaptivFloatScheme>(8);
+    if (id == "clip-outliers")
+        return std::make_unique<ClipOutliersScheme>();
+    if (id == "prune-victims")
+        return std::make_unique<PruneVictimsScheme>();
+    if (id == "prune-random")
+        return std::make_unique<PruneRandomScheme>();
+    OLIVE_FATAL("unknown scheme id: " + id);
+}
+
+std::vector<std::string>
+schemeRegistry()
+{
+    return {"fp32",        "olive4",      "olive8",  "olive4-weights",
+            "int4",        "int6",        "int8",    "ant4",
+            "ant4-mixed",  "ant8",        "os4",     "os6",
+            "q8bert",      "gobo",        "gobo3",   "olaccel",
+            "adafloat4",   "adafloat8",   "clip-outliers",
+            "prune-victims", "prune-random"};
+}
+
+SiteCachedScheme::SiteCachedScheme(Scheme &inner, size_t calib_examples)
+    : inner_(inner), calibExamples_(std::max<size_t>(1, calib_examples))
+{
+}
+
+std::vector<float>
+SiteCachedScheme::apply(std::span<const float> xs, TensorKind kind)
+{
+    if (cursor_ == sites_.size())
+        sites_.emplace_back();
+    OLIVE_ASSERT(cursor_ < sites_.size(),
+                 "site cursor out of sync; call beginForward()");
+    Site &site = sites_[cursor_++];
+
+    if (!site.applier) {
+        // Still calibrating: accumulate this tensor into the site's
+        // calibration batch; freeze once the batch is full.
+        site.calibBuffer.insert(site.calibBuffer.end(), xs.begin(),
+                                xs.end());
+        if (++site.seen >= calibExamples_) {
+            site.applier = inner_.calibrate(site.calibBuffer, kind);
+            site.calibBuffer.clear();
+            site.calibBuffer.shrink_to_fit();
+        }
+        // Until frozen, quantize this tensor on its own statistics.
+        return inner_.apply(xs, kind);
+    }
+    return site.applier(xs);
+}
+
+} // namespace eval
+} // namespace olive

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Scheme registry and the per-site activation calibration wrapper.
+ *
+ * makeScheme() builds any quantization method in the repository by its
+ * registry id, giving the benchmark harness one switchboard over OliVe,
+ * every baseline, and the Fig. 3 transforms.
+ *
+ * SiteCachedScheme implements the realistic activation-PTQ flow: the
+ * first forward pass acts as the calibration batch — each activation
+ * site (a fixed position in the forward graph) calibrates once and
+ * freezes its quantizer, which every subsequent example reuses.
+ */
+
+#ifndef OLIVE_EVAL_SCHEMES_HPP
+#define OLIVE_EVAL_SCHEMES_HPP
+
+#include <string>
+#include <vector>
+
+#include "quant/scheme.hpp"
+
+namespace olive {
+namespace eval {
+
+/**
+ * Registry ids:
+ *   "fp32", "olive4", "olive8", "olive4-weights",
+ *   "int4", "int6", "int8",
+ *   "ant4", "ant8",
+ *   "os4", "os6",
+ *   "q8bert"  (8-bit GEMM quantization a la Q8BERT),
+ *   "gobo", "gobo3",
+ *   "olaccel", "adafloat4", "adafloat8",
+ *   "clip-outliers", "prune-victims", "prune-random".
+ */
+SchemePtr makeScheme(const std::string &id);
+
+/** All registry ids (for tests and docs). */
+std::vector<std::string> schemeRegistry();
+
+/** Per-site frozen activation quantization (see file comment). */
+class SiteCachedScheme : public Scheme
+{
+  public:
+    /**
+     * @param inner The underlying scheme; must outlive this object.
+     * @param calib_examples Tensors accumulated per site before the
+     *        quantizer freezes (the PTQ calibration batch size).
+     */
+    explicit SiteCachedScheme(Scheme &inner, size_t calib_examples = 8);
+
+    /** Reset the site cursor; call before every forward pass. */
+    void beginForward() { cursor_ = 0; }
+
+    /** Number of distinct sites seen so far. */
+    size_t siteCount() const { return sites_.size(); }
+
+    std::string name() const override { return inner_.name(); }
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return inner_.weightBits(); }
+    int activationBits() const override { return inner_.activationBits(); }
+
+  private:
+    struct Site
+    {
+        std::vector<float> calibBuffer; //!< Concatenated calib tensors.
+        size_t seen = 0;                //!< Examples accumulated.
+        Applier applier;                //!< Set once frozen.
+    };
+
+    Scheme &inner_;
+    size_t calibExamples_;
+    std::vector<Site> sites_;
+    size_t cursor_ = 0;
+};
+
+} // namespace eval
+} // namespace olive
+
+#endif // OLIVE_EVAL_SCHEMES_HPP

@@ -1,0 +1,173 @@
+#include "tasks.hpp"
+
+#include <algorithm>
+
+#include "models/synthetic.hpp"
+
+namespace olive {
+namespace eval {
+
+std::string
+metricLabel(Metric m)
+{
+    switch (m) {
+      case Metric::AccuracyPct:
+        return "Acc.";
+      case Metric::Matthews:
+        return "Matt.";
+      case Metric::PearsonPct:
+        return "Pear.";
+    }
+    OLIVE_PANIC("unknown Metric");
+}
+
+std::vector<TaskSpec>
+glueTasks()
+{
+    // Signal strengths tuned so FP32 difficulty mirrors the paper's
+    // spread: CoLA/RTE hard, SST-2/QQP easy, MNLI 3-class medium.
+    return {
+        {"CoLA", Metric::Matthews, 2, 0.50, 0.65, 0.19},
+        {"SST-2", Metric::AccuracyPct, 2, 1.30, 0.25, 0.055},
+        {"MNLI", Metric::AccuracyPct, 3, 1.00, 0.30, 0.115},
+        {"QQP", Metric::AccuracyPct, 2, 1.20, 0.30, 0.075},
+        {"QNLI", Metric::AccuracyPct, 2, 1.05, 0.35, 0.085},
+        {"RTE", Metric::AccuracyPct, 2, 0.55, 0.60, 0.17},
+        {"STSB", Metric::PearsonPct, 6, 1.10, 0.22, 0.10},
+        {"MRPC", Metric::AccuracyPct, 2, 0.95, 0.40, 0.095},
+    };
+}
+
+std::vector<TaskSpec>
+table6Tasks()
+{
+    const auto all = glueTasks();
+    std::vector<TaskSpec> out;
+    for (const auto &t : all) {
+        if (t.name == "CoLA" || t.name == "SST-2" || t.name == "MNLI" ||
+            t.name == "QQP" || t.name == "MRPC")
+            out.push_back(t);
+    }
+    return out;
+}
+
+TaskSpec
+taskByName(const std::string &name)
+{
+    for (const auto &t : glueTasks()) {
+        if (t.name == name)
+            return t;
+    }
+    OLIVE_FATAL("unknown task: " + name);
+}
+
+ClassifData
+makeClassifData(const TaskSpec &task, const models::ModelConfig &config,
+                size_t n, u64 task_seed, u64 split_seed)
+{
+    // Prototypes come from the task seed so every split shares them.
+    Rng proto_rng(task_seed ^ 0x9d07077e5ULL);
+    const size_t d = config.evalDModel;
+    std::vector<std::vector<float>> prototypes(task.classes,
+                                               std::vector<float>(d));
+    for (auto &p : prototypes) {
+        for (auto &v : p)
+            v = static_cast<float>(proto_rng.gaussian());
+    }
+
+    Rng rng(split_seed);
+    ClassifData data;
+    data.x.reserve(n);
+    data.labels.reserve(n);
+    // Classification inputs carry the model's systematic activation
+    // outlier structure (fixed channels, stable magnitudes — the same
+    // structure that makes real PTQ activation calibration possible),
+    // capped: raw task embeddings sit below the most extreme
+    // hidden-layer tensors of Fig. 2.  The pattern derives from the
+    // task seed so train and test share it.
+    const models::ActPattern pattern = models::makeActPattern(
+        config, task_seed,
+        std::min(config.profile.actMaxSigma, 80.0));
+    for (size_t i = 0; i < n; ++i) {
+        const int label = static_cast<int>(rng.uniformInt(task.classes));
+        // Outlier magnitudes are load-bearing: the class modulates the
+        // *ratio* of the two dominant outlier channels (scales sum to
+        // 2, keeping per-example variance class-independent).  Clipping
+        // saturates both channels identically and destroys the code;
+        // OVP's abfloat buckets resolve it — the Fig. 3 mechanism.
+        const double code =
+            (task.classes > 1)
+                ? 0.50 + 1.00 * static_cast<double>(label) /
+                             static_cast<double>(task.classes - 1)
+                : 1.0;
+        Tensor x = models::makeInputSequenceStable(
+            config, pattern, config.evalSeqLen, rng, code, 2.0 - code);
+        // "Hard" examples carry no prototype echo: only the outlier
+        // ratio code identifies the class.
+        const bool hard = rng.uniform() < task.hardFrac;
+        const auto &p = prototypes[static_cast<size_t>(label)];
+        const float s = hard ? 0.0f : static_cast<float>(task.signal);
+        for (size_t t = 0; t < config.evalSeqLen; ++t) {
+            // Echo strength varies per token so the backbone must pool.
+            const float tok_gain =
+                s * (0.5f + 1.0f * static_cast<float>(rng.uniform()));
+            for (size_t j = 0; j < d; ++j)
+                x.at(t, j) += tok_gain * p[j];
+        }
+        data.x.push_back(std::move(x));
+        // Symmetric label noise caps the achievable metric (the task's
+        // irreducible difficulty).
+        int stored = label;
+        if (rng.uniform() < task.labelNoise) {
+            stored = static_cast<int>(
+                (label + 1 + rng.uniformInt(task.classes - 1)) %
+                task.classes);
+        }
+        data.labels.push_back(stored);
+    }
+    return data;
+}
+
+SpanData
+makeSpanData(const models::ModelConfig &config, size_t n, u64 task_seed,
+             u64 split_seed, bool v2)
+{
+    Rng proto_rng(task_seed ^ 0x59a2da7aULL);
+    const size_t d = config.evalDModel;
+    std::vector<float> answer_pattern(d);
+    for (auto &v : answer_pattern)
+        v = static_cast<float>(proto_rng.gaussian());
+    const models::ActPattern pattern = models::makeActPattern(
+        config, task_seed ^ 0x51,
+        std::min(config.profile.actMaxSigma, 80.0));
+
+    Rng rng(split_seed);
+    SpanData data;
+    const size_t seq = config.evalSeqLen;
+    for (size_t i = 0; i < n; ++i) {
+        Tensor x = models::makeInputSequenceStable(config, pattern, seq,
+                                                   rng);
+        const size_t span_len = 1 + rng.uniformInt(3);
+        const size_t start = rng.uniformInt(seq - span_len);
+        const size_t end = start + span_len - 1;
+        const float gain = v2 ? 3.0f : 4.0f;
+        for (size_t t = start; t <= end; ++t) {
+            for (size_t j = 0; j < d; ++j)
+                x.at(t, j) += gain * answer_pattern[j];
+        }
+        if (v2) {
+            // Distractor echo elsewhere (the "unanswerable-ish" noise of
+            // SQuAD v2): a weaker copy of the pattern at another span.
+            const size_t ds = rng.uniformInt(seq - 1);
+            for (size_t j = 0; j < d; ++j)
+                x.at(ds, j) += 1.5f * answer_pattern[j];
+        }
+        data.x.push_back(std::move(x));
+        data.start.push_back(static_cast<int>(start));
+        data.end.push_back(static_cast<int>(end));
+    }
+    return data;
+}
+
+} // namespace eval
+} // namespace olive

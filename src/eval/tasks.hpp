@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Synthetic downstream tasks standing in for GLUE and SQuAD (see the
+ * substitution table in DESIGN.md).
+ *
+ * Classification tasks: each class has a prototype direction in input
+ * space; an example is a token sequence of noisy prototype echoes with
+ * the model's activation-outlier statistics mixed in.  The per-task
+ * signal strength is tuned so the FP32 metric lands in the same
+ * difficulty regime as the paper's numbers (CoLA hard, SST-2 easy, ...).
+ * The metric kinds match GLUE: accuracy, Matthews (CoLA), Pearson
+ * (STS-B), F1 (MRPC/QQP report accuracy in the paper's table, so we use
+ * accuracy there too).
+ *
+ * Span task: a SQuAD-like extraction problem — an answer pattern is
+ * planted at a random span and the model must locate it.
+ */
+
+#ifndef OLIVE_EVAL_TASKS_HPP
+#define OLIVE_EVAL_TASKS_HPP
+
+#include <string>
+#include <vector>
+
+#include "models/config.hpp"
+#include "tensor/tensor.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace eval {
+
+/** Metric kind reported for a task. */
+enum class Metric
+{
+    AccuracyPct, //!< Percent correct.
+    Matthews,    //!< Matthews corr. x100 (CoLA).
+    PearsonPct,  //!< Pearson corr. x100 (STS-B).
+};
+
+/** Printable metric label ("Acc.", "Matt.", "Pear."). */
+std::string metricLabel(Metric m);
+
+/** One GLUE-proxy task. */
+struct TaskSpec
+{
+    std::string name;
+    Metric metric = Metric::AccuracyPct;
+    size_t classes = 2;
+    double signal = 0.4; //!< Prototype strength (task difficulty knob).
+
+    /**
+     * Fraction of examples whose prototype signal is absent, so the
+     * label is only recoverable from the outlier-magnitude ratio code.
+     * This is the knob that makes outliers load-bearing per task: the
+     * higher it is, the harder the task and the more catastrophic
+     * outlier clipping becomes (CoLA/RTE high, SST-2/QQP low).
+     */
+    double hardFrac = 0.4;
+
+    /**
+     * Symmetric label-noise rate: the stored label flips with this
+     * probability.  Sets the task's accuracy ceiling so the FP32 rows
+     * land in the same regime as the paper's GLUE numbers.
+     */
+    double labelNoise = 0.0;
+};
+
+/** The eight GLUE-proxy tasks in the paper's Fig. 3 order. */
+std::vector<TaskSpec> glueTasks();
+
+/** The five tasks shown in Table 6 (CoLA, SST-2, MNLI, QQP, MRPC). */
+std::vector<TaskSpec> table6Tasks();
+
+/** Look up a task by name. */
+TaskSpec taskByName(const std::string &name);
+
+/** A labelled classification dataset of token sequences. */
+struct ClassifData
+{
+    std::vector<Tensor> x;   //!< (seq, d) per example.
+    std::vector<int> labels;
+};
+
+/**
+ * Generate @p n examples of @p task for @p config (eval dimensions).
+ * @p task_seed fixes the task identity — class prototypes and the
+ * systematic activation-outlier channel pattern — and must be shared by
+ * the train and test splits; @p split_seed drives the per-example
+ * noise/label stream and must differ between splits.
+ */
+ClassifData makeClassifData(const TaskSpec &task,
+                            const models::ModelConfig &config, size_t n,
+                            u64 task_seed, u64 split_seed);
+
+/** A span-extraction dataset. */
+struct SpanData
+{
+    std::vector<Tensor> x;   //!< (seq, d) per example.
+    std::vector<int> start;
+    std::vector<int> end;
+};
+
+/**
+ * Generate a SQuAD-proxy dataset. @p v2 adds distractor noise.
+ * @p task_seed fixes the answer pattern (shared across splits),
+ * @p split_seed the per-example stream.
+ */
+SpanData makeSpanData(const models::ModelConfig &config, size_t n,
+                      u64 task_seed, u64 split_seed, bool v2);
+
+} // namespace eval
+} // namespace olive
+
+#endif // OLIVE_EVAL_TASKS_HPP

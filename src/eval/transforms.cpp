@@ -1,0 +1,100 @@
+#include "transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace eval {
+
+ClipOutliersScheme::ClipOutliersScheme(double k_sigma)
+    : kSigma_(k_sigma)
+{
+}
+
+std::vector<float>
+ClipOutliersScheme::apply(std::span<const float> xs, TensorKind)
+{
+    const double m = stats::mean(xs);
+    const double limit = kSigma_ * stats::stddev(xs);
+    std::vector<float> out(xs.begin(), xs.end());
+    for (auto &v : out) {
+        const double d = v - m;
+        if (d > limit)
+            v = static_cast<float>(m + limit);
+        else if (d < -limit)
+            v = static_cast<float>(m - limit);
+    }
+    return out;
+}
+
+PruneVictimsScheme::PruneVictimsScheme(double k_sigma)
+    : kSigma_(k_sigma)
+{
+}
+
+std::vector<float>
+PruneVictimsScheme::apply(std::span<const float> xs, TensorKind)
+{
+    const double m = stats::mean(xs);
+    const double limit = kSigma_ * stats::stddev(xs);
+    std::vector<float> out(xs.begin(), xs.end());
+    for (size_t p = 0; p + 1 < out.size(); p += 2) {
+        const double a0 = std::fabs(out[p] - m);
+        const double a1 = std::fabs(out[p + 1] - m);
+        const bool o0 = a0 > limit;
+        const bool o1 = a1 > limit;
+        if (o0 && o1) {
+            // Outlier-outlier pair: the smaller outlier is the victim.
+            if (a0 >= a1)
+                out[p + 1] = 0.0f;
+            else
+                out[p] = 0.0f;
+        } else if (o0) {
+            out[p + 1] = 0.0f;
+        } else if (o1) {
+            out[p] = 0.0f;
+        }
+    }
+    return out;
+}
+
+PruneRandomScheme::PruneRandomScheme(double k_sigma, u64 seed)
+    : kSigma_(k_sigma), seed_(seed)
+{
+}
+
+std::vector<float>
+PruneRandomScheme::apply(std::span<const float> xs, TensorKind)
+{
+    const double m = stats::mean(xs);
+    const double limit = kSigma_ * stats::stddev(xs);
+    std::vector<float> out(xs.begin(), xs.end());
+
+    size_t n_outliers = 0;
+    for (float v : xs) {
+        if (std::fabs(v - m) > limit)
+            ++n_outliers;
+    }
+    if (n_outliers == 0)
+        return out;
+
+    // Deterministic per-tensor seed so repeated applications agree.
+    Rng rng(seed_ ^ (xs.size() * 0x9e3779b97f4a7c15ULL));
+    size_t pruned = 0;
+    size_t guard = 0;
+    while (pruned < n_outliers && guard < xs.size() * 4) {
+        ++guard;
+        const size_t i = static_cast<size_t>(rng.uniformInt(out.size()));
+        if (out[i] != 0.0f && std::fabs(out[i] - m) <= limit) {
+            out[i] = 0.0f;
+            ++pruned;
+        }
+    }
+    return out;
+}
+
+} // namespace eval
+} // namespace olive

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Fig. 3 tensor transforms: clipping outliers versus pruning
+ * victims versus pruning random normal values, all at FP32.
+ *
+ * These are not quantizers — they isolate the paper's motivating
+ * observation: the ~1 % of outlier values is load-bearing (clipping
+ * them collapses accuracy) while the values adjacent to outliers (the
+ * prospective victims) are as expendable as random normal values.
+ */
+
+#ifndef OLIVE_EVAL_TRANSFORMS_HPP
+#define OLIVE_EVAL_TRANSFORMS_HPP
+
+#include "quant/scheme.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace eval {
+
+/** Clip every value beyond k sigma to +-k sigma (FP32 otherwise). */
+class ClipOutliersScheme : public Scheme
+{
+  public:
+    explicit ClipOutliersScheme(double k_sigma = 3.0);
+    std::string name() const override { return "Clipping Outlier"; }
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return 32; }
+    int activationBits() const override { return 32; }
+    bool transformsActivations() const override { return true; }
+
+  private:
+    double kSigma_;
+};
+
+/**
+ * Zero the victim of every outlier-bearing pair (the adjacent normal
+ * value, or the smaller outlier of an outlier-outlier pair); keep
+ * everything else FP32.
+ */
+class PruneVictimsScheme : public Scheme
+{
+  public:
+    explicit PruneVictimsScheme(double k_sigma = 3.0);
+    std::string name() const override { return "Pruning Victim"; }
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return 32; }
+    int activationBits() const override { return 32; }
+    bool transformsActivations() const override { return true; }
+
+  private:
+    double kSigma_;
+};
+
+/**
+ * Zero the same number of values as the tensor has outliers, chosen
+ * uniformly at random among normal values (deterministic per seed).
+ */
+class PruneRandomScheme : public Scheme
+{
+  public:
+    explicit PruneRandomScheme(double k_sigma = 3.0, u64 seed = 17);
+    std::string name() const override { return "Pruning Normal Value"; }
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return 32; }
+    int activationBits() const override { return 32; }
+    bool transformsActivations() const override { return true; }
+
+  private:
+    double kSigma_;
+    u64 seed_;
+};
+
+} // namespace eval
+} // namespace olive
+
+#endif // OLIVE_EVAL_TRANSFORMS_HPP

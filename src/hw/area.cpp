@@ -1,0 +1,70 @@
+#include "area.hpp"
+
+#include <cmath>
+
+namespace olive {
+namespace hw {
+
+double
+Component::totalMm2() const
+{
+    return unitAreaUm2 * static_cast<double>(count) * 1e-6;
+}
+
+double
+scaleArea(double area_um2, int from_nm, int to_nm)
+{
+    if (from_nm == to_nm)
+        return area_um2;
+    // Calibrate the per-node-ratio exponent on the published pair:
+    // 37.22 um^2 @ 22 nm -> 13.53 um^2 @ 12 nm.
+    const double k = std::log(13.53 / 37.22) / std::log(12.0 / 22.0);
+    return area_um2 *
+           std::pow(static_cast<double>(to_nm) / from_nm, k);
+}
+
+double
+AreaBreakdown::totalMm2() const
+{
+    double t = 0.0;
+    for (const auto &c : components)
+        t += c.totalMm2();
+    return t;
+}
+
+double
+AreaBreakdown::ratioOf(size_t idx) const
+{
+    OLIVE_ASSERT(idx < components.size(), "component index out of range");
+    const double total = totalMm2();
+    return total > 0.0 ? components[idx].totalMm2() / total : 0.0;
+}
+
+double
+AreaBreakdown::ratioOf(size_t idx, double reference_mm2) const
+{
+    OLIVE_ASSERT(idx < components.size(), "component index out of range");
+    return components[idx].totalMm2() / reference_mm2;
+}
+
+AreaBreakdown
+gpuDecoderBreakdown()
+{
+    AreaBreakdown b;
+    b.components.push_back({"4-bit Decoder", Area12nm::kDecoder4, 139264});
+    b.components.push_back({"8-bit Decoder", Area12nm::kDecoder8, 69632});
+    return b;
+}
+
+AreaBreakdown
+systolicBreakdown()
+{
+    AreaBreakdown b;
+    b.components.push_back({"4-bit Decoder", Area22nm::kDecoder4, 128});
+    b.components.push_back({"8-bit Decoder", Area22nm::kDecoder8, 64});
+    b.components.push_back({"4-bit PE", Area22nm::kPe4, 4096});
+    return b;
+}
+
+} // namespace hw
+} // namespace olive

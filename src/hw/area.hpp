@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Area and power model (paper Tables 10 and 11).
+ *
+ * The component areas are the paper's synthesized numbers (Synopsys DC,
+ * 22 nm TSMC, scaled to 12 nm for the GPU with DeepScaleTool); this
+ * module models composition — component counts, totals, and ratios —
+ * plus a technology-scaling helper calibrated on the published
+ * 22 nm -> 12 nm decoder pair.
+ */
+
+#ifndef OLIVE_HW_AREA_HPP
+#define OLIVE_HW_AREA_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace olive {
+namespace hw {
+
+/** One hardware component with a unit area. */
+struct Component
+{
+    std::string name;
+    double unitAreaUm2 = 0.0; //!< Area of one instance in um^2.
+    u64 count = 0;
+
+    /** Total area in mm^2. */
+    double totalMm2() const;
+};
+
+/** Published unit areas at 22 nm (Table 11). */
+struct Area22nm
+{
+    static constexpr double kDecoder4 = 37.22; //!< 4-bit OVP decoder um^2.
+    static constexpr double kDecoder8 = 49.50; //!< 8-bit OVP decoder um^2.
+    static constexpr double kPe4 = 50.01;      //!< 4-bit PE um^2.
+};
+
+/** Published unit areas at 12 nm (Table 10). */
+struct Area12nm
+{
+    static constexpr double kDecoder4 = 13.53;
+    static constexpr double kDecoder8 = 18.00;
+};
+
+/**
+ * Scale an area between technology nodes with the DeepScaleTool-style
+ * factor calibrated on the published decoder pair
+ * (13.53 / 37.22 at 22 -> 12 nm).
+ */
+double scaleArea(double area_um2, int from_nm, int to_nm);
+
+/** A named area breakdown (one table row set). */
+struct AreaBreakdown
+{
+    std::vector<Component> components;
+
+    double totalMm2() const;
+
+    /** Ratio of component @p idx to the breakdown total. */
+    double ratioOf(size_t idx) const;
+
+    /** Ratio of component @p idx to an external reference area. */
+    double ratioOf(size_t idx, double reference_mm2) const;
+};
+
+/**
+ * Table 10: OliVe decoders on an RTX 2080 Ti (12 nm, 754 mm^2 die):
+ * 139,264 4-bit decoders and 69,632 8-bit decoders.
+ */
+AreaBreakdown gpuDecoderBreakdown();
+
+/** RTX 2080 Ti die area in mm^2. */
+constexpr double kTuringDieMm2 = 754.0;
+
+/**
+ * Table 11: the OliVe systolic array at 22 nm: 128 4-bit decoders, 64
+ * 8-bit decoders, 4096 4-bit PEs.
+ */
+AreaBreakdown systolicBreakdown();
+
+} // namespace hw
+} // namespace olive
+
+#endif // OLIVE_HW_AREA_HPP

@@ -1,0 +1,99 @@
+#include "decoder.hpp"
+
+#include "quant/ovp.hpp"
+#include "util/bitops.hpp"
+
+namespace olive {
+namespace hw {
+
+AbfloatDecoder::AbfloatDecoder(int bits, int bias)
+    : bits_(bits), bias_(bias)
+{
+    OLIVE_ASSERT(bits == 4 || bits == 8, "abfloat decoder is 4 or 8 bit");
+    OLIVE_ASSERT(bias >= 0, "decoder bias register is unsigned");
+}
+
+ExpInt
+AbfloatDecoder::decode(u32 code) const
+{
+    // Field widths: E2M1 for 4-bit, E4M3 for 8-bit.
+    const unsigned mant_bits = (bits_ == 4) ? 1u : 3u;
+    const unsigned exp_bits = (bits_ == 4) ? 2u : 4u;
+
+    const u32 sign = bits::field(code, exp_bits + mant_bits, 1);
+    const u32 exp_field = bits::field(code, mant_bits, exp_bits);
+    const u32 mant = bits::field(code, 0, mant_bits);
+    const u32 unsigned_code = code & ((1u << (exp_bits + mant_bits)) - 1u);
+
+    ExpInt out;
+    if (unsigned_code == 0) {
+        // The zero mux path of Fig. 7.
+        out.exponent = 0;
+        out.integer = 0;
+        return out;
+    }
+    // exponent = bias + exponent field (the adder of Fig. 7).
+    out.exponent = static_cast<u8>(bias_ + static_cast<int>(exp_field));
+    // integer = (1 mantissa)_2, negated by the sign bit.
+    const i32 integer = static_cast<i32>((1u << mant_bits) | mant);
+    out.integer = sign ? -integer : integer;
+    return out;
+}
+
+OvpDecoder::OvpDecoder(NormalType normal, int bias)
+    : normal_(normal),
+      codec_(normal),
+      outlierDecoder_(bitWidth(normal),
+                      bias < 0 ? defaultAbfloatBias(normal) : bias)
+{
+}
+
+ExpInt
+OvpDecoder::decodeNormal(u32 code) const
+{
+    if (code == outlierIdentifier(normal_)) {
+        // The "== 1000" comparator of Fig. 6b transforms the identifier
+        // into the zero word.
+        return ExpInt{0, 0};
+    }
+    return codec_.decodeExpInt(code);
+}
+
+DecodedPair
+OvpDecoder::decodeCodes(u32 c0, u32 c1) const
+{
+    const u32 identifier = outlierIdentifier(normal_);
+    DecodedPair out;
+    if (c0 == identifier && c1 != identifier) {
+        out.first = ExpInt{0, 0};
+        out.second = outlierDecoder_.decode(c1);
+        out.secondIsOutlier = true;
+    } else if (c1 == identifier && c0 != identifier) {
+        out.first = outlierDecoder_.decode(c0);
+        out.firstIsOutlier = true;
+        out.second = ExpInt{0, 0};
+    } else {
+        // Including the illegal both-identifier pattern, which decodes
+        // to zeros exactly like the RTL mux network would.
+        out.first = decodeNormal(c0);
+        out.second = decodeNormal(c1);
+    }
+    return out;
+}
+
+DecodedPair
+OvpDecoder::decodeByte(u8 byte) const
+{
+    OLIVE_ASSERT(bitWidth(normal_) == 4, "decodeByte needs a 4-bit type");
+    return decodeCodes(bits::lowNibble(byte), bits::highNibble(byte));
+}
+
+DecodedPair
+OvpDecoder::decodeBytes(u8 b0, u8 b1) const
+{
+    OLIVE_ASSERT(bitWidth(normal_) == 8, "decodeBytes needs an 8-bit type");
+    return decodeCodes(b0, b1);
+}
+
+} // namespace hw
+} // namespace olive

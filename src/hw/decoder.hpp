@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-exact hardware decoder models (Sec. 4.2).
+ *
+ * AbfloatDecoder models the Fig. 7 datapath: a 4-bit (or 8-bit) abfloat
+ * code plus the bias register produce an exponent-integer pair using
+ * only a mux and two small adders.  OvpDecoder models Fig. 6b: it reads
+ * exactly one memory-aligned pair (1 byte at 4 bits, 2 bytes at 8 bits),
+ * recognizes the outlier identifier in either slot, zeroes the victim,
+ * and routes the other slot through either the normal decoder or the
+ * outlier decoder.  Both are written the way the RTL behaves so the unit
+ * tests can cross-check them against the algorithmic codecs in
+ * src/quant.
+ */
+
+#ifndef OLIVE_HW_DECODER_HPP
+#define OLIVE_HW_DECODER_HPP
+
+#include "quant/dtype.hpp"
+#include "quant/expint.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace hw {
+
+/**
+ * The Fig. 7 abfloat outlier decoder.
+ *
+ * For the 4-bit E2M1 code x = (s b2 b1 b0):
+ *   exponent = bias + (b2 b1)
+ *   integer  = 0 when (b2 b1 b0) == 000, else (1 b0), negated by s.
+ * The 8-bit E4M3 variant extends the fields to 4 exponent and 3
+ * mantissa bits.
+ */
+class AbfloatDecoder
+{
+  public:
+    /**
+     * @param bits 4 (E2M1) or 8 (E4M3).
+     * @param bias The adaptive bias register value.
+     */
+    AbfloatDecoder(int bits, int bias);
+
+    int bits() const { return bits_; }
+    int bias() const { return bias_; }
+
+    /** Decode one code to an exponent-integer pair. */
+    ExpInt decode(u32 code) const;
+
+  private:
+    int bits_;
+    int bias_;
+};
+
+/** Decoded pair produced by the OVP decoder. */
+struct DecodedPair
+{
+    ExpInt first;
+    ExpInt second;
+    bool firstIsOutlier = false;
+    bool secondIsOutlier = false;
+};
+
+/** The Fig. 6b outlier-victim pair decoder. */
+class OvpDecoder
+{
+  public:
+    /**
+     * @param normal Normal-value type (determines width and identifier).
+     * @param bias   Abfloat bias for the outlier path; -1 selects the
+     *               complementary default.
+     */
+    explicit OvpDecoder(NormalType normal, int bias = -1);
+
+    NormalType normalType() const { return normal_; }
+
+    /** Decode a 4-bit pair from one byte (low nibble = first value). */
+    DecodedPair decodeByte(u8 byte) const;
+
+    /** Decode an 8-bit pair from two bytes. */
+    DecodedPair decodeBytes(u8 b0, u8 b1) const;
+
+    /** Decode two already-separated codes. */
+    DecodedPair decodeCodes(u32 c0, u32 c1) const;
+
+  private:
+    /** Normal-path decode: identifier slots produce zero. */
+    ExpInt decodeNormal(u32 code) const;
+
+    NormalType normal_;
+    NormalCodec codec_;
+    AbfloatDecoder outlierDecoder_;
+};
+
+} // namespace hw
+} // namespace olive
+
+#endif // OLIVE_HW_DECODER_HPP

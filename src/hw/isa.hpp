@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The OVP instruction set extension (Sec. 4.6).
+ *
+ * The Turing baseline exposes mma.s32.s4.s4.s32 (D = A x B + C with
+ * int4 operand tiles and int32 accumulators).  OliVe adds
+ * mmaovp.s32.<atype>.<btype>.s32.<bias> whose operand tiles are packed
+ * OVP byte streams.  This module describes the instruction encodings
+ * and provides a functional executor used by the tests: it pushes the
+ * packed tiles through the bit-exact OVP decoders and the ExpInt MAC
+ * path, returning int32 accumulator tiles.
+ */
+
+#ifndef OLIVE_HW_ISA_HPP
+#define OLIVE_HW_ISA_HPP
+
+#include <string>
+#include <vector>
+
+#include "decoder.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace hw {
+
+/** Operand type of an mmaovp instruction. */
+enum class OvpOperandType
+{
+    OvpInt4,   //!< ovpi4: OVP-packed int4 + E2M1 abfloat outliers.
+    OvpFlint4, //!< ovpf4: OVP-packed flint4 + E2M1 abfloat outliers.
+    OvpInt8,   //!< ovpi8: OVP-packed int8 + E4M3 abfloat outliers.
+    Int4,      //!< Plain s4 (the baseline mma operand).
+};
+
+/** Printable mnemonic fragment ("ovpi4", "s4", ...). */
+std::string toString(OvpOperandType t);
+
+/** Descriptor of one mma/mmaovp instruction variant. */
+struct MmaInstruction
+{
+    OvpOperandType aType = OvpOperandType::OvpInt4;
+    OvpOperandType bType = OvpOperandType::OvpInt4;
+    int biasA = -1; //!< Abfloat bias immediate for A (-1 = default).
+    int biasB = -1; //!< Abfloat bias immediate for B.
+    u64 m = 8, n = 8, kDepth = 16; //!< Tile shape (k must be even).
+
+    /** Full mnemonic, e.g. "mmaovp.s32.ovpi4.ovpf4.s32.s4". */
+    std::string mnemonic() const;
+};
+
+/**
+ * Functional executor: D = A x B + C on packed tiles.
+ *
+ * @param inst    The instruction variant (tile shape, operand types).
+ * @param a_bytes Packed A tile, row-major, m rows of kDepth values.
+ * @param b_bytes Packed B tile, column-major, n columns of kDepth values.
+ * @param c       Accumulator tile (m x n, row-major); may be empty for 0.
+ * @return        The m x n int32 result tile.
+ */
+std::vector<i32> executeMma(const MmaInstruction &inst,
+                            const std::vector<u8> &a_bytes,
+                            const std::vector<u8> &b_bytes,
+                            const std::vector<i32> &c = {});
+
+/** NormalType underlying an OVP operand type. */
+NormalType normalTypeOf(OvpOperandType t);
+
+} // namespace hw
+} // namespace olive
+
+#endif // OLIVE_HW_ISA_HPP

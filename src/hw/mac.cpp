@@ -1,0 +1,86 @@
+#include "mac.hpp"
+
+#include <vector>
+
+namespace olive {
+namespace hw {
+
+void
+MacUnit::mac(const ExpInt &a, const ExpInt &b)
+{
+    const ExpInt p = a * b;
+    // The product of two clipped outliers fits in int32 (Sec. 4.5:
+    // operands are clipped to 2^15 < sqrt(2^31 - 1)).
+    const i64 shifted = p.value();
+    OLIVE_ASSERT(shifted >= INT32_MIN && shifted <= INT32_MAX,
+                 "MAC product overflows the int32 accumulator");
+    acc_ += static_cast<i32>(shifted);
+    ++ops_;
+}
+
+i32
+dotProduct(std::span<const ExpInt> a, std::span<const ExpInt> b)
+{
+    OLIVE_ASSERT(a.size() == b.size(), "EDP operands must match");
+    // Adder-tree reduction: form all products, then reduce pairwise.
+    std::vector<i64> terms(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        terms[i] = (a[i] * b[i]).value();
+    size_t n = terms.size();
+    while (n > 1) {
+        const size_t half = (n + 1) / 2;
+        for (size_t i = 0; i < n / 2; ++i)
+            terms[i] = terms[2 * i] + terms[2 * i + 1];
+        if (n % 2)
+            terms[n / 2] = terms[n - 1];
+        n = half;
+    }
+    const i64 result = terms.empty() ? 0 : terms[0];
+    OLIVE_ASSERT(result >= INT32_MIN && result <= INT32_MAX,
+                 "EDP result overflows int32");
+    return static_cast<i32>(result);
+}
+
+i32
+mul8ViaFour4(i8 x, i8 y, i32 partials[4])
+{
+    // Split into signed high nibble and unsigned low nibble:
+    // x = (hx << 4) + lx with hx = x >> 4 (arithmetic), lx = x & 0xF.
+    const i32 hx = x >> 4;
+    const i32 lx = x & 0xF;
+    const i32 hy = y >> 4;
+    const i32 ly = y & 0xF;
+
+    const i32 p0 = (hx * hy) << 8; // <4,hx> * <4,hy>
+    const i32 p1 = (hx * ly) << 4; // <4,hx> * <0,ly>
+    const i32 p2 = (lx * hy) << 4; // <0,lx> * <4,hy>
+    const i32 p3 = lx * ly;        // <0,lx> * <0,ly>
+    if (partials) {
+        partials[0] = p0;
+        partials[1] = p1;
+        partials[2] = p2;
+        partials[3] = p3;
+    }
+    return p0 + p1 + p2 + p3;
+}
+
+i64
+mulAbfloat8ViaFour4(const ExpInt &x, const ExpInt &y)
+{
+    // z = <4 + ez, hz> + <ez, lz> with iz = (hz << 4) + lz.
+    const i32 hx = x.integer >> 4;
+    const i32 lx = x.integer & 0xF;
+    const i32 hy = y.integer >> 4;
+    const i32 ly = y.integer & 0xF;
+    const int ex = x.exponent;
+    const int ey = y.exponent;
+
+    const i64 p0 = static_cast<i64>(hx * hy) << (8 + ex + ey);
+    const i64 p1 = static_cast<i64>(hx * ly) << (4 + ex + ey);
+    const i64 p2 = static_cast<i64>(lx * hy) << (4 + ex + ey);
+    const i64 p3 = static_cast<i64>(lx * ly) << (ex + ey);
+    return p0 + p1 + p2 + p3;
+}
+
+} // namespace hw
+} // namespace olive

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The OliVe MAC datapath (Secs. 4.4, 4.5).
+ *
+ * After decoding, every operand is an exponent-integer pair; a product
+ * is computed with a fixed-point multiplier and a shifter
+ * (<a,b> x <c,d> = <a+c, b*d>) and accumulated into a 32-bit integer.
+ * The 8-bit paths (int8 and 8-bit abfloat) are composed from four 4-bit
+ * PEs by nibble splitting, exactly as Sec. 4.5 describes; the
+ * accumulator-overflow rule clips outlier integers at 2^15.
+ */
+
+#ifndef OLIVE_HW_MAC_HPP
+#define OLIVE_HW_MAC_HPP
+
+#include <span>
+
+#include "quant/expint.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace hw {
+
+/** Scalar MAC with an int32 accumulator. */
+class MacUnit
+{
+  public:
+    /** Reset the accumulator to @p value. */
+    void reset(i32 value = 0) { acc_ = value; }
+
+    /** Accumulated value. */
+    i32 value() const { return acc_; }
+
+    /** acc += a * b via the shift-multiply product rule. */
+    void mac(const ExpInt &a, const ExpInt &b);
+
+    /** Number of accumulations performed since construction. */
+    u64 opCount() const { return ops_; }
+
+  private:
+    i32 acc_ = 0;
+    u64 ops_ = 0;
+};
+
+/**
+ * N-element dot product unit (the 16EDP / 8EDP blocks of Fig. 6a):
+ * products are formed pairwise and reduced through an adder tree into a
+ * 32-bit result.
+ */
+i32 dotProduct(std::span<const ExpInt> a, std::span<const ExpInt> b);
+
+/**
+ * Multiply two int8 values using four 4-bit PEs by nibble splitting
+ * (Sec. 4.5): x = <4, hx> + <0, lx>.  Returns the exact 16-bit product
+ * as an i32, and reports the four partial products via @p partials if
+ * non-null.
+ */
+i32 mul8ViaFour4(i8 x, i8 y, i32 partials[4] = nullptr);
+
+/**
+ * Multiply two decoded 8-bit abfloat operands (exponent-integer pairs
+ * with up to 4-bit-wide exponents and 4-bit mantissa integers) using the
+ * same four-PE composition with the extra exponent shift.
+ */
+i64 mulAbfloat8ViaFour4(const ExpInt &x, const ExpInt &y);
+
+/** The Sec. 4.5 outlier clip bound: |integer| <= 2^15. */
+constexpr i32 kOutlierClip = 1 << 15;
+
+} // namespace hw
+} // namespace olive
+
+#endif // OLIVE_HW_MAC_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cycle-accurate functional model of the output-stationary systolic
+ * array of Sec. 4.3.
+ *
+ * A operands stream in from the left edge, B operands from the top
+ * edge; each PE multiplies the operands passing through it and
+ * accumulates into its stationary output register.  OVP decoders sit
+ * only on the two borders (n + m decoders instead of n x m, the
+ * systolic advantage the paper calls out), so the array interior works
+ * purely on exponent-integer pairs.
+ *
+ * This model verifies the dataflow at small sizes; the performance
+ * simulator (src/sim/systolic.hpp) models timing and energy at full
+ * scale analytically.
+ */
+
+#ifndef OLIVE_HW_SYSTOLIC_PE_HPP
+#define OLIVE_HW_SYSTOLIC_PE_HPP
+
+#include <vector>
+
+#include "decoder.hpp"
+#include "quant/expint.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace hw {
+
+/** Output-stationary systolic array of ExpInt MAC PEs. */
+class SystolicArray
+{
+  public:
+    /** @param rows, cols Array dimensions. */
+    SystolicArray(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Border decoder count: rows + cols (Sec. 4.3). */
+    size_t decoderCount() const { return rows_ + cols_; }
+
+    /**
+     * Stream a full GEMM through the array cycle by cycle:
+     * C(rows, cols) = A(rows, depth) * B(depth, cols), with operands
+     * supplied as decoded exponent-integer pairs.  Returns the cycle
+     * count consumed (depth + rows + cols - 2 wavefront latency plus a
+     * drain cycle).
+     */
+    u64 runGemm(const std::vector<std::vector<ExpInt>> &a,
+                const std::vector<std::vector<ExpInt>> &b);
+
+    /** Stationary accumulator value at (r, c) after runGemm. */
+    i32 result(size_t r, size_t c) const;
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<i32> acc_;
+};
+
+/**
+ * End-to-end helper: decode two packed OVP byte streams at the array
+ * borders and run the GEMM.  @p a_bytes is (rows x depth) values packed
+ * as OVP pairs row-major; @p b_bytes is (depth x cols) packed column-
+ * major so each column streams through one top decoder.  Returns the
+ * int32 result matrix (row-major).
+ */
+std::vector<i32> systolicMatmulOvp(const OvpDecoder &dec, size_t rows,
+                                   size_t depth, size_t cols,
+                                   const std::vector<u8> &a_bytes,
+                                   const std::vector<u8> &b_bytes,
+                                   u64 *cycles = nullptr);
+
+} // namespace hw
+} // namespace olive
+
+#endif // OLIVE_HW_SYSTOLIC_PE_HPP

@@ -1,0 +1,87 @@
+#include "tensor_core.hpp"
+
+#include "mac.hpp"
+
+namespace olive {
+namespace hw {
+
+TensorCore::TensorCore(NormalType normal, int bias)
+    : normal_(normal),
+      decoder_(normal, bias),
+      edpWidth_(bitWidth(normal) == 4 ? 16 : 8),
+      bytesPerPair_(bitWidth(normal) == 4 ? 1 : 2)
+{
+}
+
+std::vector<i32>
+TensorCore::mma(size_t m, size_t n, size_t k,
+                const std::vector<u8> &a_bytes,
+                const std::vector<u8> &b_bytes,
+                const std::vector<i32> &c,
+                TensorCoreStats *stats) const
+{
+    OLIVE_ASSERT(k % edpWidth_ == 0,
+                 "k must be a multiple of the EDP width");
+    const size_t bytes_per_vec = k / 2 * bytesPerPair_;
+    OLIVE_ASSERT(a_bytes.size() == m * bytes_per_vec, "A tile size");
+    OLIVE_ASSERT(b_bytes.size() == n * bytes_per_vec, "B tile size");
+    OLIVE_ASSERT(c.empty() || c.size() == m * n, "C tile size");
+
+    TensorCoreStats local;
+
+    // Decode whole operand vectors once (operand-register decoders).
+    auto decode_vec = [&](const std::vector<u8> &bytes, size_t vec) {
+        std::vector<ExpInt> out(k);
+        for (size_t p = 0; p < k / 2; ++p) {
+            DecodedPair d;
+            const size_t base = vec * bytes_per_vec + p * bytesPerPair_;
+            if (bytesPerPair_ == 1)
+                d = decoder_.decodeByte(bytes[base]);
+            else
+                d = decoder_.decodeBytes(bytes[base], bytes[base + 1]);
+            out[2 * p] = d.first;
+            out[2 * p + 1] = d.second;
+            ++local.decodeOps;
+        }
+        return out;
+    };
+
+    std::vector<std::vector<ExpInt>> a_rows(m), b_cols(n);
+    for (size_t r = 0; r < m; ++r)
+        a_rows[r] = decode_vec(a_bytes, r);
+    for (size_t col = 0; col < n; ++col)
+        b_cols[col] = decode_vec(b_bytes, col);
+
+    // Each output element accumulates k/edpWidth EDP issues; issues are
+    // distributed over the two octets of kUnitsPerOctet units each.
+    std::vector<i32> d(m * n, 0);
+    const size_t chunks = k / edpWidth_;
+    u64 issues = 0;
+    for (size_t r = 0; r < m; ++r) {
+        for (size_t col = 0; col < n; ++col) {
+            i64 acc = c.empty() ? 0 : c[r * n + col];
+            for (size_t ch = 0; ch < chunks; ++ch) {
+                const std::span<const ExpInt> a_part(
+                    a_rows[r].data() + ch * edpWidth_, edpWidth_);
+                const std::span<const ExpInt> b_part(
+                    b_cols[col].data() + ch * edpWidth_, edpWidth_);
+                acc += dotProduct(a_part, b_part);
+                ++issues;
+                local.macs += edpWidth_;
+            }
+            OLIVE_ASSERT(acc >= INT32_MIN && acc <= INT32_MAX,
+                         "tensor core accumulator overflow");
+            d[r * n + col] = static_cast<i32>(acc);
+        }
+    }
+    local.edpIssues = issues;
+    local.octetCycles =
+        (issues + kOctets * kUnitsPerOctet - 1) /
+        (kOctets * kUnitsPerOctet);
+    if (stats)
+        *stats = local;
+    return d;
+}
+
+} // namespace hw
+} // namespace olive

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Functional model of the OliVe-extended GPU tensor core (Fig. 6a).
+ *
+ * A Turing-style tensor core contains two octets; each octet contains
+ * eight dot-product units.  At 4-bit precision each unit is a 16EDP
+ * (16-element dot product) fed by a pair of OVP decoders; at 8-bit it
+ * is an 8EDP.  The core consumes packed OVP operand tiles from its
+ * buffers, decodes at the operand registers, reduces through the adder
+ * tree, and accumulates into int32 — this model executes that structure
+ * faithfully (unit-by-unit, cycle-batched), which lets the tests verify
+ * the datapath organization against the flat ISA executor.
+ */
+
+#ifndef OLIVE_HW_TENSOR_CORE_HPP
+#define OLIVE_HW_TENSOR_CORE_HPP
+
+#include <vector>
+
+#include "decoder.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace hw {
+
+/** Execution statistics of one tensor-core tile operation. */
+struct TensorCoreStats
+{
+    u64 edpIssues = 0;     //!< Dot-product unit issues.
+    u64 decodeOps = 0;     //!< OVP pair decodes performed.
+    u64 macs = 0;          //!< Multiply-accumulates executed.
+    u64 octetCycles = 0;   //!< Cycles with both octets busy.
+};
+
+/** The OliVe tensor core: two octets of EDP units with OVP decoders. */
+class TensorCore
+{
+  public:
+    /**
+     * @param normal Operand data type (sets EDP width: 4-bit types use
+     *        16EDP, int8 uses 8EDP, per Fig. 6a).
+     * @param bias   Abfloat bias register; -1 = complementary default.
+     */
+    explicit TensorCore(NormalType normal, int bias = -1);
+
+    /** Elements consumed per EDP issue (16 at 4-bit, 8 at 8-bit). */
+    size_t edpWidth() const { return edpWidth_; }
+
+    /** Dot-product units per octet (Turing: 8). */
+    static constexpr size_t kUnitsPerOctet = 8;
+    static constexpr size_t kOctets = 2;
+
+    /**
+     * Execute D = A x B + C on packed OVP tiles.
+     * A: m rows of k packed values (row-major); B: n columns of k
+     * packed values (column-major); C: optional m x n int32.
+     * k must be a multiple of the EDP width.
+     */
+    std::vector<i32> mma(size_t m, size_t n, size_t k,
+                         const std::vector<u8> &a_bytes,
+                         const std::vector<u8> &b_bytes,
+                         const std::vector<i32> &c = {},
+                         TensorCoreStats *stats = nullptr) const;
+
+  private:
+    NormalType normal_;
+    OvpDecoder decoder_;
+    size_t edpWidth_;
+    size_t bytesPerPair_;
+};
+
+} // namespace hw
+} // namespace olive
+
+#endif // OLIVE_HW_TENSOR_CORE_HPP

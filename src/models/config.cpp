@@ -1,0 +1,173 @@
+#include "config.hpp"
+
+namespace olive {
+namespace models {
+
+u64
+ModelConfig::gemmParams() const
+{
+    // Q/K/V/O projections plus the two FFN matrices per layer.
+    const u64 per_layer =
+        4ull * dModel * dModel + 2ull * dModel * dFf;
+    return per_layer * layers;
+}
+
+ModelConfig
+bertBase()
+{
+    ModelConfig c;
+    c.name = "BERT-base";
+    c.layers = 12;
+    c.dModel = 768;
+    c.nHeads = 12;
+    c.dFf = 3072;
+    c.vocab = 30522;
+    c.seqLen = 128;
+    c.batch = 16;
+    c.decoderOnly = false;
+    // Table 2: 0.84% outlier-normal, 0.04% outlier-outlier pairs.
+    c.profile.weightOutlierProb = 0.0042;
+    c.profile.actOutlierProb = 0.0050;
+    c.profile.clusterProb = 0.095;
+    c.profile.weightMaxSigma = 25.0;
+    c.profile.actMaxSigma = 325.0; // Fig. 2b: up to 325 sigma.
+    return c;
+}
+
+ModelConfig
+bertLarge()
+{
+    ModelConfig c = bertBase();
+    c.name = "BERT-large";
+    c.layers = 24;
+    c.dModel = 1024;
+    c.nHeads = 16;
+    c.dFf = 4096;
+    // Table 2: 0.71% / 0.05%.
+    c.profile.weightOutlierProb = 0.0036;
+    c.profile.clusterProb = 0.14;
+    c.profile.weightMaxSigma = 28.0;
+    c.profile.actMaxSigma = 280.0;
+    c.evalLayers = 4;
+    return c;
+}
+
+ModelConfig
+bartBase()
+{
+    ModelConfig c = bertBase();
+    c.name = "BART-base";
+    // 6 encoder + 6 decoder layers, d 768; modelled as 12 GEMM-equivalent
+    // layers for the simulators.
+    c.layers = 12;
+    c.dModel = 768;
+    c.nHeads = 12;
+    c.dFf = 3072;
+    c.vocab = 50265;
+    c.profile.weightOutlierProb = 0.0040;
+    c.profile.clusterProb = 0.10;
+    c.profile.weightMaxSigma = 24.0;
+    c.profile.actMaxSigma = 240.0;
+    return c;
+}
+
+ModelConfig
+gpt2Xl()
+{
+    ModelConfig c;
+    c.name = "GPT2-XL";
+    c.layers = 48;
+    c.dModel = 1600;
+    c.nHeads = 25;
+    c.dFf = 6400;
+    c.vocab = 50257;
+    c.seqLen = 512;
+    c.batch = 2;
+    c.decoderOnly = true;
+    // Table 2: 1.14% / 0.06%.
+    c.profile.weightOutlierProb = 0.0057;
+    c.profile.actOutlierProb = 0.0065;
+    c.profile.clusterProb = 0.105;
+    c.profile.weightMaxSigma = 30.0;
+    c.profile.actMaxSigma = 120.0;
+    c.evalLayers = 4;
+    c.evalDModel = 128;
+    c.evalDFf = 256;
+    return c;
+}
+
+ModelConfig
+bloom7b1()
+{
+    ModelConfig c;
+    c.name = "BLOOM-7B1";
+    c.layers = 30;
+    c.dModel = 4096;
+    c.nHeads = 32;
+    c.dFf = 16384;
+    c.vocab = 250880;
+    c.seqLen = 512;
+    c.batch = 2;
+    c.decoderOnly = true;
+    c.profile.weightOutlierProb = 0.0038;
+    c.profile.actOutlierProb = 0.0055;
+    c.profile.clusterProb = 0.10;
+    c.profile.weightMaxSigma = 30.0;
+    c.profile.actMaxSigma = 110.0;
+    c.evalLayers = 4;
+    c.evalDModel = 128;
+    c.evalDFf = 256;
+    return c;
+}
+
+ModelConfig
+opt67b()
+{
+    ModelConfig c;
+    c.name = "OPT-6.7B";
+    c.layers = 32;
+    c.dModel = 4096;
+    c.nHeads = 32;
+    c.dFf = 16384;
+    c.vocab = 50272;
+    c.seqLen = 512;
+    c.batch = 2;
+    c.decoderOnly = true;
+    // Table 2: 0.64% / 0.03%; OPT-6.7B is the model whose systematic,
+    // extremely large activation outliers break int8 (Dettmers et al.).
+    c.profile.weightOutlierProb = 0.0032;
+    c.profile.actOutlierProb = 0.0100;
+    c.profile.clusterProb = 0.094;
+    c.profile.weightMaxSigma = 35.0;
+    c.profile.actMaxSigma = 325.0;
+    c.evalLayers = 4;
+    c.evalDModel = 128;
+    c.evalDFf = 256;
+    return c;
+}
+
+ModelConfig
+byName(const std::string &name)
+{
+    for (const auto &c : {bertBase(), bertLarge(), bartBase(), gpt2Xl(),
+                          bloom7b1(), opt67b()}) {
+        if (c.name == name)
+            return c;
+    }
+    OLIVE_FATAL("unknown model: " + name);
+}
+
+std::vector<ModelConfig>
+figureModels()
+{
+    return {bertBase(), bertLarge(), bartBase(), gpt2Xl(), bloom7b1()};
+}
+
+std::vector<ModelConfig>
+llmModels()
+{
+    return {gpt2Xl(), bloom7b1(), opt67b()};
+}
+
+} // namespace models
+} // namespace olive

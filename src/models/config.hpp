@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Model zoo descriptors.
+ *
+ * Each entry carries two things:
+ *  1. the real published architecture dimensions, used by the
+ *     performance/energy simulators to enumerate GEMM workloads at the
+ *     paper's scale; and
+ *  2. an outlier profile calibrated to the paper's published tensor
+ *     statistics (Table 2 pair percentages, Fig. 2 Max-sigma range),
+ *     used by the synthetic weight/activation generator; plus scaled
+ *     "eval" dimensions for the functional accuracy experiments, which
+ *     preserve the layer structure at a tractable size.
+ */
+
+#ifndef OLIVE_MODELS_CONFIG_HPP
+#define OLIVE_MODELS_CONFIG_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace olive {
+namespace models {
+
+/** Statistical profile of a model's tensors (see DESIGN.md). */
+struct OutlierProfile
+{
+    double weightOutlierProb = 0.004;  //!< Per-element weight outlier prob.
+    double actOutlierProb = 0.005;     //!< Per-element activation prob.
+    double clusterProb = 0.08;         //!< P(next value also outlier).
+    double weightMaxSigma = 60.0;      //!< Largest weight tensor Max-sigma.
+    double actMaxSigma = 150.0;        //!< Largest activation Max-sigma.
+};
+
+/** One model's architecture and statistics. */
+struct ModelConfig
+{
+    std::string name;
+    size_t layers = 0;
+    size_t dModel = 0;
+    size_t nHeads = 0;
+    size_t dFf = 0;      //!< FFN inner dimension.
+    size_t vocab = 0;
+    size_t seqLen = 0;   //!< Evaluation sequence length.
+    size_t batch = 1;    //!< Simulator batch (paper: 2 GPT-like, 16 BERT-like).
+    bool decoderOnly = false;
+    OutlierProfile profile;
+
+    // Scaled-down dimensions for the functional accuracy pipeline.
+    size_t evalLayers = 3;
+    size_t evalDModel = 96;
+    size_t evalHeads = 4;
+    size_t evalDFf = 192;
+    size_t evalSeqLen = 24;
+    size_t evalVocab = 1024; //!< Vocabulary of the proxy LM experiments.
+
+    /** Approximate parameter count of the full model's GEMM weights. */
+    u64 gemmParams() const;
+};
+
+/** The five evaluation models of Figs. 9/10 plus OPT-6.7B (Table 9). */
+ModelConfig bertBase();
+ModelConfig bertLarge();
+ModelConfig bartBase();
+ModelConfig gpt2Xl();
+ModelConfig bloom7b1();
+ModelConfig opt67b();
+
+/** Look up a config by name ("BERT-base", "GPT2-XL", ...). */
+ModelConfig byName(const std::string &name);
+
+/** The Fig. 9/10 model list in paper order. */
+std::vector<ModelConfig> figureModels();
+
+/** The Table 9 LLM list. */
+std::vector<ModelConfig> llmModels();
+
+} // namespace models
+} // namespace olive
+
+#endif // OLIVE_MODELS_CONFIG_HPP

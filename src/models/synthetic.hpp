@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synthetic weight and activation generation calibrated to the paper's
+ * published tensor statistics.
+ *
+ * The generator plays the role of the HuggingFace checkpoints: every
+ * weight matrix gets a Gaussian bulk plus a sparse heavy tail whose
+ * per-element outlier probability, pairwise clustering, and Max-sigma
+ * extent are taken from the model's OutlierProfile (calibrated against
+ * Table 2 and Fig. 2; see DESIGN.md).  Input sequences for LLM
+ * experiments are produced with matching activation statistics.
+ */
+
+#ifndef OLIVE_MODELS_SYNTHETIC_HPP
+#define OLIVE_MODELS_SYNTHETIC_HPP
+
+#include "config.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace models {
+
+/**
+ * Fill @p t with an outlier-bearing distribution: Gaussian bulk of the
+ * given @p sigma plus outliers of probability @p outlier_prob whose
+ * magnitude has an exponential profile up to @p max_sigma; a placed
+ * outlier is followed by a second adjacent outlier with probability
+ * @p cluster_prob (reproducing the paper's outlier-outlier pair rate).
+ */
+void fillOutlierTensor(Tensor &t, double sigma, double outlier_prob,
+                       double cluster_prob, double max_sigma, Rng &rng);
+
+/**
+ * Build the scaled-down functional backbone of @p config (eval dims)
+ * with synthetic outlier-calibrated weights, deterministically from
+ * @p seed.
+ */
+nn::Transformer makeBackbone(const ModelConfig &config, u64 seed);
+
+/**
+ * Generate one input sequence (seq, d) with the model's activation
+ * outlier statistics — the stand-in for embedding-layer outputs.
+ */
+Tensor makeInputSequence(const ModelConfig &config, size_t seq_len,
+                         Rng &rng);
+
+/**
+ * Systematic activation-outlier pattern: real transformer activation
+ * outliers concentrate in a small, fixed set of feature channels with
+ * stable magnitudes across examples (the observation underlying
+ * LLM.int8 and the reason PTQ activation calibration works at all).
+ */
+struct ActPattern
+{
+    std::vector<size_t> channels;   //!< Outlier feature channels.
+    std::vector<double> magnitudes; //!< Per-channel magnitude (in sigma).
+    double tokenProb = 0.12;        //!< P(channel fires on a token).
+    double chan01Prob = 0.45;       //!< Fire rate of the two dominant
+                                    //!< channels (they carry information
+                                    //!< and fire on many tokens, like
+                                    //!< real attention-sink channels).
+};
+
+/**
+ * Build the model's activation-outlier pattern deterministically: the
+ * channel count follows the activation outlier probability, magnitudes
+ * follow the exponential tail profile with at least one channel near
+ * @p max_sigma_cap (default: the profile's actMaxSigma).
+ */
+ActPattern makeActPattern(const ModelConfig &config, u64 seed,
+                          double max_sigma_cap = -1.0);
+
+/**
+ * Input sequence with systematic (channel-stable) activation outliers:
+ * Gaussian bulk plus the pattern's channels firing per token.
+ *
+ * @p chan0_scale / @p chan1_scale scale the two dominant channels'
+ * magnitudes.  The task generators encode class information in the
+ * *ratio* of the two (scales sum to 2, keeping per-example variance
+ * class-independent), which makes outlier magnitudes load-bearing:
+ * clipping saturates both channels to the same value and destroys the
+ * code, while OVP's abfloat buckets preserve it — the paper's central
+ * observation that outliers must not be clipped.
+ */
+Tensor makeInputSequenceStable(const ModelConfig &config,
+                               const ActPattern &pattern, size_t seq_len,
+                               Rng &rng, double chan0_scale = 1.0,
+                               double chan1_scale = 1.0);
+
+/**
+ * Sample the per-tensor Max-sigma profile of a whole model: @p count
+ * tensors whose Max-sigma values follow the sorted profile of Fig. 2.
+ * Used by the Fig. 2 and Fig. 5 benches.
+ */
+std::vector<Tensor> makeTensorZoo(const ModelConfig &config, size_t count,
+                                  size_t elems_per_tensor, u64 seed);
+
+} // namespace models
+} // namespace olive
+
+#endif // OLIVE_MODELS_SYNTHETIC_HPP

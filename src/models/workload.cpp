@@ -1,0 +1,52 @@
+#include "workload.hpp"
+
+namespace olive {
+namespace models {
+
+std::vector<GemmOp>
+inferenceGemms(const ModelConfig &c)
+{
+    std::vector<GemmOp> ops;
+    const u64 b = c.batch;
+    const u64 s = c.seqLen;
+    const u64 d = c.dModel;
+    const u64 h = c.nHeads;
+    const u64 dh = d / h;
+    const u64 layers = c.layers;
+
+    // Q, K, V projections: (b*s, d) x (d, d), weights resident.
+    ops.push_back({"qkv_proj", b * s, d, d, 3 * layers, true});
+    // Attention scores: per (batch, head): (s, dh) x (dh, s).
+    ops.push_back({"attn_scores", s, s, dh, b * h * layers, false});
+    // Attention context: (s, s) x (s, dh).
+    ops.push_back({"attn_context", s, dh, s, b * h * layers, false});
+    // Output projection: (b*s, d) x (d, d).
+    ops.push_back({"out_proj", b * s, d, d, layers, true});
+    // FFN.
+    ops.push_back({"ffn1", b * s, c.dFf, d, layers, true});
+    ops.push_back({"ffn2", b * s, d, c.dFf, layers, true});
+    return ops;
+}
+
+u64
+totalMacs(const std::vector<GemmOp> &ops)
+{
+    u64 total = 0;
+    for (const auto &op : ops)
+        total += op.macs();
+    return total;
+}
+
+u64
+totalWeightElems(const std::vector<GemmOp> &ops)
+{
+    u64 total = 0;
+    for (const auto &op : ops) {
+        if (op.bIsWeight)
+            total += op.bElems() * op.count;
+    }
+    return total;
+}
+
+} // namespace models
+} // namespace olive

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GEMM workload enumeration for the performance simulators.
+ *
+ * One inference pass of a transformer is, to first order, a fixed list
+ * of GEMMs.  The simulators consume this list: each entry carries the
+ * matrix dimensions, a repetition count (per-head / per-layer batching),
+ * and whether the B operand is a resident weight matrix (projections and
+ * FFN) or a dynamic activation (the attention score and context GEMMs).
+ * Weight-only schemes such as GOBO only compress the weight operands.
+ */
+
+#ifndef OLIVE_MODELS_WORKLOAD_HPP
+#define OLIVE_MODELS_WORKLOAD_HPP
+
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+
+namespace olive {
+namespace models {
+
+/** One (possibly batched) GEMM: C(m,n) += A(m,k) * B(k,n), count times. */
+struct GemmOp
+{
+    std::string name;
+    u64 m = 0;
+    u64 n = 0;
+    u64 k = 0;
+    u64 count = 1;       //!< Repetitions (layers x heads etc.).
+    bool bIsWeight = true; //!< B operand is a static weight matrix.
+
+    /** Multiply-accumulate operations across all repetitions. */
+    u64 macs() const { return m * n * k * count; }
+
+    /** Elements of the A operand (read per repetition). */
+    u64 aElems() const { return m * k; }
+
+    /** Elements of the B operand. */
+    u64 bElems() const { return k * n; }
+
+    /** Elements of the C result. */
+    u64 cElems() const { return m * n; }
+};
+
+/**
+ * The GEMM list of one inference pass of @p config at its full
+ * published dimensions with the configured batch and sequence length.
+ */
+std::vector<GemmOp> inferenceGemms(const ModelConfig &config);
+
+/** Total MACs of a workload. */
+u64 totalMacs(const std::vector<GemmOp> &ops);
+
+/** Total weight elements (the model's resident GEMM parameters). */
+u64 totalWeightElems(const std::vector<GemmOp> &ops);
+
+} // namespace models
+} // namespace olive
+
+#endif // OLIVE_MODELS_WORKLOAD_HPP

@@ -1,0 +1,222 @@
+#include "head.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace olive {
+namespace nn {
+
+namespace {
+
+void
+heInit(Tensor &w, Rng &rng)
+{
+    const double scale = std::sqrt(2.0 / static_cast<double>(w.dim(1)));
+    for (auto &v : w.data())
+        v = static_cast<float>(rng.gaussian(0.0, scale));
+}
+
+} // namespace
+
+ClassifierHead::ClassifierHead(size_t d_in, size_t hidden, size_t classes,
+                               Rng &rng)
+    : w1_({hidden, d_in}), b1_({hidden}),
+      w2_({classes, hidden}), b2_({classes})
+{
+    heInit(w1_, rng);
+    heInit(w2_, rng);
+}
+
+Tensor
+ClassifierHead::logits(const Tensor &features) const
+{
+    Tensor h = linearForward(features, w1_, b1_);
+    ops::relu(h);
+    return linearForward(h, w2_, b2_);
+}
+
+std::vector<int>
+ClassifierHead::predict(const Tensor &features) const
+{
+    const Tensor lg = logits(features);
+    std::vector<int> out(lg.dim(0));
+    for (size_t i = 0; i < lg.dim(0); ++i)
+        out[i] = ops::argmaxRow(lg.row(i));
+    return out;
+}
+
+double
+ClassifierHead::loss(const Tensor &features,
+                     const std::vector<int> &labels) const
+{
+    OLIVE_ASSERT(features.dim(0) == labels.size(), "batch size mismatch");
+    const Tensor lg = logits(features);
+    double acc = 0.0;
+    for (size_t i = 0; i < lg.dim(0); ++i)
+        acc += ops::crossEntropyRow(lg.row(i), labels[i]);
+    return acc / static_cast<double>(lg.dim(0));
+}
+
+double
+ClassifierHead::trainEpoch(const Tensor &features,
+                           const std::vector<int> &labels, float lr)
+{
+    const size_t n = features.dim(0);
+    OLIVE_ASSERT(n == labels.size(), "batch size mismatch");
+    const size_t d = features.dim(1);
+    const size_t hidden = w1_.dim(0);
+    const size_t ncls = w2_.dim(0);
+
+    // Forward with cached hidden activations.
+    Tensor h = linearForward(features, w1_, b1_);
+    Tensor relu_mask({n, hidden});
+    for (size_t i = 0; i < h.size(); ++i) {
+        relu_mask[i] = (h[i] > 0.0f) ? 1.0f : 0.0f;
+        h[i] = std::max(h[i], 0.0f);
+    }
+    Tensor lg = linearForward(h, w2_, b2_);
+
+    // Softmax cross-entropy gradient: dlogits = softmax - onehot.
+    double loss = 0.0;
+    Tensor dlg({n, ncls});
+    for (size_t i = 0; i < n; ++i) {
+        loss += ops::crossEntropyRow(lg.row(i), labels[i]);
+        auto row = lg.row(i);
+        std::vector<float> p(row.begin(), row.end());
+        ops::softmaxRow(p);
+        auto drow = dlg.row(i);
+        for (size_t c = 0; c < ncls; ++c)
+            drow[c] = p[c];
+        drow[static_cast<size_t>(labels[i])] -= 1.0f;
+    }
+    loss /= static_cast<double>(n);
+    const float inv_n = 1.0f / static_cast<float>(n);
+
+    // Grad w2 = dlg^T h; grad h = dlg w2.
+    Tensor gw2({ncls, hidden});
+    Tensor gb2({ncls});
+    Tensor dh({n, hidden});
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < ncls; ++c) {
+            const float g = dlg.at(i, c) * inv_n;
+            gb2[c] += g;
+            for (size_t k = 0; k < hidden; ++k) {
+                gw2.at(c, k) += g * h.at(i, k);
+                dh.at(i, k) += g * w2_.at(c, k) * static_cast<float>(n);
+            }
+        }
+    }
+
+    // Through ReLU.
+    for (size_t i = 0; i < dh.size(); ++i)
+        dh[i] *= relu_mask[i];
+
+    // Grad w1 = dh^T x.
+    Tensor gw1({hidden, d});
+    Tensor gb1({hidden});
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t k = 0; k < hidden; ++k) {
+            const float g = dh.at(i, k) * inv_n;
+            gb1[k] += g;
+            for (size_t j = 0; j < d; ++j)
+                gw1.at(k, j) += g * features.at(i, j);
+        }
+    }
+
+    // SGD update.
+    axpy(w1_, gw1, -lr);
+    axpy(b1_, gb1, -lr);
+    axpy(w2_, gw2, -lr);
+    axpy(b2_, gb2, -lr);
+    return loss;
+}
+
+void
+ClassifierHead::fit(const Tensor &features, const std::vector<int> &labels,
+                    int epochs, float lr)
+{
+    for (int e = 0; e < epochs; ++e)
+        trainEpoch(features, labels, lr);
+}
+
+SpanHead::SpanHead(size_t d_in, Rng &rng)
+    : wStart_({d_in}), wEnd_({d_in})
+{
+    const double scale = std::sqrt(1.0 / static_cast<double>(d_in));
+    for (auto &v : wStart_.data())
+        v = static_cast<float>(rng.gaussian(0.0, scale));
+    for (auto &v : wEnd_.data())
+        v = static_cast<float>(rng.gaussian(0.0, scale));
+}
+
+Tensor
+SpanHead::scores(const Tensor &token_features) const
+{
+    const size_t seq = token_features.dim(0);
+    const size_t d = token_features.dim(1);
+    Tensor out({2, seq});
+    for (size_t t = 0; t < seq; ++t) {
+        double s0 = bStart_, s1 = bEnd_;
+        for (size_t j = 0; j < d; ++j) {
+            const float x = token_features.at(t, j);
+            s0 += static_cast<double>(wStart_[j]) * x;
+            s1 += static_cast<double>(wEnd_[j]) * x;
+        }
+        out.at(0, t) = static_cast<float>(s0);
+        out.at(1, t) = static_cast<float>(s1);
+    }
+    return out;
+}
+
+std::pair<int, int>
+SpanHead::predictSpan(const Tensor &token_features) const
+{
+    const Tensor s = scores(token_features);
+    const int start = ops::argmaxRow(s.row(0));
+    // End is the argmax at or after the predicted start.
+    auto end_row = s.row(1);
+    int end = start;
+    float best = end_row[static_cast<size_t>(start)];
+    for (size_t t = static_cast<size_t>(start); t < end_row.size(); ++t) {
+        if (end_row[t] > best) {
+            best = end_row[t];
+            end = static_cast<int>(t);
+        }
+    }
+    return {start, end};
+}
+
+double
+SpanHead::trainStep(const Tensor &token_features, int start, int end,
+                    float lr)
+{
+    const size_t seq = token_features.dim(0);
+    const size_t d = token_features.dim(1);
+    Tensor s = scores(token_features);
+
+    const double loss = ops::crossEntropyRow(s.row(0), start) +
+                        ops::crossEntropyRow(s.row(1), end);
+
+    for (int which = 0; which < 2; ++which) {
+        auto row = s.row(static_cast<size_t>(which));
+        std::vector<float> p(row.begin(), row.end());
+        ops::softmaxRow(p);
+        const int label = (which == 0) ? start : end;
+        p[static_cast<size_t>(label)] -= 1.0f;
+        Tensor &w = (which == 0) ? wStart_ : wEnd_;
+        float &b = (which == 0) ? bStart_ : bEnd_;
+        for (size_t t = 0; t < seq; ++t) {
+            const float g = p[t];
+            b -= lr * g;
+            for (size_t j = 0; j < d; ++j)
+                w[j] -= lr * g * token_features.at(t, j);
+        }
+    }
+    return loss;
+}
+
+} // namespace nn
+} // namespace olive

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trainable task heads: a two-layer MLP classifier (GLUE-style tasks)
+ * and a span-extraction head (SQuAD-style tasks), with plain SGD
+ * backprop.
+ *
+ * The heads are the only trained components in the evaluation pipeline:
+ * the synthetic backbone is fixed (it stands in for the pretrained
+ * checkpoint) and the head learns the downstream task from backbone
+ * features — mirroring how the paper's accuracy experiments fine-tune
+ * checkpoints and then apply PTQ.
+ */
+
+#ifndef OLIVE_NN_HEAD_HPP
+#define OLIVE_NN_HEAD_HPP
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace nn {
+
+/** Two-layer MLP classifier head: d -> hidden -> classes. */
+class ClassifierHead
+{
+  public:
+    /** Random (He) initialization. */
+    ClassifierHead(size_t d_in, size_t hidden, size_t classes, Rng &rng);
+
+    size_t classes() const { return w2_.dim(0); }
+
+    /** Logits for a batch of feature rows (N, d_in) -> (N, classes). */
+    Tensor logits(const Tensor &features) const;
+
+    /** Predicted class per row. */
+    std::vector<int> predict(const Tensor &features) const;
+
+    /** Mean cross-entropy over a labelled batch. */
+    double loss(const Tensor &features, const std::vector<int> &labels) const;
+
+    /**
+     * One SGD epoch over the batch (full-batch gradient with the given
+     * learning rate); returns the pre-update loss.
+     */
+    double trainEpoch(const Tensor &features, const std::vector<int> &labels,
+                      float lr);
+
+    /** Convenience: run @p epochs of trainEpoch. */
+    void fit(const Tensor &features, const std::vector<int> &labels,
+             int epochs, float lr);
+
+  private:
+    Tensor w1_, b1_; //!< (hidden, d_in), (hidden)
+    Tensor w2_, b2_; //!< (classes, hidden), (classes)
+};
+
+/**
+ * Span head for the SQuAD-style proxy: two independent linear scorers
+ * over per-token features selecting start and end positions.
+ */
+class SpanHead
+{
+  public:
+    SpanHead(size_t d_in, Rng &rng);
+
+    /**
+     * Scores for one sequence's token features (seq, d_in): returns
+     * (2, seq) start/end logits.
+     */
+    Tensor scores(const Tensor &token_features) const;
+
+    /** Predicted (start, end) with end >= start. */
+    std::pair<int, int> predictSpan(const Tensor &token_features) const;
+
+    /** One SGD step on a single example; returns the loss. */
+    double trainStep(const Tensor &token_features, int start, int end,
+                     float lr);
+
+  private:
+    Tensor wStart_, wEnd_; //!< (d_in) score vectors.
+    float bStart_ = 0.0f, bEnd_ = 0.0f;
+};
+
+} // namespace nn
+} // namespace olive
+
+#endif // OLIVE_NN_HEAD_HPP

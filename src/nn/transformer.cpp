@@ -1,0 +1,153 @@
+#include "transformer.hpp"
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace olive {
+namespace nn {
+
+namespace {
+
+/** Fake-quantize a tensor as an activation if a scheme is given. */
+Tensor
+maybeQuantAct(const Tensor &x, Scheme *scheme)
+{
+    if (!scheme)
+        return x.clone();
+    auto q = scheme->apply(x.data(), TensorKind::Activation);
+    return Tensor(x.shape(), std::move(q));
+}
+
+} // namespace
+
+Tensor
+Linear::forward(const Tensor &x) const
+{
+    return linearForward(x, w, b);
+}
+
+Tensor
+selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
+              bool causal, Scheme *act_scheme)
+{
+    const size_t seq = x.dim(0);
+    const size_t d = x.dim(1);
+    OLIVE_ASSERT(d % n_heads == 0, "d_model must divide by heads");
+    const size_t dh = d / n_heads;
+    const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    const Tensor xq = maybeQuantAct(x, act_scheme);
+    Tensor q = layer.q.forward(xq);
+    Tensor k = layer.k.forward(xq);
+    Tensor v = layer.v.forward(xq);
+
+    Tensor ctx({seq, d});
+    // Per-head attention: scores = Q_h K_h^T / sqrt(dh), softmax, * V_h.
+    for (size_t h = 0; h < n_heads; ++h) {
+        Tensor scores({seq, seq});
+        for (size_t i = 0; i < seq; ++i) {
+            for (size_t j = 0; j < seq; ++j) {
+                if (causal && j > i) {
+                    scores.at(i, j) = -1e30f;
+                    continue;
+                }
+                double acc = 0.0;
+                for (size_t e = 0; e < dh; ++e) {
+                    acc += static_cast<double>(q.at(i, h * dh + e)) *
+                           k.at(j, h * dh + e);
+                }
+                scores.at(i, j) = static_cast<float>(acc) * inv_sqrt_dh;
+            }
+        }
+        ops::softmaxRows(scores);
+        for (size_t i = 0; i < seq; ++i) {
+            for (size_t e = 0; e < dh; ++e) {
+                double acc = 0.0;
+                for (size_t j = 0; j < seq; ++j) {
+                    acc += static_cast<double>(scores.at(i, j)) *
+                           v.at(j, h * dh + e);
+                }
+                ctx.at(i, h * dh + e) = static_cast<float>(acc);
+            }
+        }
+    }
+
+    const Tensor ctxq = maybeQuantAct(ctx, act_scheme);
+    return layer.o.forward(ctxq);
+}
+
+Tensor
+Transformer::forward(const Tensor &x, Scheme *act_scheme) const
+{
+    OLIVE_ASSERT(x.rank() == 2 && x.dim(1) == dModel,
+                 "input must be (seq, d_model)");
+    Tensor h = x.clone();
+    for (const Layer &layer : layers) {
+        // Attention block with residual + post-LN.
+        Tensor attn = selfAttention(h, layer, nHeads, causal, act_scheme);
+        Tensor res = ops::add(h, attn);
+        h = ops::layerNorm(res, layer.ln1Gamma, layer.ln1Beta);
+
+        // FFN block with residual + post-LN.
+        const Tensor hq = maybeQuantAct(h, act_scheme);
+        Tensor f = layer.ff1.forward(hq);
+        ops::gelu(f);
+        const Tensor fq = maybeQuantAct(f, act_scheme);
+        Tensor f2 = layer.ff2.forward(fq);
+        Tensor res2 = ops::add(h, f2);
+        h = ops::layerNorm(res2, layer.ln2Gamma, layer.ln2Beta);
+    }
+    return h;
+}
+
+size_t
+Transformer::parameterCount() const
+{
+    size_t n = 0;
+    for (const Layer &l : layers) {
+        for (const Linear *lin : {&l.q, &l.k, &l.v, &l.o, &l.ff1, &l.ff2})
+            n += lin->w.size() + lin->b.size();
+        n += l.ln1Gamma.size() + l.ln1Beta.size() + l.ln2Gamma.size() +
+             l.ln2Beta.size();
+    }
+    return n;
+}
+
+std::vector<Tensor *>
+Transformer::weightMatrices()
+{
+    std::vector<Tensor *> out;
+    for (Layer &l : layers) {
+        for (Linear *lin : {&l.q, &l.k, &l.v, &l.o, &l.ff1, &l.ff2})
+            out.push_back(&lin->w);
+    }
+    return out;
+}
+
+std::vector<const Tensor *>
+Transformer::weightMatrices() const
+{
+    std::vector<const Tensor *> out;
+    for (const Layer &l : layers) {
+        for (const Linear *lin : {&l.q, &l.k, &l.v, &l.o, &l.ff1, &l.ff2})
+            out.push_back(&lin->w);
+    }
+    return out;
+}
+
+Transformer
+quantizeTransformer(const Transformer &model, Scheme &scheme)
+{
+    Transformer q = model; // deep copies tensors via std::vector copy
+    for (Tensor *w : q.weightMatrices()) {
+        auto fq = scheme.applyMatrix(w->data(), w->dim(0), w->dim(1),
+                                     TensorKind::Weight);
+        *w = Tensor(w->shape(), std::move(fq));
+    }
+    return q;
+}
+
+} // namespace nn
+} // namespace olive

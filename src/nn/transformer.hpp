@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal transformer inference substrate with quantization hooks.
+ *
+ * The model is a stack of post-LN encoder (or causally masked decoder)
+ * layers operating on a (seq, d_model) tensor.  Every GEMM input can be
+ * fake-quantized through a Scheme: weights are quantized once up front
+ * (see quantizeTransformer), activations on the fly during forward when
+ * an activation scheme is supplied.  This is the functional-evaluation
+ * path; the cycle-level simulators consume the same architecture through
+ * models/workload.hpp instead.
+ */
+
+#ifndef OLIVE_NN_TRANSFORMER_HPP
+#define OLIVE_NN_TRANSFORMER_HPP
+
+#include <vector>
+
+#include "quant/scheme.hpp"
+#include "tensor/tensor.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace nn {
+
+/** One linear layer: y = x W^T + b, with W stored (out, in). */
+struct Linear
+{
+    Tensor w; //!< (out_features, in_features)
+    Tensor b; //!< (out_features)
+
+    /** Forward through this layer. */
+    Tensor forward(const Tensor &x) const;
+};
+
+/** Weights of one transformer encoder/decoder layer (post-LN). */
+struct Layer
+{
+    Linear q, k, v, o;   //!< Attention projections.
+    Linear ff1, ff2;     //!< Feed-forward network.
+    Tensor ln1Gamma, ln1Beta; //!< Post-attention LayerNorm.
+    Tensor ln2Gamma, ln2Beta; //!< Post-FFN LayerNorm.
+};
+
+/** A full transformer backbone. */
+struct Transformer
+{
+    size_t dModel = 0;
+    size_t nHeads = 0;
+    size_t dFf = 0;
+    bool causal = false; //!< Apply a causal mask (decoder-only models).
+    std::vector<Layer> layers;
+
+    /**
+     * Forward pass.  @p x is (seq, dModel).  If @p act_scheme is
+     * non-null every linear-layer input is fake-quantized as an
+     * activation first.
+     */
+    Tensor forward(const Tensor &x, Scheme *act_scheme = nullptr) const;
+
+    /** Total parameter count. */
+    size_t parameterCount() const;
+
+    /** Collect mutable views of every weight matrix (not biases/LN). */
+    std::vector<Tensor *> weightMatrices();
+    std::vector<const Tensor *> weightMatrices() const;
+};
+
+/**
+ * Return a copy of @p model whose weight matrices are fake-quantized
+ * with @p scheme (biases and LayerNorm parameters stay FP32, as all
+ * studied quantization methods do).
+ */
+Transformer quantizeTransformer(const Transformer &model, Scheme &scheme);
+
+/** Multi-head self-attention used by Transformer::forward. */
+Tensor selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
+                     bool causal, Scheme *act_scheme);
+
+} // namespace nn
+} // namespace olive
+
+#endif // OLIVE_NN_TRANSFORMER_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Adaptive biased float (abfloat), the outlier-specific data type of
+ * Sec. 3.3.
+ *
+ * An abfloat code is sign | exponent | mantissa.  The decoded value is a
+ * fixed-point exponent-integer pair:
+ *
+ *   exponent = bias + exponent_field
+ *   integer  = 0                       if the unsigned code is all zeros
+ *            = (1 << mant_bits) | mantissa  otherwise (implicit leading 1)
+ *   value    = sign * (integer << exponent)
+ *
+ * The adaptive bias shifts the entire representable range above the
+ * normal-value range, so outlier codes never waste representation space
+ * on values the normal type already covers:
+ *
+ *   - E2M1 + bias 2 covers {12 .. 96}, complementary to int4's [0, 7];
+ *   - E2M1 + bias 3 covers {24 .. 192}, complementary to flint4's 16;
+ *   - E4M3 + bias 4 covers {144 .. 15 << 19}, complementary to int8.
+ *
+ * Two codes must never be produced for outliers: +0 (all zeros) and -0
+ * (1000...), because -0 is the OVP outlier identifier (Sec. 3.3).
+ */
+
+#ifndef OLIVE_QUANT_ABFLOAT_HPP
+#define OLIVE_QUANT_ABFLOAT_HPP
+
+#include <string>
+#include <vector>
+
+#include "expint.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+
+/** An abfloat format: ExMy with an adaptive exponent bias. */
+class AbFloat
+{
+  public:
+    /**
+     * @param exp_bits  Exponent field width (0..4).
+     * @param mant_bits Mantissa field width (0..3).
+     * @param bias      Adaptive exponent bias.
+     *
+     * exp_bits + mant_bits + 1 (sign) is the total code width: 4 for the
+     * E2M1 outlier type, 8 for E4M3.
+     */
+    AbFloat(int exp_bits, int mant_bits, int bias);
+
+    /** Signed E2M1 with the given bias (the 4-bit outlier type). */
+    static AbFloat e2m1(int bias);
+
+    /** Signed E4M3 with the given bias (the 8-bit outlier type). */
+    static AbFloat e4m3(int bias);
+
+    int expBits() const { return expBits_; }
+    int mantBits() const { return mantBits_; }
+    int bias() const { return bias_; }
+
+    /** Total code width in bits, including the sign. */
+    int codeWidth() const { return 1 + expBits_ + mantBits_; }
+
+    /** Format name like "E2M1(bias=2)". */
+    std::string name() const;
+
+    /**
+     * Algorithm 2: encode a real value (already divided by the tensor
+     * scale) as an abfloat code.  The magnitude saturates to
+     * [minNonzero(), maxValue()]; the result is never +0 or -0, so it
+     * cannot collide with the OVP identifier.
+     * @pre e != 0 (outliers are nonzero by definition)
+     */
+    u32 encode(double e) const;
+
+    /** Decode a code to the exponent-integer pair of Fig. 7. */
+    ExpInt decodeExpInt(u32 code) const;
+
+    /** Decoded numeric value of a code. */
+    double decode(u32 code) const;
+
+    /** Largest representable magnitude: (2^(m+1)-1) << (maxExp + bias). */
+    double maxValue() const;
+
+    /** Smallest nonzero representable magnitude. */
+    double minNonzero() const;
+
+    /**
+     * All non-negative representable values, ascending and deduplicated
+     * (paper Table 4 enumerates these for E2M1 bias 0).
+     */
+    std::vector<i64> unsignedValueTable() const;
+
+  private:
+    int expBits_;
+    int mantBits_;
+    int bias_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_QUANT_ABFLOAT_HPP

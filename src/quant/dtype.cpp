@@ -1,0 +1,184 @@
+#include "dtype.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hpp"
+
+namespace olive {
+
+namespace {
+
+/** flint4 magnitude table: 3 magnitude bits -> value (paper Table 3). */
+constexpr int kFlintMag[8] = {0, 1, 2, 3, 4, 6, 8, 16};
+
+/** flint4 magnitude -> exponent-integer split used by the decoder. */
+constexpr struct { u8 exp; i32 integer; } kFlintExpInt[8] = {
+    {0, 0}, {0, 1}, {1, 1}, {0, 3}, {2, 1}, {1, 3}, {3, 1}, {4, 1},
+};
+
+} // namespace
+
+std::string
+toString(NormalType t)
+{
+    switch (t) {
+      case NormalType::Int4:
+        return "int4";
+      case NormalType::Flint4:
+        return "flint4";
+      case NormalType::Int8:
+        return "int8";
+    }
+    OLIVE_PANIC("unknown NormalType");
+}
+
+int
+bitWidth(NormalType t)
+{
+    return t == NormalType::Int8 ? 8 : 4;
+}
+
+u32
+outlierIdentifier(NormalType t)
+{
+    return t == NormalType::Int8 ? 0x80u : 0x8u;
+}
+
+int
+maxNormalMagnitude(NormalType t)
+{
+    switch (t) {
+      case NormalType::Int4:
+        return 7;
+      case NormalType::Flint4:
+        return 16;
+      case NormalType::Int8:
+        return 127;
+    }
+    OLIVE_PANIC("unknown NormalType");
+}
+
+std::vector<int>
+valueTable(NormalType t)
+{
+    std::vector<int> vals;
+    switch (t) {
+      case NormalType::Int4:
+        for (int v = -7; v <= 7; ++v)
+            vals.push_back(v);
+        break;
+      case NormalType::Flint4:
+        for (int i = 7; i >= 1; --i)
+            vals.push_back(-kFlintMag[i]);
+        for (int i = 0; i <= 7; ++i)
+            vals.push_back(kFlintMag[i]);
+        break;
+      case NormalType::Int8:
+        for (int v = -127; v <= 127; ++v)
+            vals.push_back(v);
+        break;
+    }
+    return vals;
+}
+
+NormalCodec::NormalCodec(NormalType type)
+    : type_(type)
+{
+    values_ = valueTable(type);
+    codes_.reserve(values_.size());
+    for (int v : values_) {
+        u32 code = 0;
+        switch (type_) {
+          case NormalType::Int4:
+            code = static_cast<u32>(v) & 0xFu;
+            break;
+          case NormalType::Int8:
+            code = static_cast<u32>(v) & 0xFFu;
+            break;
+          case NormalType::Flint4: {
+            const int mag = std::abs(v);
+            u32 mag_code = 0;
+            for (u32 i = 0; i < 8; ++i) {
+                if (kFlintMag[i] == mag) {
+                    mag_code = i;
+                    break;
+                }
+            }
+            code = mag_code | ((v < 0) ? 0x8u : 0x0u);
+            break;
+          }
+        }
+        codes_.push_back(code);
+    }
+}
+
+u32
+NormalCodec::encode(float real, float scale) const
+{
+    OLIVE_ASSERT(scale > 0.0f, "scale must be positive");
+    const double x = static_cast<double>(real) / scale;
+    // Nearest representable value (values_ is sorted ascending).
+    auto it = std::lower_bound(values_.begin(), values_.end(), x);
+    size_t idx;
+    if (it == values_.begin()) {
+        idx = 0;
+    } else if (it == values_.end()) {
+        idx = values_.size() - 1;
+    } else {
+        const size_t hi = static_cast<size_t>(it - values_.begin());
+        const size_t lo = hi - 1;
+        idx = (x - values_[lo] <= values_[hi] - x) ? lo : hi;
+    }
+    return codes_[idx];
+}
+
+int
+NormalCodec::decodeInt(u32 code) const
+{
+    OLIVE_ASSERT(!isIdentifier(code), "identifier is not a normal value");
+    switch (type_) {
+      case NormalType::Int4:
+        return bits::signExtend(code, 4);
+      case NormalType::Int8:
+        return bits::signExtend(code, 8);
+      case NormalType::Flint4: {
+        const int mag = kFlintMag[code & 0x7u];
+        return (code & 0x8u) ? -mag : mag;
+      }
+    }
+    OLIVE_PANIC("unknown NormalType");
+}
+
+float
+NormalCodec::decode(u32 code, float scale) const
+{
+    return static_cast<float>(decodeInt(code)) * scale;
+}
+
+ExpInt
+NormalCodec::decodeExpInt(u32 code) const
+{
+    OLIVE_ASSERT(!isIdentifier(code), "identifier is not a normal value");
+    switch (type_) {
+      case NormalType::Int4:
+      case NormalType::Int8:
+        // The OVP decoder appends a zero exponent for int types
+        // (Sec. 4.2).
+        return ExpInt{0, decodeInt(code)};
+      case NormalType::Flint4: {
+        const auto &e = kFlintExpInt[code & 0x7u];
+        const i32 sign = (code & 0x8u) ? -1 : 1;
+        return ExpInt{e.exp, sign * e.integer};
+      }
+    }
+    OLIVE_PANIC("unknown NormalType");
+}
+
+bool
+NormalCodec::isIdentifier(u32 code) const
+{
+    return code == outlierIdentifier(type_);
+}
+
+} // namespace olive

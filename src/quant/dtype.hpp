@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Normal-value data types of the OVP encoding (paper Table 3).
+ *
+ * Each type reserves one code as the outlier identifier:
+ *  - int4:   codes are two's-complement nibbles; 1000_2 (-8) is the
+ *            identifier, so the value range narrows to [-7, 7].
+ *  - flint4: ANT's 4-bit flint with values {0, ±1, ±2, ±3, ±4, ±6, ±8,
+ *            ±16}; 1000_2 is flint's -0, unused by the original type, so
+ *            OVP reuses it as the identifier for free.
+ *  - int8:   two's-complement bytes; 10000000_2 (-128) is the identifier,
+ *            narrowing the range to [-127, 127].
+ *
+ * A codec maps real values to codes under a positive scale factor
+ * (real ~= scale * decoded integer value) and back, and also exposes the
+ * exponent-integer pair form the hardware decoder produces.
+ */
+
+#ifndef OLIVE_QUANT_DTYPE_HPP
+#define OLIVE_QUANT_DTYPE_HPP
+
+#include <string>
+#include <vector>
+
+#include "expint.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+
+/** Normal-value data type selector (paper Table 3). */
+enum class NormalType
+{
+    Int4,
+    Flint4,
+    Int8,
+};
+
+/** Printable name of a normal type. */
+std::string toString(NormalType t);
+
+/** Bit width of a normal type (4 or 8). */
+int bitWidth(NormalType t);
+
+/** The reserved outlier-identifier code (1000_2 or 10000000_2). */
+u32 outlierIdentifier(NormalType t);
+
+/**
+ * Largest representable magnitude of the narrowed type in integer grid
+ * units (7 for int4, 16 for flint4, 127 for int8).
+ */
+int maxNormalMagnitude(NormalType t);
+
+/** All representable values of the narrowed type, ascending. */
+std::vector<int> valueTable(NormalType t);
+
+/**
+ * Codec for one normal type.  Codes are the raw bit patterns (4 or 8
+ * bits, in the low bits of a u32).
+ */
+class NormalCodec
+{
+  public:
+    explicit NormalCodec(NormalType type);
+
+    NormalType type() const { return type_; }
+
+    /**
+     * Quantize @p real under @p scale to the nearest representable
+     * value, never producing the identifier code.  Values beyond the
+     * range saturate.
+     */
+    u32 encode(float real, float scale) const;
+
+    /** Decoded integer grid value of @p code. @pre code != identifier */
+    int decodeInt(u32 code) const;
+
+    /** Real value of @p code under @p scale. */
+    float decode(u32 code, float scale) const;
+
+    /**
+     * Exponent-integer pair of @p code as produced by the hardware
+     * normal decoder (int types get exponent 0; flint gets its
+     * exponent/mantissa split).
+     */
+    ExpInt decodeExpInt(u32 code) const;
+
+    /** True if @p code is the outlier identifier of this type. */
+    bool isIdentifier(u32 code) const;
+
+  private:
+    NormalType type_;
+    std::vector<int> values_;   // ascending representable values
+    std::vector<u32> codes_;    // code for values_[i]
+};
+
+} // namespace olive
+
+#endif // OLIVE_QUANT_DTYPE_HPP

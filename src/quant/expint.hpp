@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exponent-integer pair, the unified post-decoder value representation
+ * of Sec. 4.4.
+ *
+ * Every decoded operand — normal int, flint, or abfloat outlier — is an
+ * exponent-integer pair <e, i> denoting the value i << e.  Products
+ * follow the rule <a,b> * <c,d> = <a+c, b*d>, implemented with a shifter
+ * and a fixed-point multiplier in hardware.
+ */
+
+#ifndef OLIVE_QUANT_EXPINT_HPP
+#define OLIVE_QUANT_EXPINT_HPP
+
+#include "util/common.hpp"
+
+namespace olive {
+
+/** Exponent-integer pair <e, i> = i << e (Sec. 4.4). */
+struct ExpInt
+{
+    u8 exponent = 0;  //!< Left-shift amount (always non-negative).
+    i32 integer = 0;  //!< Signed fixed-point integer.
+
+    /** The represented integer value i << e. */
+    constexpr i64
+    value() const
+    {
+        return static_cast<i64>(integer) << exponent;
+    }
+
+    /** Product rule <a,b> * <c,d> = <a+c, b*d>. */
+    constexpr ExpInt
+    operator*(const ExpInt &o) const
+    {
+        return ExpInt{static_cast<u8>(exponent + o.exponent),
+                      integer * o.integer};
+    }
+
+    constexpr bool
+    operator==(const ExpInt &o) const
+    {
+        return value() == o.value();
+    }
+};
+
+} // namespace olive
+
+#endif // OLIVE_QUANT_EXPINT_HPP

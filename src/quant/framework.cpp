@@ -1,0 +1,171 @@
+#include "framework.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace olive {
+
+OliveMixedScheme::OliveMixedScheme(double escalate_threshold)
+    : escalateThreshold_(escalate_threshold)
+{
+}
+
+OvpCodec
+OliveMixedScheme::pickCodec(std::span<const float> xs, bool *escalated)
+{
+    OliveConfig c4;
+    c4.bits = 4;
+    const OliveQuantizer q4(c4);
+    const QuantDecision d4 = q4.calibrate(xs);
+    const auto rt4 = q4.makeCodec(d4).fakeQuant(xs);
+
+    const bool escalate =
+        bulkRelativeMse(xs, rt4) > escalateThreshold_;
+    if (escalated)
+        *escalated = escalate;
+    if (!escalate)
+        return q4.makeCodec(d4);
+
+    OliveConfig c8;
+    c8.bits = 8;
+    const OliveQuantizer q8(c8);
+    return q8.makeCodec(q8.calibrate(xs));
+}
+
+std::vector<float>
+OliveMixedScheme::apply(std::span<const float> xs, TensorKind)
+{
+    ++applied_;
+    bool escalated = false;
+    const OvpCodec codec = pickCodec(xs, &escalated);
+    if (escalated)
+        ++escalated_;
+    return codec.fakeQuant(xs);
+}
+
+Scheme::Applier
+OliveMixedScheme::calibrate(std::span<const float> calibration, TensorKind)
+{
+    ++applied_;
+    bool escalated = false;
+    const OvpCodec codec = pickCodec(calibration, &escalated);
+    if (escalated)
+        ++escalated_;
+    return [codec](std::span<const float> xs) {
+        return codec.fakeQuant(xs);
+    };
+}
+
+int
+OliveMixedScheme::weightBits() const
+{
+    const double rate = escalationRate();
+    return static_cast<int>(std::lround(4.0 * (1.0 - rate) + 8.0 * rate));
+}
+
+double
+OliveMixedScheme::escalationRate() const
+{
+    return applied_ ? static_cast<double>(escalated_) /
+                          static_cast<double>(applied_)
+                    : 0.0;
+}
+
+double
+PtqReport::averageBits() const
+{
+    double bits = 0.0, elems = 0.0;
+    for (const auto &t : tensors) {
+        bits += static_cast<double>(t.bits) * static_cast<double>(t.elems);
+        elems += static_cast<double>(t.elems);
+    }
+    return elems > 0.0 ? bits / elems : 0.0;
+}
+
+size_t
+PtqReport::countType(NormalType type) const
+{
+    size_t n = 0;
+    for (const auto &t : tensors)
+        n += (t.normal == type);
+    return n;
+}
+
+double
+PtqReport::meanSqnrDb() const
+{
+    double acc = 0.0, elems = 0.0;
+    for (const auto &t : tensors) {
+        acc += t.sqnrDb * static_cast<double>(t.elems);
+        elems += static_cast<double>(t.elems);
+    }
+    return elems > 0.0 ? acc / elems : 0.0;
+}
+
+std::string
+PtqReport::render() const
+{
+    Table table({"Tensor", "Type", "Bits", "Elems", "Threshold",
+                 "SQNR (dB)", "OV pairs %"});
+    for (const auto &t : tensors) {
+        table.addRow({t.name, toString(t.normal), std::to_string(t.bits),
+                      std::to_string(t.elems), Table::num(t.threshold, 4),
+                      Table::num(t.sqnrDb, 2),
+                      Table::num(t.outlierPairPct, 2)});
+    }
+    std::string out = table.render();
+    out += "average bits: " + Table::num(averageBits(), 2) +
+           ", mean SQNR: " + Table::num(meanSqnrDb(), 2) + " dB\n";
+    return out;
+}
+
+double
+bulkRelativeMse(std::span<const float> ref, std::span<const float> quant)
+{
+    OLIVE_ASSERT(ref.size() == quant.size(), "size mismatch");
+    const double med = stats::percentile(ref, 50.0);
+    const double limit = 3.0 * stats::robustSigma(ref);
+    double err = 0.0, power = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (std::fabs(ref[i] - med) > limit)
+            continue;
+        const double d = static_cast<double>(ref[i]) - quant[i];
+        err += d * d;
+        power += static_cast<double>(ref[i]) * ref[i];
+        ++n;
+    }
+    if (n == 0 || power == 0.0)
+        return 0.0;
+    return err / power;
+}
+
+TensorReport
+reportTensor(const std::string &name, std::span<const float> xs, int bits)
+{
+    OliveConfig cfg;
+    cfg.bits = bits;
+    const OliveQuantizer q(cfg);
+    const QuantDecision d = q.calibrate(xs);
+    const OvpCodec codec = q.makeCodec(d);
+    OvpStats st;
+    const auto rt = codec.fakeQuant(xs, &st);
+
+    TensorReport r;
+    r.name = name;
+    r.normal = d.normal;
+    r.bits = bits;
+    r.elems = xs.size();
+    r.threshold = d.threshold;
+    r.mse = stats::mse(xs, rt);
+    r.sqnrDb = stats::sqnrDb(xs, rt);
+    r.outlierPairPct = st.pairs
+                           ? 100.0 * static_cast<double>(st.outlierPairs) /
+                                 static_cast<double>(st.pairs)
+                           : 0.0;
+    return r;
+}
+
+} // namespace olive

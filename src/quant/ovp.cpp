@@ -1,0 +1,225 @@
+#include "ovp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+
+int
+defaultAbfloatBias(NormalType t)
+{
+    // Chosen so the abfloat range starts just above the normal range
+    // (Sec. 3.3): int4 max 7 -> E2M1 bias 2 covers {12..96}; flint4 max
+    // 16 -> bias 3 covers {24..192}; int8 max 127 -> E4M3 bias 4 starts
+    // at 144.
+    switch (t) {
+      case NormalType::Int4:
+        return 2;
+      case NormalType::Flint4:
+        return 3;
+      case NormalType::Int8:
+        return 4;
+    }
+    OLIVE_PANIC("unknown NormalType");
+}
+
+AbFloat
+outlierTypeFor(NormalType t, int bias)
+{
+    const int b = (bias < 0) ? defaultAbfloatBias(t) : bias;
+    return (t == NormalType::Int8) ? AbFloat::e4m3(b) : AbFloat::e2m1(b);
+}
+
+double
+PairCensus::normalNormalPct() const
+{
+    return total() ? 100.0 * static_cast<double>(normalNormal) /
+                         static_cast<double>(total())
+                   : 0.0;
+}
+
+double
+PairCensus::outlierNormalPct() const
+{
+    return total() ? 100.0 * static_cast<double>(outlierNormal) /
+                         static_cast<double>(total())
+                   : 0.0;
+}
+
+double
+PairCensus::outlierOutlierPct() const
+{
+    return total() ? 100.0 * static_cast<double>(outlierOutlier) /
+                         static_cast<double>(total())
+                   : 0.0;
+}
+
+PairCensus
+pairCensus(std::span<const float> xs, double k_sigma)
+{
+    PairCensus c;
+    const double m = stats::mean(xs);
+    const double sigma = stats::stddev(xs);
+    const double limit = k_sigma * sigma;
+    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+        const bool o1 = std::fabs(xs[i] - m) > limit;
+        const bool o2 = std::fabs(xs[i + 1] - m) > limit;
+        if (o1 && o2)
+            ++c.outlierOutlier;
+        else if (o1 || o2)
+            ++c.outlierNormal;
+        else
+            ++c.normalNormal;
+    }
+    return c;
+}
+
+OvpCodec::OvpCodec(NormalType normal, float scale, double threshold,
+                   int abfloat_bias)
+    : normal_(normal),
+      codec_(normal),
+      abfloat_(outlierTypeFor(normal, abfloat_bias)),
+      scale_(scale),
+      threshold_(threshold)
+{
+    OLIVE_ASSERT(scale_ > 0.0f, "OVP scale must be positive");
+    OLIVE_ASSERT(threshold_ > 0.0, "OVP threshold must be positive");
+}
+
+size_t
+OvpCodec::bytesPerPair() const
+{
+    return bitWidth(normal_) == 4 ? 1 : 2;
+}
+
+u32
+OvpCodec::quantizeOutlier(float val) const
+{
+    // Outliers quantize on the same integer grid as normals; the
+    // accumulator-overflow rule of Sec. 4.5 clips the grid magnitude to
+    // 2^15 (never reached in practice: the largest observed outliers sit
+    // around 325 sigma ~ 768 grid units).
+    double grid = static_cast<double>(val) / scale_;
+    constexpr double kClip = 32768.0; // 2^15
+    grid = std::clamp(grid, -kClip, kClip);
+    const u32 code = abfloat_.encode(grid);
+    // Abfloat never emits +-0, so it can never collide with the
+    // identifier (which is the -0 bit pattern of both widths).
+    OLIVE_ASSERT(code != outlierIdentifier(normal_),
+                 "outlier code must not be the identifier");
+    return code;
+}
+
+void
+OvpCodec::encodePair(float val1, float val2, u32 &out1, u32 &out2) const
+{
+    const double a1 = std::fabs(val1);
+    const double a2 = std::fabs(val2);
+    const u32 identifier = outlierIdentifier(normal_);
+
+    if (a1 > threshold_ && a1 >= a2) {
+        // Left outlier: the right value is sacrificed as the victim.
+        out1 = quantizeOutlier(val1);
+        out2 = identifier;
+    } else if (a2 > threshold_) {
+        // Right outlier: the left value is the victim.
+        out1 = identifier;
+        out2 = quantizeOutlier(val2);
+    } else {
+        out1 = codec_.encode(val1, scale_);
+        out2 = codec_.encode(val2, scale_);
+    }
+}
+
+void
+OvpCodec::decodePair(u32 in1, u32 in2, float &val1, float &val2) const
+{
+    const u32 identifier = outlierIdentifier(normal_);
+    OLIVE_ASSERT(!(in1 == identifier && in2 == identifier),
+                 "both slots cannot hold the identifier");
+    if (in1 == identifier) {
+        val1 = 0.0f;
+        val2 = static_cast<float>(abfloat_.decode(in2)) * scale_;
+    } else if (in2 == identifier) {
+        val1 = static_cast<float>(abfloat_.decode(in1)) * scale_;
+        val2 = 0.0f;
+    } else {
+        val1 = codec_.decode(in1, scale_);
+        val2 = codec_.decode(in2, scale_);
+    }
+}
+
+std::vector<u8>
+OvpCodec::encode(std::span<const float> xs, OvpStats *stats) const
+{
+    const size_t pairs = (xs.size() + 1) / 2;
+    std::vector<u8> out(pairs * bytesPerPair());
+    OvpStats local;
+    local.pairs = pairs;
+
+    for (size_t p = 0; p < pairs; ++p) {
+        const float v1 = xs[2 * p];
+        const float v2 = (2 * p + 1 < xs.size()) ? xs[2 * p + 1] : 0.0f;
+        u32 c1, c2;
+        encodePair(v1, v2, c1, c2);
+
+        const u32 identifier = outlierIdentifier(normal_);
+        if (c1 == identifier || c2 == identifier) {
+            ++local.outlierPairs;
+            const bool v1_out = std::fabs(v1) > threshold_;
+            const bool v2_out = std::fabs(v2) > threshold_;
+            if (v1_out && v2_out)
+                ++local.prunedOutliers;
+        }
+
+        if (bytesPerPair() == 1) {
+            // Low nibble holds the first (left) element so a byte read
+            // yields the pair in order.
+            out[p] = bits::packNibbles(static_cast<u8>(c2),
+                                       static_cast<u8>(c1));
+        } else {
+            out[2 * p] = static_cast<u8>(c1);
+            out[2 * p + 1] = static_cast<u8>(c2);
+        }
+    }
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+std::vector<float>
+OvpCodec::decode(std::span<const u8> bytes, size_t count) const
+{
+    const size_t pairs = (count + 1) / 2;
+    OLIVE_ASSERT(bytes.size() >= pairs * bytesPerPair(),
+                 "decode stream too short");
+    std::vector<float> out(count);
+    for (size_t p = 0; p < pairs; ++p) {
+        u32 c1, c2;
+        if (bytesPerPair() == 1) {
+            c1 = bits::lowNibble(bytes[p]);
+            c2 = bits::highNibble(bytes[p]);
+        } else {
+            c1 = bytes[2 * p];
+            c2 = bytes[2 * p + 1];
+        }
+        float v1, v2;
+        decodePair(c1, c2, v1, v2);
+        out[2 * p] = v1;
+        if (2 * p + 1 < count)
+            out[2 * p + 1] = v2;
+    }
+    return out;
+}
+
+std::vector<float>
+OvpCodec::fakeQuant(std::span<const float> xs, OvpStats *stats) const
+{
+    const auto bytes = encode(xs, stats);
+    return decode(bytes, xs.size());
+}
+
+} // namespace olive

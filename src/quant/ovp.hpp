@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Outlier-victim pair (OVP) encoding, the paper's core mechanism
+ * (Sec. 3, Algorithm 1).
+ *
+ * Values are processed in adjacent non-overlapping pairs.  A pair with
+ * no outlier encodes both values with the normal type; a pair with an
+ * outlier sacrifices ("prunes") the other value — the victim — and
+ * stores the outlier identifier code (1000_2 / 10000000_2) in the victim
+ * slot while the outlier slot holds an abfloat code.  Because outlier
+ * encoding never produces the identifier bit pattern, the decoder can
+ * distinguish left-outlier (O-V) and right-outlier (V-O) pairs without
+ * any index bits, keeping memory accesses byte-aligned.
+ */
+
+#ifndef OLIVE_QUANT_OVP_HPP
+#define OLIVE_QUANT_OVP_HPP
+
+#include <span>
+#include <vector>
+
+#include "abfloat.hpp"
+#include "dtype.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+
+/** Default adaptive bias that makes abfloat complementary to @p t. */
+int defaultAbfloatBias(NormalType t);
+
+/** The outlier abfloat format paired with normal type @p t. */
+AbFloat outlierTypeFor(NormalType t, int bias = -1);
+
+/** Classification of one value pair (Sec. 2.3, Table 2). */
+enum class PairType
+{
+    NormalNormal,
+    OutlierNormal,  //!< Exactly one value beyond the threshold.
+    OutlierOutlier, //!< Both beyond; the smaller one becomes the victim.
+};
+
+/** Census of pair types over a tensor (Table 2 machinery). */
+struct PairCensus
+{
+    u64 normalNormal = 0;
+    u64 outlierNormal = 0;
+    u64 outlierOutlier = 0;
+
+    u64 total() const { return normalNormal + outlierNormal + outlierOutlier; }
+    double normalNormalPct() const;
+    double outlierNormalPct() const;
+    double outlierOutlierPct() const;
+};
+
+/**
+ * Count pair types of adjacent non-overlapping pairs using the k-sigma
+ * rule (the paper uses k = 3).
+ */
+PairCensus pairCensus(std::span<const float> xs, double k_sigma = 3.0);
+
+/** Per-tensor encode statistics reported by OvpCodec::encode. */
+struct OvpStats
+{
+    u64 pairs = 0;          //!< Total pairs encoded.
+    u64 outlierPairs = 0;   //!< Pairs encoded as outlier-victim.
+    u64 prunedOutliers = 0; //!< Outliers lost to outlier-outlier pairs.
+};
+
+/**
+ * Tensor-level OVP codec for one (normal type, scale, threshold)
+ * configuration.
+ *
+ * Real values relate to the integer grid as real ~= scale * grid.  The
+ * outlier threshold is a real-domain magnitude; the quantization
+ * framework ties it to the scale (threshold = scale * max normal
+ * magnitude), but the codec accepts them independently so ablations can
+ * decouple them.
+ */
+class OvpCodec
+{
+  public:
+    /**
+     * @param normal    Normal-value data type.
+     * @param scale     Positive real-per-grid-unit scale factor.
+     * @param threshold Real-domain |value| above which a value is an
+     *                  outlier.
+     * @param abfloat_bias Adaptive bias; -1 selects the complementary
+     *                  default for @p normal.
+     */
+    OvpCodec(NormalType normal, float scale, double threshold,
+             int abfloat_bias = -1);
+
+    NormalType normalType() const { return normal_; }
+    const AbFloat &outlierType() const { return abfloat_; }
+    float scale() const { return scale_; }
+    double threshold() const { return threshold_; }
+
+    /** Bytes per encoded pair (1 for 4-bit types, 2 for int8). */
+    size_t bytesPerPair() const;
+
+    /**
+     * Algorithm 1: encode one pair of reals into two codes.  Exactly one
+     * of the output codes may be the identifier.
+     */
+    void encodePair(float val1, float val2, u32 &out1, u32 &out2) const;
+
+    /** Inverse of encodePair: identifier slots decode to zero. */
+    void decodePair(u32 in1, u32 in2, float &val1, float &val2) const;
+
+    /**
+     * Encode a whole tensor into a packed, memory-aligned byte stream.
+     * Odd-length inputs are padded with a zero element.  4-bit pairs
+     * pack into single bytes (low nibble = first element); 8-bit pairs
+     * into two bytes.
+     */
+    std::vector<u8> encode(std::span<const float> xs,
+                           OvpStats *stats = nullptr) const;
+
+    /** Decode @p count elements from a packed stream. */
+    std::vector<float> decode(std::span<const u8> bytes, size_t count) const;
+
+    /** Quantize-dequantize round trip without packing. */
+    std::vector<float> fakeQuant(std::span<const float> xs,
+                                 OvpStats *stats = nullptr) const;
+
+  private:
+    /** Quantize one outlier value to an abfloat code (with 2^15 clip). */
+    u32 quantizeOutlier(float val) const;
+
+    NormalType normal_;
+    NormalCodec codec_;
+    AbFloat abfloat_;
+    float scale_;
+    double threshold_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_QUANT_OVP_HPP

@@ -1,0 +1,116 @@
+#include "quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace olive {
+
+OliveQuantizer::OliveQuantizer(OliveConfig config)
+    : config_(config)
+{
+    OLIVE_ASSERT(config_.bits == 4 || config_.bits == 8,
+                 "OliVe supports 4-bit and 8-bit modes");
+    OLIVE_ASSERT(config_.searchPoints >= 2, "need at least two candidates");
+    OLIVE_ASSERT(config_.searchLo > 0.0 &&
+                     config_.searchHi > config_.searchLo,
+                 "bad threshold search range");
+}
+
+std::vector<float>
+OliveQuantizer::sample(std::span<const float> xs) const
+{
+    if (xs.size() <= config_.sampleCap)
+        return std::vector<float>(xs.begin(), xs.end());
+    // Keep whole pairs so the OVP pairing behaviour is representative.
+    const size_t pairs_total = xs.size() / 2;
+    const size_t pairs_keep = config_.sampleCap / 2;
+    const size_t stride = pairs_total / pairs_keep;
+    std::vector<float> out;
+    out.reserve(pairs_keep * 2);
+    for (size_t p = 0; p < pairs_total && out.size() < pairs_keep * 2;
+         p += stride) {
+        out.push_back(xs[2 * p]);
+        out.push_back(xs[2 * p + 1]);
+    }
+    return out;
+}
+
+QuantDecision
+OliveQuantizer::calibrate(std::span<const float> xs) const
+{
+    OLIVE_ASSERT(!xs.empty(), "cannot calibrate on empty data");
+    const std::vector<float> s = sample(xs);
+    // Outlier-robust bulk sigma: on tensors whose outliers reach
+    // hundreds of sigma (OPT-6.7B activations), the plain standard
+    // deviation is inflated by the tail itself and would seed the
+    // search far above the bulk.
+    const double sigma = stats::robustSigma(s);
+    const double amax = stats::absMax(s);
+    OLIVE_ASSERT(amax > 0.0, "cannot calibrate an all-zero tensor");
+
+    // Initial threshold from the 3-sigma rule (Sec. 3.4); degenerate
+    // near-constant tensors fall back to the absolute maximum.
+    const double t0 = (sigma > 0.0) ? 3.0 * sigma : amax;
+
+    std::vector<NormalType> types;
+    if (config_.bits == 8) {
+        types = {NormalType::Int8};
+    } else if (config_.adaptiveType) {
+        types = {NormalType::Int4, NormalType::Flint4};
+    } else {
+        types = {config_.forcedType};
+    }
+
+    QuantDecision best;
+    best.mse = std::numeric_limits<double>::infinity();
+
+    for (NormalType type : types) {
+        const int max_mag = maxNormalMagnitude(type);
+        for (int i = 0; i < config_.searchPoints; ++i) {
+            const double frac =
+                static_cast<double>(i) / (config_.searchPoints - 1);
+            // Geometric sweep of the threshold around 3 sigma.
+            const double mult =
+                config_.searchLo *
+                std::pow(config_.searchHi / config_.searchLo, frac);
+            const double threshold = t0 * mult;
+            const float scale =
+                static_cast<float>(threshold / max_mag);
+            if (scale <= 0.0f || !std::isfinite(scale))
+                continue;
+
+            OvpCodec codec(type, scale, threshold);
+            const auto rt = codec.fakeQuant(s);
+            const double mse = stats::mse(s, rt);
+            if (mse < best.mse) {
+                best.mse = mse;
+                best.normal = type;
+                best.scale = scale;
+                best.threshold = threshold;
+            }
+        }
+    }
+    OLIVE_ASSERT(std::isfinite(best.mse), "calibration found no candidate");
+    return best;
+}
+
+OvpCodec
+OliveQuantizer::makeCodec(const QuantDecision &d) const
+{
+    return OvpCodec(d.normal, d.scale, d.threshold);
+}
+
+std::vector<float>
+OliveQuantizer::fakeQuant(std::span<const float> xs,
+                          QuantDecision *decision) const
+{
+    const QuantDecision d = calibrate(xs);
+    if (decision)
+        *decision = d;
+    return makeCodec(d).fakeQuant(xs);
+}
+
+} // namespace olive

@@ -1,0 +1,66 @@
+#include "scheme.hpp"
+
+#include "quantizer.hpp"
+
+namespace olive {
+
+std::vector<float>
+Fp32Scheme::apply(std::span<const float> xs, TensorKind)
+{
+    return std::vector<float>(xs.begin(), xs.end());
+}
+
+OliveScheme::OliveScheme(int bits)
+    : bits_(bits)
+{
+}
+
+std::string
+OliveScheme::name() const
+{
+    return std::to_string(bits_) + "-bit OliVe";
+}
+
+std::vector<float>
+OliveScheme::apply(std::span<const float> xs, TensorKind)
+{
+    OliveConfig cfg;
+    cfg.bits = bits_;
+    return OliveQuantizer(cfg).fakeQuant(xs);
+}
+
+Scheme::Applier
+OliveScheme::calibrate(std::span<const float> calibration, TensorKind)
+{
+    OliveConfig cfg;
+    cfg.bits = bits_;
+    const OliveQuantizer quantizer(cfg);
+    const QuantDecision d = quantizer.calibrate(calibration);
+    const OvpCodec codec = quantizer.makeCodec(d);
+    return [codec](std::span<const float> xs) {
+        return codec.fakeQuant(xs);
+    };
+}
+
+OliveWeightOnlyScheme::OliveWeightOnlyScheme(int bits)
+    : bits_(bits)
+{
+}
+
+std::string
+OliveWeightOnlyScheme::name() const
+{
+    return std::to_string(bits_) + "-bit OliVe (weights only)";
+}
+
+std::vector<float>
+OliveWeightOnlyScheme::apply(std::span<const float> xs, TensorKind kind)
+{
+    if (kind == TensorKind::Activation)
+        return std::vector<float>(xs.begin(), xs.end());
+    OliveConfig cfg;
+    cfg.bits = bits_;
+    return OliveQuantizer(cfg).fakeQuant(xs);
+}
+
+} // namespace olive

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Generic fake-quantization scheme interface.
+ *
+ * Every quantization method in the repository — OliVe itself and every
+ * baseline — implements this interface so the evaluation harness and the
+ * performance simulators treat them uniformly.  A scheme receives a
+ * tensor (plus whether it is a weight or an activation) and returns the
+ * dequantized ("fake quantized") values the model should compute with.
+ */
+
+#ifndef OLIVE_QUANT_SCHEME_HPP
+#define OLIVE_QUANT_SCHEME_HPP
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace olive {
+
+/** What role a tensor plays; schemes may treat the roles differently. */
+enum class TensorKind
+{
+    Weight,
+    Activation,
+};
+
+/** Uniform interface over all quantization methods. */
+class Scheme
+{
+  public:
+    virtual ~Scheme() = default;
+
+    /** Display name, e.g. "4-bit OliVe". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Fake-quantize @p xs.  Calibration (scale search etc.) happens
+     * inside per call — all methods in this repo are PTQ methods whose
+     * calibration is a deterministic function of the tensor itself.
+     */
+    virtual std::vector<float> apply(std::span<const float> xs,
+                                     TensorKind kind) = 0;
+
+    /**
+     * Shape-aware variant for schemes that quantize per output channel
+     * (row-major @p rows x @p cols).  Default: ignore the shape.
+     */
+    virtual std::vector<float>
+    applyMatrix(std::span<const float> xs, size_t rows, size_t cols,
+                TensorKind kind)
+    {
+        (void)rows;
+        (void)cols;
+        return apply(xs, kind);
+    }
+
+    /** A frozen fake-quantizer produced by calibration. */
+    using Applier = std::function<std::vector<float>(std::span<const float>)>;
+
+    /**
+     * Calibrate on @p calibration data and return a frozen applier that
+     * fake-quantizes future tensors with the calibrated parameters —
+     * the realistic PTQ flow for activations, where scales are fixed on
+     * a calibration batch and reused at inference time.
+     *
+     * The default implementation recalibrates on every call (correct
+     * but slower); schemes with an explicit scale/codec override it.
+     * The applier may reference this scheme object, which must outlive
+     * it.
+     */
+    virtual Applier
+    calibrate(std::span<const float> calibration, TensorKind kind)
+    {
+        (void)calibration;
+        return [this, kind](std::span<const float> xs) {
+            return apply(xs, kind);
+        };
+    }
+
+    /** Bits used for weights (for the memory-traffic models). */
+    virtual int weightBits() const = 0;
+
+    /** Bits used for activations; 32 means "not quantized". */
+    virtual int activationBits() const = 0;
+
+    /** True if the scheme only quantizes weights (e.g. GOBO). */
+    bool weightOnly() const { return activationBits() >= 32; }
+
+    /**
+     * True if the evaluation harness should run apply() on activation
+     * tensors.  Defaults to "activations are quantized below 32 bits";
+     * the Fig. 3 transforms override it — they keep FP32 storage but
+     * still modify activations.
+     */
+    virtual bool transformsActivations() const
+    {
+        return activationBits() < 32;
+    }
+};
+
+/** Owning handle used by the harness code. */
+using SchemePtr = std::unique_ptr<Scheme>;
+
+/** Identity scheme: FP32 passthrough (the "source accuracy" row). */
+class Fp32Scheme : public Scheme
+{
+  public:
+    std::string name() const override { return "FP32"; }
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return 32; }
+    int activationBits() const override { return 32; }
+};
+
+/** OliVe OVP scheme at a given bit width (the paper's method). */
+class OliveScheme : public Scheme
+{
+  public:
+    explicit OliveScheme(int bits);
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    Applier calibrate(std::span<const float> calibration,
+                      TensorKind kind) override;
+    int weightBits() const override { return bits_; }
+    int activationBits() const override { return bits_; }
+
+  private:
+    int bits_;
+};
+
+/** OliVe applied to weights only (the Table 7 GOBO comparison setting). */
+class OliveWeightOnlyScheme : public Scheme
+{
+  public:
+    explicit OliveWeightOnlyScheme(int bits);
+    std::string name() const override;
+    std::vector<float> apply(std::span<const float> xs,
+                             TensorKind kind) override;
+    int weightBits() const override { return bits_; }
+    int activationBits() const override { return 32; }
+
+  private:
+    int bits_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_QUANT_SCHEME_HPP

@@ -1,0 +1,162 @@
+#include "stream.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace olive {
+
+namespace {
+
+constexpr u32 kMagic = 0x4F564531; // "OVE1"
+constexpr u32 kVersion = 1;
+
+void
+put32(std::vector<u8> &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<u8>((v >> (8 * i)) & 0xFF));
+}
+
+void
+put64(std::vector<u8> &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<u8>((v >> (8 * i)) & 0xFF));
+}
+
+u32
+get32(std::span<const u8> in, size_t &pos)
+{
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<u32>(in[pos++]) << (8 * i);
+    return v;
+}
+
+u64
+get64(std::span<const u8> in, size_t &pos)
+{
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<u64>(in[pos++]) << (8 * i);
+    return v;
+}
+
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 4 + 4 + 8 + 8;
+
+} // namespace
+
+OvpCodec
+OvpStream::codec() const
+{
+    return OvpCodec(normal, scale, threshold, abfloatBias);
+}
+
+std::vector<float>
+OvpStream::decode() const
+{
+    return codec().decode(bytes, count);
+}
+
+size_t
+OvpStream::serializedSize() const
+{
+    return kHeaderBytes + bytes.size();
+}
+
+OvpStream
+packStream(const OvpCodec &codec, std::span<const float> xs)
+{
+    OvpStream s;
+    s.normal = codec.normalType();
+    s.abfloatBias = codec.outlierType().bias();
+    s.scale = codec.scale();
+    s.threshold = codec.threshold();
+    s.count = xs.size();
+    s.bytes = codec.encode(xs);
+    return s;
+}
+
+std::vector<u8>
+serialize(const OvpStream &s)
+{
+    std::vector<u8> out;
+    out.reserve(s.serializedSize());
+    put32(out, kMagic);
+    put32(out, kVersion);
+    put32(out, static_cast<u32>(s.normal));
+    put32(out, static_cast<u32>(s.abfloatBias));
+    u32 scale_bits;
+    std::memcpy(&scale_bits, &s.scale, sizeof(scale_bits));
+    put32(out, scale_bits);
+    u64 threshold_bits;
+    std::memcpy(&threshold_bits, &s.threshold, sizeof(threshold_bits));
+    put64(out, threshold_bits);
+    put64(out, s.count);
+    out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+    return out;
+}
+
+OvpStream
+deserialize(std::span<const u8> blob)
+{
+    if (blob.size() < kHeaderBytes)
+        OLIVE_FATAL("OVP stream truncated (header)");
+    size_t pos = 0;
+    if (get32(blob, pos) != kMagic)
+        OLIVE_FATAL("not an OVP stream (bad magic)");
+    if (get32(blob, pos) != kVersion)
+        OLIVE_FATAL("unsupported OVP stream version");
+
+    OvpStream s;
+    const u32 type = get32(blob, pos);
+    if (type > static_cast<u32>(NormalType::Int8))
+        OLIVE_FATAL("OVP stream has an invalid normal type");
+    s.normal = static_cast<NormalType>(type);
+    s.abfloatBias = static_cast<int>(get32(blob, pos));
+    const u32 scale_bits = get32(blob, pos);
+    std::memcpy(&s.scale, &scale_bits, sizeof(s.scale));
+    const u64 threshold_bits = get64(blob, pos);
+    std::memcpy(&s.threshold, &threshold_bits, sizeof(s.threshold));
+    s.count = get64(blob, pos);
+
+    const size_t pairs = (s.count + 1) / 2;
+    const size_t bpp = (bitWidth(s.normal) == 8) ? 2 : 1;
+    if (blob.size() - pos < pairs * bpp)
+        OLIVE_FATAL("OVP stream truncated (payload)");
+    s.bytes.assign(blob.begin() + static_cast<long>(pos),
+                   blob.begin() + static_cast<long>(pos + pairs * bpp));
+    return s;
+}
+
+void
+saveStream(const OvpStream &stream, const std::string &path)
+{
+    const auto blob = serialize(stream);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        OLIVE_FATAL("cannot open " + path + " for writing");
+    const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+    if (written != blob.size())
+        OLIVE_FATAL("short write to " + path);
+}
+
+OvpStream
+loadStream(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        OLIVE_FATAL("cannot open " + path);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<u8> blob(static_cast<size_t>(size));
+    const size_t read = std::fread(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+    if (read != blob.size())
+        OLIVE_FATAL("short read from " + path);
+    return deserialize(blob);
+}
+
+} // namespace olive

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Serialization of OVP-encoded tensors.
+ *
+ * A serialized stream is a small fixed header (magic, version, normal
+ * type, abfloat bias, scale, threshold, element count) followed by the
+ * packed pair bytes — the exact bytes a DRAM-resident OliVe tensor
+ * would hold, so a saved stream can be decoded by either the software
+ * codec or the hardware decoder model.
+ */
+
+#ifndef OLIVE_QUANT_STREAM_HPP
+#define OLIVE_QUANT_STREAM_HPP
+
+#include <string>
+#include <vector>
+
+#include "ovp.hpp"
+
+namespace olive {
+
+/** A self-describing serialized OVP tensor. */
+struct OvpStream
+{
+    NormalType normal = NormalType::Int4;
+    int abfloatBias = -1;      //!< -1 = complementary default.
+    float scale = 1.0f;
+    double threshold = 1.0;
+    u64 count = 0;             //!< Element count (pre-padding).
+    std::vector<u8> bytes;     //!< Packed pairs.
+
+    /** Codec matching this stream's parameters. */
+    OvpCodec codec() const;
+
+    /** Decode back to floats. */
+    std::vector<float> decode() const;
+
+    /** Total serialized size in bytes (header + payload). */
+    size_t serializedSize() const;
+};
+
+/** Encode @p xs with @p codec into a self-describing stream. */
+OvpStream packStream(const OvpCodec &codec, std::span<const float> xs);
+
+/** Serialize to a byte blob. */
+std::vector<u8> serialize(const OvpStream &stream);
+
+/**
+ * Parse a blob produced by serialize().  fatal() on malformed input
+ * (bad magic/version/truncation) — serialized streams are user inputs.
+ */
+OvpStream deserialize(std::span<const u8> blob);
+
+/** Write a stream to a file. */
+void saveStream(const OvpStream &stream, const std::string &path);
+
+/** Read a stream from a file. */
+OvpStream loadStream(const std::string &path);
+
+} // namespace olive
+
+#endif // OLIVE_QUANT_STREAM_HPP

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Design descriptors for the performance/energy simulators.
+ *
+ * A design bundles the first-order mechanisms that differentiate the
+ * accelerators the paper compares:
+ *   - the precision MACs execute at (and, for mixed-precision designs,
+ *     the fraction of GEMMs escalated to 8-bit);
+ *   - the effective storage bits per weight/activation element at each
+ *     memory level (GOBO compresses only DRAM; coordinate-list schemes
+ *     pay index overhead bits);
+ *   - decoder / outlier-controller overheads (area, cycle, energy);
+ *   - memory-access alignment efficiency (sparsity-encoded outliers
+ *     produce unaligned accesses that waste DRAM burst bandwidth).
+ *
+ * The GPU descriptors (Fig. 9) and the systolic-accelerator descriptors
+ * (Fig. 10) are separate because the two platforms normalize
+ * differently (the GPU designs share one fixed die; the accelerators
+ * are built iso-area, which is where OliVe's tiny PE pays off).
+ */
+
+#ifndef OLIVE_SIM_DESIGN_HPP
+#define OLIVE_SIM_DESIGN_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace olive {
+namespace sim {
+
+/** GPU-integrated design (Fig. 9). */
+struct GpuDesign
+{
+    std::string name;
+
+    /** Tensor-core precision MACs run at (4, 8 or 16 bits). */
+    double computeBits = 16.0;
+
+    /** Fraction of GEMMs escalated to int8 (ANT mixed precision). */
+    double int8Fraction = 0.0;
+
+    /** Storage bits per weight element in DRAM. */
+    double weightBitsDram = 16.0;
+
+    /** Storage bits per weight element on chip (L2 and below). */
+    double weightBitsOnchip = 16.0;
+
+    /** Storage bits per activation element (all levels). */
+    double actBits = 16.0;
+
+    /** Extra compute-cycle fraction for decoders / de-quant epilogues. */
+    double decodeOverhead = 0.0;
+
+    /**
+     * Sustained fraction of peak tensor-core throughput.  Conventional
+     * int paths pay per-tensor quantize/dequantize epilogues and format
+     * conversions on the CUDA cores; OliVe's mmaovp path fuses
+     * decoding into the operand pipeline (Sec. 4.6) and sustains close
+     * to peak.
+     */
+    double sustainedEfficiency = 1.0;
+
+    /** Effective DRAM bandwidth factor (unaligned access, decompress). */
+    double dramEfficiency = 1.0;
+
+    /** True for GOBO: tensor cores run FP16 regardless of storage. */
+    bool fp16Compute = false;
+};
+
+/** Systolic-accelerator design (Fig. 10), built iso-area. */
+struct AccelDesign
+{
+    std::string name;
+
+    /** Area of one PE slot in um^2 at 22 nm. */
+    double peAreaUm2 = 50.01;
+
+    /**
+     * Fraction of the PE-array area budget consumed by an outlier
+     * coordination controller (OLAccel: the paper cites 71 % overhead,
+     * i.e. 0.71/1.71 of the total array area).
+     */
+    double controllerAreaFrac = 0.0;
+
+    /** Sustained utilization of the PE array. */
+    double utilization = 0.90;
+
+    /** Cycles one MAC occupies a PE slot (4-bit int = 1). */
+    double cyclesPerMac = 1.0;
+
+    /** Fraction of GEMMs escalated to int8 (4 PE slots per MAC). */
+    double int8Fraction = 0.0;
+
+    /** Storage bits per weight / activation element. */
+    double weightBits = 4.0;
+    double actBits = 4.0;
+
+    /** Extra index bits per element (coordinate lists, bitmaps). */
+    double indexBits = 0.0;
+
+    /** Effective DRAM bandwidth factor (unaligned access). */
+    double dramEfficiency = 1.0;
+
+    /** Dynamic energy of one MAC at this design's precision (pJ). */
+    double macEnergyPj = 0.060;
+
+    /** Static power scale relative to the OliVe array (area-driven). */
+    double staticPowerFactor = 1.0;
+};
+
+/** The four GPU designs of Fig. 9 plus the FP16 baseline. */
+GpuDesign gpuFp16();
+GpuDesign gpuOlive();
+GpuDesign gpuAnt();
+GpuDesign gpuInt8();
+GpuDesign gpuGobo();
+
+/** Fig. 9 comparison order: OliVe, ANT, INT8, GOBO. */
+std::vector<GpuDesign> figure9Designs();
+
+/** The four accelerator designs of Fig. 10. */
+AccelDesign accelOlive();
+AccelDesign accelAnt();
+AccelDesign accelOlaccel();
+AccelDesign accelAdafloat();
+
+/** Fig. 10 comparison order: OliVe, ANT, OLAccel, AdaFloat. */
+std::vector<AccelDesign> figure10Designs();
+
+} // namespace sim
+} // namespace olive
+
+#endif // OLIVE_SIM_DESIGN_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Energy tables and breakdown structures for the two simulators.
+ *
+ * Per-access and per-op energies are first-order constants in the style
+ * of CACTI/AccelWattch tables; the breakdown categories match the
+ * stacked bars of Figs. 9b and 10b.  Absolute joules are not the claim
+ * — the normalized per-design ratios are — but the constants are kept
+ * in a physically sensible regime (DRAM access orders of magnitude more
+ * expensive than a MAC, quadratic-ish MAC scaling with precision).
+ */
+
+#ifndef OLIVE_SIM_ENERGY_HPP
+#define OLIVE_SIM_ENERGY_HPP
+
+#include <string>
+
+namespace olive {
+namespace sim {
+
+/** GPU energy breakdown (Fig. 9b categories). */
+struct GpuEnergy
+{
+    double constant = 0.0; //!< Fixed platform power * time.
+    double staticE = 0.0;  //!< Leakage * time.
+    double dramL2 = 0.0;   //!< DRAM + L2 dynamic.
+    double l1Reg = 0.0;    //!< L1/shared + register file dynamic.
+    double core = 0.0;     //!< Tensor/CUDA core dynamic.
+
+    double total() const
+    {
+        return constant + staticE + dramL2 + l1Reg + core;
+    }
+};
+
+/** Accelerator energy breakdown (Fig. 10b categories). */
+struct AccelEnergy
+{
+    double staticE = 0.0;
+    double dram = 0.0;
+    double buffer = 0.0;
+    double core = 0.0;
+
+    double total() const { return staticE + dram + buffer + core; }
+};
+
+/** GPU energy constants (pJ) and powers (pJ/cycle). */
+struct GpuEnergyTable
+{
+    double dramPjPerByte = 160.0;
+    double l2PjPerByte = 30.0;
+    double l1PjPerByte = 8.0;
+    double regPjPerByte = 1.5;
+    double fp16MacPj = 1.20;
+    double int8MacPj = 0.35;
+    double int4MacPj = 0.11;
+    double constantPjPerCycle = 12000.0; //!< ~18 W at 1.545 GHz.
+    double staticPjPerCycle = 16000.0;   //!< ~25 W leakage.
+};
+
+/** Accelerator energy constants (pJ, 22 nm). */
+struct AccelEnergyTable
+{
+    double dramPjPerByte = 110.0;
+    double bufferPjPerByte = 1.6;
+    double staticPjPerCycle = 700.0;
+};
+
+} // namespace sim
+} // namespace olive
+
+#endif // OLIVE_SIM_ENERGY_HPP

@@ -1,0 +1,140 @@
+#include "gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace olive {
+namespace sim {
+
+GpuModel::GpuModel(GpuConfig config)
+    : config_(config)
+{
+}
+
+namespace {
+
+/** Sustained MAC rate at a given operand precision. */
+double
+macsPerCycle(const GpuConfig &cfg, double bits)
+{
+    return cfg.fp16MacsPerCycle * (16.0 / bits);
+}
+
+/** Dynamic MAC energy at a given precision. */
+double
+macPj(const GpuEnergyTable &e, double bits)
+{
+    if (bits <= 4.0)
+        return e.int4MacPj;
+    if (bits <= 8.0)
+        return e.int8MacPj;
+    return e.fp16MacPj;
+}
+
+} // namespace
+
+GpuResult
+GpuModel::run(const std::vector<models::GemmOp> &ops,
+              const GpuDesign &d) const
+{
+    GpuResult res;
+    const GpuEnergyTable &et = config_.energy;
+
+    for (const auto &op : ops) {
+        const double macs = static_cast<double>(op.macs());
+
+        // --- Compute time -------------------------------------------
+        double inv_tp;
+        if (d.fp16Compute) {
+            inv_tp = 1.0 / macsPerCycle(config_, 16.0);
+        } else if (d.int8Fraction > 0.0) {
+            inv_tp = d.int8Fraction / macsPerCycle(config_, 8.0) +
+                     (1.0 - d.int8Fraction) /
+                         macsPerCycle(config_, d.computeBits);
+        } else {
+            inv_tp = 1.0 / macsPerCycle(config_, d.computeBits);
+        }
+        double compute =
+            macs * inv_tp * (1.0 + d.decodeOverhead) /
+            d.sustainedEfficiency;
+        // Launch/epilogue cost: repetitions of one op run as a single
+        // batched kernel, so the overhead is per op, not per repetition.
+        compute += config_.perGemmOverheadCycles;
+
+        // --- Memory traffic -----------------------------------------
+        const double b_bits_dram =
+            op.bIsWeight ? d.weightBitsDram : d.actBits;
+        const double b_bits_onchip =
+            op.bIsWeight ? d.weightBitsOnchip : d.actBits;
+        const double count = static_cast<double>(op.count);
+
+        const double b_bytes_onchip_per_rep =
+            static_cast<double>(op.bElems()) * b_bits_onchip / 8.0;
+        // L2 panel model: when the decompressed B panel exceeds the
+        // effective L2, A streams once per panel pass.
+        const double passes =
+            std::max(1.0, b_bytes_onchip_per_rep / config_.l2CapacityBytes);
+
+        const double a_bytes =
+            static_cast<double>(op.aElems()) * count * d.actBits / 8.0 *
+            passes;
+        const double b_bytes_dram_total =
+            static_cast<double>(op.bElems()) * count * b_bits_dram / 8.0;
+        const double b_bytes_onchip_total =
+            static_cast<double>(op.bElems()) * count * b_bits_onchip / 8.0;
+        // Outputs are requantized in the epilogue and written back at
+        // the design's activation precision (the next GEMM consumes
+        // them quantized); FP16-compute designs write FP16.
+        const double c_bytes =
+            static_cast<double>(op.cElems()) * count * d.actBits / 8.0;
+
+        const double dram_bytes = a_bytes + b_bytes_dram_total + c_bytes;
+        const double l2_bytes = a_bytes + b_bytes_onchip_total + c_bytes;
+
+        const double dram_cycles =
+            dram_bytes / (config_.dramBytesPerCycle * d.dramEfficiency);
+        const double l2_cycles = l2_bytes / config_.l2BytesPerCycle;
+        const double mem = std::max(dram_cycles, l2_cycles);
+
+        // Imperfect compute/memory overlap.
+        const double latency =
+            std::max(compute, mem) + 0.5 * std::min(compute, mem);
+        res.cycles += latency;
+
+        // --- Energy --------------------------------------------------
+        double core_pj;
+        if (d.fp16Compute) {
+            core_pj = macs * macPj(et, 16.0);
+        } else if (d.int8Fraction > 0.0) {
+            core_pj = macs * (d.int8Fraction * macPj(et, 8.0) +
+                              (1.0 - d.int8Fraction) *
+                                  macPj(et, d.computeBits));
+        } else {
+            core_pj = macs * macPj(et, d.computeBits);
+        }
+        core_pj *= 1.0 + d.decodeOverhead;
+
+        // Operand delivery: register file and L1/shared traffic scale
+        // with the on-chip operand precision.
+        const double opnd_bits =
+            d.fp16Compute ? 32.0 : (d.actBits + b_bits_onchip);
+        const double l1_bytes =
+            macs * opnd_bits / 8.0 / config_.l1ReuseFactor;
+        const double reg_bytes = macs * opnd_bits / 8.0 / 4.0;
+
+        res.energy.core += core_pj;
+        res.energy.dramL2 +=
+            dram_bytes * et.dramPjPerByte + l2_bytes * et.l2PjPerByte;
+        res.energy.l1Reg +=
+            l1_bytes * et.l1PjPerByte + reg_bytes * et.regPjPerByte;
+    }
+
+    res.energy.constant = res.cycles * et.constantPjPerCycle;
+    res.energy.staticE = res.cycles * et.staticPjPerCycle;
+    return res;
+}
+
+} // namespace sim
+} // namespace olive

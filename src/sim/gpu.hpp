@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Turing-class GPU performance and energy model (Fig. 9 platform).
+ *
+ * The model is analytical per GEMM with the mechanisms that produce the
+ * paper's ratios modelled explicitly:
+ *   - tensor-core throughput scales with operand precision (Table 5:
+ *     the same silicon provides 1x/2x/4x MAC rate at 16/8/4 bits);
+ *   - DRAM traffic scales with the per-design storage bits, with an L2
+ *     capacity model: when the B panel of a GEMM exceeds the effective
+ *     L2, the A operand re-streams once per panel pass (this is why
+ *     4-bit OliVe gains super-proportionally on the biggest models);
+ *   - GOBO decompresses at the DRAM boundary only, so its on-chip
+ *     traffic and compute stay FP16;
+ *   - compute/memory overlap is imperfect: latency = max + 0.5 * min.
+ */
+
+#ifndef OLIVE_SIM_GPU_HPP
+#define OLIVE_SIM_GPU_HPP
+
+#include <vector>
+
+#include "design.hpp"
+#include "energy.hpp"
+#include "models/workload.hpp"
+
+namespace olive {
+namespace sim {
+
+/** Fixed platform parameters (RTX 2080 Ti-class, Table 5). */
+struct GpuConfig
+{
+    double fp16MacsPerCycle = 34816.0 * 0.75; //!< Sustained FP16 MAC rate.
+    double dramBytesPerCycle = 320.0;         //!< Sustained, of ~616 GB/s.
+    double l2BytesPerCycle = 1600.0;
+    double l2CapacityBytes = 3.0e6;           //!< Effective (of 5.5 MB).
+    double perGemmOverheadCycles = 1500.0;    //!< Launch/epilogue cost.
+    double l1ReuseFactor = 16.0;              //!< Operand reuse before L1.
+    GpuEnergyTable energy;
+};
+
+/** Result of simulating one workload on one design. */
+struct GpuResult
+{
+    double cycles = 0.0;
+    GpuEnergy energy;
+};
+
+/** The GPU model. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuConfig config = {});
+
+    const GpuConfig &config() const { return config_; }
+
+    /** Simulate a full workload under @p design. */
+    GpuResult run(const std::vector<models::GemmOp> &ops,
+                  const GpuDesign &design) const;
+
+  private:
+    GpuConfig config_;
+};
+
+} // namespace sim
+} // namespace olive
+
+#endif // OLIVE_SIM_GPU_HPP

@@ -1,0 +1,84 @@
+#include "runner.hpp"
+
+#include "models/config.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace sim {
+
+Fig9Result
+runFigure9(const GpuModel &model)
+{
+    Fig9Result out;
+    const auto configs = models::figureModels();
+    for (const auto &c : configs)
+        out.modelNames.push_back(c.name);
+
+    // Baseline latency: the FP16 GPU.
+    std::vector<double> base_cycles;
+    std::vector<double> gobo_energy;
+    const GpuDesign fp16 = gpuFp16();
+    const GpuDesign gobo = gpuGobo();
+    for (const auto &c : configs) {
+        const auto ops = models::inferenceGemms(c);
+        base_cycles.push_back(model.run(ops, fp16).cycles);
+        gobo_energy.push_back(model.run(ops, gobo).energy.total());
+    }
+
+    for (const auto &design : figure9Designs()) {
+        SeriesResult series;
+        series.design = design.name;
+        std::vector<double> energy_norm;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            const auto ops = models::inferenceGemms(configs[i]);
+            const GpuResult r = model.run(ops, design);
+            series.speedup.push_back(base_cycles[i] / r.cycles);
+            series.gpuEnergy.push_back(r.energy);
+            energy_norm.push_back(r.energy.total() / gobo_energy[i]);
+        }
+        series.speedupGeomean = stats::geomean(series.speedup);
+        series.energyGeomean = stats::geomean(energy_norm);
+        out.designs.push_back(std::move(series));
+    }
+    return out;
+}
+
+Fig10Result
+runFigure10(const SystolicModel &model)
+{
+    Fig10Result out;
+    const auto configs = models::figureModels();
+    for (const auto &c : configs)
+        out.modelNames.push_back(c.name);
+
+    // Reference: the AdaptivFloat accelerator.
+    std::vector<double> base_cycles;
+    std::vector<double> base_energy;
+    const AccelDesign ada = accelAdafloat();
+    for (const auto &c : configs) {
+        const auto ops = models::inferenceGemms(c);
+        const AccelResult r = model.run(ops, ada);
+        base_cycles.push_back(r.cycles);
+        base_energy.push_back(r.energy.total());
+    }
+
+    for (const auto &design : figure10Designs()) {
+        SeriesResult series;
+        series.design = design.name;
+        std::vector<double> energy_norm;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            const auto ops = models::inferenceGemms(configs[i]);
+            const AccelResult r = model.run(ops, design);
+            series.speedup.push_back(base_cycles[i] / r.cycles);
+            series.accelEnergy.push_back(r.energy);
+            energy_norm.push_back(r.energy.total() / base_energy[i]);
+        }
+        series.speedupGeomean = stats::geomean(series.speedup);
+        series.energyGeomean = stats::geomean(energy_norm);
+        out.designs.push_back(std::move(series));
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace olive

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment runner that turns raw simulator output into the normalized
+ * metrics the paper's figures report: per-model speedups against the
+ * figure's reference design and normalized energy breakdowns, plus
+ * geometric means across models.
+ */
+
+#ifndef OLIVE_SIM_RUNNER_HPP
+#define OLIVE_SIM_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "gpu.hpp"
+#include "systolic.hpp"
+
+namespace olive {
+namespace sim {
+
+/** One design's results across all models. */
+struct SeriesResult
+{
+    std::string design;
+    std::vector<double> speedup;          //!< Per model, vs the baseline.
+    std::vector<GpuEnergy> gpuEnergy;     //!< Raw per-model breakdowns.
+    std::vector<AccelEnergy> accelEnergy;
+    double speedupGeomean = 0.0;
+    double energyGeomean = 0.0;           //!< Normalized to the reference.
+};
+
+/** Full Fig. 9 sweep: all GPU designs over all figure models. */
+struct Fig9Result
+{
+    std::vector<std::string> modelNames;
+    std::vector<SeriesResult> designs; //!< OliVe, ANT, INT8, GOBO.
+};
+
+/**
+ * Run Fig. 9: speedups are measured against the FP16 GPU baseline and
+ * energies are normalized per model to the GOBO design (the paper's
+ * normalization).
+ */
+Fig9Result runFigure9(const GpuModel &model = GpuModel());
+
+/** Full Fig. 10 sweep. */
+struct Fig10Result
+{
+    std::vector<std::string> modelNames;
+    std::vector<SeriesResult> designs; //!< OliVe, ANT, OLAccel, AdaFloat.
+};
+
+/**
+ * Run Fig. 10: speedups and energies are normalized per model to the
+ * AdaptivFloat design.
+ */
+Fig10Result runFigure10(const SystolicModel &model = SystolicModel());
+
+} // namespace sim
+} // namespace olive
+
+#endif // OLIVE_SIM_RUNNER_HPP

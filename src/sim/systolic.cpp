@@ -1,0 +1,90 @@
+#include "systolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olive {
+namespace sim {
+
+SystolicModel::SystolicModel(AccelConfig config)
+    : config_(config)
+{
+}
+
+double
+SystolicModel::peCount(const AccelDesign &d) const
+{
+    const double array_budget =
+        config_.coreAreaBudgetUm2 * (1.0 - d.controllerAreaFrac);
+    return array_budget / d.peAreaUm2;
+}
+
+AccelResult
+SystolicModel::run(const std::vector<models::GemmOp> &ops,
+                   const AccelDesign &d) const
+{
+    AccelResult res;
+    res.peCount = peCount(d);
+    const AccelEnergyTable &et = config_.energy;
+
+    // PE-slot-cycles per MAC: int8 composition uses four 4-bit slots.
+    const double slot_cycles_per_mac =
+        d.cyclesPerMac *
+        (d.int8Fraction * 4.0 + (1.0 - d.int8Fraction) * 1.0);
+    const double macs_per_cycle =
+        res.peCount * d.utilization / slot_cycles_per_mac;
+
+    for (const auto &op : ops) {
+        const double macs = static_cast<double>(op.macs());
+        const double count = static_cast<double>(op.count);
+
+        // --- Compute ------------------------------------------------
+        const double compute = macs / macs_per_cycle;
+
+        // --- DRAM traffic ---------------------------------------------
+        const double b_bits =
+            (op.bIsWeight ? d.weightBits : d.actBits) + d.indexBits;
+        const double a_bits = d.actBits + d.indexBits;
+
+        const double b_bytes_per_rep =
+            static_cast<double>(op.bElems()) * b_bits / 8.0;
+        const double passes =
+            std::max(1.0, b_bytes_per_rep / config_.bufferCapacityBytes);
+
+        const double a_bytes = static_cast<double>(op.aElems()) * count *
+                               a_bits / 8.0 * passes;
+        const double b_bytes = b_bytes_per_rep * count;
+        // Outputs requantize to the design's activation precision on
+        // the way out of the accumulators.
+        const double c_bytes =
+            static_cast<double>(op.cElems()) * count * d.actBits / 8.0;
+
+        const double dram_bytes = a_bytes + b_bytes + c_bytes;
+        const double dram_cycles =
+            dram_bytes / (config_.dramBytesPerCycle * d.dramEfficiency);
+
+        // Double-buffered: compute and DRAM overlap almost fully.
+        const double latency = std::max(compute, dram_cycles) +
+                               0.1 * std::min(compute, dram_cycles);
+        res.cycles += latency;
+
+        // --- Energy ----------------------------------------------------
+        const double core_pj =
+            macs * d.macEnergyPj *
+            (d.int8Fraction * 4.0 + (1.0 - d.int8Fraction) * 1.0);
+        // SRAM buffer: operand fetch amortized by the systolic reuse.
+        const double buffer_bytes =
+            macs * (a_bits + b_bits) / 8.0 / config_.systolicReuse +
+            dram_bytes; // fill traffic
+        res.energy.core += core_pj;
+        res.energy.dram += dram_bytes * et.dramPjPerByte;
+        res.energy.buffer += buffer_bytes * et.bufferPjPerByte;
+    }
+
+    res.energy.staticE =
+        res.cycles * et.staticPjPerCycle * d.staticPowerFactor;
+    return res;
+}
+
+} // namespace sim
+} // namespace olive

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Systolic-array accelerator performance and energy model (the Fig. 10
+ * platform, in the DnnWeaver-derived tradition of BitFusion and ANT).
+ *
+ * The designs are compared iso-area: every accelerator gets the same
+ * core-area budget (OliVe's 4096-PE array of Table 11), and its PE
+ * count follows from its per-PE area and any outlier-controller
+ * overhead.  This is where OliVe's tiny aligned datapath pays off:
+ * OLAccel burns 71 % of the array area on the outlier controller and
+ * stalls on unaligned accesses, AdaptivFloat needs a 4x-larger float
+ * MAC, and ANT spends 4 PE-slots per MAC on the ~80 % of GEMMs its
+ * mixed-precision selection escalates to int8.
+ */
+
+#ifndef OLIVE_SIM_SYSTOLIC_HPP
+#define OLIVE_SIM_SYSTOLIC_HPP
+
+#include <vector>
+
+#include "design.hpp"
+#include "energy.hpp"
+#include "models/workload.hpp"
+
+namespace olive {
+namespace sim {
+
+/** Fixed accelerator platform parameters. */
+struct AccelConfig
+{
+    /** Iso-area budget: OliVe's 4096 PEs x 50.01 um^2 (Table 11). */
+    double coreAreaBudgetUm2 = 4096.0 * 50.01;
+    double dramBytesPerCycle = 64.0;   //!< ~51 GB/s at 0.8 GHz.
+    double bufferCapacityBytes = 1.0e6; //!< Double-buffered on-chip SRAM.
+    double systolicReuse = 64.0;       //!< Operand reuse inside the array.
+    AccelEnergyTable energy;
+};
+
+/** Result of simulating one workload on one accelerator design. */
+struct AccelResult
+{
+    double cycles = 0.0;
+    AccelEnergy energy;
+    double peCount = 0.0; //!< PEs instantiated within the area budget.
+};
+
+/** The systolic accelerator model. */
+class SystolicModel
+{
+  public:
+    explicit SystolicModel(AccelConfig config = {});
+
+    const AccelConfig &config() const { return config_; }
+
+    /** PE count of @p design under the iso-area budget. */
+    double peCount(const AccelDesign &design) const;
+
+    /** Simulate a full workload under @p design. */
+    AccelResult run(const std::vector<models::GemmOp> &ops,
+                    const AccelDesign &design) const;
+
+  private:
+    AccelConfig config_;
+};
+
+} // namespace sim
+} // namespace olive
+
+#endif // OLIVE_SIM_SYSTOLIC_HPP

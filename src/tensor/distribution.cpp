@@ -1,0 +1,93 @@
+#include "distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace olive {
+
+void
+fillFromProfile(Tensor &t, const DistProfile &profile, Rng &rng)
+{
+    for (auto &v : t.data()) {
+        const double z = rng.heavyTail(profile.outlierProb,
+                                       profile.outlierLoSigma,
+                                       profile.outlierHiSigma);
+        v = static_cast<float>(profile.mean + profile.sigma * z);
+    }
+}
+
+Tensor
+gaussianTensor(const std::vector<size_t> &shape, double sigma, Rng &rng)
+{
+    Tensor t(shape);
+    for (auto &v : t.data())
+        v = static_cast<float>(rng.gaussian(0.0, sigma));
+    return t;
+}
+
+Tensor
+cnnLikeTensor(const std::vector<size_t> &shape, Rng &rng)
+{
+    // CNN tensors in Fig. 2a: bulk Gaussian, occasional values up to
+    // ~10-28 sigma, outlier ratio well under 0.5%.
+    Tensor t(shape);
+    DistProfile p;
+    p.outlierProb = 4e-4;
+    p.outlierLoSigma = 3.5;
+    p.outlierHiSigma = 26.0;
+    fillFromProfile(t, p, rng);
+    return t;
+}
+
+Tensor
+transformerLikeTensor(const std::vector<size_t> &shape, double max_sigma,
+                      double outlier_prob, Rng &rng)
+{
+    Tensor t(shape);
+    DistProfile p;
+    p.outlierProb = outlier_prob;
+    p.outlierLoSigma = 3.2;
+    p.outlierHiSigma = max_sigma;
+    fillFromProfile(t, p, rng);
+
+    // Guarantee the tail actually reaches max_sigma so the Max-sigma
+    // profile of Fig. 2b is reproduced even for small tensors: place one
+    // deterministic extreme value at a random position.
+    if (t.size() > 0 && max_sigma > 4.0) {
+        const size_t pos = static_cast<size_t>(rng.uniformInt(t.size()));
+        const double sign = (rng.uniform() < 0.5) ? -1.0 : 1.0;
+        t[pos] = static_cast<float>(sign * max_sigma);
+    }
+    return t;
+}
+
+OutlierProfile
+profileTensor(const Tensor &t)
+{
+    OutlierProfile p;
+    auto xs = t.data();
+    const double m = stats::mean(xs);
+    p.sigma = stats::stddev(xs);
+    if (p.sigma == 0.0)
+        return p;
+    double mx = 0.0;
+    size_t gt3 = 0, gt6 = 0;
+    for (float x : xs) {
+        const double d = std::fabs(x - m) / p.sigma;
+        mx = std::max(mx, d);
+        if (d > 3.0)
+            ++gt3;
+        if (d > 6.0)
+            ++gt6;
+    }
+    p.maxSigma = mx;
+    p.gt3SigmaPct = 100.0 * static_cast<double>(gt3) /
+                    static_cast<double>(xs.size());
+    p.gt6SigmaPct = 100.0 * static_cast<double>(gt6) /
+                    static_cast<double>(xs.size());
+    return p;
+}
+
+} // namespace olive

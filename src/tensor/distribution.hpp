@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic tensor generators and outlier profiling.
+ *
+ * This module is the substitution for real checkpoint statistics (see
+ * DESIGN.md): it generates tensors whose Gaussian bulk and heavy outlier
+ * tail are calibrated to the published transformer statistics of the
+ * paper's Fig. 2 and Table 2, and it measures the same profile metrics
+ * the paper plots (Max sigma, >3sigma %, >6sigma %).
+ */
+
+#ifndef OLIVE_TENSOR_DISTRIBUTION_HPP
+#define OLIVE_TENSOR_DISTRIBUTION_HPP
+
+#include <vector>
+
+#include "tensor.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+
+/** Parameters of a synthetic tensor's value distribution. */
+struct DistProfile
+{
+    double mean = 0.0;          //!< Gaussian bulk mean.
+    double sigma = 1.0;         //!< Gaussian bulk standard deviation.
+    double outlierProb = 0.0;   //!< Per-element probability of an outlier.
+    double outlierLoSigma = 4.0; //!< Minimum outlier magnitude (in sigma).
+    double outlierHiSigma = 8.0; //!< Maximum outlier magnitude (in sigma).
+};
+
+/** Fill @p t from the profile with the given rng. */
+void fillFromProfile(Tensor &t, const DistProfile &profile, Rng &rng);
+
+/** Gaussian tensor, mean 0 / given sigma. */
+Tensor gaussianTensor(const std::vector<size_t> &shape, double sigma,
+                      Rng &rng);
+
+/**
+ * "CNN-like" tensor: Gaussian with a mild tail (Max sigma in the teens
+ * to ~28, matching ResNet-18 in Fig. 2a).
+ */
+Tensor cnnLikeTensor(const std::vector<size_t> &shape, Rng &rng);
+
+/**
+ * "Transformer-like" tensor: Gaussian bulk with a sparse heavy tail
+ * whose maxima reach the tens-to-hundreds of sigma regime of Fig. 2b.
+ * @p max_sigma controls the tail extent for this tensor.
+ */
+Tensor transformerLikeTensor(const std::vector<size_t> &shape,
+                             double max_sigma, double outlier_prob, Rng &rng);
+
+/** Profile metrics of one tensor, matching the Fig. 2 axes. */
+struct OutlierProfile
+{
+    double sigma = 0.0;     //!< Fitted standard deviation.
+    double maxSigma = 0.0;  //!< max|x - mean| / sigma.
+    double gt3SigmaPct = 0.0; //!< Percent of values beyond 3 sigma.
+    double gt6SigmaPct = 0.0; //!< Percent of values beyond 6 sigma.
+};
+
+/** Measure the Fig. 2 metrics of @p t. */
+OutlierProfile profileTensor(const Tensor &t);
+
+} // namespace olive
+
+#endif // OLIVE_TENSOR_DISTRIBUTION_HPP

@@ -1,0 +1,94 @@
+#include "gemm.hpp"
+
+#include <algorithm>
+
+namespace olive {
+
+namespace {
+
+constexpr size_t kBlock = 64;
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    OLIVE_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
+    const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    OLIVE_ASSERT(b.dim(0) == k, "matmul inner dims must agree");
+
+    Tensor c({m, n});
+    const float *pa = a.raw();
+    const float *pb = b.raw();
+    float *pc = c.raw();
+
+    for (size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const size_t i1 = std::min(i0 + kBlock, m);
+        for (size_t l0 = 0; l0 < k; l0 += kBlock) {
+            const size_t l1 = std::min(l0 + kBlock, k);
+            for (size_t i = i0; i < i1; ++i) {
+                for (size_t l = l0; l < l1; ++l) {
+                    const float av = pa[i * k + l];
+                    if (av == 0.0f)
+                        continue;
+                    const float *brow = pb + l * n;
+                    float *crow = pc + i * n;
+                    for (size_t j = 0; j < n; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    OLIVE_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
+    const size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    OLIVE_ASSERT(b.dim(1) == k, "matmulTransB inner dims must agree");
+
+    Tensor c({m, n});
+    const float *pa = a.raw();
+    const float *pb = b.raw();
+    float *pc = c.raw();
+
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = pa + i * k;
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = pb + j * k;
+            double acc = 0.0;
+            for (size_t l = 0; l < k; ++l)
+                acc += static_cast<double>(arow[l]) * brow[l];
+            pc[i * n + j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+linearForward(const Tensor &a, const Tensor &w, const Tensor &bias)
+{
+    Tensor c = matmulTransB(a, w);
+    OLIVE_ASSERT(bias.rank() == 1 && bias.dim(0) == c.dim(1),
+                 "bias must match output features");
+    for (size_t i = 0; i < c.dim(0); ++i) {
+        auto row = c.row(i);
+        for (size_t j = 0; j < row.size(); ++j)
+            row[j] += bias[j];
+    }
+    return c;
+}
+
+void
+axpy(Tensor &c, const Tensor &a, float alpha)
+{
+    OLIVE_ASSERT(c.size() == a.size(), "axpy size mismatch");
+    auto cd = c.data();
+    auto ad = a.data();
+    for (size_t i = 0; i < cd.size(); ++i)
+        cd[i] += alpha * ad[i];
+}
+
+} // namespace olive

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Blocked single-precision GEMM and friends.
+ *
+ * C = A(m,k) * B(k,n) [+ bias], with optional transposition of B.  This
+ * is the reference arithmetic path for the functional evaluation; the
+ * hardware-accurate integer path lives in src/hw.
+ */
+
+#ifndef OLIVE_TENSOR_GEMM_HPP
+#define OLIVE_TENSOR_GEMM_HPP
+
+#include "tensor.hpp"
+
+namespace olive {
+
+/**
+ * C = A * B.  A is (m,k), B is (k,n), C is resized/created as (m,n).
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * C = A * B^T.  A is (m,k), B is (n,k), C is (m,n).  This matches the
+ * layout of transformer weight matrices stored as (out, in).
+ */
+Tensor matmulTransB(const Tensor &a, const Tensor &b);
+
+/** C = A * B^T + bias (bias is rank-1 with n elements). */
+Tensor linearForward(const Tensor &a, const Tensor &w, const Tensor &bias);
+
+/** In-place C += alpha * A. */
+void axpy(Tensor &c, const Tensor &a, float alpha);
+
+} // namespace olive
+
+#endif // OLIVE_TENSOR_GEMM_HPP

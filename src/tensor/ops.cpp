@@ -1,0 +1,142 @@
+#include "ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olive {
+namespace ops {
+
+void
+softmaxRow(std::span<float> row)
+{
+    if (row.empty())
+        return;
+    const float mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (auto &v : row) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (auto &v : row)
+        v *= inv;
+}
+
+void
+softmaxRows(Tensor &t)
+{
+    OLIVE_ASSERT(t.rank() == 2, "softmaxRows needs a matrix");
+    for (size_t i = 0; i < t.dim(0); ++i)
+        softmaxRow(t.row(i));
+}
+
+void
+gelu(Tensor &t)
+{
+    constexpr float kSqrt2OverPi = 0.7978845608f;
+    for (auto &v : t.data()) {
+        const float x = v;
+        v = 0.5f * x *
+            (1.0f + std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x)));
+    }
+}
+
+void
+relu(Tensor &t)
+{
+    for (auto &v : t.data())
+        v = std::max(v, 0.0f);
+}
+
+void
+tanhInplace(Tensor &t)
+{
+    for (auto &v : t.data())
+        v = std::tanh(v);
+}
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta, float eps)
+{
+    OLIVE_ASSERT(x.rank() == 2, "layerNorm needs a matrix");
+    const size_t d = x.dim(1);
+    OLIVE_ASSERT(gamma.size() == d && beta.size() == d,
+                 "layerNorm affine params must match feature dim");
+    Tensor out({x.dim(0), d});
+    for (size_t i = 0; i < x.dim(0); ++i) {
+        auto row = x.row(i);
+        double mean = 0.0;
+        for (float v : row)
+            mean += v;
+        mean /= static_cast<double>(d);
+        double var = 0.0;
+        for (float v : row) {
+            const double dv = v - mean;
+            var += dv * dv;
+        }
+        var /= static_cast<double>(d);
+        const double inv = 1.0 / std::sqrt(var + eps);
+        auto orow = out.row(i);
+        for (size_t j = 0; j < d; ++j) {
+            orow[j] = static_cast<float>((row[j] - mean) * inv) * gamma[j] +
+                      beta[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    OLIVE_ASSERT(a.size() == b.size(), "add size mismatch");
+    Tensor c = a.clone();
+    auto cd = c.data();
+    auto bd = b.data();
+    for (size_t i = 0; i < cd.size(); ++i)
+        cd[i] += bd[i];
+    return c;
+}
+
+void
+scale(Tensor &t, float s)
+{
+    for (auto &v : t.data())
+        v *= s;
+}
+
+double
+crossEntropyRow(std::span<const float> logits, int label)
+{
+    OLIVE_ASSERT(label >= 0 && static_cast<size_t>(label) < logits.size(),
+                 "cross entropy label out of range");
+    const float mx = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (float v : logits)
+        sum += std::exp(static_cast<double>(v) - mx);
+    return std::log(sum) - (static_cast<double>(logits[label]) - mx);
+}
+
+int
+argmaxRow(std::span<const float> row)
+{
+    OLIVE_ASSERT(!row.empty(), "argmax of empty row");
+    return static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+std::vector<float>
+logSoftmaxRow(std::span<const float> row)
+{
+    const float mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (float v : row)
+        sum += std::exp(static_cast<double>(v) - mx);
+    const float logz = static_cast<float>(std::log(sum)) + mx;
+    std::vector<float> out(row.size());
+    for (size_t i = 0; i < row.size(); ++i)
+        out[i] = row[i] - logz;
+    return out;
+}
+
+} // namespace ops
+} // namespace olive

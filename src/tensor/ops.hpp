@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Elementwise and row-wise tensor operations used by the transformer
+ * substrate: softmax, layer normalization, GELU, residual adds, and a
+ * handful of reductions.
+ */
+
+#ifndef OLIVE_TENSOR_OPS_HPP
+#define OLIVE_TENSOR_OPS_HPP
+
+#include <span>
+
+#include "tensor.hpp"
+
+namespace olive {
+namespace ops {
+
+/** Numerically stable in-place softmax over a single row. */
+void softmaxRow(std::span<float> row);
+
+/** Row-wise softmax of a rank-2 tensor, in place. */
+void softmaxRows(Tensor &t);
+
+/** In-place GELU (tanh approximation) over every element. */
+void gelu(Tensor &t);
+
+/** In-place ReLU. */
+void relu(Tensor &t);
+
+/** In-place tanh. */
+void tanhInplace(Tensor &t);
+
+/**
+ * Row-wise layer normalization with affine parameters:
+ * out = (x - mean) / sqrt(var + eps) * gamma + beta.
+ */
+Tensor layerNorm(const Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 float eps = 1e-5f);
+
+/** Elementwise sum (same shape). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Scale every element in place. */
+void scale(Tensor &t, float s);
+
+/** Cross-entropy of one logit row against an integer label. */
+double crossEntropyRow(std::span<const float> logits, int label);
+
+/** Arg-max of a row. */
+int argmaxRow(std::span<const float> row);
+
+/** log-softmax of one row (returns a new vector). */
+std::vector<float> logSoftmaxRow(std::span<const float> row);
+
+} // namespace ops
+} // namespace olive
+
+#endif // OLIVE_TENSOR_OPS_HPP

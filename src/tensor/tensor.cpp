@@ -1,0 +1,140 @@
+#include "tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace olive {
+
+Tensor::Tensor(std::initializer_list<size_t> shape)
+    : Tensor(std::vector<size_t>(shape))
+{
+}
+
+Tensor::Tensor(const std::vector<size_t> &shape)
+{
+    initShape(shape);
+    size_t n = 1;
+    for (size_t i = 0; i < rank_; ++i)
+        n *= dims_[i];
+    data_.assign(n, 0.0f);
+}
+
+Tensor::Tensor(const std::vector<size_t> &shape, std::vector<float> data)
+    : data_(std::move(data))
+{
+    initShape(shape);
+    size_t n = 1;
+    for (size_t i = 0; i < rank_; ++i)
+        n *= dims_[i];
+    OLIVE_ASSERT(n == data_.size(), "tensor data does not match shape");
+}
+
+void
+Tensor::initShape(const std::vector<size_t> &shape)
+{
+    OLIVE_ASSERT(!shape.empty() && shape.size() <= kMaxRank,
+                 "tensor rank must be 1..4");
+    rank_ = shape.size();
+    for (size_t i = 0; i < rank_; ++i) {
+        OLIVE_ASSERT(shape[i] > 0, "tensor dims must be positive");
+        dims_[i] = shape[i];
+    }
+}
+
+size_t
+Tensor::dim(size_t d) const
+{
+    OLIVE_ASSERT(d < rank_, "dimension index out of range");
+    return dims_[d];
+}
+
+std::vector<size_t>
+Tensor::shape() const
+{
+    return std::vector<size_t>(dims_.begin(), dims_.begin() + rank_);
+}
+
+float &
+Tensor::at(size_t i, size_t j)
+{
+    OLIVE_ASSERT(rank_ == 2, "2-index access on non-matrix");
+    return data_[i * dims_[1] + j];
+}
+
+float
+Tensor::at(size_t i, size_t j) const
+{
+    OLIVE_ASSERT(rank_ == 2, "2-index access on non-matrix");
+    return data_[i * dims_[1] + j];
+}
+
+float &
+Tensor::at(size_t i, size_t j, size_t k)
+{
+    OLIVE_ASSERT(rank_ == 3, "3-index access on non-rank-3 tensor");
+    return data_[(i * dims_[1] + j) * dims_[2] + k];
+}
+
+float
+Tensor::at(size_t i, size_t j, size_t k) const
+{
+    OLIVE_ASSERT(rank_ == 3, "3-index access on non-rank-3 tensor");
+    return data_[(i * dims_[1] + j) * dims_[2] + k];
+}
+
+std::span<float>
+Tensor::row(size_t i)
+{
+    OLIVE_ASSERT(rank_ == 2, "row access on non-matrix");
+    OLIVE_ASSERT(i < dims_[0], "row index out of range");
+    return std::span<float>(data_.data() + i * dims_[1], dims_[1]);
+}
+
+std::span<const float>
+Tensor::row(size_t i) const
+{
+    OLIVE_ASSERT(rank_ == 2, "row access on non-matrix");
+    OLIVE_ASSERT(i < dims_[0], "row index out of range");
+    return std::span<const float>(data_.data() + i * dims_[1], dims_[1]);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor::reshape(const std::vector<size_t> &shape)
+{
+    size_t n = 1;
+    for (size_t d : shape)
+        n *= d;
+    OLIVE_ASSERT(n == data_.size(), "reshape must preserve element count");
+    initShape(shape);
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t;
+    t.rank_ = rank_;
+    t.dims_ = dims_;
+    t.data_ = data_;
+    return t;
+}
+
+std::string
+Tensor::shapeStr() const
+{
+    std::string s = "f32[";
+    for (size_t i = 0; i < rank_; ++i) {
+        s += std::to_string(dims_[i]);
+        if (i + 1 < rank_)
+            s += ", ";
+    }
+    s += "]";
+    return s;
+}
+
+} // namespace olive

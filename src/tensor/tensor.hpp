@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Dense row-major float tensor, the data substrate of the whole
+ * repository.
+ *
+ * Shapes of rank 1..4 are supported.  Storage is always a contiguous
+ * std::vector<float>; views are exposed via std::span.  The class is
+ * deliberately simple — this project needs deterministic, inspectable
+ * buffers more than it needs a full autograd array library.
+ */
+
+#ifndef OLIVE_TENSOR_TENSOR_HPP
+#define OLIVE_TENSOR_TENSOR_HPP
+
+#include <array>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace olive {
+
+/** Dense row-major float tensor of rank 1..4. */
+class Tensor
+{
+  public:
+    static constexpr size_t kMaxRank = 4;
+
+    /** Empty (rank-0, size-0) tensor. */
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::initializer_list<size_t> shape);
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(const std::vector<size_t> &shape);
+
+    /** Construct from existing data (size must match the shape). */
+    Tensor(const std::vector<size_t> &shape, std::vector<float> data);
+
+    /** Number of dimensions. */
+    size_t rank() const { return rank_; }
+
+    /** Extent of dimension @p d. */
+    size_t dim(size_t d) const;
+
+    /** Total element count. */
+    size_t size() const { return data_.size(); }
+
+    /** Shape as a vector. */
+    std::vector<size_t> shape() const;
+
+    /** Mutable flat view. */
+    std::span<float> data() { return data_; }
+
+    /** Const flat view. */
+    std::span<const float> data() const { return data_; }
+
+    /** Raw pointer access (row-major). */
+    float *raw() { return data_.data(); }
+    const float *raw() const { return data_.data(); }
+
+    /** Rank-2 element access. */
+    float &at(size_t i, size_t j);
+    float at(size_t i, size_t j) const;
+
+    /** Rank-3 element access. */
+    float &at(size_t i, size_t j, size_t k);
+    float at(size_t i, size_t j, size_t k) const;
+
+    /** Flat element access. */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** Mutable view of row @p i of a rank-2 tensor. */
+    std::span<float> row(size_t i);
+
+    /** Const view of row @p i of a rank-2 tensor. */
+    std::span<const float> row(size_t i) const;
+
+    /** Fill every element with @p v. */
+    void fill(float v);
+
+    /**
+     * Reshape in place; the product of the new extents must equal
+     * size().  Data is untouched (row-major reinterpretation).
+     */
+    void reshape(const std::vector<size_t> &shape);
+
+    /** Deep-copy clone. */
+    Tensor clone() const;
+
+    /** Human-readable "f32[a, b]" shape string. */
+    std::string shapeStr() const;
+
+  private:
+    void initShape(const std::vector<size_t> &shape);
+
+    size_t rank_ = 0;
+    std::array<size_t, kMaxRank> dims_{};
+    std::vector<float> data_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_TENSOR_TENSOR_HPP

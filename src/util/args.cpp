@@ -1,0 +1,65 @@
+#include "args.hpp"
+
+#include "common.hpp"
+
+namespace olive {
+
+Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
+    : values_(std::move(known))
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string name, value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "1"; // bare boolean flag
+            }
+        }
+        auto it = values_.find(name);
+        if (it == values_.end())
+            OLIVE_FATAL("unknown flag --" + name);
+        it->second = value;
+    }
+}
+
+const std::string &
+Args::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        OLIVE_FATAL("flag --" + name + " was not declared");
+    return it->second;
+}
+
+long
+Args::getInt(const std::string &name) const
+{
+    return std::stol(get(name));
+}
+
+double
+Args::getDouble(const std::string &name) const
+{
+    return std::stod(get(name));
+}
+
+bool
+Args::getBool(const std::string &name) const
+{
+    const std::string &v = get(name);
+    return v == "1" || v == "true" || v == "yes";
+}
+
+} // namespace olive

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the example programs.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean
+ * "--flag".  Unknown flags are a fatal (user) error.
+ */
+
+#ifndef OLIVE_UTIL_ARGS_HPP
+#define OLIVE_UTIL_ARGS_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace olive {
+
+/** Parsed command-line arguments. */
+class Args
+{
+  public:
+    /**
+     * Parse argv.  @p known maps flag names (without "--") to a default
+     * value; flags absent from @p known trigger fatal().
+     */
+    Args(int argc, char **argv,
+         std::map<std::string, std::string> known);
+
+    /** String value of @p name (default if not given). */
+    const std::string &get(const std::string &name) const;
+
+    /** Integer value of @p name. */
+    long getInt(const std::string &name) const;
+
+    /** Double value of @p name. */
+    double getDouble(const std::string &name) const;
+
+    /** Boolean value: "1", "true", "yes" are true. */
+    bool getBool(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_UTIL_ARGS_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bit-field helpers shared by the codec and hardware-model layers.
+ *
+ * The OVP encoders/decoders manipulate 4- and 8-bit fields packed into
+ * bytes; these helpers keep that manipulation readable and centralized
+ * so the bit-exact tests only have to trust one implementation.
+ */
+
+#ifndef OLIVE_UTIL_BITOPS_HPP
+#define OLIVE_UTIL_BITOPS_HPP
+
+#include "common.hpp"
+
+namespace olive {
+namespace bits {
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr u32
+field(u32 v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & ((1u << len) - 1u);
+}
+
+/** Set bits [lo, lo+len) of @p v to @p x (x must fit in len bits). */
+constexpr u32
+setField(u32 v, unsigned lo, unsigned len, u32 x)
+{
+    const u32 mask = ((1u << len) - 1u) << lo;
+    return (v & ~mask) | ((x << lo) & mask);
+}
+
+/** Sign-extend the low @p width bits of @p v to a signed 32-bit value. */
+constexpr i32
+signExtend(u32 v, unsigned width)
+{
+    const u32 mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+    const u32 x = v & mask;
+    const u32 sign = 1u << (width - 1);
+    return static_cast<i32>((x ^ sign)) - static_cast<i32>(sign);
+}
+
+/** Low nibble of a byte. */
+constexpr u8
+lowNibble(u8 b)
+{
+    return b & 0x0f;
+}
+
+/** High nibble of a byte. */
+constexpr u8
+highNibble(u8 b)
+{
+    return (b >> 4) & 0x0f;
+}
+
+/** Pack two nibbles into a byte; @p hi occupies bits [4,8). */
+constexpr u8
+packNibbles(u8 hi, u8 lo)
+{
+    return static_cast<u8>(((hi & 0x0f) << 4) | (lo & 0x0f));
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popcount(u64 v)
+{
+    unsigned n = 0;
+    while (v) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace bits
+} // namespace olive
+
+#endif // OLIVE_UTIL_BITOPS_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Core definitions shared by every OliVe module: fixed-width integer
+ * aliases, assertion macros, and gem5-style panic/fatal error helpers.
+ *
+ * Error semantics follow the gem5 convention:
+ *  - panic():  something happened that should never happen regardless of
+ *              user input, i.e. an internal bug.  Aborts.
+ *  - fatal():  the run cannot continue because of a user-level error
+ *              (bad configuration, invalid argument).  Exits with code 1.
+ */
+
+#ifndef OLIVE_UTIL_COMMON_HPP
+#define OLIVE_UTIL_COMMON_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace olive {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+namespace detail {
+
+/** Print a formatted diagnostic and abort the process. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Print a formatted diagnostic and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+} // namespace detail
+
+} // namespace olive
+
+/** Abort on an internal invariant violation (a bug in OliVe itself). */
+#define OLIVE_PANIC(msg) \
+    ::olive::detail::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Exit cleanly on a user-level configuration error. */
+#define OLIVE_FATAL(msg) \
+    ::olive::detail::fatalImpl(__FILE__, __LINE__, (msg))
+
+/**
+ * Internal-consistency assertion.  Enabled in all build types: the
+ * simulators and codecs in this project are cheap relative to the cost of
+ * silently producing wrong experiment numbers.
+ */
+#define OLIVE_ASSERT(cond, msg)                                        \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            OLIVE_PANIC(std::string("assertion failed: ") + #cond +    \
+                        " — " + (msg));                                \
+        }                                                              \
+    } while (0)
+
+#endif // OLIVE_UTIL_COMMON_HPP

@@ -1,0 +1,138 @@
+#include "random.hpp"
+
+#include <cmath>
+
+namespace olive {
+
+namespace {
+
+/** SplitMix64 step, used only for seeding. */
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+u64
+Rng::uniformInt(u64 n)
+{
+    OLIVE_ASSERT(n > 0, "uniformInt range must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const u64 limit = ~u64{0} - (~u64{0} % n);
+    u64 v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    hasSpare_ = true;
+    return u * mul;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::heavyTail(double outlier_prob, double outlier_lo_sigma,
+               double outlier_hi_sigma)
+{
+    if (uniform() >= outlier_prob)
+        return gaussian();
+    // Outlier magnitude: exponential profile between the two bounds so
+    // that most outliers hug the low end while a few reach the maximum,
+    // matching the Fig. 2 Max-sigma profile of transformer tensors.
+    const double span = outlier_hi_sigma - outlier_lo_sigma;
+    const double frac = -std::log(1.0 - uniform() * (1.0 - 1e-4)) / 9.2;
+    const double mag = outlier_lo_sigma + span * std::min(1.0, frac);
+    const double sign = (uniform() < 0.5) ? -1.0 : 1.0;
+    return sign * mag;
+}
+
+void
+Rng::fillGaussian(std::vector<float> &out, double mean, double stddev)
+{
+    for (auto &v : out)
+        v = static_cast<float>(gaussian(mean, stddev));
+}
+
+std::vector<size_t>
+Rng::permutation(size_t n)
+{
+    std::vector<size_t> p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = i;
+    for (size_t i = n; i > 1; --i) {
+        const size_t j = static_cast<size_t>(uniformInt(i));
+        std::swap(p[i - 1], p[j]);
+    }
+    return p;
+}
+
+} // namespace olive

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * experiments.
+ *
+ * All randomness in the repository flows through Rng so that every
+ * experiment is bit-reproducible from its seed.  The generator is
+ * xoshiro256** seeded via SplitMix64 (the reference seeding procedure),
+ * which is fast, high quality, and has no global state.
+ */
+
+#ifndef OLIVE_UTIL_RANDOM_HPP
+#define OLIVE_UTIL_RANDOM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common.hpp"
+
+namespace olive {
+
+/**
+ * xoshiro256** PRNG with convenience samplers.
+ *
+ * Not thread-safe; create one Rng per thread or experiment.  Copyable so
+ * that a sampling state can be forked deterministically.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with SplitMix64). */
+    explicit Rng(u64 seed = 0x011feed5eedULL);
+
+    /** Next raw 64-bit output. */
+    u64 next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    u64 uniformInt(u64 n);
+
+    /** Standard normal deviate (Box-Muller, cached spare). */
+    double gaussian();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Heavy-tailed deviate: standard normal with probability
+     * (1 - outlier_prob), otherwise a symmetric exponential-magnitude
+     * outlier whose absolute value is sampled in
+     * [outlier_lo_sigma, outlier_hi_sigma] with an exponential profile.
+     *
+     * This is the synthetic stand-in for transformer tensor tails
+     * (see DESIGN.md, substitution table).
+     */
+    double heavyTail(double outlier_prob, double outlier_lo_sigma,
+                     double outlier_hi_sigma);
+
+    /** Fill @p out with standard normal deviates. */
+    void fillGaussian(std::vector<float> &out, double mean, double stddev);
+
+    /** Fisher-Yates shuffle of indices [0, n). */
+    std::vector<size_t> permutation(size_t n);
+
+  private:
+    u64 state_[4];
+    double spare_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace olive
+
+#endif // OLIVE_UTIL_RANDOM_HPP

@@ -1,0 +1,93 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace olive {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    OLIVE_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    OLIVE_ASSERT(row.size() == header_.size(),
+                 "row width must match header width");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out.append(widths[c] - row[c].size(), ' ');
+            if (c + 1 < row.size())
+                out += "  ";
+        }
+        out += '\n';
+        return out;
+    };
+
+    std::string out = renderRow(header_);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(rule, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::sci(double v)
+{
+    if (v == 0.0)
+        return "0";
+    const double e = std::floor(std::log10(std::fabs(v)));
+    const double mant = v / std::pow(10.0, e);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0fE+%d", mant, static_cast<int>(e));
+    return buf;
+}
+
+std::string
+Table::pct(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v);
+    return buf;
+}
+
+} // namespace olive

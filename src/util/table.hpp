@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned ASCII table renderer used by the benchmark harness to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef OLIVE_UTIL_TABLE_HPP
+#define OLIVE_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace olive {
+
+/**
+ * Simple column-aligned table.  Usage:
+ * @code
+ *   Table t({"Model", "Speedup"});
+ *   t.addRow({"BERT-base", "4.5"});
+ *   t.print();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to a string with column alignment and a separator rule. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a double in scientific notation (e.g. "1E+4" style). */
+    static std::string sci(double v);
+
+    /** Format a percentage with @p digits decimals and a % suffix. */
+    static std::string pct(double v, int digits = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_UTIL_TABLE_HPP

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of the abfloat outlier data type (Sec. 3.3): the Table 4 value
+ * enumeration, Algorithm 2 encoding, adaptive-bias range placement, and
+ * identifier-collision avoidance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/abfloat.hpp"
+
+namespace olive {
+namespace {
+
+TEST(AbFloat, Table4ValuesBias0)
+{
+    // Paper Table 4: 3-bit unsigned E2M1 with bias 0 represents
+    // {0, 3, 4, 6, 8, 12, 16, 24}.
+    const AbFloat f = AbFloat::e2m1(0);
+    const std::vector<i64> expect = {0, 3, 4, 6, 8, 12, 16, 24};
+    EXPECT_EQ(f.unsignedValueTable(), expect);
+}
+
+TEST(AbFloat, Bias2RangeIsComplementaryToInt4)
+{
+    // Sec. 3.3: bias = 2 extends E2M1 to {12 .. 96}, just above int4's 7.
+    const AbFloat f = AbFloat::e2m1(2);
+    EXPECT_DOUBLE_EQ(f.minNonzero(), 12.0);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 96.0);
+    const std::vector<i64> expect = {0, 12, 16, 24, 32, 48, 64, 96};
+    EXPECT_EQ(f.unsignedValueTable(), expect);
+}
+
+TEST(AbFloat, Bias3RangeIsComplementaryToFlint4)
+{
+    // Sec. 3.3: bias = 3 extends the range to {24 .. 192} for flint4.
+    const AbFloat f = AbFloat::e2m1(3);
+    EXPECT_DOUBLE_EQ(f.minNonzero(), 24.0);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 192.0);
+}
+
+TEST(AbFloat, PaperDecodeExample)
+{
+    // Sec. 4.2 example: with bias 2, the code 0101_2 decodes to 48
+    // (exponent 2 + 10_2 = 4, integer 11_2 = 3, 3 << 4 = 48).
+    const AbFloat f = AbFloat::e2m1(2);
+    const ExpInt e = f.decodeExpInt(0b0101);
+    EXPECT_EQ(e.exponent, 4);
+    EXPECT_EQ(e.integer, 3);
+    EXPECT_DOUBLE_EQ(f.decode(0b0101), 48.0);
+}
+
+TEST(AbFloat, EncodeNeverProducesZeroCodes)
+{
+    // Sec. 3.3: 0000 and 1000 are disabled for outliers so the OVP
+    // identifier stays unambiguous.
+    const AbFloat f = AbFloat::e2m1(2);
+    for (double mag = 0.5; mag < 500.0; mag *= 1.31) {
+        for (double sign : {1.0, -1.0}) {
+            const u32 code = f.encode(sign * mag);
+            EXPECT_NE(code & 0x7u, 0u)
+                << "value " << sign * mag << " produced a +-0 code";
+        }
+    }
+}
+
+TEST(AbFloat, EncodeSignBit)
+{
+    const AbFloat f = AbFloat::e2m1(2);
+    EXPECT_EQ(f.encode(48.0) & 0x8u, 0u);
+    EXPECT_EQ(f.encode(-48.0) & 0x8u, 0x8u);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(-48.0)), -48.0);
+}
+
+TEST(AbFloat, EncodeSaturates)
+{
+    const AbFloat f = AbFloat::e2m1(2);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(1e9)), 96.0);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(-1e9)), -96.0);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(0.001)), 12.0);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(-0.001)), -12.0);
+}
+
+TEST(AbFloat, E4M3Bias4StartsAboveInt8)
+{
+    const AbFloat f = AbFloat::e4m3(4);
+    EXPECT_GT(f.minNonzero(), 127.0);
+    EXPECT_DOUBLE_EQ(f.minNonzero(), 144.0); // (8|1) << 4
+    EXPECT_DOUBLE_EQ(f.maxValue(), 15.0 * std::pow(2.0, 19));
+}
+
+/** Property: Algorithm 2 rounds to one of the two bracketing values. */
+class AbFloatRoundingTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(AbFloatRoundingTest, EncodeIsNearestOrBracketing)
+{
+    const auto [eb, mb, bias] = GetParam();
+    const AbFloat f(eb, mb, bias);
+    const auto table = f.unsignedValueTable();
+    for (double mag = static_cast<double>(f.minNonzero());
+         mag <= f.maxValue(); mag *= 1.17) {
+        const double got = f.decode(f.encode(mag));
+        // Find bracketing representable values.
+        double lo = table[1], hi = table.back();
+        for (size_t i = 1; i < table.size(); ++i) {
+            if (static_cast<double>(table[i]) <= mag)
+                lo = static_cast<double>(table[i]);
+            if (static_cast<double>(table[i]) >= mag) {
+                hi = static_cast<double>(table[i]);
+                break;
+            }
+        }
+        EXPECT_TRUE(got == lo || got == hi)
+            << f.name() << " mag=" << mag << " got=" << got << " lo=" << lo
+            << " hi=" << hi;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, AbFloatRoundingTest,
+    ::testing::Values(std::make_tuple(2, 1, 0), std::make_tuple(2, 1, 2),
+                      std::make_tuple(2, 1, 3), std::make_tuple(1, 2, 1),
+                      std::make_tuple(3, 0, 2), std::make_tuple(4, 3, 4),
+                      std::make_tuple(0, 3, 2)));
+
+TEST(AbFloat, DecodeEncodeIsIdentityOnRepresentables)
+{
+    for (int bias : {0, 1, 2, 3, 4}) {
+        const AbFloat f = AbFloat::e2m1(bias);
+        for (i64 v : f.unsignedValueTable()) {
+            if (v == 0)
+                continue;
+            EXPECT_DOUBLE_EQ(f.decode(f.encode(static_cast<double>(v))),
+                             static_cast<double>(v))
+                << f.name();
+            EXPECT_DOUBLE_EQ(f.decode(f.encode(-static_cast<double>(v))),
+                             -static_cast<double>(v))
+                << f.name();
+        }
+    }
+}
+
+TEST(AbFloat, FourBitConfigurationsOfFig5)
+{
+    // The four signed 4-bit configurations the paper sweeps in Fig. 5.
+    EXPECT_EQ(AbFloat(0, 3, 0).codeWidth(), 4);
+    EXPECT_EQ(AbFloat(1, 2, 0).codeWidth(), 4);
+    EXPECT_EQ(AbFloat(2, 1, 0).codeWidth(), 4);
+    EXPECT_EQ(AbFloat(3, 0, 0).codeWidth(), 4);
+    // More exponent bits buy range: E3M0 reaches 1 << 7, E2M1 reaches
+    // 3 << 3; the mantissa-heavy formats stay in the teens.
+    EXPECT_DOUBLE_EQ(AbFloat(3, 0, 0).maxValue(), 128.0);
+    EXPECT_DOUBLE_EQ(AbFloat(2, 1, 0).maxValue(), 24.0);
+    EXPECT_DOUBLE_EQ(AbFloat(1, 2, 0).maxValue(), 14.0);
+    EXPECT_DOUBLE_EQ(AbFloat(0, 3, 0).maxValue(), 15.0);
+    EXPECT_GT(AbFloat(3, 0, 0).maxValue(), AbFloat(2, 1, 0).maxValue());
+    EXPECT_GT(AbFloat(2, 1, 0).maxValue(), AbFloat(1, 2, 0).maxValue());
+}
+
+TEST(AbFloat, NameFormatting)
+{
+    EXPECT_EQ(AbFloat::e2m1(2).name(), "E2M1(bias=2)");
+    EXPECT_EQ(AbFloat::e4m3(4).name(), "E4M3(bias=4)");
+}
+
+} // namespace
+} // namespace olive

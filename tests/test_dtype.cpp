@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests of the normal-value data types (paper Table 3): value tables,
+ * identifier reservation, codec round trips, and the exponent-integer
+ * decode used by the hardware path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quant/dtype.hpp"
+
+namespace olive {
+namespace {
+
+TEST(DType, Int4ValueTableMatchesPaperTable3)
+{
+    const auto vals = valueTable(NormalType::Int4);
+    ASSERT_EQ(vals.size(), 15u); // [-7, 7]: -8 is the identifier
+    EXPECT_EQ(vals.front(), -7);
+    EXPECT_EQ(vals.back(), 7);
+    for (int v = -7; v <= 7; ++v)
+        EXPECT_NE(std::find(vals.begin(), vals.end(), v), vals.end());
+}
+
+TEST(DType, Flint4ValueTableMatchesPaperTable3)
+{
+    const auto vals = valueTable(NormalType::Flint4);
+    const std::set<int> expect = {-16, -8, -6, -4, -3, -2, -1, 0,
+                                  1,   2,  3,  4,  6,  8,  16};
+    EXPECT_EQ(std::set<int>(vals.begin(), vals.end()), expect);
+    // Ascending order is required by the nearest-value encoder.
+    EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+}
+
+TEST(DType, Int8ValueTableMatchesPaperTable3)
+{
+    const auto vals = valueTable(NormalType::Int8);
+    ASSERT_EQ(vals.size(), 255u); // [-127, 127]: -128 is the identifier
+    EXPECT_EQ(vals.front(), -127);
+    EXPECT_EQ(vals.back(), 127);
+}
+
+TEST(DType, OutlierIdentifiersAreMinusZeroPatterns)
+{
+    EXPECT_EQ(outlierIdentifier(NormalType::Int4), 0x8u);
+    EXPECT_EQ(outlierIdentifier(NormalType::Flint4), 0x8u);
+    EXPECT_EQ(outlierIdentifier(NormalType::Int8), 0x80u);
+}
+
+TEST(DType, MaxMagnitudes)
+{
+    EXPECT_EQ(maxNormalMagnitude(NormalType::Int4), 7);
+    EXPECT_EQ(maxNormalMagnitude(NormalType::Flint4), 16);
+    EXPECT_EQ(maxNormalMagnitude(NormalType::Int8), 127);
+}
+
+class NormalCodecTest : public ::testing::TestWithParam<NormalType>
+{
+};
+
+TEST_P(NormalCodecTest, EncodeNeverProducesIdentifier)
+{
+    const NormalCodec codec(GetParam());
+    const float scale = 0.37f;
+    for (float x = -200.0f; x <= 200.0f; x += 0.83f)
+        EXPECT_FALSE(codec.isIdentifier(codec.encode(x, scale)));
+}
+
+TEST_P(NormalCodecTest, RoundTripIsExactOnGridPoints)
+{
+    const NormalCodec codec(GetParam());
+    const float scale = 1.5f;
+    for (int v : valueTable(GetParam())) {
+        const u32 code = codec.encode(static_cast<float>(v) * scale, scale);
+        EXPECT_EQ(codec.decodeInt(code), v);
+        EXPECT_FLOAT_EQ(codec.decode(code, scale),
+                        static_cast<float>(v) * scale);
+    }
+}
+
+TEST_P(NormalCodecTest, EncodeIsNearestValue)
+{
+    const NormalCodec codec(GetParam());
+    const auto vals = valueTable(GetParam());
+    const float scale = 1.0f;
+    for (float x = -20.0f; x <= 20.0f; x += 0.31f) {
+        const int got = codec.decodeInt(codec.encode(x, scale));
+        double best = 1e30;
+        for (int v : vals)
+            best = std::min(best, std::abs(static_cast<double>(v) - x));
+        EXPECT_NEAR(std::abs(got - x), best, 1e-6)
+            << "x=" << x << " got=" << got;
+    }
+}
+
+TEST_P(NormalCodecTest, SaturatesBeyondRange)
+{
+    const NormalCodec codec(GetParam());
+    const int max_mag = maxNormalMagnitude(GetParam());
+    EXPECT_EQ(codec.decodeInt(codec.encode(1e6f, 1.0f)), max_mag);
+    EXPECT_EQ(codec.decodeInt(codec.encode(-1e6f, 1.0f)), -max_mag);
+}
+
+TEST_P(NormalCodecTest, ExpIntDecodeAgreesWithIntDecode)
+{
+    const NormalCodec codec(GetParam());
+    for (int v : valueTable(GetParam())) {
+        const u32 code = codec.encode(static_cast<float>(v), 1.0f);
+        EXPECT_EQ(codec.decodeExpInt(code).value(), v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, NormalCodecTest,
+                         ::testing::Values(NormalType::Int4,
+                                           NormalType::Flint4,
+                                           NormalType::Int8),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+TEST(DType, FlintExpIntSplitsMatchValues)
+{
+    const NormalCodec codec(NormalType::Flint4);
+    // flint4 decodes to exponent/integer splits whose shifted value
+    // matches the table, e.g. 16 = 1 << 4, 6 = 3 << 1.
+    struct Case { int value; u8 exp; i32 integer; };
+    const Case cases[] = {
+        {1, 0, 1}, {2, 1, 1}, {3, 0, 3}, {4, 2, 1},
+        {6, 1, 3}, {8, 3, 1}, {16, 4, 1},
+    };
+    for (const auto &c : cases) {
+        const u32 code = codec.encode(static_cast<float>(c.value), 1.0f);
+        const ExpInt e = codec.decodeExpInt(code);
+        EXPECT_EQ(e.value(), c.value);
+        EXPECT_EQ(e.exponent, c.exp) << "value " << c.value;
+        EXPECT_EQ(e.integer, c.integer) << "value " << c.value;
+    }
+}
+
+TEST(DType, ToStringNames)
+{
+    EXPECT_EQ(toString(NormalType::Int4), "int4");
+    EXPECT_EQ(toString(NormalType::Flint4), "flint4");
+    EXPECT_EQ(toString(NormalType::Int8), "int8");
+    EXPECT_EQ(bitWidth(NormalType::Int4), 4);
+    EXPECT_EQ(bitWidth(NormalType::Flint4), 4);
+    EXPECT_EQ(bitWidth(NormalType::Int8), 8);
+}
+
+} // namespace
+} // namespace olive

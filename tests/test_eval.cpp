@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests of the evaluation harness: the scheme registry, per-site
+ * activation calibration, the Fig. 3 transforms, task data generation,
+ * and small end-to-end accuracy/perplexity pipelines whose orderings
+ * must match the paper's qualitative results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/accuracy.hpp"
+#include "eval/perplexity.hpp"
+#include "eval/schemes.hpp"
+#include "eval/tasks.hpp"
+#include "eval/transforms.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace {
+
+models::ModelConfig
+tinyConfig()
+{
+    auto config = models::bertBase();
+    config.evalLayers = 2;
+    config.evalDModel = 48;
+    config.evalHeads = 4;
+    config.evalDFf = 96;
+    config.evalSeqLen = 12;
+    return config;
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Schemes, RegistryConstructsEverything)
+{
+    for (const auto &id : eval::schemeRegistry()) {
+        const SchemePtr s = eval::makeScheme(id);
+        ASSERT_NE(s, nullptr) << id;
+        EXPECT_FALSE(s->name().empty()) << id;
+        EXPECT_GE(s->weightBits(), 3) << id;
+    }
+}
+
+TEST(Schemes, Fp32IsIdentity)
+{
+    const SchemePtr s = eval::makeScheme("fp32");
+    const std::vector<float> xs = {1.5f, -2.25f, 1e6f};
+    EXPECT_EQ(s->apply(xs, TensorKind::Weight), xs);
+    EXPECT_TRUE(s->weightOnly() == false || s->weightBits() == 32);
+}
+
+TEST(Schemes, OutputSizeAlwaysMatches)
+{
+    Rng rng(1);
+    std::vector<float> xs(513); // odd size
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 40.0));
+    for (const auto &id : eval::schemeRegistry()) {
+        const SchemePtr s = eval::makeScheme(id);
+        EXPECT_EQ(s->apply(xs, TensorKind::Weight).size(), xs.size()) << id;
+        EXPECT_EQ(s->apply(xs, TensorKind::Activation).size(), xs.size())
+            << id;
+    }
+}
+
+TEST(Schemes, SiteCacheCalibratesOncePerSite)
+{
+    SchemePtr inner = eval::makeScheme("int8");
+    eval::SiteCachedScheme cache(*inner);
+    Rng rng(2);
+    std::vector<float> a(256), b(256);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian() * 3.0);
+
+    cache.beginForward();
+    cache.apply(a, TensorKind::Activation); // site 0 calibrated on a
+    cache.apply(b, TensorKind::Activation); // site 1 calibrated on b
+    EXPECT_EQ(cache.siteCount(), 2u);
+
+    cache.beginForward();
+    cache.apply(a, TensorKind::Activation);
+    cache.apply(b, TensorKind::Activation);
+    EXPECT_EQ(cache.siteCount(), 2u) << "no new sites on later forwards";
+}
+
+TEST(Schemes, SiteCacheFrozenScaleApplied)
+{
+    SchemePtr inner = eval::makeScheme("int8");
+    eval::SiteCachedScheme cache(*inner, /*calib_examples=*/1);
+    std::vector<float> calib = {1.0f, -1.0f, 0.5f, -0.5f};
+    cache.beginForward();
+    cache.apply(calib, TensorKind::Activation);
+    // A later, larger tensor must saturate under the frozen scale.
+    cache.beginForward();
+    const auto out = cache.apply({{100.0f, -100.0f, 0.5f, 0.0f}},
+                                 TensorKind::Activation);
+    EXPECT_LT(out[0], 2.0f);
+    EXPECT_GT(out[1], -2.0f);
+}
+
+// ------------------------------------------------------------ transforms
+
+TEST(Transforms, ClipOutliersBoundsRange)
+{
+    Rng rng(3);
+    std::vector<float> xs(8192);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.01, 4.0, 100.0));
+    eval::ClipOutliersScheme clip(3.0);
+    const auto out = clip.apply(xs, TensorKind::Weight);
+    const double sigma = stats::stddev(xs);
+    const double m = stats::mean(xs);
+    for (float v : out)
+        ASSERT_LE(std::fabs(v - m), 3.0 * sigma + 1e-3);
+}
+
+TEST(Transforms, PruneVictimsZeroesOnlyNeighbours)
+{
+    // A large Gaussian bulk so the one planted outlier dominates the
+    // 3-sigma rule instead of inflating sigma itself.
+    Rng rng(6);
+    std::vector<float> xs(512);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.gaussian() * 0.5);
+    xs[2] = 50.0f;
+    eval::PruneVictimsScheme prune(3.0);
+    const auto out = prune.apply(xs, TensorKind::Weight);
+    EXPECT_FLOAT_EQ(out[2], 50.0f) << "the outlier itself survives";
+    EXPECT_FLOAT_EQ(out[3], 0.0f) << "its pair partner is the victim";
+    EXPECT_FLOAT_EQ(out[0], xs[0]);
+    EXPECT_FLOAT_EQ(out[100], xs[100]);
+}
+
+TEST(Transforms, PruneRandomMatchesOutlierCount)
+{
+    Rng rng(4);
+    std::vector<float> xs(20000);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.01, 4.0, 60.0));
+    const double sigma = stats::stddev(xs);
+    const double m = stats::mean(xs);
+    size_t outliers = 0;
+    for (float v : xs)
+        outliers += std::fabs(v - m) > 3.0 * sigma;
+
+    eval::PruneRandomScheme prune(3.0);
+    const auto out = prune.apply(xs, TensorKind::Weight);
+    size_t zeroed = 0;
+    for (size_t i = 0; i < xs.size(); ++i)
+        zeroed += (out[i] == 0.0f && xs[i] != 0.0f);
+    EXPECT_NEAR(static_cast<double>(zeroed),
+                static_cast<double>(outliers),
+                0.1 * static_cast<double>(outliers) + 2.0);
+}
+
+// ----------------------------------------------------------------- tasks
+
+TEST(Tasks, GlueListMatchesPaperOrder)
+{
+    const auto tasks = eval::glueTasks();
+    ASSERT_EQ(tasks.size(), 8u);
+    EXPECT_EQ(tasks[0].name, "CoLA");
+    EXPECT_EQ(tasks[0].metric, eval::Metric::Matthews);
+    EXPECT_EQ(tasks[6].name, "STSB");
+    EXPECT_EQ(tasks[6].metric, eval::Metric::PearsonPct);
+    EXPECT_EQ(eval::table6Tasks().size(), 5u);
+}
+
+TEST(Tasks, DataDeterministicAndShaped)
+{
+    const auto config = tinyConfig();
+    const auto task = eval::taskByName("SST-2");
+    const auto d1 = eval::makeClassifData(task, config, 16, 5, 9);
+    const auto d2 = eval::makeClassifData(task, config, 16, 5, 9);
+    ASSERT_EQ(d1.x.size(), 16u);
+    EXPECT_EQ(d1.labels, d2.labels);
+    EXPECT_FLOAT_EQ(d1.x[3].at(2, 7), d2.x[3].at(2, 7));
+    EXPECT_EQ(d1.x[0].dim(0), config.evalSeqLen);
+    EXPECT_EQ(d1.x[0].dim(1), config.evalDModel);
+}
+
+TEST(Tasks, SpanDataWithinBounds)
+{
+    const auto config = tinyConfig();
+    const auto d = eval::makeSpanData(config, 20, 7, 8, /*v2=*/true);
+    for (size_t i = 0; i < d.x.size(); ++i) {
+        EXPECT_GE(d.start[i], 0);
+        EXPECT_LE(d.end[i], static_cast<int>(config.evalSeqLen) - 1);
+        EXPECT_LE(d.start[i], d.end[i]);
+    }
+}
+
+// ----------------------------------------------- accuracy pipeline (slow)
+
+TEST(Accuracy, Fp32LearnsTheTask)
+{
+    eval::TaskEvaluator ev(tinyConfig(), eval::taskByName("SST-2"), 1, 96,
+                           96);
+    // The miniature config trades accuracy for test speed; the bar is
+    // "clearly above the 50 % chance level".
+    EXPECT_GT(ev.evalFp32(), 62.0);
+}
+
+TEST(Accuracy, OliveCloseToFp32AndInt4Catastrophic)
+{
+    // The core accuracy claim at miniature scale (SST-2 is the task
+    // the miniature config can reliably learn).
+    eval::TaskEvaluator ev(tinyConfig(), eval::taskByName("SST-2"), 1, 96,
+                           96);
+    const double fp32 = ev.evalFp32();
+    SchemePtr olive = eval::makeScheme("olive4");
+    SchemePtr int4 = eval::makeScheme("int4");
+    const double olive_acc = ev.evalScheme(*olive);
+    const double int4_acc = ev.evalScheme(*int4);
+    EXPECT_GT(fp32, 60.0);
+    EXPECT_GT(olive_acc, fp32 - 20.0);
+    EXPECT_GT(olive_acc, int4_acc - 5.0);
+}
+
+TEST(Accuracy, ClippingHurtsMoreThanVictimPruning)
+{
+    // Fig. 3 at miniature scale.
+    eval::TaskEvaluator ev(tinyConfig(), eval::taskByName("MNLI"), 3, 96,
+                           96);
+    SchemePtr clip = eval::makeScheme("clip-outliers");
+    SchemePtr victims = eval::makeScheme("prune-victims");
+    const double clip_acc = ev.evalScheme(*clip);
+    const double victim_acc = ev.evalScheme(*victims);
+    EXPECT_GT(victim_acc, clip_acc - 3.0);
+}
+
+// ------------------------------------------------------- perplexity (LM)
+
+TEST(Perplexity, TeacherHitsCalibratedTarget)
+{
+    auto config = tinyConfig();
+    config.evalVocab = 256;
+    eval::LmModel lm = eval::makeLm(config, 11);
+    const auto text = eval::calibrateToTarget(lm, 18.0, 16, 12, 31);
+    const double ppl = eval::perplexity(lm, text);
+    EXPECT_NEAR(ppl, 18.0, 6.0);
+}
+
+TEST(Perplexity, QuantizationDegradesMonotonically)
+{
+    auto config = tinyConfig();
+    config.evalVocab = 256;
+    eval::LmModel lm = eval::makeLm(config, 13);
+    const auto text = eval::calibrateToTarget(lm, 17.0, 16, 12, 37);
+    const double fp32 = eval::perplexity(lm, text);
+    const double olive8 = eval::table9Cell(lm, text, "olive8");
+    const double olive4 = eval::table9Cell(lm, text, "olive4");
+    const double int4 = eval::table9Cell(lm, text, "int4");
+    // Table 9 ordering: fp32 <= olive8 <= olive4 << int4.
+    EXPECT_LT(fp32, olive8 * 1.15);
+    EXPECT_LE(olive8, olive4 * 1.05);
+    EXPECT_GT(int4, 1.5 * olive4) << "int4 must visibly collapse";
+}
+
+TEST(Perplexity, SampleTextDeterministicPerSeed)
+{
+    auto config = tinyConfig();
+    config.evalVocab = 128;
+    const eval::LmModel lm = eval::makeLm(config, 17);
+    Rng r1(5), r2(5);
+    const auto t1 = eval::sampleText(lm, 3, 8, r1);
+    const auto t2 = eval::sampleText(lm, 3, 8, r2);
+    EXPECT_EQ(t1, t2);
+}
+
+} // namespace
+} // namespace olive

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests of the model-level framework extensions: the mixed-precision
+ * OliVe scheme, PTQ reporting, the bulk-aware error criterion, and OVP
+ * stream serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "quant/framework.hpp"
+#include "quant/stream.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace {
+
+std::vector<float>
+outlierData(size_t n, double p, double max_sigma, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<float> xs(n);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(p, 3.5, max_sigma));
+    return xs;
+}
+
+// ---------------------------------------------------------------- mixed
+
+TEST(MixedPrecision, StaysFourBitOnTameTensors)
+{
+    OliveMixedScheme mixed;
+    const auto xs = outlierData(8192, 0.004, 20.0, 1);
+    mixed.apply(xs, TensorKind::Weight);
+    EXPECT_DOUBLE_EQ(mixed.escalationRate(), 0.0);
+    EXPECT_EQ(mixed.weightBits(), 4);
+}
+
+TEST(MixedPrecision, EscalatesWhenBulkSuffers)
+{
+    // A tight threshold forces escalation even on moderate tensors.
+    OliveMixedScheme mixed(1e-6);
+    const auto xs = outlierData(8192, 0.01, 100.0, 2);
+    mixed.apply(xs, TensorKind::Weight);
+    EXPECT_DOUBLE_EQ(mixed.escalationRate(), 1.0);
+    EXPECT_EQ(mixed.weightBits(), 8);
+}
+
+TEST(MixedPrecision, EscalatedTensorHasBetterSqnr)
+{
+    const auto xs = outlierData(8192, 0.01, 150.0, 3);
+    OliveMixedScheme force8(1e-9);
+    OliveMixedScheme keep4(1e9);
+    const auto rt8 = force8.apply(xs, TensorKind::Weight);
+    const auto rt4 = keep4.apply(xs, TensorKind::Weight);
+    EXPECT_GT(stats::sqnrDb(xs, rt8), stats::sqnrDb(xs, rt4));
+}
+
+TEST(MixedPrecision, CalibrateCountsTowardRate)
+{
+    OliveMixedScheme mixed(1e-6);
+    const auto xs = outlierData(2048, 0.01, 60.0, 4);
+    auto applier = mixed.calibrate(xs, TensorKind::Activation);
+    EXPECT_DOUBLE_EQ(mixed.escalationRate(), 1.0);
+    const auto rt = applier(xs);
+    EXPECT_EQ(rt.size(), xs.size());
+}
+
+// --------------------------------------------------------------- report
+
+TEST(PtqReport, AggregatesAcrossTensors)
+{
+    PtqReport report;
+    report.tensors.push_back(reportTensor("a", outlierData(4096, 0.005,
+                                                           40.0, 5), 4));
+    report.tensors.push_back(reportTensor("b", outlierData(4096, 0.005,
+                                                           40.0, 6), 8));
+    EXPECT_NEAR(report.averageBits(), 6.0, 1e-9);
+    EXPECT_GT(report.meanSqnrDb(), 10.0);
+    EXPECT_EQ(report.tensors[0].elems, 4096u);
+    const std::string rendered = report.render();
+    EXPECT_NE(rendered.find("a"), std::string::npos);
+    EXPECT_NE(rendered.find("average bits"), std::string::npos);
+}
+
+TEST(PtqReport, EightBitBeatsFourBit)
+{
+    const auto xs = outlierData(8192, 0.008, 80.0, 7);
+    const auto r4 = reportTensor("t", xs, 4);
+    const auto r8 = reportTensor("t", xs, 8);
+    EXPECT_GT(r8.sqnrDb, r4.sqnrDb + 6.0);
+    EXPECT_EQ(r8.normal, NormalType::Int8);
+}
+
+TEST(BulkRelativeMse, IgnoresOutlierError)
+{
+    // Destroying only outliers must register ~zero bulk error; crushing
+    // the bulk must register large.
+    auto xs = outlierData(8192, 0.005, 60.0, 8);
+    const double limit = 3.0 * stats::robustSigma(xs);
+
+    auto clip_outliers = xs;
+    for (auto &v : clip_outliers) {
+        if (std::fabs(v) > limit)
+            v = 0.0f;
+    }
+    EXPECT_LT(bulkRelativeMse(xs, clip_outliers), 1e-9);
+
+    auto crush_bulk = xs;
+    for (auto &v : crush_bulk) {
+        if (std::fabs(v) <= limit)
+            v = 0.0f;
+    }
+    EXPECT_GT(bulkRelativeMse(xs, crush_bulk), 0.9);
+}
+
+// ---------------------------------------------------------------- stream
+
+TEST(Stream, RoundTripThroughBlob)
+{
+    const auto xs = outlierData(4097, 0.01, 50.0, 9); // odd count
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    const OvpStream stream = packStream(codec, xs);
+    EXPECT_EQ(stream.count, xs.size());
+
+    const auto blob = serialize(stream);
+    EXPECT_EQ(blob.size(), stream.serializedSize());
+    const OvpStream parsed = deserialize(blob);
+    EXPECT_EQ(parsed.normal, stream.normal);
+    EXPECT_EQ(parsed.abfloatBias, stream.abfloatBias);
+    EXPECT_FLOAT_EQ(parsed.scale, stream.scale);
+    EXPECT_DOUBLE_EQ(parsed.threshold, stream.threshold);
+    EXPECT_EQ(parsed.bytes, stream.bytes);
+
+    const auto direct = codec.fakeQuant(xs);
+    const auto loaded = parsed.decode();
+    ASSERT_EQ(loaded.size(), xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_FLOAT_EQ(loaded[i], direct[i]) << i;
+}
+
+TEST(Stream, RoundTripThroughFile)
+{
+    const auto xs = outlierData(1024, 0.01, 80.0, 10);
+    OliveConfig cfg;
+    cfg.bits = 8;
+    const OliveQuantizer q(cfg);
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    const OvpStream stream = packStream(codec, xs);
+
+    const std::string path = "/tmp/olive_test_stream.ovp";
+    saveStream(stream, path);
+    const OvpStream loaded = loadStream(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.normal, NormalType::Int8);
+    EXPECT_EQ(loaded.bytes, stream.bytes);
+    const auto vals = loaded.decode();
+    EXPECT_GT(stats::sqnrDb(xs, vals), 25.0);
+}
+
+TEST(Stream, RejectsBadMagic)
+{
+    const auto xs = outlierData(64, 0.0, 4.0, 12);
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    auto blob = serialize(packStream(codec, xs));
+    blob[0] ^= 0xFF;
+    EXPECT_EXIT(deserialize(blob), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(Stream, RejectsTruncation)
+{
+    const auto xs = outlierData(64, 0.0, 4.0, 13);
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    auto blob = serialize(packStream(codec, xs));
+    blob.resize(blob.size() - 8);
+    EXPECT_EXIT(deserialize(blob), ::testing::ExitedWithCode(1),
+                "truncated");
+    blob.resize(10);
+    EXPECT_EXIT(deserialize(blob), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(Stream, FourBitStreamIsHalfAByte)
+{
+    const auto xs = outlierData(10000, 0.005, 30.0, 11);
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    const OvpStream stream = packStream(codec, xs);
+    // 5000 pair bytes + fixed header: the aligned-4-bit promise.
+    EXPECT_EQ(stream.bytes.size(), 5000u);
+    EXPECT_LT(static_cast<double>(stream.serializedSize()),
+              0.51 * static_cast<double>(xs.size()));
+}
+
+} // namespace
+} // namespace olive

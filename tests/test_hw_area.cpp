@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests of the area model against the paper's published numbers
+ * (Tables 10 and 11) and the technology-scaling helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/area.hpp"
+
+namespace olive {
+namespace {
+
+TEST(Area, Table10GpuDecoderRatios)
+{
+    const auto b = hw::gpuDecoderBreakdown();
+    ASSERT_EQ(b.components.size(), 2u);
+    // 139,264 x 13.53 um^2 = 1.88 mm^2 -> 0.250 % of the 754 mm^2 die.
+    EXPECT_NEAR(b.components[0].totalMm2(), 1.88, 0.01);
+    EXPECT_NEAR(b.ratioOf(0, hw::kTuringDieMm2), 0.00250, 0.00005);
+    // 69,632 x 18.00 um^2 = 1.25 mm^2 -> 0.166 %.
+    EXPECT_NEAR(b.components[1].totalMm2(), 1.25, 0.01);
+    EXPECT_NEAR(b.ratioOf(1, hw::kTuringDieMm2), 0.00166, 0.00005);
+}
+
+TEST(Area, Table11SystolicRatios)
+{
+    const auto b = hw::systolicBreakdown();
+    ASSERT_EQ(b.components.size(), 3u);
+    // Paper: 4-bit decoders 0.00476 mm^2 (2.2 %), 8-bit 0.00317 mm^2
+    // (1.5 %), PEs 0.205 mm^2 (96.3 %).
+    EXPECT_NEAR(b.components[0].totalMm2(), 0.00476, 0.0001);
+    EXPECT_NEAR(b.components[1].totalMm2(), 0.00317, 0.0001);
+    EXPECT_NEAR(b.components[2].totalMm2(), 0.205, 0.001);
+    EXPECT_NEAR(b.ratioOf(0), 0.022, 0.002);
+    EXPECT_NEAR(b.ratioOf(1), 0.015, 0.002);
+    EXPECT_NEAR(b.ratioOf(2), 0.963, 0.005);
+}
+
+TEST(Area, ScalingReproducesPublishedPair)
+{
+    // The 22 -> 12 nm scaling must map the published decoder areas onto
+    // each other (it is calibrated on the 4-bit pair and must hold
+    // approximately for the 8-bit one).
+    EXPECT_NEAR(hw::scaleArea(hw::Area22nm::kDecoder4, 22, 12),
+                hw::Area12nm::kDecoder4, 0.01);
+    EXPECT_NEAR(hw::scaleArea(hw::Area22nm::kDecoder8, 22, 12),
+                hw::Area12nm::kDecoder8, 1.0);
+    // Identity at the same node.
+    EXPECT_DOUBLE_EQ(hw::scaleArea(100.0, 22, 22), 100.0);
+    // Scaling up grows area.
+    EXPECT_GT(hw::scaleArea(100.0, 12, 22), 100.0);
+}
+
+TEST(Area, DecoderOverheadIsSmall)
+{
+    // The design claim: decoders are a tiny fraction of both platforms.
+    const auto gpu = hw::gpuDecoderBreakdown();
+    EXPECT_LT(gpu.totalMm2() / hw::kTuringDieMm2, 0.005);
+    const auto sa = hw::systolicBreakdown();
+    EXPECT_LT(sa.ratioOf(0) + sa.ratioOf(1), 0.04);
+}
+
+} // namespace
+} // namespace olive

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests of the bit-exact hardware decoders (Sec. 4.2): the Fig. 7
+ * abfloat decoder, the Fig. 6b OVP decoder, and exhaustive cross-checks
+ * against the algorithmic codecs in src/quant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/decoder.hpp"
+#include "quant/abfloat.hpp"
+#include "quant/ovp.hpp"
+
+namespace olive {
+namespace {
+
+TEST(HwAbfloatDecoder, PaperExample48)
+{
+    // Sec. 4.2: with bias 2, 0101_2 -> exponent 4, integer 3, value 48.
+    const hw::AbfloatDecoder dec(4, 2);
+    const ExpInt e = dec.decode(0b0101);
+    EXPECT_EQ(e.exponent, 4);
+    EXPECT_EQ(e.integer, 3);
+    EXPECT_EQ(e.value(), 48);
+}
+
+TEST(HwAbfloatDecoder, ZeroCodes)
+{
+    const hw::AbfloatDecoder dec(4, 2);
+    EXPECT_EQ(dec.decode(0b0000).value(), 0);
+    EXPECT_EQ(dec.decode(0b1000).value(), 0); // -0 (the identifier)
+}
+
+class HwAbfloat4Exhaustive : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HwAbfloat4Exhaustive, MatchesAlgorithmicCodec)
+{
+    const int bias = GetParam();
+    const hw::AbfloatDecoder dec(4, bias);
+    const AbFloat ref = AbFloat::e2m1(bias);
+    for (u32 code = 0; code < 16; ++code) {
+        EXPECT_EQ(dec.decode(code).value(), ref.decodeExpInt(code).value())
+            << "code " << code << " bias " << bias;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, HwAbfloat4Exhaustive,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+class HwAbfloat8Exhaustive : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HwAbfloat8Exhaustive, MatchesAlgorithmicCodec)
+{
+    const int bias = GetParam();
+    const hw::AbfloatDecoder dec(8, bias);
+    const AbFloat ref = AbFloat::e4m3(bias);
+    for (u32 code = 0; code < 256; ++code) {
+        EXPECT_EQ(dec.decode(code).value(), ref.decodeExpInt(code).value())
+            << "code " << code << " bias " << bias;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, HwAbfloat8Exhaustive,
+                         ::testing::Values(0, 2, 4, 6));
+
+TEST(HwOvpDecoder, IdentifierInEitherSlotZeroesTheVictim)
+{
+    const hw::OvpDecoder dec(NormalType::Int4);
+    // Byte layout: low nibble = first value.
+    {
+        // first = identifier, second = abfloat code for 48 (0101).
+        const auto d = dec.decodeByte(0x58);
+        EXPECT_EQ(d.first.value(), 0);
+        EXPECT_TRUE(d.secondIsOutlier);
+        EXPECT_EQ(d.second.value(), 48);
+    }
+    {
+        // first = abfloat 0101, second = identifier.
+        const auto d = dec.decodeByte(0x85);
+        EXPECT_TRUE(d.firstIsOutlier);
+        EXPECT_EQ(d.first.value(), 48);
+        EXPECT_EQ(d.second.value(), 0);
+    }
+}
+
+TEST(HwOvpDecoder, NormalPairDecodesAsInt4)
+{
+    const hw::OvpDecoder dec(NormalType::Int4);
+    // 0x73: low nibble 3 -> 3, high nibble 7 -> 7.
+    const auto d = dec.decodeByte(0x73);
+    EXPECT_FALSE(d.firstIsOutlier);
+    EXPECT_FALSE(d.secondIsOutlier);
+    EXPECT_EQ(d.first.value(), 3);
+    EXPECT_EQ(d.second.value(), 7);
+    // Negative: 0xF = -1.
+    const auto n = dec.decodeByte(0xF9);
+    EXPECT_EQ(n.first.value(), -7);
+    EXPECT_EQ(n.second.value(), -1);
+}
+
+TEST(HwOvpDecoder, IntTypesGetZeroExponent)
+{
+    // Sec. 4.2: the decoder appends a 0000 exponent for int4.
+    const hw::OvpDecoder dec(NormalType::Int4);
+    const auto d = dec.decodeByte(0x73);
+    EXPECT_EQ(d.first.exponent, 0);
+    EXPECT_EQ(d.second.exponent, 0);
+}
+
+class HwOvpAgainstCodec : public ::testing::TestWithParam<NormalType>
+{
+};
+
+TEST_P(HwOvpAgainstCodec, DecodeMatchesQuantCodecOnEncodedStream)
+{
+    // End-to-end: software encoder -> hardware decoder must reproduce
+    // the software decoder's grid values exactly.
+    const NormalType type = GetParam();
+    const float scale = 0.5f;
+    const OvpCodec codec(type, scale, scale * maxNormalMagnitude(type));
+    const hw::OvpDecoder dec(type);
+
+    std::vector<float> xs;
+    for (int i = -40; i <= 40; ++i) {
+        xs.push_back(static_cast<float>(i) * 0.7f);
+        xs.push_back(static_cast<float>(-i) * 13.7f); // outliers mixed in
+    }
+    const auto bytes = codec.encode(xs);
+    const auto ref = codec.decode(bytes, xs.size());
+
+    const size_t bpp = codec.bytesPerPair();
+    for (size_t p = 0; p < xs.size() / 2; ++p) {
+        hw::DecodedPair d;
+        if (bpp == 1)
+            d = dec.decodeByte(bytes[p]);
+        else
+            d = dec.decodeBytes(bytes[2 * p], bytes[2 * p + 1]);
+        EXPECT_FLOAT_EQ(static_cast<float>(d.first.value()) * scale,
+                        ref[2 * p])
+            << toString(type) << " pair " << p;
+        EXPECT_FLOAT_EQ(static_cast<float>(d.second.value()) * scale,
+                        ref[2 * p + 1])
+            << toString(type) << " pair " << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, HwOvpAgainstCodec,
+                         ::testing::Values(NormalType::Int4,
+                                           NormalType::Flint4,
+                                           NormalType::Int8),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+TEST(HwOvpDecoder, Flint4PairUsesFlintDecoder)
+{
+    const hw::OvpDecoder dec(NormalType::Flint4);
+    // flint4 code 0x7 = 16 = 1 << 4; code 0x5 = 6 = 3 << 1.
+    const auto d = dec.decodeByte(0x57);
+    EXPECT_EQ(d.first.value(), 16);
+    EXPECT_EQ(d.first.exponent, 4);
+    EXPECT_EQ(d.second.value(), 6);
+    EXPECT_EQ(d.second.exponent, 1);
+}
+
+TEST(HwOvpDecoder, BothIdentifiersDecodeToZeros)
+{
+    // The illegal pattern must degrade gracefully (mux network yields
+    // zeros), never crash.
+    const hw::OvpDecoder dec(NormalType::Int4);
+    const auto d = dec.decodeByte(0x88);
+    EXPECT_EQ(d.first.value(), 0);
+    EXPECT_EQ(d.second.value(), 0);
+}
+
+} // namespace
+} // namespace olive

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests of the mmaovp instruction set (Sec. 4.6): mnemonics, the
+ * functional executor against integer references, mixed operand types,
+ * and accumulator chaining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/isa.hpp"
+#include "quant/ovp.hpp"
+#include "util/bitops.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace {
+
+TEST(Isa, Mnemonics)
+{
+    hw::MmaInstruction inst;
+    inst.aType = hw::OvpOperandType::OvpInt4;
+    inst.bType = hw::OvpOperandType::OvpFlint4;
+    EXPECT_EQ(inst.mnemonic(), "mmaovp.s32.ovpi4.ovpf4.s32.s4");
+
+    hw::MmaInstruction base;
+    base.aType = hw::OvpOperandType::Int4;
+    base.bType = hw::OvpOperandType::Int4;
+    EXPECT_EQ(base.mnemonic(), "mma.s32.s4.s4.s32");
+}
+
+TEST(Isa, NormalTypeMapping)
+{
+    EXPECT_EQ(hw::normalTypeOf(hw::OvpOperandType::OvpInt4),
+              NormalType::Int4);
+    EXPECT_EQ(hw::normalTypeOf(hw::OvpOperandType::OvpFlint4),
+              NormalType::Flint4);
+    EXPECT_EQ(hw::normalTypeOf(hw::OvpOperandType::OvpInt8),
+              NormalType::Int8);
+}
+
+/** Pack plain int4 values (no OVP semantics) into nibbles. */
+std::vector<u8>
+packS4(const std::vector<int> &vals)
+{
+    std::vector<u8> out;
+    for (size_t i = 0; i < vals.size(); i += 2) {
+        out.push_back(bits::packNibbles(
+            static_cast<u8>(vals[i + 1]) & 0xF,
+            static_cast<u8>(vals[i]) & 0xF));
+    }
+    return out;
+}
+
+TEST(Isa, BaselineMmaMatchesIntegerReference)
+{
+    hw::MmaInstruction inst;
+    inst.aType = hw::OvpOperandType::Int4;
+    inst.bType = hw::OvpOperandType::Int4;
+    inst.m = 2;
+    inst.n = 2;
+    inst.kDepth = 4;
+
+    // A rows and B columns of int4 values.
+    const std::vector<int> a = {1, -2, 3, -4, 5, 6, -7, 0};
+    const std::vector<int> b = {1, 1, 1, 1, 2, -2, 2, -2};
+    const auto d = hw::executeMma(inst, packS4(a), packS4(b));
+
+    auto ref = [&](size_t r, size_t c) {
+        int acc = 0;
+        for (size_t l = 0; l < 4; ++l)
+            acc += a[r * 4 + l] * b[c * 4 + l];
+        return acc;
+    };
+    EXPECT_EQ(d[0], ref(0, 0));
+    EXPECT_EQ(d[1], ref(0, 1));
+    EXPECT_EQ(d[2], ref(1, 0));
+    EXPECT_EQ(d[3], ref(1, 1));
+}
+
+TEST(Isa, AccumulatorChaining)
+{
+    hw::MmaInstruction inst;
+    inst.aType = hw::OvpOperandType::Int4;
+    inst.bType = hw::OvpOperandType::Int4;
+    inst.m = 1;
+    inst.n = 1;
+    inst.kDepth = 2;
+    const auto d0 = hw::executeMma(inst, packS4({3, 4}), packS4({5, 6}));
+    EXPECT_EQ(d0[0], 39);
+    const auto d1 =
+        hw::executeMma(inst, packS4({3, 4}), packS4({5, 6}), {100});
+    EXPECT_EQ(d1[0], 139);
+}
+
+TEST(Isa, OvpTileMatchesFakeQuantReference)
+{
+    // OVP-packed operands with outliers: the executor output times the
+    // scales must match the float GEMM of the fake-quantized data.
+    Rng rng(99);
+    hw::MmaInstruction inst;
+    inst.aType = hw::OvpOperandType::OvpInt4;
+    inst.bType = hw::OvpOperandType::OvpFlint4;
+    inst.m = 4;
+    inst.n = 4;
+    inst.kDepth = 16;
+
+    const float sa = 1.0f, sb = 0.5f;
+    const OvpCodec ca(NormalType::Int4, sa, sa * 7);
+    const OvpCodec cb(NormalType::Flint4, sb, sb * 16);
+
+    std::vector<float> a_vals(inst.m * inst.kDepth);
+    std::vector<float> b_vals(inst.n * inst.kDepth);
+    for (auto &v : a_vals)
+        v = static_cast<float>(rng.heavyTail(0.08, 3.5, 60.0));
+    for (auto &v : b_vals)
+        v = static_cast<float>(rng.heavyTail(0.08, 3.5, 120.0) * sb);
+
+    std::vector<u8> a_bytes, b_bytes;
+    for (size_t r = 0; r < inst.m; ++r) {
+        const auto bytes = ca.encode(std::span<const float>(
+            a_vals.data() + r * inst.kDepth, inst.kDepth));
+        a_bytes.insert(a_bytes.end(), bytes.begin(), bytes.end());
+    }
+    for (size_t c = 0; c < inst.n; ++c) {
+        const auto bytes = cb.encode(std::span<const float>(
+            b_vals.data() + c * inst.kDepth, inst.kDepth));
+        b_bytes.insert(b_bytes.end(), bytes.begin(), bytes.end());
+    }
+
+    const auto d = hw::executeMma(inst, a_bytes, b_bytes);
+    const auto aq = ca.fakeQuant(a_vals);
+    const auto bq = cb.fakeQuant(b_vals);
+    for (size_t r = 0; r < inst.m; ++r) {
+        for (size_t c = 0; c < inst.n; ++c) {
+            double ref = 0.0;
+            for (size_t l = 0; l < inst.kDepth; ++l) {
+                ref += static_cast<double>(aq[r * inst.kDepth + l]) *
+                       bq[c * inst.kDepth + l];
+            }
+            const double got =
+                static_cast<double>(d[r * inst.n + c]) * sa * sb;
+            EXPECT_NEAR(got, ref, 1e-3) << r << "," << c;
+        }
+    }
+}
+
+TEST(Isa, OvpInt8Tile)
+{
+    Rng rng(7);
+    hw::MmaInstruction inst;
+    inst.aType = hw::OvpOperandType::OvpInt8;
+    inst.bType = hw::OvpOperandType::OvpInt8;
+    inst.m = 2;
+    inst.n = 2;
+    inst.kDepth = 8;
+
+    const float s = 1.0f;
+    const OvpCodec codec(NormalType::Int8, s, s * 127);
+    std::vector<float> a_vals(inst.m * inst.kDepth);
+    std::vector<float> b_vals(inst.n * inst.kDepth);
+    for (auto &v : a_vals)
+        v = static_cast<float>(rng.gaussian(0.0, 40.0));
+    for (auto &v : b_vals)
+        v = static_cast<float>(rng.heavyTail(0.1, 3.5, 10.0) * 35.0);
+
+    std::vector<u8> a_bytes, b_bytes;
+    for (size_t r = 0; r < inst.m; ++r) {
+        const auto bytes = codec.encode(std::span<const float>(
+            a_vals.data() + r * inst.kDepth, inst.kDepth));
+        a_bytes.insert(a_bytes.end(), bytes.begin(), bytes.end());
+    }
+    for (size_t c = 0; c < inst.n; ++c) {
+        const auto bytes = codec.encode(std::span<const float>(
+            b_vals.data() + c * inst.kDepth, inst.kDepth));
+        b_bytes.insert(b_bytes.end(), bytes.begin(), bytes.end());
+    }
+
+    const auto d = hw::executeMma(inst, a_bytes, b_bytes);
+    const auto aq = codec.fakeQuant(a_vals);
+    const auto bq = codec.fakeQuant(b_vals);
+    for (size_t r = 0; r < inst.m; ++r) {
+        for (size_t c = 0; c < inst.n; ++c) {
+            double ref = 0.0;
+            for (size_t l = 0; l < inst.kDepth; ++l) {
+                ref += static_cast<double>(aq[r * inst.kDepth + l]) *
+                       bq[c * inst.kDepth + l];
+            }
+            EXPECT_NEAR(static_cast<double>(d[r * inst.n + c]), ref, 1e-3);
+        }
+    }
+}
+
+} // namespace
+} // namespace olive

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests of the OliVe MAC datapath (Secs. 4.4, 4.5): the exponent-integer
+ * product rule, adder-tree dot products, and the four-PE composition of
+ * 8-bit int and 8-bit abfloat multiplies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/mac.hpp"
+
+namespace olive {
+namespace {
+
+TEST(ExpInt, ValueAndProductRule)
+{
+    const ExpInt a{3, 5};  // 5 << 3 = 40
+    const ExpInt b{2, -3}; // -3 << 2 = -12
+    EXPECT_EQ(a.value(), 40);
+    EXPECT_EQ(b.value(), -12);
+    const ExpInt p = a * b;
+    EXPECT_EQ(p.exponent, 5);
+    EXPECT_EQ(p.integer, -15);
+    EXPECT_EQ(p.value(), -480);
+    EXPECT_EQ(p.value(), a.value() * b.value());
+}
+
+TEST(MacUnit, AccumulatesProducts)
+{
+    hw::MacUnit mac;
+    mac.mac(ExpInt{0, 3}, ExpInt{0, 4});   // +12
+    mac.mac(ExpInt{2, 1}, ExpInt{0, -5});  // -20
+    mac.mac(ExpInt{4, 3}, ExpInt{1, 2});   // 48 * 4 = 192
+    EXPECT_EQ(mac.value(), 12 - 20 + 192);
+    EXPECT_EQ(mac.opCount(), 3u);
+    mac.reset();
+    EXPECT_EQ(mac.value(), 0);
+}
+
+TEST(MacUnit, HandlesClippedOutlierProducts)
+{
+    // Two clipped outliers: 2^15 * 2^15 = 2^30 < 2^31 - 1 (Sec. 4.5).
+    hw::MacUnit mac;
+    mac.mac(ExpInt{15, 1}, ExpInt{15, 1});
+    EXPECT_EQ(mac.value(), 1 << 30);
+    mac.mac(ExpInt{15, -1}, ExpInt{15, 1});
+    EXPECT_EQ(mac.value(), 0);
+}
+
+TEST(DotProduct, MatchesScalarReference)
+{
+    std::vector<ExpInt> a, b;
+    i64 expect = 0;
+    for (int i = 0; i < 16; ++i) {
+        const ExpInt ea{static_cast<u8>(i % 5),
+                        (i % 2) ? -(i + 1) : (i + 1)};
+        const ExpInt eb{static_cast<u8>((i + 2) % 4), 3 - i};
+        a.push_back(ea);
+        b.push_back(eb);
+        expect += ea.value() * eb.value();
+    }
+    EXPECT_EQ(hw::dotProduct(a, b), expect);
+}
+
+TEST(DotProduct, EmptyAndSingle)
+{
+    std::vector<ExpInt> empty;
+    EXPECT_EQ(hw::dotProduct(empty, empty), 0);
+    std::vector<ExpInt> a = {ExpInt{3, 7}};
+    std::vector<ExpInt> b = {ExpInt{1, -2}};
+    EXPECT_EQ(hw::dotProduct(a, b), -224); // (7 << 3) * (-2 << 1)
+}
+
+TEST(Mul8ViaFour4, ExhaustiveAgainstDirectProduct)
+{
+    // Sec. 4.5: x*y = PE0 + PE1 + PE2 + PE3 for every int8 pair.
+    for (int x = -128; x <= 127; ++x) {
+        for (int y = -128; y <= 127; y += 7) { // stride y for speed
+            const i32 got = hw::mul8ViaFour4(static_cast<i8>(x),
+                                             static_cast<i8>(y));
+            EXPECT_EQ(got, x * y) << x << " * " << y;
+        }
+    }
+}
+
+TEST(Mul8ViaFour4, PartialsSumToProduct)
+{
+    i32 partials[4];
+    const i32 got = hw::mul8ViaFour4(i8{-77}, i8{113}, partials);
+    EXPECT_EQ(got, -77 * 113);
+    EXPECT_EQ(partials[0] + partials[1] + partials[2] + partials[3], got);
+}
+
+TEST(MulAbfloat8ViaFour4, MatchesExpIntProduct)
+{
+    // 8-bit abfloat operands decode to <e, i> with 4-bit-split i.
+    for (int ex = 0; ex <= 6; ++ex) {
+        for (int ix : {9, 11, 15, -9, -13}) {
+            for (int ey = 0; ey <= 6; ey += 2) {
+                for (int iy : {8, 10, -15}) {
+                    const ExpInt x{static_cast<u8>(ex), ix};
+                    const ExpInt y{static_cast<u8>(ey), iy};
+                    EXPECT_EQ(hw::mulAbfloat8ViaFour4(x, y),
+                              x.value() * y.value())
+                        << ex << "," << ix << " x " << ey << "," << iy;
+                }
+            }
+        }
+    }
+}
+
+TEST(MacUnit, OutlierClipConstant)
+{
+    EXPECT_EQ(hw::kOutlierClip, 32768);
+    // sqrt(2^31 - 1) > 2^15: the clip guarantees no overflow.
+    EXPECT_LT(static_cast<i64>(hw::kOutlierClip) * hw::kOutlierClip,
+              static_cast<i64>(INT32_MAX) + 1);
+}
+
+} // namespace
+} // namespace olive

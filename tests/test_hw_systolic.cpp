@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the cycle-accurate output-stationary systolic array
+ * (Sec. 4.3): dataflow correctness against a reference GEMM, wavefront
+ * cycle counts, border decoder placement, and the packed-OVP
+ * end-to-end path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/systolic_pe.hpp"
+#include "quant/ovp.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace {
+
+std::vector<std::vector<ExpInt>>
+toExpInt(const std::vector<std::vector<int>> &m)
+{
+    std::vector<std::vector<ExpInt>> out(m.size());
+    for (size_t i = 0; i < m.size(); ++i) {
+        for (int v : m[i])
+            out[i].push_back(ExpInt{0, v});
+    }
+    return out;
+}
+
+TEST(Systolic, SmallGemmMatchesReference)
+{
+    const std::vector<std::vector<int>> a = {{1, 2, 3}, {4, 5, 6}};
+    const std::vector<std::vector<int>> b = {{7, 8}, {9, 10}, {11, 12}};
+    hw::SystolicArray array(2, 2);
+    array.runGemm(toExpInt(a), toExpInt(b));
+    // Reference products.
+    EXPECT_EQ(array.result(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+    EXPECT_EQ(array.result(0, 1), 1 * 8 + 2 * 10 + 3 * 12);
+    EXPECT_EQ(array.result(1, 0), 4 * 7 + 5 * 9 + 6 * 11);
+    EXPECT_EQ(array.result(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(Systolic, WavefrontCycleCount)
+{
+    hw::SystolicArray array(4, 6);
+    std::vector<std::vector<ExpInt>> a(4, std::vector<ExpInt>(10,
+                                                              ExpInt{0, 1}));
+    std::vector<std::vector<ExpInt>> b(10,
+                                       std::vector<ExpInt>(6, ExpInt{0, 1}));
+    const u64 cycles = array.runGemm(a, b);
+    // depth + rows + cols - 1 wavefront.
+    EXPECT_EQ(cycles, 10u + 4u + 6u - 1u);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 6; ++c)
+            EXPECT_EQ(array.result(r, c), 10);
+}
+
+TEST(Systolic, BorderDecoderCount)
+{
+    // Sec. 4.3: n + m decoders instead of n * m.
+    hw::SystolicArray array(64, 64);
+    EXPECT_EQ(array.decoderCount(), 128u);
+}
+
+TEST(Systolic, RandomGemmMatchesReference)
+{
+    Rng rng(11);
+    const size_t m = 5, k = 12, n = 7;
+    std::vector<std::vector<int>> a(m, std::vector<int>(k));
+    std::vector<std::vector<int>> b(k, std::vector<int>(n));
+    for (auto &row : a)
+        for (auto &v : row)
+            v = static_cast<int>(rng.uniformInt(15)) - 7;
+    for (auto &row : b)
+        for (auto &v : row)
+            v = static_cast<int>(rng.uniformInt(15)) - 7;
+
+    hw::SystolicArray array(m, n);
+    array.runGemm(toExpInt(a), toExpInt(b));
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            int ref = 0;
+            for (size_t l = 0; l < k; ++l)
+                ref += a[i][l] * b[l][j];
+            EXPECT_EQ(array.result(i, j), ref) << i << "," << j;
+        }
+    }
+}
+
+TEST(Systolic, OvpEndToEndMatchesFakeQuantGemm)
+{
+    // Full path: float data -> OVP packed bytes -> border decoders ->
+    // systolic MACs.  The integer result times scale_a * scale_b must
+    // equal the float GEMM of the fake-quantized values exactly.
+    Rng rng(42);
+    const size_t m = 4, k = 16, n = 4;
+    const float sa = 0.5f, sb = 0.25f;
+    const OvpCodec ca(NormalType::Int4, sa, sa * 7);
+    const OvpCodec cb(NormalType::Int4, sb, sb * 7);
+
+    std::vector<float> a_vals(m * k), b_vals(n * k); // b stored (n, k)
+    for (auto &v : a_vals)
+        v = static_cast<float>(rng.heavyTail(0.05, 3.5, 30.0) * sa);
+    for (auto &v : b_vals)
+        v = static_cast<float>(rng.heavyTail(0.05, 3.5, 30.0) * sb);
+
+    // Pack row-major A (m rows of k) and column-major B (n cols of k).
+    std::vector<u8> a_bytes, b_bytes;
+    for (size_t r = 0; r < m; ++r) {
+        const auto bytes = ca.encode(
+            std::span<const float>(a_vals.data() + r * k, k));
+        a_bytes.insert(a_bytes.end(), bytes.begin(), bytes.end());
+    }
+    for (size_t c = 0; c < n; ++c) {
+        const auto bytes = cb.encode(
+            std::span<const float>(b_vals.data() + c * k, k));
+        b_bytes.insert(b_bytes.end(), bytes.begin(), bytes.end());
+    }
+
+    const hw::OvpDecoder dec(NormalType::Int4);
+    u64 cycles = 0;
+    const auto result =
+        hw::systolicMatmulOvp(dec, m, k, n, a_bytes, b_bytes, &cycles);
+    EXPECT_EQ(cycles, k + m + n - 1);
+
+    // Reference: float GEMM of the round-tripped values.
+    const auto aq = ca.fakeQuant(a_vals);
+    const auto bq = cb.fakeQuant(b_vals);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double ref = 0.0;
+            for (size_t l = 0; l < k; ++l)
+                ref += static_cast<double>(aq[i * k + l]) * bq[j * k + l];
+            const double got =
+                static_cast<double>(result[i * n + j]) * sa * sb;
+            EXPECT_NEAR(got, ref, 1e-3) << i << "," << j;
+        }
+    }
+}
+
+} // namespace
+} // namespace olive

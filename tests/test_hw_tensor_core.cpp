@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the Fig. 6a tensor-core functional model: agreement with the
+ * flat ISA executor, EDP widths per precision, issue accounting, and
+ * accumulator chaining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/isa.hpp"
+#include "hw/tensor_core.hpp"
+#include "quant/ovp.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace {
+
+std::vector<u8>
+packTile(const OvpCodec &codec, const std::vector<float> &vals,
+         size_t vecs, size_t k)
+{
+    std::vector<u8> bytes;
+    for (size_t v = 0; v < vecs; ++v) {
+        const auto b = codec.encode(
+            std::span<const float>(vals.data() + v * k, k));
+        bytes.insert(bytes.end(), b.begin(), b.end());
+    }
+    return bytes;
+}
+
+std::vector<float>
+tileData(size_t n, u64 seed, double scale = 1.0)
+{
+    Rng rng(seed);
+    std::vector<float> xs(n);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.03, 3.5, 40.0) * scale);
+    return xs;
+}
+
+TEST(TensorCore, EdpWidthFollowsPrecision)
+{
+    EXPECT_EQ(hw::TensorCore(NormalType::Int4).edpWidth(), 16u);
+    EXPECT_EQ(hw::TensorCore(NormalType::Flint4).edpWidth(), 16u);
+    EXPECT_EQ(hw::TensorCore(NormalType::Int8).edpWidth(), 8u);
+}
+
+class TensorCoreVsIsa : public ::testing::TestWithParam<NormalType>
+{
+};
+
+TEST_P(TensorCoreVsIsa, MatchesIsaExecutor)
+{
+    const NormalType type = GetParam();
+    const size_t m = 4, n = 4, k = (bitWidth(type) == 4) ? 32 : 16;
+    const float s = 0.5f;
+    const OvpCodec codec(type, s, s * maxNormalMagnitude(type));
+
+    const auto a_vals = tileData(m * k, 3, s);
+    const auto b_vals = tileData(n * k, 5, s);
+    const auto a_bytes = packTile(codec, a_vals, m, k);
+    const auto b_bytes = packTile(codec, b_vals, n, k);
+
+    const hw::TensorCore core(type);
+    const auto d_core = core.mma(m, n, k, a_bytes, b_bytes);
+
+    hw::MmaInstruction inst;
+    inst.aType = (type == NormalType::Int4) ? hw::OvpOperandType::OvpInt4
+                 : (type == NormalType::Flint4)
+                     ? hw::OvpOperandType::OvpFlint4
+                     : hw::OvpOperandType::OvpInt8;
+    inst.bType = inst.aType;
+    inst.m = m;
+    inst.n = n;
+    inst.kDepth = k;
+    const auto d_isa = hw::executeMma(inst, a_bytes, b_bytes);
+    EXPECT_EQ(d_core, d_isa);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, TensorCoreVsIsa,
+                         ::testing::Values(NormalType::Int4,
+                                           NormalType::Flint4,
+                                           NormalType::Int8),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+TEST(TensorCore, IssueAccounting)
+{
+    const size_t m = 8, n = 8, k = 32;
+    const OvpCodec codec(NormalType::Int4, 1.0f, 7.0);
+    const auto a = packTile(codec, tileData(m * k, 7), m, k);
+    const auto b = packTile(codec, tileData(n * k, 9), n, k);
+
+    hw::TensorCoreStats stats;
+    const hw::TensorCore core(NormalType::Int4);
+    core.mma(m, n, k, a, b, {}, &stats);
+    // 8x8 outputs x (32/16) chunks = 128 EDP issues over 16 units.
+    EXPECT_EQ(stats.edpIssues, 128u);
+    EXPECT_EQ(stats.octetCycles, 8u);
+    EXPECT_EQ(stats.macs, 128u * 16u);
+    // One decode per pair per operand vector: (8 + 8) vectors x 16.
+    EXPECT_EQ(stats.decodeOps, 16u * 16u);
+}
+
+TEST(TensorCore, AccumulatorChaining)
+{
+    const size_t m = 2, n = 2, k = 16;
+    const OvpCodec codec(NormalType::Int4, 1.0f, 7.0);
+    const auto a = packTile(codec, tileData(m * k, 11), m, k);
+    const auto b = packTile(codec, tileData(n * k, 13), n, k);
+
+    const hw::TensorCore core(NormalType::Int4);
+    const auto d0 = core.mma(m, n, k, a, b);
+    const std::vector<i32> c = {100, -50, 7, 0};
+    const auto d1 = core.mma(m, n, k, a, b, c);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(d1[i], d0[i] + c[i]);
+}
+
+TEST(TensorCore, OutliersFlowThroughEdp)
+{
+    // A tile with a guaranteed outlier-victim pair must still match the
+    // fake-quant GEMM reference.
+    const size_t m = 1, n = 1, k = 16;
+    const float s = 1.0f;
+    const OvpCodec codec(NormalType::Int4, s, 7.0);
+    std::vector<float> a_vals(k, 1.0f);
+    a_vals[0] = 48.0f; // outlier; a_vals[1] becomes the victim
+    std::vector<float> b_vals(k, 2.0f);
+
+    const auto a = packTile(codec, a_vals, 1, k);
+    const auto b = packTile(codec, b_vals, 1, k);
+    const hw::TensorCore core(NormalType::Int4);
+    const auto d = core.mma(m, n, k, a, b);
+
+    const auto aq = codec.fakeQuant(a_vals);
+    const auto bq = codec.fakeQuant(b_vals);
+    double ref = 0.0;
+    for (size_t i = 0; i < k; ++i)
+        ref += static_cast<double>(aq[i]) * bq[i];
+    EXPECT_DOUBLE_EQ(static_cast<double>(d[0]) * s * s, ref);
+    // 48 -> abfloat bucket, victim -> 0: 48*2 + 14*1*2 = 124.
+    EXPECT_EQ(d[0], 48 * 2 + 14 * 2);
+}
+
+} // namespace
+} // namespace olive

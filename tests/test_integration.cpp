@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Cross-module integration tests: the full software-encode ->
+ * hardware-decode -> ExpInt-MAC pipeline against float references, the
+ * quantization framework against baselines on model-realistic tensors,
+ * and end-to-end consistency of the evaluation harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/perplexity.hpp"
+#include "eval/schemes.hpp"
+#include "hw/isa.hpp"
+#include "hw/systolic_pe.hpp"
+#include "models/synthetic.hpp"
+#include "nn/transformer.hpp"
+#include "quant/quantizer.hpp"
+#include "sim/runner.hpp"
+#include "tensor/gemm.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace {
+
+TEST(Integration, CalibratedCodecThroughHardwarePath)
+{
+    // Calibrate the framework on a model-realistic tensor, then verify
+    // the packed stream through the bit-exact hardware decoder equals
+    // the software round trip element-for-element.
+    const auto config = models::bertBase();
+    Rng rng(3);
+    Tensor w({128, 128});
+    models::fillOutlierTensor(w, 0.09, config.profile.weightOutlierProb,
+                              config.profile.clusterProb, 40.0, rng);
+
+    const OliveQuantizer quantizer;
+    const QuantDecision d = quantizer.calibrate(w.data());
+    const OvpCodec codec = quantizer.makeCodec(d);
+
+    const auto bytes = codec.encode(w.data());
+    const auto sw = codec.decode(bytes, w.size());
+
+    const hw::OvpDecoder dec(d.normal);
+    const size_t bpp = codec.bytesPerPair();
+    for (size_t p = 0; p < w.size() / 2; ++p) {
+        hw::DecodedPair pair;
+        if (bpp == 1)
+            pair = dec.decodeByte(bytes[p]);
+        else
+            pair = dec.decodeBytes(bytes[2 * p], bytes[2 * p + 1]);
+        EXPECT_FLOAT_EQ(
+            static_cast<float>(pair.first.value()) * d.scale, sw[2 * p]);
+        EXPECT_FLOAT_EQ(
+            static_cast<float>(pair.second.value()) * d.scale,
+            sw[2 * p + 1]);
+    }
+}
+
+TEST(Integration, MmaOvpTileEqualsFloatGemmOfFakeQuant)
+{
+    // A full mmaovp GEMM tile (software encode of calibrated tensors,
+    // ISA executor) must equal the float GEMM of the fake-quantized
+    // values up to the two scale factors — the property that makes the
+    // quantization framework and the accelerator numerically one
+    // system.
+    Rng rng(17);
+    const size_t m = 8, n = 8, k = 32;
+    std::vector<float> a_vals(m * k), b_vals(n * k);
+    for (auto &v : a_vals)
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 50.0));
+    for (auto &v : b_vals)
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 90.0) * 0.02);
+
+    const OliveQuantizer quantizer;
+    const QuantDecision da = quantizer.calibrate(a_vals);
+    const QuantDecision db = quantizer.calibrate(b_vals);
+    const OvpCodec ca = quantizer.makeCodec(da);
+    const OvpCodec cb = quantizer.makeCodec(db);
+
+    hw::MmaInstruction inst;
+    inst.aType = (da.normal == NormalType::Flint4)
+                     ? hw::OvpOperandType::OvpFlint4
+                     : hw::OvpOperandType::OvpInt4;
+    inst.bType = (db.normal == NormalType::Flint4)
+                     ? hw::OvpOperandType::OvpFlint4
+                     : hw::OvpOperandType::OvpInt4;
+    inst.m = m;
+    inst.n = n;
+    inst.kDepth = k;
+
+    std::vector<u8> a_bytes, b_bytes;
+    for (size_t r = 0; r < m; ++r) {
+        const auto bytes = ca.encode(
+            std::span<const float>(a_vals.data() + r * k, k));
+        a_bytes.insert(a_bytes.end(), bytes.begin(), bytes.end());
+    }
+    for (size_t c = 0; c < n; ++c) {
+        const auto bytes = cb.encode(
+            std::span<const float>(b_vals.data() + c * k, k));
+        b_bytes.insert(b_bytes.end(), bytes.begin(), bytes.end());
+    }
+
+    const auto d_tile = hw::executeMma(inst, a_bytes, b_bytes);
+    const auto aq = ca.fakeQuant(a_vals);
+    const auto bq = cb.fakeQuant(b_vals);
+    for (size_t r = 0; r < m; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+            double ref = 0.0;
+            for (size_t l = 0; l < k; ++l)
+                ref += static_cast<double>(aq[r * k + l]) * bq[c * k + l];
+            const double got = static_cast<double>(d_tile[r * n + c]) *
+                               da.scale * db.scale;
+            EXPECT_NEAR(got, ref, std::max(1e-3, std::fabs(ref) * 1e-5));
+        }
+    }
+}
+
+TEST(Integration, SystolicArrayAgreesWithIsaExecutor)
+{
+    // The cycle-accurate systolic array and the tensor-core ISA
+    // executor implement the same arithmetic.
+    Rng rng(23);
+    const size_t m = 4, n = 4, k = 16;
+    const float s = 0.5f;
+    const OvpCodec codec(NormalType::Int4, s, s * 7);
+
+    std::vector<float> a_vals(m * k), b_vals(n * k);
+    for (auto &v : a_vals)
+        v = static_cast<float>(rng.heavyTail(0.05, 3.5, 30.0) * s);
+    for (auto &v : b_vals)
+        v = static_cast<float>(rng.heavyTail(0.05, 3.5, 30.0) * s);
+
+    std::vector<u8> a_bytes, b_bytes;
+    for (size_t r = 0; r < m; ++r) {
+        const auto bytes = codec.encode(
+            std::span<const float>(a_vals.data() + r * k, k));
+        a_bytes.insert(a_bytes.end(), bytes.begin(), bytes.end());
+    }
+    for (size_t c = 0; c < n; ++c) {
+        const auto bytes = codec.encode(
+            std::span<const float>(b_vals.data() + c * k, k));
+        b_bytes.insert(b_bytes.end(), bytes.begin(), bytes.end());
+    }
+
+    const hw::OvpDecoder dec(NormalType::Int4);
+    const auto sa_result =
+        hw::systolicMatmulOvp(dec, m, k, n, a_bytes, b_bytes);
+
+    hw::MmaInstruction inst;
+    inst.m = m;
+    inst.n = n;
+    inst.kDepth = k;
+    const auto tc_result = hw::executeMma(inst, a_bytes, b_bytes);
+
+    for (size_t i = 0; i < m * n; ++i)
+        EXPECT_EQ(sa_result[i], tc_result[i]) << i;
+}
+
+TEST(Integration, QuantizedBackboneGemmConsistency)
+{
+    // Re-quantizing an already-quantized backbone must be nearly
+    // lossless: the second pass recalibrates on quantized data, so its
+    // additional error must be far below the first pass's quantization
+    // error.
+    const auto config = models::bertBase();
+    auto small = config;
+    small.evalLayers = 1;
+    small.evalDModel = 32;
+    small.evalHeads = 2;
+    small.evalDFf = 64;
+    const auto backbone = models::makeBackbone(small, 5);
+    OliveScheme olive(4);
+    const auto q1 = nn::quantizeTransformer(backbone, olive);
+    const auto q2 = nn::quantizeTransformer(q1, olive);
+    const auto w0 = backbone.weightMatrices();
+    const auto w1 = q1.weightMatrices();
+    const auto w2 = q2.weightMatrices();
+    for (size_t i = 0; i < w1.size(); ++i) {
+        const double first_err = stats::mse(w0[i]->data(), w1[i]->data());
+        const double second_err = stats::mse(w1[i]->data(), w2[i]->data());
+        EXPECT_LT(second_err, 0.25 * first_err + 1e-12) << i;
+    }
+}
+
+TEST(Integration, SchemesRankByMseOnModelTensors)
+{
+    // On model-realistic outlier tensors the reconstruction quality
+    // must rank: olive8 > olive4 > {os6} > {int4} at equal-or-fewer
+    // bits, the relationship the accuracy results build on.
+    const auto config = models::opt67b();
+    Rng rng(29);
+    Tensor t({1u << 16});
+    models::fillOutlierTensor(t, 1.0, 0.006,
+                              config.profile.clusterProb, 150.0, rng);
+    const auto xs = t.data();
+
+    auto mse_of = [&](const char *id) {
+        const SchemePtr s = eval::makeScheme(id);
+        const auto rt = s->apply(xs, TensorKind::Weight);
+        return stats::mse(xs, rt);
+    };
+    const double olive8 = mse_of("olive8");
+    const double olive4 = mse_of("olive4");
+    const double int4 = mse_of("int4");
+    EXPECT_LT(olive8, olive4);
+    EXPECT_LT(olive4 * 1.5, int4);
+}
+
+TEST(Integration, SimulatorsAgreeOnDesignOrdering)
+{
+    // Both platforms must rank OliVe first on every model.
+    const auto fig9 = sim::runFigure9();
+    for (size_t m = 0; m < fig9.modelNames.size(); ++m) {
+        for (size_t d = 1; d < fig9.designs.size(); ++d) {
+            EXPECT_GT(fig9.designs[0].speedup[m],
+                      fig9.designs[d].speedup[m])
+                << fig9.modelNames[m] << " vs " << fig9.designs[d].design;
+        }
+    }
+    const auto fig10 = sim::runFigure10();
+    for (size_t m = 0; m < fig10.modelNames.size(); ++m) {
+        for (size_t d = 1; d < fig10.designs.size(); ++d) {
+            EXPECT_GT(fig10.designs[0].speedup[m],
+                      fig10.designs[d].speedup[m])
+                << fig10.modelNames[m];
+        }
+    }
+}
+
+TEST(Integration, EndToEndLmPipelineSmoke)
+{
+    // Build an LM, calibrate, quantize, and verify the basic Table 9
+    // relationships hold at smoke-test scale.
+    auto config = models::gpt2Xl();
+    config.evalLayers = 2;
+    config.evalDModel = 64;
+    config.evalDFf = 128;
+    config.evalVocab = 256;
+    eval::LmModel lm = eval::makeLm(config, 21);
+    const auto text = eval::calibrateToTarget(lm, 15.0, 12, 10, 99);
+    const double fp32 = eval::perplexity(lm, text);
+    EXPECT_GT(fp32, 5.0);
+    EXPECT_LT(fp32, 60.0);
+    const double olive8 = eval::table9Cell(lm, text, "olive8");
+    const double int4 = eval::table9Cell(lm, text, "int4");
+    EXPECT_LT(olive8, int4);
+}
+
+} // namespace
+} // namespace olive

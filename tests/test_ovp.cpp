@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests of the outlier-victim pair encoding (Sec. 3, Algorithm 1):
+ * branch behaviour, identifier placement, packing alignment, round
+ * trips, and the pair census machinery behind Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/ovp.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace {
+
+OvpCodec
+makeInt4Codec()
+{
+    // scale 1.0: grid == real values; threshold just above int4's 7.
+    return OvpCodec(NormalType::Int4, 1.0f, 7.0);
+}
+
+TEST(Ovp, DefaultBiases)
+{
+    EXPECT_EQ(defaultAbfloatBias(NormalType::Int4), 2);
+    EXPECT_EQ(defaultAbfloatBias(NormalType::Flint4), 3);
+    EXPECT_EQ(defaultAbfloatBias(NormalType::Int8), 4);
+}
+
+TEST(Ovp, NormalNormalPairKeepsBothValues)
+{
+    const OvpCodec codec = makeInt4Codec();
+    u32 c1, c2;
+    codec.encodePair(3.0f, -5.0f, c1, c2);
+    float v1, v2;
+    codec.decodePair(c1, c2, v1, v2);
+    EXPECT_FLOAT_EQ(v1, 3.0f);
+    EXPECT_FLOAT_EQ(v2, -5.0f);
+}
+
+TEST(Ovp, LeftOutlierGetsRightVictim)
+{
+    // Algorithm 1 branch 1: val1 beyond the threshold -> out2 is the
+    // identifier (the victim slot), out1 the abfloat outlier.
+    const OvpCodec codec = makeInt4Codec();
+    u32 c1, c2;
+    codec.encodePair(30.0f, 2.0f, c1, c2);
+    EXPECT_EQ(c2, outlierIdentifier(NormalType::Int4));
+    EXPECT_NE(c1, outlierIdentifier(NormalType::Int4));
+    float v1, v2;
+    codec.decodePair(c1, c2, v1, v2);
+    EXPECT_FLOAT_EQ(v2, 0.0f) << "victim must decode to zero";
+    EXPECT_NEAR(v1, 30.0f, 4.0f) << "outlier preserved coarsely";
+}
+
+TEST(Ovp, RightOutlierGetsLeftVictim)
+{
+    const OvpCodec codec = makeInt4Codec();
+    u32 c1, c2;
+    codec.encodePair(2.0f, -98.0f, c1, c2); // the Fig. 1b example
+    EXPECT_EQ(c1, outlierIdentifier(NormalType::Int4));
+    float v1, v2;
+    codec.decodePair(c1, c2, v1, v2);
+    EXPECT_FLOAT_EQ(v1, 0.0f);
+    EXPECT_NEAR(v2, -96.0f, 1e-4) << "-98 quantizes to -96 (E2M1 bias 2)";
+}
+
+TEST(Ovp, OutlierOutlierPrunesTheSmaller)
+{
+    const OvpCodec codec = makeInt4Codec();
+    u32 c1, c2;
+    codec.encodePair(40.0f, -90.0f, c1, c2);
+    // |v2| > |v1|: v1 becomes the victim even though it is an outlier.
+    EXPECT_EQ(c1, outlierIdentifier(NormalType::Int4));
+    float v1, v2;
+    codec.decodePair(c1, c2, v1, v2);
+    EXPECT_FLOAT_EQ(v1, 0.0f);
+    EXPECT_NEAR(v2, -96.0f, 1e-4);
+}
+
+TEST(Ovp, TieBreaksToLeftOutlier)
+{
+    const OvpCodec codec = makeInt4Codec();
+    u32 c1, c2;
+    codec.encodePair(50.0f, -50.0f, c1, c2);
+    EXPECT_EQ(c2, outlierIdentifier(NormalType::Int4));
+}
+
+TEST(Ovp, NegativeLeftOutlier)
+{
+    const OvpCodec codec = makeInt4Codec();
+    u32 c1, c2;
+    codec.encodePair(-60.0f, 1.0f, c1, c2);
+    EXPECT_EQ(c2, outlierIdentifier(NormalType::Int4));
+    float v1, v2;
+    codec.decodePair(c1, c2, v1, v2);
+    EXPECT_LT(v1, -40.0f);
+    EXPECT_FLOAT_EQ(v2, 0.0f);
+}
+
+class OvpTypeTest : public ::testing::TestWithParam<NormalType>
+{
+};
+
+TEST_P(OvpTypeTest, PackedStreamIsByteAligned)
+{
+    const NormalType type = GetParam();
+    const OvpCodec codec(type, 0.5f,
+                         0.5 * maxNormalMagnitude(type));
+    Rng rng(7);
+    std::vector<float> xs(256);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.gaussian(0.0, 2.0));
+    const auto bytes = codec.encode(xs);
+    // Memory alignment: exactly count/2 pairs, bytesPerPair each, no
+    // side tables and no index stream.
+    EXPECT_EQ(bytes.size(), xs.size() / 2 * codec.bytesPerPair());
+}
+
+TEST_P(OvpTypeTest, RoundTripPreservesNormalsExactlyOnGrid)
+{
+    const NormalType type = GetParam();
+    const float scale = 0.25f;
+    const OvpCodec codec(type, scale,
+                         scale * maxNormalMagnitude(type));
+    // Grid-aligned normal values survive exactly.
+    std::vector<float> xs;
+    for (int v : valueTable(type)) {
+        xs.push_back(static_cast<float>(v) * scale);
+        xs.push_back(0.0f);
+    }
+    const auto rt = codec.fakeQuant(xs);
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_FLOAT_EQ(rt[i], xs[i]) << toString(type) << " i=" << i;
+}
+
+TEST_P(OvpTypeTest, DecodeInvertsEncodeOnRandomData)
+{
+    const NormalType type = GetParam();
+    const float scale = 0.1f;
+    const OvpCodec codec(type, scale,
+                         scale * maxNormalMagnitude(type));
+    Rng rng(13);
+    std::vector<float> xs(1000);
+    for (auto &v : xs) {
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 60.0) * 0.3);
+    }
+    // fakeQuant twice must be idempotent (quantized values are fixed
+    // points of the codec).
+    const auto q1 = codec.fakeQuant(xs);
+    const auto q2 = codec.fakeQuant(q1);
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(q1[i], q2[i], 1e-4) << toString(type) << " i=" << i;
+}
+
+TEST_P(OvpTypeTest, OddLengthHandled)
+{
+    const NormalType type = GetParam();
+    const OvpCodec codec(type, 1.0f, maxNormalMagnitude(type));
+    std::vector<float> xs = {1.0f, 2.0f, 3.0f};
+    const auto rt = codec.fakeQuant(xs);
+    ASSERT_EQ(rt.size(), 3u);
+    EXPECT_FLOAT_EQ(rt[0], 1.0f);
+    EXPECT_FLOAT_EQ(rt[2], 3.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, OvpTypeTest,
+                         ::testing::Values(NormalType::Int4,
+                                           NormalType::Flint4,
+                                           NormalType::Int8),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+TEST(Ovp, StatsCountOutlierPairs)
+{
+    const OvpCodec codec = makeInt4Codec();
+    const std::vector<float> xs = {1.0f, 2.0f,  30.0f, 1.0f,
+                                   1.0f, -40.0f, 50.0f, 60.0f};
+    OvpStats stats;
+    codec.encode(xs, &stats);
+    EXPECT_EQ(stats.pairs, 4u);
+    EXPECT_EQ(stats.outlierPairs, 3u);
+    EXPECT_EQ(stats.prunedOutliers, 1u); // the (50, 60) pair
+}
+
+TEST(Ovp, PairCensusMatchesConstructedData)
+{
+    // 100 pairs: 90 normal-normal, 8 outlier-normal, 2 outlier-outlier.
+    Rng rng(3);
+    std::vector<float> xs;
+    auto normal = [&] { return static_cast<float>(rng.gaussian() * 0.5); };
+    for (int i = 0; i < 90; ++i) {
+        xs.push_back(normal());
+        xs.push_back(normal());
+    }
+    for (int i = 0; i < 8; ++i) {
+        xs.push_back(50.0f);
+        xs.push_back(normal());
+    }
+    for (int i = 0; i < 2; ++i) {
+        xs.push_back(50.0f);
+        xs.push_back(-60.0f);
+    }
+    const PairCensus c = pairCensus(xs, 3.0);
+    EXPECT_EQ(c.total(), 100u);
+    EXPECT_EQ(c.outlierOutlier, 2u);
+    EXPECT_EQ(c.outlierNormal, 8u);
+    EXPECT_EQ(c.normalNormal, 90u);
+    EXPECT_NEAR(c.outlierNormalPct(), 8.0, 1e-9);
+}
+
+TEST(Ovp, FakeQuantMseBeatsClippingOnOutlierData)
+{
+    // The whole point of OVP: on outlier-bearing tensors its MSE beats
+    // the same normal type without the outlier path (i.e. clipping).
+    Rng rng(21);
+    std::vector<float> xs(4096);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 80.0));
+
+    const double sigma = stats::stddev(xs);
+    const float scale = static_cast<float>(3.0 * sigma / 7.0);
+    const OvpCodec ovp(NormalType::Int4, scale, 3.0 * sigma);
+    const auto with_outliers = ovp.fakeQuant(xs);
+
+    // Clipping baseline: same grid, all outliers saturate to 7*scale.
+    const NormalCodec plain(NormalType::Int4);
+    std::vector<float> clipped(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        clipped[i] = plain.decode(plain.encode(xs[i], scale), scale);
+
+    EXPECT_LT(stats::mse(xs, with_outliers) * 3.0, stats::mse(xs, clipped))
+        << "OVP should reduce MSE by far more than 3x on this tensor";
+}
+
+TEST(Ovp, VictimPruningCostIsBounded)
+{
+    // Victims are values adjacent to outliers; with ~1% outliers the
+    // fraction of zeroed normal values must stay ~1%.
+    Rng rng(5);
+    std::vector<float> xs(20000);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 50.0));
+    const double sigma = stats::stddev(xs);
+    const OvpCodec codec(NormalType::Int4,
+                         static_cast<float>(3.0 * sigma / 7.0), 3.0 * sigma);
+    OvpStats st;
+    codec.encode(xs, &st);
+    const double victim_frac =
+        static_cast<double>(st.outlierPairs) / static_cast<double>(xs.size());
+    EXPECT_LT(victim_frac, 0.03);
+}
+
+TEST(Ovp, EightBitOutlierUsesE4M3)
+{
+    const OvpCodec codec(NormalType::Int8, 1.0f, 127.0);
+    EXPECT_EQ(codec.outlierType().expBits(), 4);
+    EXPECT_EQ(codec.outlierType().mantBits(), 3);
+    EXPECT_EQ(codec.outlierType().bias(), 4);
+    EXPECT_EQ(codec.bytesPerPair(), 2u);
+
+    u32 c1, c2;
+    codec.encodePair(500.0f, 3.0f, c1, c2);
+    EXPECT_EQ(c2, 0x80u);
+    float v1, v2;
+    codec.decodePair(c1, c2, v1, v2);
+    EXPECT_NEAR(v1, 500.0f, 32.0f);
+    EXPECT_FLOAT_EQ(v2, 0.0f);
+}
+
+TEST(Ovp, OutlierClipAt2Pow15)
+{
+    // Sec. 4.5: outlier grid magnitudes clip at 2^15 to protect the
+    // int32 accumulator.
+    const OvpCodec codec(NormalType::Int8, 1.0f, 127.0);
+    u32 c1, c2;
+    codec.encodePair(1e9f, 0.0f, c1, c2);
+    float v1, v2;
+    codec.decodePair(c1, c2, v1, v2);
+    EXPECT_LE(std::fabs(v1), 32768.0f);
+}
+
+} // namespace
+} // namespace olive

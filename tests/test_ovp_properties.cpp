@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Property-based sweeps over the OVP codec and abfloat formats:
+ * invariants that must hold for every (data type, threshold, bias)
+ * combination rather than for hand-picked examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/abfloat.hpp"
+#include "quant/ovp.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace {
+
+using CodecParam = std::tuple<NormalType, double>; // type, threshold mult
+
+class OvpCodecProperty : public ::testing::TestWithParam<CodecParam>
+{
+  protected:
+    OvpCodec
+    makeCodec() const
+    {
+        const auto [type, mult] = GetParam();
+        const double threshold = mult * 3.0; // sigma = 1 data
+        const float scale =
+            static_cast<float>(threshold / maxNormalMagnitude(type));
+        return OvpCodec(type, scale, threshold);
+    }
+
+    std::vector<float>
+    makeData(u64 seed, size_t n = 4096) const
+    {
+        Rng rng(seed);
+        std::vector<float> xs(n);
+        for (auto &v : xs)
+            v = static_cast<float>(rng.heavyTail(0.01, 3.3, 90.0));
+        return xs;
+    }
+};
+
+TEST_P(OvpCodecProperty, StreamSizeIsExactlyAligned)
+{
+    const OvpCodec codec = makeCodec();
+    for (size_t n : {2u, 10u, 11u, 1000u, 4097u}) {
+        const auto xs = makeData(n, n);
+        const auto bytes = codec.encode(xs);
+        EXPECT_EQ(bytes.size(), (n + 1) / 2 * codec.bytesPerPair()) << n;
+    }
+}
+
+TEST_P(OvpCodecProperty, AtMostOneIdentifierPerPair)
+{
+    const OvpCodec codec = makeCodec();
+    const auto xs = makeData(7);
+    const auto bytes = codec.encode(xs);
+    const u32 identifier = outlierIdentifier(codec.normalType());
+    const size_t bpp = codec.bytesPerPair();
+    for (size_t p = 0; p < bytes.size() / bpp; ++p) {
+        u32 c1, c2;
+        if (bpp == 1) {
+            c1 = bytes[p] & 0xF;
+            c2 = (bytes[p] >> 4) & 0xF;
+        } else {
+            c1 = bytes[2 * p];
+            c2 = bytes[2 * p + 1];
+        }
+        EXPECT_FALSE(c1 == identifier && c2 == identifier) << p;
+    }
+}
+
+TEST_P(OvpCodecProperty, RoundTripErrorBoundedForNormals)
+{
+    // Every below-threshold value must reconstruct within half a grid
+    // step (nearest-value quantization) unless it was victimized.
+    const OvpCodec codec = makeCodec();
+    const auto xs = makeData(13);
+    const auto rt = codec.fakeQuant(xs);
+    const double grid = codec.scale();
+    size_t victims = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (std::fabs(xs[i]) > codec.threshold())
+            continue; // outlier path checked separately
+        if (rt[i] == 0.0f) {
+            // Either a legitimate round-to-zero or a victim sacrificed
+            // for a neighbouring outlier; count the meaningful ones.
+            if (std::fabs(xs[i]) > grid)
+                ++victims;
+            continue;
+        }
+        // flint's non-uniform grid is coarser near its top: allow the
+        // local step, which is at most half the value plus one grid.
+        const double tol =
+            (codec.normalType() == NormalType::Flint4)
+                ? std::max(grid, 0.34 * std::fabs(xs[i])) + 1e-5
+                : 0.51 * grid + 1e-5;
+        EXPECT_NEAR(rt[i], xs[i], tol) << i;
+    }
+    // Victims must stay a small minority.
+    EXPECT_LT(victims, xs.size() / 20);
+}
+
+TEST_P(OvpCodecProperty, OutliersPreservedWithinAbfloatStep)
+{
+    const OvpCodec codec = makeCodec();
+    const auto xs = makeData(17);
+    const auto rt = codec.fakeQuant(xs);
+    const double abmax = codec.outlierType().maxValue() * codec.scale();
+    const double abmin = codec.outlierType().minNonzero() * codec.scale();
+    for (size_t i = 0; i < xs.size(); i += 2) {
+        const bool left_bigger = std::fabs(xs[i]) >= std::fabs(xs[i + 1]);
+        const size_t keep = left_bigger ? i : i + 1;
+        const double v = std::fabs(xs[keep]);
+        // Skip normals, saturating extremes, and the (threshold, abfloat
+        // minimum) gap where values promote up to the smallest outlier
+        // code by design (Sec. 3.3: the ranges are complementary, not
+        // overlapping).
+        if (v <= codec.threshold() || v >= abmax || v < abmin)
+            continue;
+        // The surviving outlier must reconstruct within ~35 % (E2M1's
+        // coarsest relative step is 4/3 between buckets).
+        EXPECT_NEAR(rt[keep], xs[keep], 0.35 * v + 2.0 * codec.scale())
+            << keep;
+    }
+}
+
+TEST_P(OvpCodecProperty, DeterministicEncoding)
+{
+    const OvpCodec codec = makeCodec();
+    const auto xs = makeData(23);
+    EXPECT_EQ(codec.encode(xs), codec.encode(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OvpCodecProperty,
+    ::testing::Combine(::testing::Values(NormalType::Int4,
+                                         NormalType::Flint4,
+                                         NormalType::Int8),
+                       ::testing::Values(0.8, 1.0, 1.5, 2.5)),
+    [](const auto &info) {
+        return toString(std::get<0>(info.param)) + "_t" +
+               std::to_string(
+                   static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// ------------------------------------------------------ abfloat sweeps
+
+class AbfloatProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(AbfloatProperty, EncodeIsMonotoneInMagnitude)
+{
+    const auto [eb, mb, bias] = GetParam();
+    const AbFloat f(eb, mb, bias);
+    double prev = 0.0;
+    for (double mag = 0.3; mag < 2.0 * f.maxValue(); mag *= 1.09) {
+        const double q = f.decode(f.encode(mag));
+        EXPECT_GE(q + 1e-12, prev) << f.name() << " at " << mag;
+        prev = q;
+    }
+}
+
+TEST_P(AbfloatProperty, NegationSymmetry)
+{
+    const auto [eb, mb, bias] = GetParam();
+    const AbFloat f(eb, mb, bias);
+    for (double mag = 0.7; mag < 1.5 * f.maxValue(); mag *= 1.37) {
+        EXPECT_DOUBLE_EQ(f.decode(f.encode(-mag)),
+                         -f.decode(f.encode(mag)))
+            << f.name();
+    }
+}
+
+TEST_P(AbfloatProperty, AllCodesDecodeFinite)
+{
+    const auto [eb, mb, bias] = GetParam();
+    const AbFloat f(eb, mb, bias);
+    const u32 n = 1u << f.codeWidth();
+    for (u32 code = 0; code < n; ++code) {
+        const double v = f.decode(code);
+        EXPECT_TRUE(std::isfinite(v)) << f.name() << " code " << code;
+        EXPECT_LE(std::fabs(v), f.maxValue()) << f.name();
+    }
+}
+
+TEST_P(AbfloatProperty, BiasShiftsRangeMultiplicatively)
+{
+    const auto [eb, mb, bias] = GetParam();
+    const AbFloat base(eb, mb, bias);
+    const AbFloat shifted(eb, mb, bias + 1);
+    EXPECT_DOUBLE_EQ(shifted.maxValue(), 2.0 * base.maxValue());
+    EXPECT_DOUBLE_EQ(shifted.minNonzero(), 2.0 * base.minNonzero());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, AbfloatProperty,
+    ::testing::Values(std::make_tuple(2, 1, 0), std::make_tuple(2, 1, 2),
+                      std::make_tuple(2, 1, 3), std::make_tuple(4, 3, 0),
+                      std::make_tuple(4, 3, 4), std::make_tuple(1, 2, 2),
+                      std::make_tuple(3, 0, 1), std::make_tuple(0, 3, 3)));
+
+} // namespace
+} // namespace olive

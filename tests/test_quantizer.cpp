@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of the OliVe per-tensor quantizer (Sec. 3.4): MSE threshold
+ * search behaviour, adaptive type selection, and superiority over
+ * clipping baselines on outlier-bearing tensors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/uniform.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/distribution.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace {
+
+std::vector<float>
+outlierTensor(size_t n, double outlier_prob, double max_sigma, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<float> xs(n);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(outlier_prob, 3.5, max_sigma));
+    return xs;
+}
+
+TEST(Quantizer, CalibrationProducesConsistentDecision)
+{
+    const auto xs = outlierTensor(8192, 0.008, 100.0, 1);
+    const OliveQuantizer q;
+    const QuantDecision d1 = q.calibrate(xs);
+    const QuantDecision d2 = q.calibrate(xs);
+    EXPECT_EQ(d1.normal, d2.normal);
+    EXPECT_FLOAT_EQ(d1.scale, d2.scale);
+    EXPECT_DOUBLE_EQ(d1.threshold, d2.threshold);
+}
+
+TEST(Quantizer, ThresholdIsNearThreeSigma)
+{
+    // The search is seeded at 3 sigma and the optimum for a Gaussian
+    // bulk plus sparse tail should stay within the search bracket.
+    const auto xs = outlierTensor(16384, 0.006, 80.0, 2);
+    const double sigma = stats::stddev(xs);
+    const OliveQuantizer q;
+    const QuantDecision d = q.calibrate(xs);
+    EXPECT_GT(d.threshold, 0.3 * 3.0 * sigma);
+    EXPECT_LT(d.threshold, 3.5 * 3.0 * sigma);
+}
+
+TEST(Quantizer, ScaleTiedToThreshold)
+{
+    const auto xs = outlierTensor(4096, 0.01, 60.0, 3);
+    const OliveQuantizer q;
+    const QuantDecision d = q.calibrate(xs);
+    EXPECT_NEAR(d.scale * maxNormalMagnitude(d.normal), d.threshold,
+                1e-4 * d.threshold);
+}
+
+TEST(Quantizer, FourBitBeatsUniformInt4OnOutlierTensors)
+{
+    const auto xs = outlierTensor(16384, 0.008, 120.0, 4);
+    const OliveQuantizer q;
+    const auto olive_rt = q.fakeQuant(xs);
+    const float u_scale = searchUniformScale(xs, 7);
+    const auto int4_rt = uniformFakeQuant(xs, u_scale, 7);
+    EXPECT_LT(stats::mse(xs, olive_rt) * 2.0, stats::mse(xs, int4_rt));
+}
+
+TEST(Quantizer, EightBitModeUsesInt8)
+{
+    OliveConfig cfg;
+    cfg.bits = 8;
+    const OliveQuantizer q(cfg);
+    const auto xs = outlierTensor(4096, 0.01, 200.0, 5);
+    const QuantDecision d = q.calibrate(xs);
+    EXPECT_EQ(d.normal, NormalType::Int8);
+}
+
+TEST(Quantizer, EightBitNearLossless)
+{
+    OliveConfig cfg;
+    cfg.bits = 8;
+    const OliveQuantizer q(cfg);
+    const auto xs = outlierTensor(8192, 0.01, 300.0, 6);
+    const auto rt = q.fakeQuant(xs);
+    EXPECT_GT(stats::sqnrDb(xs, rt), 26.0)
+        << "8-bit OliVe should be ~transparent even with 300-sigma tails";
+}
+
+TEST(Quantizer, AdaptiveTypeSelectsFlintForLongTails)
+{
+    // A smooth long-tailed (Laplacian-ish) tensor without extreme
+    // outliers favours flint's non-uniform grid.
+    Rng rng(7);
+    std::vector<float> laplace(16384);
+    for (auto &v : laplace) {
+        const double u = rng.uniform() - 0.5;
+        v = static_cast<float>(
+            -std::copysign(std::log(1.0 - 2.0 * std::fabs(u)), u));
+    }
+    OliveConfig cfg;
+    cfg.adaptiveType = true;
+    const OliveQuantizer q(cfg);
+    const QuantDecision lap_d = q.calibrate(laplace);
+
+    // A uniform-ish tensor favours int4's even grid.
+    std::vector<float> uniform(16384);
+    for (auto &v : uniform)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const QuantDecision uni_d = q.calibrate(uniform);
+    EXPECT_EQ(uni_d.normal, NormalType::Int4);
+    // The Laplacian must do at least as well with its chosen type as
+    // with int4 forced.
+    OliveConfig forced;
+    forced.adaptiveType = false;
+    forced.forcedType = NormalType::Int4;
+    const QuantDecision forced_d =
+        OliveQuantizer(forced).calibrate(laplace);
+    EXPECT_LE(lap_d.mse, forced_d.mse * 1.0001);
+}
+
+TEST(Quantizer, MseDecreasesWithMoreBits)
+{
+    const auto xs = outlierTensor(8192, 0.008, 100.0, 8);
+    OliveConfig c4, c8;
+    c4.bits = 4;
+    c8.bits = 8;
+    const auto rt4 = OliveQuantizer(c4).fakeQuant(xs);
+    const auto rt8 = OliveQuantizer(c8).fakeQuant(xs);
+    EXPECT_LT(stats::mse(xs, rt8), stats::mse(xs, rt4));
+}
+
+TEST(Quantizer, HandlesPureGaussian)
+{
+    Rng rng(9);
+    std::vector<float> xs(4096);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.gaussian());
+    const OliveQuantizer q;
+    const auto rt = q.fakeQuant(xs);
+    EXPECT_GT(stats::sqnrDb(xs, rt), 15.0);
+}
+
+TEST(Quantizer, HandlesConstantNonzeroTensor)
+{
+    std::vector<float> xs(128, 2.5f);
+    const OliveQuantizer q;
+    const auto rt = q.fakeQuant(xs);
+    for (float v : rt)
+        EXPECT_NEAR(v, 2.5f, 0.3f);
+}
+
+TEST(Quantizer, LargeTensorUsesSampling)
+{
+    // 1M elements must calibrate quickly via the pair-aligned sample.
+    const auto xs = outlierTensor(1u << 20, 0.005, 60.0, 10);
+    const OliveQuantizer q;
+    const QuantDecision d = q.calibrate(xs);
+    EXPECT_GT(d.threshold, 0.0);
+    const OvpCodec codec = q.makeCodec(d);
+    const auto rt = codec.fakeQuant(xs);
+    EXPECT_GT(stats::sqnrDb(xs, rt), 10.0);
+}
+
+} // namespace
+} // namespace olive

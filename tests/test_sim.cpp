@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests of the performance/energy simulators: design descriptors, model
+ * mechanics (precision-scaled throughput, L2 panel passes, iso-area PE
+ * counts), and the qualitative orderings the paper's Figs. 9/10 rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/config.hpp"
+#include "models/workload.hpp"
+#include "sim/design.hpp"
+#include "sim/gpu.hpp"
+#include "sim/runner.hpp"
+#include "sim/systolic.hpp"
+
+namespace olive {
+namespace {
+
+// ---------------------------------------------------------------- designs
+
+TEST(Design, GpuDescriptors)
+{
+    EXPECT_EQ(sim::gpuOlive().computeBits, 4.0);
+    EXPECT_EQ(sim::gpuInt8().computeBits, 8.0);
+    EXPECT_TRUE(sim::gpuGobo().fp16Compute);
+    EXPECT_EQ(sim::gpuGobo().weightBitsOnchip, 16.0)
+        << "GOBO decompresses only at the DRAM boundary";
+    EXPECT_NEAR(sim::gpuAnt().int8Fraction, 0.8, 1e-9);
+    EXPECT_EQ(sim::figure9Designs().size(), 4u);
+}
+
+TEST(Design, AccelDescriptors)
+{
+    EXPECT_NEAR(sim::accelOlaccel().controllerAreaFrac, 0.71 / 1.71, 1e-6);
+    EXPECT_GT(sim::accelAdafloat().peAreaUm2,
+              3.0 * sim::accelOlive().peAreaUm2);
+    EXPECT_EQ(sim::figure10Designs().size(), 4u);
+}
+
+// -------------------------------------------------------------- GPU model
+
+TEST(GpuModel, OliveFasterThanFp16)
+{
+    const sim::GpuModel model;
+    const auto ops = models::inferenceGemms(models::bertBase());
+    const double fp16 = model.run(ops, sim::gpuFp16()).cycles;
+    const double olive = model.run(ops, sim::gpuOlive()).cycles;
+    EXPECT_GT(fp16 / olive, 2.5);
+    EXPECT_LT(fp16 / olive, 8.0);
+}
+
+TEST(GpuModel, SpeedupOrderingMatchesFig9)
+{
+    const sim::GpuModel model;
+    for (const auto &config : models::figureModels()) {
+        const auto ops = models::inferenceGemms(config);
+        const double fp16 = model.run(ops, sim::gpuFp16()).cycles;
+        const double olive = fp16 / model.run(ops, sim::gpuOlive()).cycles;
+        const double ant = fp16 / model.run(ops, sim::gpuAnt()).cycles;
+        const double int8 = fp16 / model.run(ops, sim::gpuInt8()).cycles;
+        const double gobo = fp16 / model.run(ops, sim::gpuGobo()).cycles;
+        EXPECT_GT(olive, ant) << config.name;
+        EXPECT_GT(ant, gobo) << config.name;
+        EXPECT_GT(int8, gobo) << config.name;
+    }
+}
+
+TEST(GpuModel, EnergyOrderingMatchesFig9b)
+{
+    const sim::GpuModel model;
+    const auto ops = models::inferenceGemms(models::gpt2Xl());
+    const double olive = model.run(ops, sim::gpuOlive()).energy.total();
+    const double ant = model.run(ops, sim::gpuAnt()).energy.total();
+    const double int8 = model.run(ops, sim::gpuInt8()).energy.total();
+    const double gobo = model.run(ops, sim::gpuGobo()).energy.total();
+    EXPECT_LT(olive, ant);
+    EXPECT_LT(ant, gobo);
+    EXPECT_LT(int8, gobo);
+}
+
+TEST(GpuModel, EnergyBreakdownComponentsPositive)
+{
+    const sim::GpuModel model;
+    const auto ops = models::inferenceGemms(models::bertBase());
+    const auto e = model.run(ops, sim::gpuOlive()).energy;
+    EXPECT_GT(e.constant, 0.0);
+    EXPECT_GT(e.staticE, 0.0);
+    EXPECT_GT(e.dramL2, 0.0);
+    EXPECT_GT(e.l1Reg, 0.0);
+    EXPECT_GT(e.core, 0.0);
+}
+
+TEST(GpuModel, LargerModelsGainMoreForOlive)
+{
+    // The L2 panel effect: FP16 panels of the big LLMs overflow L2 and
+    // re-stream A, so 4-bit OliVe gains more on BLOOM than on BERT.
+    const sim::GpuModel model;
+    auto speedup = [&](const models::ModelConfig &c) {
+        const auto ops = models::inferenceGemms(c);
+        return model.run(ops, sim::gpuFp16()).cycles /
+               model.run(ops, sim::gpuOlive()).cycles;
+    };
+    EXPECT_GT(speedup(models::bloom7b1()), speedup(models::bertBase()));
+}
+
+// -------------------------------------------------------- systolic model
+
+TEST(SystolicModel, IsoAreaPeCounts)
+{
+    const sim::SystolicModel model;
+    // OliVe fits its published 4096 PEs in the budget by construction.
+    EXPECT_NEAR(model.peCount(sim::accelOlive()), 4096.0, 1.0);
+    // AdaptivFloat's 4x PE can only fit ~1/4 the count.
+    EXPECT_LT(model.peCount(sim::accelAdafloat()), 1100.0);
+    // OLAccel loses the controller fraction.
+    EXPECT_LT(model.peCount(sim::accelOlaccel()),
+              model.peCount(sim::accelOlive()));
+}
+
+TEST(SystolicModel, SpeedupOrderingMatchesFig10)
+{
+    const sim::SystolicModel model;
+    for (const auto &config : models::figureModels()) {
+        const auto ops = models::inferenceGemms(config);
+        const double ada = model.run(ops, sim::accelAdafloat()).cycles;
+        const double olive = ada / model.run(ops, sim::accelOlive()).cycles;
+        const double ant = ada / model.run(ops, sim::accelAnt()).cycles;
+        const double ola = ada / model.run(ops, sim::accelOlaccel()).cycles;
+        EXPECT_GT(olive, 2.0 * ant) << config.name;
+        EXPECT_GT(olive, 2.0 * ola) << config.name;
+        EXPECT_GT(ant, 0.9) << config.name;
+        EXPECT_GT(ola, 0.9) << config.name;
+    }
+}
+
+TEST(SystolicModel, EnergyOrderingMatchesFig10b)
+{
+    const sim::SystolicModel model;
+    const auto ops = models::inferenceGemms(models::bertLarge());
+    const double olive = model.run(ops, sim::accelOlive()).energy.total();
+    const double ant = model.run(ops, sim::accelAnt()).energy.total();
+    const double ola = model.run(ops, sim::accelOlaccel()).energy.total();
+    const double ada = model.run(ops, sim::accelAdafloat()).energy.total();
+    EXPECT_LT(olive, ola);
+    EXPECT_LT(ola, ant);
+    EXPECT_LT(ant, ada * 1.05);
+}
+
+// ----------------------------------------------------------------- runner
+
+TEST(Runner, Figure9GeomeansInPaperRegime)
+{
+    const auto fig9 = sim::runFigure9();
+    ASSERT_EQ(fig9.designs.size(), 4u);
+    const auto &olive = fig9.designs[0];
+    const auto &ant = fig9.designs[1];
+    const auto &int8 = fig9.designs[2];
+    const auto &gobo = fig9.designs[3];
+    EXPECT_EQ(olive.design, "OliVe");
+
+    // Paper: OliVe beats GOBO by ~4.5x, int8 by ~2.7x, ANT by ~2.4x.
+    const double vs_gobo = olive.speedupGeomean / gobo.speedupGeomean;
+    const double vs_int8 = olive.speedupGeomean / int8.speedupGeomean;
+    const double vs_ant = olive.speedupGeomean / ant.speedupGeomean;
+    EXPECT_GT(vs_gobo, 3.0);
+    EXPECT_LT(vs_gobo, 6.5);
+    EXPECT_GT(vs_int8, 1.7);
+    EXPECT_LT(vs_int8, 4.0);
+    EXPECT_GT(vs_ant, 1.5);
+    EXPECT_LT(vs_ant, 3.6);
+
+    // Energy normalized to GOBO: OliVe lowest (paper 0.25).
+    EXPECT_LT(olive.energyGeomean, 0.45);
+    EXPECT_LT(olive.energyGeomean, ant.energyGeomean);
+    EXPECT_LT(ant.energyGeomean, 1.0);
+    EXPECT_NEAR(gobo.energyGeomean, 1.0, 1e-9);
+}
+
+TEST(Runner, Figure10GeomeansInPaperRegime)
+{
+    const auto fig10 = sim::runFigure10();
+    ASSERT_EQ(fig10.designs.size(), 4u);
+    const auto &olive = fig10.designs[0];
+    const auto &ant = fig10.designs[1];
+    const auto &ola = fig10.designs[2];
+    const auto &ada = fig10.designs[3];
+
+    // Paper: OliVe ~4.8x over AdaFloat, ~3.8x over OLAccel, ~3.7x over
+    // ANT; AdaFloat is the normalization (speedup 1.0).
+    EXPECT_NEAR(ada.speedupGeomean, 1.0, 1e-9);
+    EXPECT_GT(olive.speedupGeomean, 3.4);
+    EXPECT_LT(olive.speedupGeomean, 6.5);
+    EXPECT_GT(olive.speedupGeomean / ola.speedupGeomean, 2.4);
+    EXPECT_GT(olive.speedupGeomean / ant.speedupGeomean, 2.4);
+
+    // Energy normalized to AdaFloat: OliVe lowest (paper 0.27), OLAccel
+    // (0.56) below ANT (0.88).
+    EXPECT_LT(olive.energyGeomean, 0.45);
+    EXPECT_LT(olive.energyGeomean, ola.energyGeomean);
+    EXPECT_LT(ola.energyGeomean, ant.energyGeomean);
+    EXPECT_LT(ant.energyGeomean, 1.1);
+}
+
+} // namespace
+} // namespace olive

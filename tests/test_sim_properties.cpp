@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property sweeps over the performance/energy simulators: monotonicity
+ * in precision and bandwidth, workload-scaling behaviour, and
+ * conservation relationships that must hold for any design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/config.hpp"
+#include "models/workload.hpp"
+#include "sim/gpu.hpp"
+#include "sim/systolic.hpp"
+
+namespace olive {
+namespace {
+
+std::vector<models::GemmOp>
+bertOps()
+{
+    return models::inferenceGemms(models::bertBase());
+}
+
+// ------------------------------------------------------------ GPU model
+
+class GpuBitsProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GpuBitsProperty, LowerPrecisionNeverSlower)
+{
+    const double bits = GetParam();
+    sim::GpuDesign lo;
+    lo.name = "lo";
+    lo.computeBits = bits;
+    lo.weightBitsDram = bits;
+    lo.weightBitsOnchip = bits;
+    lo.actBits = bits;
+
+    sim::GpuDesign hi = lo;
+    hi.computeBits = bits * 2;
+    hi.weightBitsDram = bits * 2;
+    hi.weightBitsOnchip = bits * 2;
+    hi.actBits = bits * 2;
+
+    const sim::GpuModel model;
+    const auto ops = bertOps();
+    EXPECT_LE(model.run(ops, lo).cycles, model.run(ops, hi).cycles);
+    EXPECT_LE(model.run(ops, lo).energy.total(),
+              model.run(ops, hi).energy.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, GpuBitsProperty,
+                         ::testing::Values(4.0, 8.0));
+
+TEST(GpuModelProperty, DecodeOverheadCostsCycles)
+{
+    sim::GpuDesign base = sim::gpuOlive();
+    sim::GpuDesign no_decode = base;
+    no_decode.decodeOverhead = 0.0;
+    const sim::GpuModel model;
+    const auto ops = bertOps();
+    EXPECT_GT(model.run(ops, base).cycles,
+              model.run(ops, no_decode).cycles);
+}
+
+TEST(GpuModelProperty, DramEfficiencyHurtsMemoryBoundRuns)
+{
+    // Make a memory-bound workload: tiny m (decode-like GEMM).
+    std::vector<models::GemmOp> ops = {
+        {"decode_proj", 2, 4096, 4096, 64, true}};
+    sim::GpuDesign base = sim::gpuFp16();
+    sim::GpuDesign slow_dram = base;
+    slow_dram.dramEfficiency = 0.5;
+    const sim::GpuModel model;
+    EXPECT_GT(model.run(ops, slow_dram).cycles,
+              1.5 * model.run(ops, base).cycles);
+}
+
+TEST(GpuModelProperty, CyclesScaleWithWorkload)
+{
+    const sim::GpuModel model;
+    const auto ops1 = bertOps();
+    auto ops2 = ops1;
+    for (auto &op : ops2)
+        op.count *= 2;
+    const auto d = sim::gpuOlive();
+    const double c1 = model.run(ops1, d).cycles;
+    const double c2 = model.run(ops2, d).cycles;
+    EXPECT_NEAR(c2 / c1, 2.0, 0.1);
+}
+
+TEST(GpuModelProperty, MixedFractionInterpolates)
+{
+    sim::GpuDesign pure4 = sim::gpuOlive();
+    pure4.decodeOverhead = 0.0;
+    sim::GpuDesign pure8 = sim::gpuInt8();
+    pure8.sustainedEfficiency = 1.0;
+    sim::GpuDesign mixed = sim::gpuAnt();
+    mixed.decodeOverhead = 0.0;
+    mixed.sustainedEfficiency = 1.0;
+
+    const sim::GpuModel model;
+    const auto ops = bertOps();
+    const double c4 = model.run(ops, pure4).cycles;
+    const double c8 = model.run(ops, pure8).cycles;
+    const double cm = model.run(ops, mixed).cycles;
+    EXPECT_GT(cm, c4);
+    EXPECT_LT(cm, c8 * 1.01);
+}
+
+TEST(GpuModelProperty, L2PanelEffectOnLargeModels)
+{
+    // Shrinking the effective L2 must hurt FP16 on the largest model
+    // more than 4-bit OliVe (whose panels fit).
+    sim::GpuConfig small_l2;
+    small_l2.l2CapacityBytes = 1.0e6;
+    sim::GpuConfig big_l2;
+    big_l2.l2CapacityBytes = 64.0e6;
+
+    const auto ops = models::inferenceGemms(models::bloom7b1());
+    const double fp16_small =
+        sim::GpuModel(small_l2).run(ops, sim::gpuFp16()).cycles;
+    const double fp16_big =
+        sim::GpuModel(big_l2).run(ops, sim::gpuFp16()).cycles;
+    const double olive_small =
+        sim::GpuModel(small_l2).run(ops, sim::gpuOlive()).cycles;
+    const double olive_big =
+        sim::GpuModel(big_l2).run(ops, sim::gpuOlive()).cycles;
+    EXPECT_GT(fp16_small / fp16_big, olive_small / olive_big);
+}
+
+// ------------------------------------------------------ systolic model
+
+TEST(SystolicProperty, PeCountInverseToArea)
+{
+    const sim::SystolicModel model;
+    sim::AccelDesign a = sim::accelOlive();
+    sim::AccelDesign b = a;
+    b.peAreaUm2 = a.peAreaUm2 * 2.0;
+    EXPECT_NEAR(model.peCount(a), 2.0 * model.peCount(b), 1.0);
+}
+
+TEST(SystolicProperty, ControllerStealsArea)
+{
+    const sim::SystolicModel model;
+    sim::AccelDesign with = sim::accelOlive();
+    with.controllerAreaFrac = 0.4;
+    EXPECT_NEAR(model.peCount(with),
+                0.6 * model.peCount(sim::accelOlive()), 1.0);
+}
+
+TEST(SystolicProperty, Int8FractionSlowsCompute)
+{
+    const sim::SystolicModel model;
+    const auto ops = bertOps();
+    sim::AccelDesign pure = sim::accelOlive();
+    sim::AccelDesign half = pure;
+    half.int8Fraction = 0.5;
+    const double cp = model.run(ops, pure).cycles;
+    const double ch = model.run(ops, half).cycles;
+    // Half the MACs cost 4 slot-cycles: 0.5*1 + 0.5*4 = 2.5x.
+    EXPECT_NEAR(ch / cp, 2.5, 0.4);
+}
+
+TEST(SystolicProperty, IndexBitsCostDramEnergy)
+{
+    const sim::SystolicModel model;
+    const auto ops = bertOps();
+    sim::AccelDesign base = sim::accelOlive();
+    sim::AccelDesign indexed = base;
+    indexed.indexBits = 2.0;
+    EXPECT_GT(model.run(ops, indexed).energy.dram,
+              1.2 * model.run(ops, base).energy.dram);
+}
+
+TEST(SystolicProperty, UtilizationScalesLatency)
+{
+    const sim::SystolicModel model;
+    const auto ops = bertOps();
+    sim::AccelDesign full = sim::accelOlive();
+    full.utilization = 1.0;
+    sim::AccelDesign half = full;
+    half.utilization = 0.5;
+    EXPECT_NEAR(model.run(ops, half).cycles /
+                    model.run(ops, full).cycles,
+                2.0, 0.3);
+}
+
+TEST(SystolicProperty, StaticEnergyProportionalToTime)
+{
+    const sim::SystolicModel model;
+    const auto ops = bertOps();
+    const auto r1 = model.run(ops, sim::accelOlive());
+    auto ops2 = ops;
+    for (auto &op : ops2)
+        op.count *= 3;
+    const auto r3 = model.run(ops2, sim::accelOlive());
+    EXPECT_NEAR(r3.energy.staticE / r1.energy.staticE,
+                r3.cycles / r1.cycles, 1e-6);
+}
+
+// --------------------------------------------------------- workload math
+
+TEST(WorkloadProperty, MacsMatchClosedForm)
+{
+    for (const auto &c : models::figureModels()) {
+        const auto ops = models::inferenceGemms(c);
+        u64 expect = 0;
+        const u64 tokens = c.batch * c.seqLen;
+        expect += 4 * tokens * c.dModel * c.dModel * c.layers; // qkvo
+        expect += 2 * tokens * c.dModel * c.dFf * c.layers;    // ffn
+        expect += 2 * c.batch * c.nHeads * c.layers * c.seqLen *
+                  c.seqLen * (c.dModel / c.nHeads);            // attention
+        EXPECT_EQ(models::totalMacs(ops), expect) << c.name;
+    }
+}
+
+} // namespace
+} // namespace olive

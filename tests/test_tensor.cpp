@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests of the tensor substrate: shapes and accessors, GEMM kernels,
+ * elementwise/rowwise ops, and the outlier-profile generators behind
+ * Fig. 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/distribution.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace {
+
+// --------------------------------------------------------------- Tensor
+
+TEST(Tensor, ShapeAndSize)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_EQ(t.dim(1), 3u);
+    EXPECT_EQ(t.shapeStr(), "f32[2, 3, 4]");
+}
+
+TEST(Tensor, RowMajorAccess)
+{
+    Tensor t({2, 3});
+    t.at(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(t[1 * 3 + 2], 5.0f);
+    auto row = t.row(1);
+    EXPECT_FLOAT_EQ(row[2], 5.0f);
+}
+
+TEST(Tensor, FillAndClone)
+{
+    Tensor t({4});
+    t.fill(2.5f);
+    Tensor c = t.clone();
+    c[0] = 9.0f;
+    EXPECT_FLOAT_EQ(t[0], 2.5f);
+    EXPECT_FLOAT_EQ(c[0], 9.0f);
+}
+
+TEST(Tensor, Reshape)
+{
+    Tensor t({2, 6});
+    t.at(1, 5) = 7.0f;
+    t.reshape({3, 4});
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.dim(0), 3u);
+    EXPECT_FLOAT_EQ(t.at(2, 3), 7.0f); // same flat position 11
+}
+
+TEST(Tensor, ConstructFromData)
+{
+    Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+// ----------------------------------------------------------------- GEMM
+
+TEST(Gemm, MatmulSmall)
+{
+    Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+    const Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Gemm, MatmulTransBMatchesMatmul)
+{
+    Rng rng(3);
+    Tensor a({5, 7});
+    Tensor b({7, 4});
+    for (auto &v : a.data())
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b.data())
+        v = static_cast<float>(rng.gaussian());
+    // bT stored as (4, 7).
+    Tensor bt({4, 7});
+    for (size_t i = 0; i < 7; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            bt.at(j, i) = b.at(i, j);
+    const Tensor c1 = matmul(a, b);
+    const Tensor c2 = matmulTransB(a, bt);
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1[i], c2[i], 1e-4);
+}
+
+TEST(Gemm, LinearForwardAddsBias)
+{
+    Tensor x({1, 2}, {1.0f, 1.0f});
+    Tensor w({3, 2}, {1, 0, 0, 1, 1, 1});
+    Tensor bias({3}, {10.0f, 20.0f, 30.0f});
+    const Tensor y = linearForward(x, w, bias);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 21.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 32.0f);
+}
+
+TEST(Gemm, BlockedMatchesNaiveOnLargerSizes)
+{
+    Rng rng(5);
+    const size_t m = 70, k = 130, n = 65; // crosses the 64 block size
+    Tensor a({m, k}), b({k, n});
+    for (auto &v : a.data())
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b.data())
+        v = static_cast<float>(rng.gaussian());
+    const Tensor c = matmul(a, b);
+    for (size_t probe : {size_t{0}, m * n / 2, m * n - 1}) {
+        const size_t i = probe / n, j = probe % n;
+        double ref = 0.0;
+        for (size_t l = 0; l < k; ++l)
+            ref += static_cast<double>(a.at(i, l)) * b.at(l, j);
+        EXPECT_NEAR(c.at(i, j), ref, 1e-3);
+    }
+}
+
+TEST(Gemm, Axpy)
+{
+    Tensor c({3}, {1, 2, 3});
+    Tensor a({3}, {1, 1, 1});
+    axpy(c, a, 2.0f);
+    EXPECT_FLOAT_EQ(c[0], 3.0f);
+    EXPECT_FLOAT_EQ(c[2], 5.0f);
+}
+
+// ------------------------------------------------------------------ ops
+
+TEST(Ops, SoftmaxRowSumsToOne)
+{
+    std::vector<float> row = {1.0f, 2.0f, 3.0f, 4.0f};
+    ops::softmaxRow(row);
+    double sum = 0.0;
+    for (float v : row)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_GT(row[3], row[0]);
+}
+
+TEST(Ops, SoftmaxNumericallyStable)
+{
+    std::vector<float> row = {1000.0f, 1001.0f};
+    ops::softmaxRow(row);
+    EXPECT_NEAR(row[0] + row[1], 1.0, 1e-6);
+    EXPECT_FALSE(std::isnan(row[0]));
+}
+
+TEST(Ops, GeluSignsAndMagnitudes)
+{
+    Tensor t({3}, {-10.0f, 0.0f, 10.0f});
+    ops::gelu(t);
+    EXPECT_NEAR(t[0], 0.0f, 1e-3);
+    EXPECT_FLOAT_EQ(t[1], 0.0f);
+    EXPECT_NEAR(t[2], 10.0f, 1e-3);
+}
+
+TEST(Ops, LayerNormNormalizes)
+{
+    Tensor x({1, 4}, {1.0f, 2.0f, 3.0f, 4.0f});
+    Tensor gamma({4});
+    gamma.fill(1.0f);
+    Tensor beta({4});
+    const Tensor y = ops::layerNorm(x, gamma, beta);
+    auto row = y.row(0);
+    EXPECT_NEAR(stats::mean(row), 0.0, 1e-5);
+    EXPECT_NEAR(stats::stddev(row), 1.0, 1e-3);
+}
+
+TEST(Ops, CrossEntropyMatchesManual)
+{
+    const std::vector<float> logits = {0.0f, 0.0f};
+    EXPECT_NEAR(ops::crossEntropyRow(logits, 0), std::log(2.0), 1e-6);
+}
+
+TEST(Ops, ArgmaxAndLogSoftmax)
+{
+    const std::vector<float> row = {0.1f, 3.0f, -2.0f};
+    EXPECT_EQ(ops::argmaxRow(row), 1);
+    const auto ls = ops::logSoftmaxRow(row);
+    double sum = 0.0;
+    for (float v : ls)
+        sum += std::exp(v);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+// --------------------------------------------------------- distribution
+
+TEST(Distribution, GaussianTensorProfile)
+{
+    Rng rng(7);
+    const Tensor t = gaussianTensor({20000}, 2.0, rng);
+    const auto p = profileTensor(t);
+    EXPECT_NEAR(p.sigma, 2.0, 0.1);
+    EXPECT_LT(p.maxSigma, 6.0);
+    EXPECT_NEAR(p.gt3SigmaPct, 0.27, 0.25);
+}
+
+TEST(Distribution, TransformerLikeReachesMaxSigma)
+{
+    Rng rng(9);
+    const Tensor t = transformerLikeTensor({50000}, 120.0, 0.005, rng);
+    const auto p = profileTensor(t);
+    EXPECT_GT(p.maxSigma, 50.0);
+    EXPECT_LT(p.gt3SigmaPct, 1.5);
+    EXPECT_GT(p.gt3SigmaPct, 0.1);
+}
+
+TEST(Distribution, CnnLikeIsTamer)
+{
+    Rng rng(11);
+    const Tensor cnn = cnnLikeTensor({50000}, rng);
+    const Tensor tf = transformerLikeTensor({50000}, 200.0, 0.005, rng);
+    // The Fig. 2 observation: transformer Max-sigma is an order of
+    // magnitude beyond the CNN's.
+    EXPECT_GT(profileTensor(tf).maxSigma,
+              4.0 * profileTensor(cnn).maxSigma);
+}
+
+} // namespace
+} // namespace olive
