@@ -22,12 +22,14 @@
 #include "tensor/distribution.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Ablation: OVP vs clip-all vs sparse outlier "
                 "encoding ==\n\n");
 

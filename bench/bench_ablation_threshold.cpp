@@ -17,12 +17,14 @@
 #include "tensor/distribution.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Ablation: OVP outlier-threshold sweep (int4 "
                 "normals) ==\n\n");
 

@@ -13,12 +13,14 @@
 
 #include "sim/runner.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     const auto fig10 = sim::runFigure10();
 
     std::printf("== Fig. 10a: speedup on the accelerator (vs AdaFloat) "

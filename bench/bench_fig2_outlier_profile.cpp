@@ -18,6 +18,7 @@
 #include "models/synthetic.hpp"
 #include "tensor/distribution.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
@@ -50,6 +51,7 @@ profileZoo(const char *title, const std::vector<Tensor> &zoo)
 int
 main()
 {
+    smoke::banner();
     std::printf("== Fig. 2: outlier comparison, CNN vs Transformer ==\n");
 
     // Fig. 2a: ResNet-18-like tensors (48 conv/fc tensors).

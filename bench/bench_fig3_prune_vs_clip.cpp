@@ -19,12 +19,14 @@
 #include "eval/accuracy.hpp"
 #include "eval/schemes.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Fig. 3: clipping outliers vs pruning victims "
                 "(BERT-base) ==\n\n");
 
@@ -32,8 +34,12 @@ main()
     Table t({"Task (metric)", "Source", "Clipping Outlier",
              "Pruning Victim", "Pruning Normal Value"});
 
-    for (const auto &task : eval::glueTasks()) {
-        eval::TaskEvaluator evaluator(config, task, /*seed=*/1);
+    auto tasks = eval::glueTasks();
+    if (smoke::enabled())
+        tasks.resize(2);
+    const size_t n = smoke::count(144, 24);
+    for (const auto &task : tasks) {
+        eval::TaskEvaluator evaluator(config, task, /*seed=*/1, n, n);
         const SchemePtr clip = eval::makeScheme("clip-outliers");
         const SchemePtr victims = eval::makeScheme("prune-victims");
         const SchemePtr random = eval::makeScheme("prune-random");

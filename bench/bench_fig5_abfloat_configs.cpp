@@ -22,28 +22,14 @@
 #include "util/stats.hpp"
 #include "tensor/distribution.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
-
-namespace {
-
-/** Bias aligning a 4-bit format's minimum just above int4's 7. */
-int
-complementaryBias(int exp_bits, int mant_bits)
-{
-    for (int bias = 0; bias < 12; ++bias) {
-        const AbFloat f(exp_bits, mant_bits, bias);
-        if (f.minNonzero() > 7.0)
-            return bias;
-    }
-    return 12;
-}
-
-} // namespace
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Fig. 5: outlier rounding error per abfloat "
                 "configuration ==\n\n");
 

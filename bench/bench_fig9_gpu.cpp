@@ -14,12 +14,14 @@
 
 #include "sim/runner.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Table 5: the Turing GPU platform ==\n\n");
     Table t5({"Architecture", "SM", "TC", "16-bit Unit", "8-bit Unit",
               "4-bit Unit"});

@@ -12,6 +12,7 @@
 #include "quant/quantizer.hpp"
 #include "tensor/distribution.hpp"
 #include "util/random.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
@@ -114,4 +115,22 @@ BENCHMARK(BM_FakeQuantRoundTrip)->Arg(1 << 16);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so smoke mode can cap the measurement time:
+// under OLIVE_SMOKE each benchmark runs for ~10 ms instead of the default
+// adaptive second-scale budget.
+int
+main(int argc, char **argv)
+{
+    smoke::banner();
+    std::vector<char *> args(argv, argv + argc);
+    char min_time[] = "--benchmark_min_time=0.01";
+    if (smoke::enabled())
+        args.push_back(min_time);
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,12 +9,14 @@
 
 #include "hw/area.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Table 10: OliVe decoder area on RTX 2080 Ti "
                 "(12 nm, %.0f mm^2 die) ==\n\n",
                 hw::kTuringDieMm2);

@@ -17,12 +17,14 @@
 #include "models/synthetic.hpp"
 #include "quant/ovp.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Table 2: pair-type census (3-sigma rule) ==\n\n");
 
     Table t({"Pair Type", "Normal-Normal", "Outlier-Normal",

@@ -10,6 +10,7 @@
 #include "quant/abfloat.hpp"
 #include "quant/dtype.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
@@ -38,6 +39,7 @@ joinValues(const std::vector<int> &vals, size_t limit = 20)
 int
 main()
 {
+    smoke::banner();
     std::printf("== Table 3: data types for normal values ==\n\n");
     Table t3({"Data Type", "Values", "Outlier Identifier"});
     t3.addRow({"int4", joinValues(valueTable(NormalType::Int4)),

@@ -9,20 +9,23 @@
 #include "eval/accuracy.hpp"
 #include "eval/schemes.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== Table 7: weight-only comparison with GOBO "
                 "(BERT-base) ==\n\n");
 
     const auto config = models::bertBase();
     Table t({"Method", "Bits", "MNLI (Acc.)", "STSB (Pear.)"});
 
-    eval::TaskEvaluator mnli(config, eval::taskByName("MNLI"), 1);
-    eval::TaskEvaluator stsb(config, eval::taskByName("STSB"), 1);
+    const size_t n = smoke::count(144, 32);
+    eval::TaskEvaluator mnli(config, eval::taskByName("MNLI"), 1, n, n);
+    eval::TaskEvaluator stsb(config, eval::taskByName("STSB"), 1, n, n);
 
     t.addRow({"BERT-base (FP32)", "32", Table::num(mnli.evalFp32(), 2),
               Table::num(stsb.evalFp32(), 2)});

@@ -10,6 +10,7 @@
 #include "eval/accuracy.hpp"
 #include "eval/schemes.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
@@ -26,13 +27,18 @@ fmt(const eval::SpanEvaluator::Result &r)
 int
 main()
 {
+    smoke::banner();
     std::printf("== Table 8: SQuAD-proxy PTQ results (F1/EM) ==\n\n");
 
     Table t({"Method", "Bits", "SQuAD v1.1", "SQuAD v2.0"});
-    for (const char *model : {"BERT-base", "BART-base"}) {
+    std::vector<const char *> models_list = {"BERT-base", "BART-base"};
+    if (smoke::enabled())
+        models_list.resize(1);
+    const size_t n = smoke::count(128, 8);
+    for (const char *model : models_list) {
         const auto config = models::byName(model);
-        eval::SpanEvaluator v1(config, /*v2=*/false, 1);
-        eval::SpanEvaluator v2(config, /*v2=*/true, 1);
+        eval::SpanEvaluator v1(config, /*v2=*/false, 1, n, n);
+        eval::SpanEvaluator v2(config, /*v2=*/true, 1, n, n);
 
         t.addRow({std::string(model) + " (FP32)", "32", fmt(v1.evalFp32()),
                   fmt(v2.evalFp32())});

@@ -14,12 +14,14 @@
 #include "sim/systolic.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main(int argc, char **argv)
 {
+    smoke::banner();
     Args args(argc, argv, {{"model", "BERT-base"}});
     const auto config = models::byName(args.get("model"));
     const auto ops = models::inferenceGemms(config);

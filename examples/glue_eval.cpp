@@ -15,6 +15,7 @@
 #include "eval/accuracy.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
@@ -38,14 +39,15 @@ split(const std::string &s, char sep)
 int
 main(int argc, char **argv)
 {
+    smoke::banner();
     Args args(argc, argv,
               {{"model", "BERT-base"},
                {"task", "SST-2"},
                {"schemes", "fp32,olive4,olive8,int4,int8,os4,os6,ant4"},
                {"qat", "0"},
                {"seed", "1"},
-               {"train", "144"},
-               {"test", "144"}});
+               {"train", std::to_string(smoke::count(144, 24))},
+               {"test", std::to_string(smoke::count(144, 24))}});
 
     const auto config = models::byName(args.get("model"));
     const auto task = eval::taskByName(args.get("task"));

@@ -13,6 +13,7 @@
 #include "eval/perplexity.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
@@ -36,12 +37,13 @@ split(const std::string &s, char sep)
 int
 main(int argc, char **argv)
 {
+    smoke::banner();
     Args args(argc, argv,
               {{"model", "GPT2-XL"},
                {"target-ppl", "17.48"},
                {"schemes", "fp32,int8,olive8,int4,ant4,olive4"},
-               {"seqs", "32"},
-               {"len", "16"},
+               {"seqs", std::to_string(smoke::count(32, 4))},
+               {"len", std::to_string(smoke::count(16, 8))},
                {"seed", "3"}});
 
     const auto config = models::byName(args.get("model"));

@@ -16,12 +16,14 @@
 #include "quant/stream.hpp"
 #include "util/args.hpp"
 #include "util/stats.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main(int argc, char **argv)
 {
+    smoke::banner();
     Args args(argc, argv, {{"model", "OPT-6.7B"}, {"seed", "1"}});
     const auto config = models::byName(args.get("model"));
     const auto backbone =

@@ -15,6 +15,7 @@
 #include "quant/ovp.hpp"
 #include "util/args.hpp"
 #include "util/stats.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
@@ -43,6 +44,7 @@ bits8(u32 v)
 int
 main(int argc, char **argv)
 {
+    smoke::banner();
     Args args(argc, argv,
               {{"type", "int4"},
                {"values", "1.5,2.6,0,-98,17.6,0,7.1,-6.8,1.2,6.3,30.7,0"},

@@ -21,12 +21,14 @@
 #include "tensor/distribution.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/smoke.hpp"
 
 using namespace olive;
 
 int
 main()
 {
+    smoke::banner();
     std::printf("== OliVe quickstart ==\n\n");
 
     // 1. A transformer-like tensor: sigma 1 bulk, sparse 120-sigma tail.

@@ -43,11 +43,11 @@ MmaInstruction::mnemonic() const
 {
     const bool is_ovp = aType != OvpOperandType::Int4 ||
                         bType != OvpOperandType::Int4;
-    std::string m = is_ovp ? "mmaovp" : "mma";
-    m += ".s32." + toString(aType) + "." + toString(bType) + ".s32";
+    std::string name = is_ovp ? "mmaovp" : "mma";
+    name += ".s32." + toString(aType) + "." + toString(bType) + ".s32";
     if (is_ovp)
-        m += ".s4"; // the bias immediate operand of Sec. 4.6
-    return m;
+        name += ".s4"; // the bias immediate operand of Sec. 4.6
+    return name;
 }
 
 namespace {

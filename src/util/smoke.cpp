@@ -1,0 +1,32 @@
+#include "util/smoke.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace olive {
+namespace smoke {
+
+bool
+enabled()
+{
+    const char *v = std::getenv("OLIVE_SMOKE");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+size_t
+count(size_t full, size_t quick)
+{
+    return enabled() ? quick : full;
+}
+
+void
+banner()
+{
+    if (enabled())
+        std::printf("[smoke] OLIVE_SMOKE is set: reduced workloads; "
+                    "numbers are NOT paper-comparable\n\n");
+}
+
+} // namespace smoke
+} // namespace olive

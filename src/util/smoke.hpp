@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Smoke-test mode for the bench and example drivers.
+ *
+ * When the OLIVE_SMOKE environment variable is set (to anything but
+ * "0"), drivers shrink their workloads — fewer models, tasks, seeds and
+ * samples — so that every driver binary can be executed in CI in
+ * seconds.  The numbers printed in smoke mode are NOT comparable to the
+ * paper; the mode exists purely so the drivers cannot silently rot at
+ * runtime.  CTest registers every bench/example under the "smoke"
+ * label with OLIVE_SMOKE=1 (see the root CMakeLists.txt).
+ */
+
+#ifndef OLIVE_UTIL_SMOKE_HPP
+#define OLIVE_UTIL_SMOKE_HPP
+
+#include <cstddef>
+
+namespace olive {
+namespace smoke {
+
+/** True when OLIVE_SMOKE is set to a non-empty value other than "0". */
+bool enabled();
+
+/** @p full normally; @p quick when smoke mode is active. */
+size_t count(size_t full, size_t quick);
+
+/** Print a reduced-workload warning banner if smoke mode is active. */
+void banner();
+
+} // namespace smoke
+} // namespace olive
+
+#endif // OLIVE_UTIL_SMOKE_HPP

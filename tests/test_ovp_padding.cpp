@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Stream-level OvpCodec contract tests: bytesPerPair across all three
+ * normal types, odd-length zero padding in encode/decode, and an
+ * exhaustive round-trip sweep of every representable 4-bit value pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quant/ovp.hpp"
+
+namespace olive {
+namespace {
+
+/** A codec whose threshold sits just above the normal range. */
+OvpCodec
+makeCodec(NormalType t)
+{
+    return OvpCodec(t, 1.0f, maxNormalMagnitude(t) + 0.5);
+}
+
+TEST(OvpStream, BytesPerPairPerNormalType)
+{
+    EXPECT_EQ(makeCodec(NormalType::Int4).bytesPerPair(), 1u);
+    EXPECT_EQ(makeCodec(NormalType::Flint4).bytesPerPair(), 1u);
+    EXPECT_EQ(makeCodec(NormalType::Int8).bytesPerPair(), 2u);
+}
+
+TEST(OvpStream, EncodedSizeIsCeilHalfTimesBytesPerPair)
+{
+    for (NormalType t :
+         {NormalType::Int4, NormalType::Flint4, NormalType::Int8}) {
+        const OvpCodec codec = makeCodec(t);
+        for (size_t n : {0u, 1u, 2u, 3u, 7u, 8u, 63u}) {
+            const std::vector<float> xs(n, 1.0f);
+            const std::vector<u8> bytes = codec.encode(xs);
+            const size_t pairs = (n + 1) / 2;
+            EXPECT_EQ(bytes.size(), pairs * codec.bytesPerPair())
+                << toString(t) << " n=" << n;
+        }
+    }
+}
+
+TEST(OvpStream, OddLengthRoundTripAllTypes)
+{
+    for (NormalType t :
+         {NormalType::Int4, NormalType::Flint4, NormalType::Int8}) {
+        const OvpCodec codec = makeCodec(t);
+        const std::vector<float> xs = {3.0f, -1.0f, 2.0f, 4.0f, -2.0f};
+        OvpStats stats;
+        const std::vector<u8> bytes = codec.encode(xs, &stats);
+        EXPECT_EQ(stats.pairs, 3u) << toString(t);
+
+        const std::vector<float> ys = codec.decode(bytes, xs.size());
+        ASSERT_EQ(ys.size(), xs.size()) << toString(t);
+        for (size_t i = 0; i < xs.size(); ++i)
+            EXPECT_FLOAT_EQ(ys[i], xs[i]) << toString(t) << " i=" << i;
+    }
+}
+
+TEST(OvpStream, OddLengthPadIsZeroNotGarbage)
+{
+    // The pad element forms a pair with the last value; asking decode for
+    // one extra element must surface the zero pad, not stale memory.
+    for (NormalType t :
+         {NormalType::Int4, NormalType::Flint4, NormalType::Int8}) {
+        const OvpCodec codec = makeCodec(t);
+        const std::vector<float> xs = {5.0f, -3.0f, 2.0f};
+        const std::vector<u8> bytes = codec.encode(xs);
+        const std::vector<float> ys = codec.decode(bytes, xs.size() + 1);
+        ASSERT_EQ(ys.size(), 4u) << toString(t);
+        EXPECT_FLOAT_EQ(ys[3], 0.0f) << toString(t);
+    }
+}
+
+TEST(OvpStream, OddLengthTrailingOutlierPairsWithPad)
+{
+    // A trailing outlier pads with zero, forming an outlier-normal pair:
+    // it must survive the round trip (coarsely) instead of being pruned.
+    for (NormalType t :
+         {NormalType::Int4, NormalType::Flint4, NormalType::Int8}) {
+        const OvpCodec codec = makeCodec(t);
+        const float outlier = 4.0f * maxNormalMagnitude(t);
+        const std::vector<float> xs = {1.0f, -2.0f, outlier};
+        OvpStats stats;
+        const std::vector<u8> bytes = codec.encode(xs, &stats);
+        EXPECT_EQ(stats.outlierPairs, 1u) << toString(t);
+        EXPECT_EQ(stats.prunedOutliers, 0u) << toString(t);
+
+        const std::vector<float> ys = codec.decode(bytes, xs.size());
+        ASSERT_EQ(ys.size(), 3u) << toString(t);
+        EXPECT_FLOAT_EQ(ys[0], 1.0f) << toString(t);
+        EXPECT_FLOAT_EQ(ys[1], -2.0f) << toString(t);
+        EXPECT_NEAR(ys[2], outlier, outlier * 0.5) << toString(t);
+    }
+}
+
+TEST(OvpStream, EmptyInputEncodesToEmptyStream)
+{
+    const OvpCodec codec = makeCodec(NormalType::Int4);
+    EXPECT_TRUE(codec.encode({}).empty());
+    EXPECT_TRUE(codec.decode({}, 0).empty());
+}
+
+TEST(OvpStream, ExhaustiveFourBitPairSweep)
+{
+    // Every representable (v1, v2) pair of each 4-bit normal type must
+    // round-trip exactly, both through encodePair/decodePair and through
+    // the packed byte stream (low nibble = first element).
+    for (NormalType t : {NormalType::Int4, NormalType::Flint4}) {
+        const OvpCodec codec = makeCodec(t);
+        const std::vector<int> values = valueTable(t);
+        for (int v1 : values) {
+            for (int v2 : values) {
+                const float f1 = static_cast<float>(v1);
+                const float f2 = static_cast<float>(v2);
+
+                u32 c1, c2;
+                codec.encodePair(f1, f2, c1, c2);
+                EXPECT_NE(c1, outlierIdentifier(t));
+                EXPECT_NE(c2, outlierIdentifier(t));
+
+                float d1, d2;
+                codec.decodePair(c1, c2, d1, d2);
+                EXPECT_FLOAT_EQ(d1, f1)
+                    << toString(t) << " pair <" << v1 << "," << v2 << ">";
+                EXPECT_FLOAT_EQ(d2, f2)
+                    << toString(t) << " pair <" << v1 << "," << v2 << ">";
+
+                const std::vector<float> xs = {f1, f2};
+                const std::vector<u8> bytes = codec.encode(xs);
+                ASSERT_EQ(bytes.size(), 1u);
+                EXPECT_EQ(bytes[0] & 0xFu, c1);
+                EXPECT_EQ((bytes[0] >> 4) & 0xFu, c2);
+
+                const std::vector<float> ys = codec.decode(bytes, 2);
+                EXPECT_FLOAT_EQ(ys[0], f1);
+                EXPECT_FLOAT_EQ(ys[1], f2);
+            }
+        }
+    }
+}
+
+TEST(OvpStream, ExhaustiveInt8GridSweepAgainstSelf)
+{
+    // Int8 pairs occupy two bytes; sweep the full narrowed grid paired
+    // with a fixed partner to cover every code in both slots.
+    const OvpCodec codec = makeCodec(NormalType::Int8);
+    for (int v = -127; v <= 127; ++v) {
+        const float f = static_cast<float>(v);
+        const std::vector<float> xs = {f, static_cast<float>(-v)};
+        const std::vector<u8> bytes = codec.encode(xs);
+        ASSERT_EQ(bytes.size(), 2u);
+        const std::vector<float> ys = codec.decode(bytes, 2);
+        EXPECT_FLOAT_EQ(ys[0], f) << "v=" << v;
+        EXPECT_FLOAT_EQ(ys[1], -f) << "v=" << v;
+    }
+}
+
+} // namespace
+} // namespace olive
