@@ -34,19 +34,21 @@ main(int argc, char **argv)
                 config.name.c_str(), backbone.layers.size(),
                 backbone.dModel);
 
-    // Per-tensor 4-bit report for every weight matrix.
-    PtqReport report;
+    // Per-tensor 4-bit report for every weight matrix, calibrated in
+    // parallel (reportTensors fans the tensors over the pool).
     const char *names[] = {"q", "k", "v", "o", "ff1", "ff2"};
+    std::vector<NamedSpan> weights;
     for (size_t l = 0; l < backbone.layers.size(); ++l) {
         const nn::Layer &layer = backbone.layers[l];
         const Tensor *mats[] = {&layer.q.w,  &layer.k.w, &layer.v.w,
                                 &layer.o.w,  &layer.ff1.w, &layer.ff2.w};
         for (int i = 0; i < 6; ++i) {
-            report.tensors.push_back(
-                reportTensor("layer" + std::to_string(l) + "." + names[i],
-                             mats[i]->data(), 4));
+            weights.push_back(
+                {"layer" + std::to_string(l) + "." + names[i],
+                 mats[i]->data()});
         }
     }
+    const PtqReport report = reportTensors(weights, 4);
     std::fputs(report.render().c_str(), stdout);
 
     // Escalation comparison under one bulk-aware criterion (relative

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <algorithm>
 #include "models/synthetic.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace olive {
@@ -165,6 +166,20 @@ TaskEvaluator::features(const nn::Transformer &backbone, Scheme *act_scheme,
                         const ClassifData &data) const
 {
     Tensor out({data.x.size(), config_.evalDModel});
+    if (!act_scheme) {
+        // FP32 features: the forwards are independent (no activation
+        // scheme, hence no site-calibration state), so the examples
+        // parallelize; each writes only its own output row.
+        par::parallelFor(0, data.x.size(), 1, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) {
+                const Tensor h = backbone.forward(data.x[i], nullptr);
+                meanPool(h, out.row(i));
+            }
+        });
+        return out;
+    }
+    // Quantized activations: SiteCachedScheme calibrates sites in call
+    // order across the first forwards, so this path stays sequential.
     SiteCachedScheme *cache = dynamic_cast<SiteCachedScheme *>(act_scheme);
     for (size_t i = 0; i < data.x.size(); ++i) {
         if (cache)

@@ -88,10 +88,17 @@ SiteCachedScheme::apply(std::span<const float> xs, TensorKind kind)
 
     if (!site.applier) {
         // Still calibrating: accumulate this tensor into the site's
-        // calibration batch; freeze once the batch is full.
+        // calibration batch; freeze once the batch is full.  Sites see
+        // same-shaped tensors every forward, so reserving the full
+        // batch up front avoids per-example reallocation.
+        if (site.calibBuffer.empty())
+            site.calibBuffer.reserve(xs.size() * calibExamples_);
         site.calibBuffer.insert(site.calibBuffer.end(), xs.begin(),
                                 xs.end());
         if (++site.seen >= calibExamples_) {
+            // The inner calibrate/apply (threshold search, OVP encode)
+            // is itself parallel — see quant/quantizer.cpp and
+            // quant/ovp.cpp — so the per-site freeze rides the pool.
             site.applier = inner_.calibrate(site.calibBuffer, kind);
             site.calibBuffer.clear();
             site.calibBuffer.shrink_to_fit();

@@ -1,9 +1,11 @@
 #include "transformer.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace olive {
 namespace nn {
@@ -45,12 +47,20 @@ selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
 
     Tensor ctx({seq, d});
     // Per-head attention: scores = Q_h K_h^T / sqrt(dh), softmax, * V_h.
-    for (size_t h = 0; h < n_heads; ++h) {
-        Tensor scores({seq, seq});
-        for (size_t i = 0; i < seq; ++i) {
+    // The softmax and context of output row (h, i) depend only on that
+    // row's scores, so the (head, row) pairs flatten into one parallel
+    // index space with an O(seq) score row as the only scratch, reused
+    // across a chunk (grain = seq: one head per chunk); each index
+    // computes exactly the serial expression, keeping the forward
+    // bit-exact at any thread count (see util/parallel.hpp).
+    par::parallelFor(0, n_heads * seq, seq, [&](size_t b, size_t e_) {
+        std::vector<float> row(seq);
+        for (size_t idx = b; idx < e_; ++idx) {
+            const size_t h = idx / seq;
+            const size_t i = idx % seq;
             for (size_t j = 0; j < seq; ++j) {
                 if (causal && j > i) {
-                    scores.at(i, j) = -1e30f;
+                    row[j] = -1e30f;
                     continue;
                 }
                 double acc = 0.0;
@@ -58,21 +68,19 @@ selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
                     acc += static_cast<double>(q.at(i, h * dh + e)) *
                            k.at(j, h * dh + e);
                 }
-                scores.at(i, j) = static_cast<float>(acc) * inv_sqrt_dh;
+                row[j] = static_cast<float>(acc) * inv_sqrt_dh;
             }
-        }
-        ops::softmaxRows(scores);
-        for (size_t i = 0; i < seq; ++i) {
+            ops::softmaxRow(row);
             for (size_t e = 0; e < dh; ++e) {
                 double acc = 0.0;
                 for (size_t j = 0; j < seq; ++j) {
-                    acc += static_cast<double>(scores.at(i, j)) *
+                    acc += static_cast<double>(row[j]) *
                            v.at(j, h * dh + e);
                 }
                 ctx.at(i, h * dh + e) = static_cast<float>(acc);
             }
         }
-    }
+    });
 
     const Tensor ctxq = maybeQuantAct(ctx, act_scheme);
     return layer.o.forward(ctxq);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -48,12 +49,16 @@ OliveMixedScheme::apply(std::span<const float> xs, TensorKind)
 Scheme::Applier
 OliveMixedScheme::calibrate(std::span<const float> calibration, TensorKind)
 {
-    ++applied_;
     bool escalated = false;
     const OvpCodec codec = pickCodec(calibration, &escalated);
-    if (escalated)
-        ++escalated_;
-    return [codec](std::span<const float> xs) {
+    // Stats count per *application*, not at calibration: a frozen
+    // applier may quantize any number of tensors (including zero), and
+    // escalationRate()/weightBits() must reflect the tensors actually
+    // quantized under the calibrate-then-apply flow.
+    return [this, codec, escalated](std::span<const float> xs) {
+        ++applied_;
+        if (escalated)
+            ++escalated_;
         return codec.fakeQuant(xs);
     };
 }
@@ -68,9 +73,11 @@ OliveMixedScheme::weightBits() const
 double
 OliveMixedScheme::escalationRate() const
 {
-    return applied_ ? static_cast<double>(escalated_) /
-                          static_cast<double>(applied_)
-                    : 0.0;
+    const u64 applied = applied_.load();
+    const u64 escalated = escalated_.load();
+    return applied ? static_cast<double>(escalated) /
+                         static_cast<double>(applied)
+                   : 0.0;
 }
 
 double
@@ -166,6 +173,19 @@ reportTensor(const std::string &name, std::span<const float> xs, int bits)
                                  static_cast<double>(st.pairs)
                            : 0.0;
     return r;
+}
+
+PtqReport
+reportTensors(std::span<const NamedSpan> tensors, int bits)
+{
+    PtqReport report;
+    report.tensors.resize(tensors.size());
+    par::parallelFor(0, tensors.size(), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            report.tensors[i] =
+                reportTensor(tensors[i].name, tensors[i].data, bits);
+    });
+    return report;
 }
 
 } // namespace olive

@@ -9,6 +9,8 @@
 #ifndef OLIVE_QUANT_FRAMEWORK_HPP
 #define OLIVE_QUANT_FRAMEWORK_HPP
 
+#include <atomic>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,15 @@ class OliveMixedScheme : public Scheme
     std::string name() const override { return "4/8-bit OliVe (mixed)"; }
     std::vector<float> apply(std::span<const float> xs,
                              TensorKind kind) override;
+
+    /**
+     * The returned applier counts toward applied_/escalated_ each time
+     * it runs (calibration itself does not), so escalationRate() and
+     * weightBits() reflect the tensors actually quantized under the
+     * calibrate-then-apply flow.  The applier references this scheme,
+     * which must outlive it; the counters are atomic, so appliers may
+     * run from parallel kernels.
+     */
     Applier calibrate(std::span<const float> calibration,
                       TensorKind kind) override;
 
@@ -43,13 +54,19 @@ class OliveMixedScheme : public Scheme
     /** Fraction of tensors escalated to 8-bit so far. */
     double escalationRate() const;
 
+    /** Tensors quantized so far (apply() calls + applier invocations). */
+    u64 appliedCount() const { return applied_.load(); }
+
+    /** Of those, tensors that escalated to 8-bit. */
+    u64 escalatedCount() const { return escalated_.load(); }
+
   private:
     /** Calibrate both precisions and pick; returns the chosen codec. */
     OvpCodec pickCodec(std::span<const float> xs, bool *escalated);
 
     double escalateThreshold_;
-    u64 applied_ = 0;
-    u64 escalated_ = 0;
+    std::atomic<u64> applied_{0};
+    std::atomic<u64> escalated_{0};
 };
 
 /** One tensor's record in a model-level PTQ report. */
@@ -89,6 +106,20 @@ struct PtqReport
  */
 TensorReport reportTensor(const std::string &name,
                           std::span<const float> xs, int bits);
+
+/** A named tensor view, the unit of batch PTQ reporting. */
+struct NamedSpan
+{
+    std::string name;
+    std::span<const float> data;
+};
+
+/**
+ * Per-tensor PTQ report over a whole model: reportTensor() for every
+ * entry, calibrated/applied in parallel (one tensor per index, so the
+ * report is identical at any OLIVE_THREADS value), in input order.
+ */
+PtqReport reportTensors(std::span<const NamedSpan> tensors, int bits);
 
 /**
  * Bulk-aware relative reconstruction error: the MSE over the *normal*

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/bitops.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
+
+namespace {
+
+/** Pairs per parallelFor chunk in the codec/census loops. */
+constexpr size_t kPairGrain = 8192;
+
+} // namespace
 
 namespace olive {
 
@@ -61,18 +70,42 @@ PairCensus
 pairCensus(std::span<const float> xs, double k_sigma)
 {
     PairCensus c;
+    if (xs.empty())
+        return c;
     const double m = stats::mean(xs);
     const double sigma = stats::stddev(xs);
     const double limit = k_sigma * sigma;
-    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
-        const bool o1 = std::fabs(xs[i] - m) > limit;
-        const bool o2 = std::fabs(xs[i + 1] - m) > limit;
-        if (o1 && o2)
-            ++c.outlierOutlier;
-        else if (o1 || o2)
-            ++c.outlierNormal;
-        else
-            ++c.normalNormal;
+    // A trailing lone value zero-pads into a pair exactly as
+    // OvpCodec::encode does, so census totals match the codec's pair
+    // count for the same tensor.
+    const size_t pairs = (xs.size() + 1) / 2;
+    const size_t chunks = par::chunkCount(0, pairs, kPairGrain);
+    std::vector<PairCensus> partial(chunks);
+    par::parallelFor(0, pairs, kPairGrain, [&](size_t pb, size_t pe) {
+        PairCensus local;
+        for (size_t p = pb; p < pe; ++p) {
+            const float v1 = xs[2 * p];
+            const bool has2 = 2 * p + 1 < xs.size();
+            const bool o1 = std::fabs(v1 - m) > limit;
+            // The pad is always a normal value, as in the codec (a
+            // zero can never exceed the positive outlier threshold) —
+            // it must not register as an outlier just because the
+            // tensor's mean is far from zero.
+            const bool o2 =
+                has2 && std::fabs(xs[2 * p + 1] - m) > limit;
+            if (o1 && o2)
+                ++local.outlierOutlier;
+            else if (o1 || o2)
+                ++local.outlierNormal;
+            else
+                ++local.normalNormal;
+        }
+        partial[par::chunkIndex(0, kPairGrain, pb)] = local;
+    });
+    for (const PairCensus &p : partial) {
+        c.normalNormal += p.normalNormal;
+        c.outlierNormal += p.outlierNormal;
+        c.outlierOutlier += p.outlierOutlier;
     }
     return c;
 }
@@ -92,7 +125,13 @@ OvpCodec::OvpCodec(NormalType normal, float scale, double threshold,
 size_t
 OvpCodec::bytesPerPair() const
 {
-    return bitWidth(normal_) == 4 ? 1 : 2;
+    return bytesPerPair(normal_);
+}
+
+size_t
+OvpCodec::bytesPerPair(NormalType t)
+{
+    return bitWidth(t) == 4 ? 1 : 2;
 }
 
 u32
@@ -157,36 +196,53 @@ OvpCodec::encode(std::span<const float> xs, OvpStats *stats) const
 {
     const size_t pairs = (xs.size() + 1) / 2;
     std::vector<u8> out(pairs * bytesPerPair());
-    OvpStats local;
-    local.pairs = pairs;
+    const u32 identifier = outlierIdentifier(normal_);
+    const bool nibble_packed = bytesPerPair() == 1;
 
-    for (size_t p = 0; p < pairs; ++p) {
-        const float v1 = xs[2 * p];
-        const float v2 = (2 * p + 1 < xs.size()) ? xs[2 * p + 1] : 0.0f;
-        u32 c1, c2;
-        encodePair(v1, v2, c1, c2);
+    // Pairs encode independently into disjoint output bytes; the stats
+    // counters reduce from per-chunk partials in chunk order, so both
+    // the byte stream and the counts are thread-count invariant.
+    const size_t chunks = par::chunkCount(0, pairs, kPairGrain);
+    std::vector<OvpStats> partial(chunks);
+    par::parallelFor(0, pairs, kPairGrain, [&](size_t pb, size_t pe) {
+        OvpStats st;
+        for (size_t p = pb; p < pe; ++p) {
+            const float v1 = xs[2 * p];
+            const float v2 =
+                (2 * p + 1 < xs.size()) ? xs[2 * p + 1] : 0.0f;
+            u32 c1, c2;
+            encodePair(v1, v2, c1, c2);
 
-        const u32 identifier = outlierIdentifier(normal_);
-        if (c1 == identifier || c2 == identifier) {
-            ++local.outlierPairs;
-            const bool v1_out = std::fabs(v1) > threshold_;
-            const bool v2_out = std::fabs(v2) > threshold_;
-            if (v1_out && v2_out)
-                ++local.prunedOutliers;
+            if (c1 == identifier || c2 == identifier) {
+                ++st.outlierPairs;
+                const bool v1_out = std::fabs(v1) > threshold_;
+                const bool v2_out = std::fabs(v2) > threshold_;
+                if (v1_out && v2_out)
+                    ++st.prunedOutliers;
+            }
+
+            if (nibble_packed) {
+                // Low nibble holds the first (left) element so a byte
+                // read yields the pair in order.
+                out[p] = bits::packNibbles(static_cast<u8>(c2),
+                                           static_cast<u8>(c1));
+            } else {
+                out[2 * p] = static_cast<u8>(c1);
+                out[2 * p + 1] = static_cast<u8>(c2);
+            }
         }
+        partial[par::chunkIndex(0, kPairGrain, pb)] = st;
+    });
 
-        if (bytesPerPair() == 1) {
-            // Low nibble holds the first (left) element so a byte read
-            // yields the pair in order.
-            out[p] = bits::packNibbles(static_cast<u8>(c2),
-                                       static_cast<u8>(c1));
-        } else {
-            out[2 * p] = static_cast<u8>(c1);
-            out[2 * p + 1] = static_cast<u8>(c2);
+    if (stats) {
+        OvpStats total;
+        total.pairs = pairs;
+        for (const OvpStats &st : partial) {
+            total.outlierPairs += st.outlierPairs;
+            total.prunedOutliers += st.prunedOutliers;
         }
+        *stats = total;
     }
-    if (stats)
-        *stats = local;
     return out;
 }
 
@@ -197,21 +253,24 @@ OvpCodec::decode(std::span<const u8> bytes, size_t count) const
     OLIVE_ASSERT(bytes.size() >= pairs * bytesPerPair(),
                  "decode stream too short");
     std::vector<float> out(count);
-    for (size_t p = 0; p < pairs; ++p) {
-        u32 c1, c2;
-        if (bytesPerPair() == 1) {
-            c1 = bits::lowNibble(bytes[p]);
-            c2 = bits::highNibble(bytes[p]);
-        } else {
-            c1 = bytes[2 * p];
-            c2 = bytes[2 * p + 1];
+    const bool nibble_packed = bytesPerPair() == 1;
+    par::parallelFor(0, pairs, kPairGrain, [&](size_t pb, size_t pe) {
+        for (size_t p = pb; p < pe; ++p) {
+            u32 c1, c2;
+            if (nibble_packed) {
+                c1 = bits::lowNibble(bytes[p]);
+                c2 = bits::highNibble(bytes[p]);
+            } else {
+                c1 = bytes[2 * p];
+                c2 = bytes[2 * p + 1];
+            }
+            float v1, v2;
+            decodePair(c1, c2, v1, v2);
+            out[2 * p] = v1;
+            if (2 * p + 1 < count)
+                out[2 * p + 1] = v2;
         }
-        float v1, v2;
-        decodePair(c1, c2, v1, v2);
-        out[2 * p] = v1;
-        if (2 * p + 1 < count)
-            out[2 * p + 1] = v2;
-    }
+    });
     return out;
 }
 

@@ -99,6 +99,13 @@ class OvpCodec
     size_t bytesPerPair() const;
 
     /**
+     * The same rule keyed by normal type, for callers (e.g. stream
+     * deserialization) that must size a payload before a codec can be
+     * constructed.
+     */
+    static size_t bytesPerPair(NormalType t);
+
+    /**
      * Algorithm 1: encode one pair of reals into two codes.  Exactly one
      * of the output codes may be the identifier.
      */

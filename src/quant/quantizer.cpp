@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace olive {
@@ -64,34 +66,45 @@ OliveQuantizer::calibrate(std::span<const float> xs) const
         types = {config_.forcedType};
     }
 
-    QuantDecision best;
-    best.mse = std::numeric_limits<double>::infinity();
+    // Candidate grid: every (type, threshold) pair scores independently
+    // on the shared sample, so the sweep parallelizes; the winner is
+    // reduced serially in grid order afterwards, which reproduces the
+    // serial first-strictly-better rule exactly.  Invalid candidates
+    // carry an infinite MSE and never win.
+    const size_t points = static_cast<size_t>(config_.searchPoints);
+    std::vector<QuantDecision> grid(types.size() * points);
+    par::parallelFor(0, grid.size(), 1, [&](size_t cb, size_t ce) {
+        for (size_t idx = cb; idx < ce; ++idx) {
+            QuantDecision cand;
+            cand.mse = std::numeric_limits<double>::infinity();
+            grid[idx] = cand;
 
-    for (NormalType type : types) {
-        const int max_mag = maxNormalMagnitude(type);
-        for (int i = 0; i < config_.searchPoints; ++i) {
-            const double frac =
-                static_cast<double>(i) / (config_.searchPoints - 1);
+            const NormalType type = types[idx / points];
+            const size_t i = idx % points;
+            const int max_mag = maxNormalMagnitude(type);
+            const double frac = static_cast<double>(i) /
+                                static_cast<double>(points - 1);
             // Geometric sweep of the threshold around 3 sigma.
             const double mult =
                 config_.searchLo *
                 std::pow(config_.searchHi / config_.searchLo, frac);
-            const double threshold = t0 * mult;
-            const float scale =
-                static_cast<float>(threshold / max_mag);
-            if (scale <= 0.0f || !std::isfinite(scale))
+            cand.threshold = t0 * mult;
+            cand.scale = static_cast<float>(cand.threshold / max_mag);
+            if (cand.scale <= 0.0f || !std::isfinite(cand.scale))
                 continue;
 
-            OvpCodec codec(type, scale, threshold);
-            const auto rt = codec.fakeQuant(s);
-            const double mse = stats::mse(s, rt);
-            if (mse < best.mse) {
-                best.mse = mse;
-                best.normal = type;
-                best.scale = scale;
-                best.threshold = threshold;
-            }
+            cand.normal = type;
+            OvpCodec codec(type, cand.scale, cand.threshold);
+            cand.mse = stats::mse(s, codec.fakeQuant(s));
+            grid[idx] = cand;
         }
+    });
+
+    QuantDecision best;
+    best.mse = std::numeric_limits<double>::infinity();
+    for (const QuantDecision &c : grid) {
+        if (c.mse < best.mse)
+            best = c;
     }
     OLIVE_ASSERT(std::isfinite(best.mse), "calibration found no candidate");
     return best;

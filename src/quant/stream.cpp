@@ -1,5 +1,6 @@
 #include "stream.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -120,12 +121,28 @@ deserialize(std::span<const u8> blob)
     std::memcpy(&s.threshold, &threshold_bits, sizeof(s.threshold));
     s.count = get64(blob, pos);
 
-    const size_t pairs = (s.count + 1) / 2;
-    const size_t bpp = (bitWidth(s.normal) == 8) ? 2 : 1;
-    if (blob.size() - pos < pairs * bpp)
+    // Codec construction asserts on these; for a deserialized blob they
+    // are user input, so reject them as fatal() instead of aborting.
+    if (!(s.scale > 0.0f) || !std::isfinite(s.scale))
+        OLIVE_FATAL("OVP stream has a non-positive or non-finite scale");
+    if (!(s.threshold > 0.0) || !std::isfinite(s.threshold))
+        OLIVE_FATAL("OVP stream has a non-positive or non-finite threshold");
+
+    // ceil(count / 2) without the (count + 1) overflow a hostile count
+    // of UINT64_MAX would cause; the division-form comparison below is
+    // likewise wrap-free, so an oversized count dies here as fatal()
+    // instead of as an uncontrolled allocation later.
+    const u64 pairs = s.count / 2 + s.count % 2;
+    const size_t bpp = OvpCodec::bytesPerPair(s.normal);
+    const size_t payload = blob.size() - pos;
+    if (pairs > payload / bpp)
         OLIVE_FATAL("OVP stream truncated (payload)");
+    if (static_cast<size_t>(pairs) * bpp < payload)
+        OLIVE_FATAL("OVP stream has trailing bytes past the payload");
     s.bytes.assign(blob.begin() + static_cast<long>(pos),
-                   blob.begin() + static_cast<long>(pos + pairs * bpp));
+                   blob.begin() +
+                       static_cast<long>(pos + static_cast<size_t>(pairs) *
+                                                   bpp));
     return s;
 }
 
@@ -148,11 +165,34 @@ loadStream(const std::string &path)
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         OLIVE_FATAL("cannot open " + path);
-    std::fseek(f, 0, SEEK_END);
+    // A directory opens successfully on POSIX but fails on the first
+    // read (EISDIR) — and its fseek/ftell "size" is filesystem
+    // garbage.  Probe a byte so the failure names the path instead of
+    // surfacing as a bogus allocation.
+    const int probe = std::fgetc(f);
+    if (probe == EOF && std::ferror(f)) {
+        std::fclose(f);
+        OLIVE_FATAL("cannot read " + path + " (is it a regular file?)");
+    }
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+        std::fclose(f);
+        OLIVE_FATAL("cannot seek to the end of " + path);
+    }
+    // ftell() returns -1 for unseekable paths (e.g. a directory); the
+    // old cast to size_t turned that into a ~2^64 allocation.
     const long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        OLIVE_FATAL("cannot determine the size of " + path +
+                    " (is it a regular file?)");
+    }
+    if (std::fseek(f, 0, SEEK_SET) != 0) {
+        std::fclose(f);
+        OLIVE_FATAL("cannot rewind " + path);
+    }
     std::vector<u8> blob(static_cast<size_t>(size));
-    const size_t read = std::fread(blob.data(), 1, blob.size(), f);
+    const size_t read =
+        blob.empty() ? 0 : std::fread(blob.data(), 1, blob.size(), f);
     std::fclose(f);
     if (read != blob.size())
         OLIVE_FATAL("short read from " + path);

@@ -1,10 +1,32 @@
 #include "runner.hpp"
 
 #include "models/config.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace olive {
 namespace sim {
+
+namespace {
+
+/**
+ * The per-model GEMM workloads, enumerated once: they are identical for
+ * every design in a sweep, so the repeated inferenceGemms() calls of the
+ * per-design loops are hoisted here (and filled in parallel — workload
+ * enumeration is a pure function of the config).
+ */
+std::vector<std::vector<models::GemmOp>>
+workloadsFor(const std::vector<models::ModelConfig> &configs)
+{
+    std::vector<std::vector<models::GemmOp>> ops(configs.size());
+    par::parallelFor(0, configs.size(), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            ops[i] = models::inferenceGemms(configs[i]);
+    });
+    return ops;
+}
+
+} // namespace
 
 Fig9Result
 runFigure9(const GpuModel &model)
@@ -13,32 +35,48 @@ runFigure9(const GpuModel &model)
     const auto configs = models::figureModels();
     for (const auto &c : configs)
         out.modelNames.push_back(c.name);
+    const auto ops = workloadsFor(configs);
 
-    // Baseline latency: the FP16 GPU.
-    std::vector<double> base_cycles;
-    std::vector<double> gobo_energy;
+    // Baseline latency: the FP16 GPU.  Each (design, model) cell is an
+    // independent analytical evaluation, so every loop below fills
+    // pre-sized slots in parallel; the geomean reductions stay serial
+    // over those slots, keeping results thread-count invariant.
+    std::vector<double> base_cycles(configs.size());
+    std::vector<double> gobo_energy(configs.size());
     const GpuDesign fp16 = gpuFp16();
     const GpuDesign gobo = gpuGobo();
-    for (const auto &c : configs) {
-        const auto ops = models::inferenceGemms(c);
-        base_cycles.push_back(model.run(ops, fp16).cycles);
-        gobo_energy.push_back(model.run(ops, gobo).energy.total());
-    }
-
-    for (const auto &design : figure9Designs()) {
-        SeriesResult series;
-        series.design = design.name;
-        std::vector<double> energy_norm;
-        for (size_t i = 0; i < configs.size(); ++i) {
-            const auto ops = models::inferenceGemms(configs[i]);
-            const GpuResult r = model.run(ops, design);
-            series.speedup.push_back(base_cycles[i] / r.cycles);
-            series.gpuEnergy.push_back(r.energy);
-            energy_norm.push_back(r.energy.total() / gobo_energy[i]);
+    par::parallelFor(0, configs.size(), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            base_cycles[i] = model.run(ops[i], fp16).cycles;
+            gobo_energy[i] = model.run(ops[i], gobo).energy.total();
         }
-        series.speedupGeomean = stats::geomean(series.speedup);
-        series.energyGeomean = stats::geomean(energy_norm);
-        out.designs.push_back(std::move(series));
+    });
+
+    const auto designs = figure9Designs();
+    out.designs.resize(designs.size());
+    std::vector<std::vector<double>> energy_norm(
+        designs.size(), std::vector<double>(configs.size()));
+    for (size_t d = 0; d < designs.size(); ++d) {
+        SeriesResult &series = out.designs[d];
+        series.design = designs[d].name;
+        series.speedup.resize(configs.size());
+        series.gpuEnergy.resize(configs.size());
+    }
+    par::parallelFor(
+        0, designs.size() * configs.size(), 1, [&](size_t b, size_t e) {
+            for (size_t idx = b; idx < e; ++idx) {
+                const size_t d = idx / configs.size();
+                const size_t i = idx % configs.size();
+                const GpuResult r = model.run(ops[i], designs[d]);
+                out.designs[d].speedup[i] = base_cycles[i] / r.cycles;
+                out.designs[d].gpuEnergy[i] = r.energy;
+                energy_norm[d][i] = r.energy.total() / gobo_energy[i];
+            }
+        });
+    for (size_t d = 0; d < designs.size(); ++d) {
+        out.designs[d].speedupGeomean =
+            stats::geomean(out.designs[d].speedup);
+        out.designs[d].energyGeomean = stats::geomean(energy_norm[d]);
     }
     return out;
 }
@@ -50,32 +88,45 @@ runFigure10(const SystolicModel &model)
     const auto configs = models::figureModels();
     for (const auto &c : configs)
         out.modelNames.push_back(c.name);
+    const auto ops = workloadsFor(configs);
 
     // Reference: the AdaptivFloat accelerator.
-    std::vector<double> base_cycles;
-    std::vector<double> base_energy;
+    std::vector<double> base_cycles(configs.size());
+    std::vector<double> base_energy(configs.size());
     const AccelDesign ada = accelAdafloat();
-    for (const auto &c : configs) {
-        const auto ops = models::inferenceGemms(c);
-        const AccelResult r = model.run(ops, ada);
-        base_cycles.push_back(r.cycles);
-        base_energy.push_back(r.energy.total());
-    }
-
-    for (const auto &design : figure10Designs()) {
-        SeriesResult series;
-        series.design = design.name;
-        std::vector<double> energy_norm;
-        for (size_t i = 0; i < configs.size(); ++i) {
-            const auto ops = models::inferenceGemms(configs[i]);
-            const AccelResult r = model.run(ops, design);
-            series.speedup.push_back(base_cycles[i] / r.cycles);
-            series.accelEnergy.push_back(r.energy);
-            energy_norm.push_back(r.energy.total() / base_energy[i]);
+    par::parallelFor(0, configs.size(), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            const AccelResult r = model.run(ops[i], ada);
+            base_cycles[i] = r.cycles;
+            base_energy[i] = r.energy.total();
         }
-        series.speedupGeomean = stats::geomean(series.speedup);
-        series.energyGeomean = stats::geomean(energy_norm);
-        out.designs.push_back(std::move(series));
+    });
+
+    const auto designs = figure10Designs();
+    out.designs.resize(designs.size());
+    std::vector<std::vector<double>> energy_norm(
+        designs.size(), std::vector<double>(configs.size()));
+    for (size_t d = 0; d < designs.size(); ++d) {
+        SeriesResult &series = out.designs[d];
+        series.design = designs[d].name;
+        series.speedup.resize(configs.size());
+        series.accelEnergy.resize(configs.size());
+    }
+    par::parallelFor(
+        0, designs.size() * configs.size(), 1, [&](size_t b, size_t e) {
+            for (size_t idx = b; idx < e; ++idx) {
+                const size_t d = idx / configs.size();
+                const size_t i = idx % configs.size();
+                const AccelResult r = model.run(ops[i], designs[d]);
+                out.designs[d].speedup[i] = base_cycles[i] / r.cycles;
+                out.designs[d].accelEnergy[i] = r.energy;
+                energy_norm[d][i] = r.energy.total() / base_energy[i];
+            }
+        });
+    for (size_t d = 0; d < designs.size(); ++d) {
+        out.designs[d].speedupGeomean =
+            stats::geomean(out.designs[d].speedup);
+        out.designs[d].energyGeomean = stats::geomean(energy_norm[d]);
     }
     return out;
 }

@@ -1,6 +1,9 @@
 #include "gemm.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace olive {
 
@@ -22,23 +25,30 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pb = b.raw();
     float *pc = c.raw();
 
-    for (size_t i0 = 0; i0 < m; i0 += kBlock) {
-        const size_t i1 = std::min(i0 + kBlock, m);
+    // Row blocks parallelize; every output element accumulates in double
+    // over ascending l, the same order and precision as matmulTransB, so
+    // the two paths agree bitwise on transposed inputs.
+    par::parallelFor(0, m, kBlock, [&](size_t r0, size_t r1) {
+        std::vector<double> acc((r1 - r0) * n, 0.0);
         for (size_t l0 = 0; l0 < k; l0 += kBlock) {
             const size_t l1 = std::min(l0 + kBlock, k);
-            for (size_t i = i0; i < i1; ++i) {
+            for (size_t i = r0; i < r1; ++i) {
+                double *arow = acc.data() + (i - r0) * n;
                 for (size_t l = l0; l < l1; ++l) {
-                    const float av = pa[i * k + l];
-                    if (av == 0.0f)
-                        continue;
+                    const double av = pa[i * k + l];
                     const float *brow = pb + l * n;
-                    float *crow = pc + i * n;
                     for (size_t j = 0; j < n; ++j)
-                        crow[j] += av * brow[j];
+                        arow[j] += av * brow[j];
                 }
             }
         }
-    }
+        for (size_t i = r0; i < r1; ++i) {
+            const double *arow = acc.data() + (i - r0) * n;
+            float *crow = pc + i * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] = static_cast<float>(arow[j]);
+        }
+    });
     return c;
 }
 
@@ -54,16 +64,18 @@ matmulTransB(const Tensor &a, const Tensor &b)
     const float *pb = b.raw();
     float *pc = c.raw();
 
-    for (size_t i = 0; i < m; ++i) {
-        const float *arow = pa + i * k;
-        for (size_t j = 0; j < n; ++j) {
-            const float *brow = pb + j * k;
-            double acc = 0.0;
-            for (size_t l = 0; l < k; ++l)
-                acc += static_cast<double>(arow[l]) * brow[l];
-            pc[i * n + j] = static_cast<float>(acc);
+    par::parallelFor(0, m, 1, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            const float *arow = pa + i * k;
+            for (size_t j = 0; j < n; ++j) {
+                const float *brow = pb + j * k;
+                double acc = 0.0;
+                for (size_t l = 0; l < k; ++l)
+                    acc += static_cast<double>(arow[l]) * brow[l];
+                pc[i * n + j] = static_cast<float>(acc);
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -71,13 +83,18 @@ Tensor
 linearForward(const Tensor &a, const Tensor &w, const Tensor &bias)
 {
     Tensor c = matmulTransB(a, w);
-    OLIVE_ASSERT(bias.rank() == 1 && bias.dim(0) == c.dim(1),
+    const size_t n = c.dim(1);
+    OLIVE_ASSERT(bias.rank() == 1 && bias.dim(0) == n,
                  "bias must match output features");
-    for (size_t i = 0; i < c.dim(0); ++i) {
-        auto row = c.row(i);
-        for (size_t j = 0; j < row.size(); ++j)
-            row[j] += bias[j];
-    }
+    const float *pbias = bias.raw();
+    float *pc = c.raw();
+    par::parallelFor(0, c.dim(0), 8, [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+            float *crow = pc + i * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += pbias[j];
+        }
+    });
     return c;
 }
 

@@ -5,6 +5,11 @@
  * C = A(m,k) * B(k,n) [+ bias], with optional transposition of B.  This
  * is the reference arithmetic path for the functional evaluation; the
  * hardware-accurate integer path lives in src/hw.
+ *
+ * Every variant accumulates each output element in double over
+ * ascending inner index, so matmul and matmulTransB agree bitwise on
+ * transposed inputs, and row-parallel execution (util/parallel) is
+ * bit-identical to serial at any OLIVE_THREADS value.
  */
 
 #ifndef OLIVE_TENSOR_GEMM_HPP

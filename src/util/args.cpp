@@ -1,12 +1,17 @@
 #include "args.hpp"
 
 #include "common.hpp"
+#include "parallel.hpp"
 
 namespace olive {
 
 Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
     : values_(std::move(known))
 {
+    // Implicit --threads flag (see the file comment in args.hpp).
+    const bool had_threads = values_.count("threads") != 0;
+    if (!had_threads)
+        values_.emplace("threads", "");
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
@@ -15,6 +20,7 @@ Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
         }
         arg = arg.substr(2);
         std::string name, value;
+        bool bare = false;
         const auto eq = arg.find('=');
         if (eq != std::string::npos) {
             name = arg.substr(0, eq);
@@ -25,12 +31,25 @@ Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
                 value = argv[++i];
             } else {
                 value = "1"; // bare boolean flag
+                bare = true;
             }
         }
         auto it = values_.find(name);
         if (it == values_.end())
             OLIVE_FATAL("unknown flag --" + name);
+        // The implicit --threads is numeric-only: the bare-boolean "1"
+        // (or an empty "--threads=") would silently pin the pool serial
+        // where the user almost certainly forgot the count.
+        if (!had_threads && name == "threads" && (bare || value.empty()))
+            OLIVE_FATAL("--threads requires a value (0 = default)");
         it->second = value;
+    }
+
+    if (!had_threads) {
+        const std::string &t = values_.at("threads");
+        if (!t.empty())
+            par::setThreadCount(
+                par::parseThreadCount(t.c_str(), "--threads"));
     }
 }
 

@@ -4,6 +4,14 @@
  *
  * Supports "--name value" and "--name=value" forms plus boolean
  * "--flag".  Unknown flags are a fatal (user) error.
+ *
+ * Every program implicitly accepts --threads N, which resizes the
+ * global parallel pool (util/parallel) before the workload runs: N = 1
+ * forces serial, N = 0 restores the ambient default (OLIVE_THREADS if
+ * set, else hardware concurrency).  A positive N overrides the
+ * OLIVE_THREADS environment variable.  The flag never changes results —
+ * the engine's deterministic partitioning keeps outputs bit-identical
+ * at every thread count.
  */
 
 #ifndef OLIVE_UTIL_ARGS_HPP

@@ -34,10 +34,14 @@ setField(u32 v, unsigned lo, unsigned len, u32 x)
 constexpr i32
 signExtend(u32 v, unsigned width)
 {
+    // width == 0 would shift by width - 1 == UINT_MAX below (UB).
+    OLIVE_ASSERT(width >= 1 && width <= 32, "signExtend width out of range");
     const u32 mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
     const u32 x = v & mask;
     const u32 sign = 1u << (width - 1);
-    return static_cast<i32>((x ^ sign)) - static_cast<i32>(sign);
+    // Subtract in unsigned (wraps, well-defined) and convert at the
+    // end: the signed form overflows for width == 32 negative values.
+    return static_cast<i32>((x ^ sign) - sign);
 }
 
 /** Low nibble of a byte. */

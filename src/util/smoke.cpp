@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/parallel.hpp"
+
 namespace olive {
 namespace smoke {
 
@@ -26,6 +28,10 @@ banner()
     if (enabled())
         std::printf("[smoke] OLIVE_SMOKE is set: reduced workloads; "
                     "numbers are NOT paper-comparable\n\n");
+    if (par::threadCount() > 1)
+        std::printf("[parallel] %zu threads (OLIVE_THREADS or --threads "
+                    "to change; results are thread-count invariant)\n\n",
+                    par::threadCount());
 }
 
 } // namespace smoke

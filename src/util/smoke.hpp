@@ -25,7 +25,10 @@ bool enabled();
 /** @p full normally; @p quick when smoke mode is active. */
 size_t count(size_t full, size_t quick);
 
-/** Print a reduced-workload warning banner if smoke mode is active. */
+/**
+ * Print a reduced-workload warning banner if smoke mode is active, and
+ * the parallel-pool size when more than one thread is in use.
+ */
 void banner();
 
 } // namespace smoke

@@ -18,6 +18,22 @@
 namespace olive {
 namespace {
 
+/**
+ * Earlier tests in this binary spawn persistent pool workers (e.g. the
+ * parallel reportTensors batch), so every death test must re-exec
+ * instead of forking a multithreaded process.
+ */
+class ThreadsafeDeathStyle : public ::testing::Environment
+{
+  public:
+    void SetUp() override
+    {
+        GTEST_FLAG_SET(death_test_style, "threadsafe");
+    }
+};
+const auto *const kDeathStyleEnv =
+    ::testing::AddGlobalTestEnvironment(new ThreadsafeDeathStyle);
+
 std::vector<float>
 outlierData(size_t n, double p, double max_sigma, u64 seed)
 {
@@ -59,14 +75,45 @@ TEST(MixedPrecision, EscalatedTensorHasBetterSqnr)
     EXPECT_GT(stats::sqnrDb(xs, rt8), stats::sqnrDb(xs, rt4));
 }
 
-TEST(MixedPrecision, CalibrateCountsTowardRate)
+TEST(MixedPrecision, CalibrateCountsPerApplication)
 {
+    // Stats must reflect tensors actually quantized: calibration alone
+    // counts nothing; every applier invocation counts once.
     OliveMixedScheme mixed(1e-6);
     const auto xs = outlierData(2048, 0.01, 60.0, 4);
     auto applier = mixed.calibrate(xs, TensorKind::Activation);
-    EXPECT_DOUBLE_EQ(mixed.escalationRate(), 1.0);
+    EXPECT_EQ(mixed.appliedCount(), 0u);
+    EXPECT_DOUBLE_EQ(mixed.escalationRate(), 0.0);
+    EXPECT_EQ(mixed.weightBits(), 4);
+
     const auto rt = applier(xs);
     EXPECT_EQ(rt.size(), xs.size());
+    EXPECT_EQ(mixed.appliedCount(), 1u);
+    EXPECT_EQ(mixed.escalatedCount(), 1u);
+    EXPECT_DOUBLE_EQ(mixed.escalationRate(), 1.0);
+    EXPECT_EQ(mixed.weightBits(), 8);
+
+    applier(xs);
+    applier(xs);
+    EXPECT_EQ(mixed.appliedCount(), 3u);
+    EXPECT_EQ(mixed.escalatedCount(), 3u);
+}
+
+TEST(MixedPrecision, ApplyAndCalibrateFlowsShareCounters)
+{
+    OliveMixedScheme mixed(1e9); // never escalates
+    const auto xs = outlierData(2048, 0.004, 10.0, 5);
+    mixed.apply(xs, TensorKind::Weight);
+    EXPECT_EQ(mixed.appliedCount(), 1u);
+
+    auto applier = mixed.calibrate(xs, TensorKind::Activation);
+    EXPECT_EQ(mixed.appliedCount(), 1u); // calibration did not count
+    applier(xs);
+    applier(xs);
+    EXPECT_EQ(mixed.appliedCount(), 3u);
+    EXPECT_EQ(mixed.escalatedCount(), 0u);
+    EXPECT_DOUBLE_EQ(mixed.escalationRate(), 0.0);
+    EXPECT_EQ(mixed.weightBits(), 4);
 }
 
 // --------------------------------------------------------------- report
@@ -84,6 +131,30 @@ TEST(PtqReport, AggregatesAcrossTensors)
     const std::string rendered = report.render();
     EXPECT_NE(rendered.find("a"), std::string::npos);
     EXPECT_NE(rendered.find("average bits"), std::string::npos);
+}
+
+TEST(PtqReport, BatchMatchesPerTensorReports)
+{
+    // reportTensors fans the tensors over the parallel pool; the result
+    // must equal per-tensor reportTensor calls, in order.
+    const auto xs0 = outlierData(4096, 0.005, 40.0, 20);
+    const auto xs1 = outlierData(4096, 0.01, 80.0, 21);
+    const auto xs2 = outlierData(2048, 0.002, 15.0, 22);
+    const std::vector<NamedSpan> tensors = {
+        {"t0", xs0}, {"t1", xs1}, {"t2", xs2}};
+    const PtqReport batch = reportTensors(tensors, 4);
+    ASSERT_EQ(batch.tensors.size(), 3u);
+    for (size_t i = 0; i < tensors.size(); ++i) {
+        const TensorReport ref =
+            reportTensor(tensors[i].name, tensors[i].data, 4);
+        EXPECT_EQ(batch.tensors[i].name, ref.name);
+        EXPECT_EQ(batch.tensors[i].normal, ref.normal);
+        EXPECT_EQ(batch.tensors[i].elems, ref.elems);
+        EXPECT_DOUBLE_EQ(batch.tensors[i].threshold, ref.threshold);
+        EXPECT_DOUBLE_EQ(batch.tensors[i].sqnrDb, ref.sqnrDb);
+        EXPECT_DOUBLE_EQ(batch.tensors[i].outlierPairPct,
+                         ref.outlierPairPct);
+    }
 }
 
 TEST(PtqReport, EightBitBeatsFourBit)
@@ -186,6 +257,70 @@ TEST(Stream, RejectsTruncation)
     blob.resize(10);
     EXPECT_EXIT(deserialize(blob), ::testing::ExitedWithCode(1),
                 "truncated");
+}
+
+TEST(Stream, RejectsTrailingGarbage)
+{
+    const auto xs = outlierData(64, 0.0, 4.0, 14);
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    auto blob = serialize(packStream(codec, xs));
+    blob.push_back(0xAB);
+    EXPECT_EXIT(deserialize(blob), ::testing::ExitedWithCode(1),
+                "trailing");
+}
+
+TEST(Stream, RejectsOverflowingCount)
+{
+    // A hostile count of UINT64_MAX must die as fatal() in deserialize,
+    // not wrap (count + 1) / 2 to zero pairs and explode later in an
+    // uncontrolled allocation.
+    const auto xs = outlierData(64, 0.0, 4.0, 17);
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    auto blob = serialize(packStream(codec, xs));
+    // The count's u64 sits after magic/version/type/bias/scale/threshold.
+    for (size_t i = 28; i < 36; ++i)
+        blob[i] = 0xFF;
+    EXPECT_EXIT(deserialize(blob), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(Stream, RejectsNonPositiveScale)
+{
+    const auto xs = outlierData(64, 0.0, 4.0, 15);
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    auto blob = serialize(packStream(codec, xs));
+    // The scale's float bits sit after magic/version/type/bias.
+    for (size_t i = 16; i < 20; ++i)
+        blob[i] = 0;
+    EXPECT_EXIT(deserialize(blob), ::testing::ExitedWithCode(1), "scale");
+}
+
+TEST(Stream, LoadFromDirectoryIsFatal)
+{
+    // A directory path must die with fatal() (unseekable/unreadable),
+    // not crash on a bogus size_t allocation from ftell() == -1.
+    EXPECT_EXIT(loadStream("/tmp"), ::testing::ExitedWithCode(1), "/tmp");
+}
+
+TEST(Stream, LoadTruncatedFileIsFatal)
+{
+    const auto xs = outlierData(256, 0.01, 40.0, 16);
+    const OliveQuantizer q;
+    const OvpCodec codec = q.makeCodec(q.calibrate(xs));
+    const auto blob = serialize(packStream(codec, xs));
+
+    const std::string path = "/tmp/olive_test_truncated.ovp";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(blob.data(), 1, blob.size() - 5, f),
+              blob.size() - 5);
+    std::fclose(f);
+    EXPECT_EXIT(loadStream(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
 }
 
 TEST(Stream, FourBitStreamIsHalfAByte)

@@ -98,6 +98,66 @@ TEST(OvpStream, OddLengthTrailingOutlierPairsWithPad)
     }
 }
 
+TEST(PairCensusOdd, TrailingElementZeroPadsLikeTheCodec)
+{
+    // 63 bulk values plus an outlier in the last (lone) slot: the lone
+    // value must pair with a zero pad — exactly as OvpCodec::encode
+    // pads — and be counted, not dropped.
+    std::vector<float> xs;
+    for (int i = 0; i < 62; ++i)
+        xs.push_back(0.1f * static_cast<float>((i % 7) - 3));
+    xs.push_back(50.0f);
+    ASSERT_EQ(xs.size() % 2, 1u);
+
+    const PairCensus census = pairCensus(xs, 3.0);
+    EXPECT_EQ(census.total(), (xs.size() + 1) / 2);
+    // The pad is a normal value, so the final pair is outlier-normal.
+    EXPECT_EQ(census.outlierNormal, 1u);
+    EXPECT_EQ(census.outlierOutlier, 0u);
+}
+
+TEST(PairCensusOdd, PadIsNeverAnOutlier)
+{
+    // A constant odd-length tensor has no outliers; the zero pad must
+    // not register as one just because the mean (100) is far from the
+    // pad value — the codec's pad can never exceed its positive
+    // threshold either.
+    const std::vector<float> xs(63, 100.0f);
+    const PairCensus census = pairCensus(xs, 3.0);
+    EXPECT_EQ(census.total(), 32u);
+    EXPECT_EQ(census.outlierNormal, 0u);
+    EXPECT_EQ(census.outlierOutlier, 0u);
+    EXPECT_EQ(census.normalNormal, 32u);
+}
+
+TEST(PairCensusOdd, TotalsMatchCodecPairCounts)
+{
+    // Census pair totals and codec pair totals must agree for the same
+    // tensor at every parity.
+    for (size_t n : {1u, 2u, 63u, 64u, 4097u}) {
+        std::vector<float> xs(n);
+        for (size_t i = 0; i < n; ++i)
+            xs[i] = 0.25f * static_cast<float>((i % 11)) - 1.0f;
+        xs[n / 2] = 40.0f;
+
+        const PairCensus census = pairCensus(xs, 3.0);
+        const OvpCodec codec = makeCodec(NormalType::Int4);
+        OvpStats stats;
+        codec.encode(xs, &stats);
+        EXPECT_EQ(census.total(), stats.pairs) << n;
+        EXPECT_EQ(census.total(), (n + 1) / 2) << n;
+    }
+}
+
+TEST(OvpStream, StaticBytesPerPairMatchesInstanceRule)
+{
+    for (NormalType t :
+         {NormalType::Int4, NormalType::Flint4, NormalType::Int8}) {
+        EXPECT_EQ(OvpCodec::bytesPerPair(t), makeCodec(t).bytesPerPair())
+            << toString(t);
+    }
+}
+
 TEST(OvpStream, EmptyInputEncodesToEmptyStream)
 {
     const OvpCodec codec = makeCodec(NormalType::Int4);
