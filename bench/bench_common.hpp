@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Helpers shared by the self-timed bench drivers, so the timing policy
+ * (best-of-reps) and workload generators cannot drift between the
+ * drivers whose JSON outputs are meant to be comparable.
+ */
+
+#ifndef OLIVE_BENCH_COMMON_HPP
+#define OLIVE_BENCH_COMMON_HPP
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <initializer_list>
+
+#include "tensor/tensor.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace benchutil {
+
+/** Best-of-reps wall seconds of @p fn. */
+inline double
+secondsOf(int reps, const std::function<void()> &fn)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        best = std::min(best, dt.count());
+    }
+    return best;
+}
+
+/** Seeded standard-Gaussian tensor. */
+inline Tensor
+gaussianTensor(std::initializer_list<size_t> shape, u64 seed)
+{
+    Tensor t(shape);
+    Rng rng(seed);
+    for (auto &v : t.data())
+        v = static_cast<float>(rng.gaussian());
+    return t;
+}
+
+} // namespace benchutil
+} // namespace olive
+
+#endif // OLIVE_BENCH_COMMON_HPP

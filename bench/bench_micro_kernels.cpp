@@ -1,22 +1,44 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the codec and MAC hot paths:
- * OVP encode/decode throughput, the bit-exact hardware decoder, the
- * ExpInt dot product, and quantizer calibration.
+ * Before/after microbenchmarks of the software hot paths this repo
+ * optimizes: normal-codec encode, OVP stream encode/decode, the fused
+ * fakeQuant round trip, quantizer calibration, and the tiled GEMM
+ * kernels.  Every kernel runs its retained *Reference() oracle and its
+ * fast path back to back, asserts the outputs are bit-identical, and
+ * reports both throughputs plus the speedup.  Results are also written
+ * as machine-readable JSON (BENCH_micro.json) so the repository's
+ * performance trajectory is recorded across PRs.
+ *
+ * Measurements pin the pool to one thread: these are per-core kernel
+ * numbers (bench_parallel_scaling covers scaling).  Under OLIVE_SMOKE
+ * the workloads shrink and the run doubles as the `perf`-labelled CTest
+ * leg: the bit-exactness asserts make kernel regressions fail CI
+ * instead of just slowing it down.
+ *
+ *   ./build/bench_micro_kernels --reps 5 --out BENCH_micro.json
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <vector>
 
-#include "hw/decoder.hpp"
-#include "hw/mac.hpp"
+#include "bench_common.hpp"
 #include "quant/quantizer.hpp"
-#include "tensor/distribution.hpp"
+#include "tensor/gemm.hpp"
+#include "util/args.hpp"
+#include "util/benchjson.hpp"
+#include "util/bitops.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 #include "util/smoke.hpp"
+#include "util/table.hpp"
 
 using namespace olive;
 
 namespace {
+
+using benchutil::gaussianTensor;
+using benchutil::secondsOf;
 
 std::vector<float>
 benchData(size_t n)
@@ -28,109 +50,260 @@ benchData(size_t n)
     return xs;
 }
 
-void
-BM_OvpEncode(benchmark::State &state)
+struct KernelRow
 {
-    const auto xs = benchData(static_cast<size_t>(state.range(0)));
-    const OvpCodec codec(NormalType::Int4, 0.4f, 2.8);
-    for (auto _ : state) {
-        auto bytes = codec.encode(xs);
-        benchmark::DoNotOptimize(bytes);
-    }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_OvpEncode)->Arg(1 << 12)->Arg(1 << 16);
+    std::string name;
+    double work;  //!< Work units per run (for the rate columns).
+    std::string unit;
+    double refSec = 0.0;
+    double fastSec = 0.0;
+    bool identical = false;
+};
 
-void
-BM_OvpDecode(benchmark::State &state)
+/** Pre-LUT OVP stream encode: serial pack loop over reference pairs. */
+std::vector<u8>
+encodeStreamReference(const OvpCodec &codec, std::span<const float> xs)
 {
-    const auto xs = benchData(static_cast<size_t>(state.range(0)));
-    const OvpCodec codec(NormalType::Int4, 0.4f, 2.8);
-    const auto bytes = codec.encode(xs);
-    for (auto _ : state) {
-        auto vals = codec.decode(bytes, xs.size());
-        benchmark::DoNotOptimize(vals);
+    const size_t pairs = (xs.size() + 1) / 2;
+    const bool nibble_packed = codec.bytesPerPair() == 1;
+    std::vector<u8> out(pairs * codec.bytesPerPair());
+    for (size_t p = 0; p < pairs; ++p) {
+        const float v1 = xs[2 * p];
+        const float v2 = (2 * p + 1 < xs.size()) ? xs[2 * p + 1] : 0.0f;
+        u32 c1, c2;
+        codec.encodePairReference(v1, v2, c1, c2);
+        if (nibble_packed) {
+            out[p] = bits::packNibbles(static_cast<u8>(c2),
+                                       static_cast<u8>(c1));
+        } else {
+            out[2 * p] = static_cast<u8>(c1);
+            out[2 * p + 1] = static_cast<u8>(c2);
+        }
     }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
+    return out;
 }
-BENCHMARK(BM_OvpDecode)->Arg(1 << 12)->Arg(1 << 16);
 
-void
-BM_HwDecoderByte(benchmark::State &state)
+/** Pre-LUT OVP stream decode: serial unpack over reference pairs. */
+std::vector<float>
+decodeStreamReference(const OvpCodec &codec, std::span<const u8> bytes,
+                      size_t count)
 {
-    const hw::OvpDecoder dec(NormalType::Int4);
-    u8 byte = 0;
-    for (auto _ : state) {
-        const auto d = dec.decodeByte(byte++);
-        benchmark::DoNotOptimize(d);
+    const size_t pairs = (count + 1) / 2;
+    const bool nibble_packed = codec.bytesPerPair() == 1;
+    std::vector<float> out(count);
+    for (size_t p = 0; p < pairs; ++p) {
+        u32 c1, c2;
+        if (nibble_packed) {
+            c1 = bits::lowNibble(bytes[p]);
+            c2 = bits::highNibble(bytes[p]);
+        } else {
+            c1 = bytes[2 * p];
+            c2 = bytes[2 * p + 1];
+        }
+        float v1, v2;
+        codec.decodePairReference(c1, c2, v1, v2);
+        out[2 * p] = v1;
+        if (2 * p + 1 < count)
+            out[2 * p + 1] = v2;
     }
-    state.SetItemsProcessed(state.iterations() * 2);
+    return out;
 }
-BENCHMARK(BM_HwDecoderByte);
 
-void
-BM_ExpIntDotProduct(benchmark::State &state)
+bool
+sameTensor(const Tensor &a, const Tensor &b)
 {
-    Rng rng(9);
-    const size_t n = 16;
-    std::vector<ExpInt> a(n), b(n);
-    for (size_t i = 0; i < n; ++i) {
-        a[i] = ExpInt{static_cast<u8>(rng.uniformInt(5)),
-                      static_cast<i32>(rng.uniformInt(15)) - 7};
-        b[i] = ExpInt{static_cast<u8>(rng.uniformInt(5)),
-                      static_cast<i32>(rng.uniformInt(15)) - 7};
-    }
-    for (auto _ : state) {
-        const i32 d = hw::dotProduct(a, b);
-        benchmark::DoNotOptimize(d);
-    }
-    state.SetItemsProcessed(state.iterations() * n);
+    return a.size() == b.size() &&
+           std::memcmp(a.raw(), b.raw(), a.size() * sizeof(float)) == 0;
 }
-BENCHMARK(BM_ExpIntDotProduct);
 
-void
-BM_QuantizerCalibrate(benchmark::State &state)
+/** Bitwise (not FP ==) vector comparison. */
+bool
+sameFloats(const std::vector<float> &a, const std::vector<float> &b)
 {
-    const auto xs = benchData(static_cast<size_t>(state.range(0)));
-    const OliveQuantizer q;
-    for (auto _ : state) {
-        const QuantDecision d = q.calibrate(xs);
-        benchmark::DoNotOptimize(d);
-    }
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
 }
-BENCHMARK(BM_QuantizerCalibrate)->Arg(1 << 14)->Arg(1 << 18);
 
-void
-BM_FakeQuantRoundTrip(benchmark::State &state)
+bool
+sameDecision(const QuantDecision &a, const QuantDecision &b)
 {
-    const auto xs = benchData(static_cast<size_t>(state.range(0)));
-    const OvpCodec codec(NormalType::Flint4, 0.4f, 6.4);
-    for (auto _ : state) {
-        auto rt = codec.fakeQuant(xs);
-        benchmark::DoNotOptimize(rt);
-    }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
+    return a.normal == b.normal && a.scale == b.scale &&
+           a.threshold == b.threshold && a.mse == b.mse;
 }
-BENCHMARK(BM_FakeQuantRoundTrip)->Arg(1 << 16);
 
 } // namespace
 
-// Hand-rolled BENCHMARK_MAIN so smoke mode can cap the measurement time:
-// under OLIVE_SMOKE each benchmark runs for ~10 ms instead of the default
-// adaptive second-scale budget.
 int
 main(int argc, char **argv)
 {
+    Args args(argc, argv, {{"reps", "5"}, {"out", "BENCH_micro.json"}});
     smoke::banner();
-    std::vector<char *> args(argv, argv + argc);
-    char min_time[] = "--benchmark_min_time=0.01";
-    if (smoke::enabled())
-        args.push_back(min_time);
-    int n = static_cast<int>(args.size());
-    benchmark::Initialize(&n, args.data());
-    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
+    const int reps = static_cast<int>(args.getInt("reps"));
+
+    // Per-core kernel numbers: pin the pool to one thread.
+    par::setThreadCount(1);
+
+    // --- workloads -----------------------------------------------------
+    const size_t codec_n = smoke::count(1u << 16, 1u << 12);
+    const auto xs = benchData(codec_n);
+    const OvpCodec codec(NormalType::Int4, 0.4f, 2.8);
+    const NormalCodec normal(NormalType::Flint4);
+
+    const size_t calib_n = smoke::count(1u << 14, 1u << 12);
+    const auto calib_xs = benchData(calib_n);
+    const OliveQuantizer quantizer;
+
+    const size_t dim = smoke::count(256, 48);
+    const Tensor ta = gaussianTensor({dim, dim}, 1);
+    const Tensor tb = gaussianTensor({dim, dim}, 2);
+
+    std::vector<KernelRow> rows;
+    const double elems = static_cast<double>(codec_n) / 1e6;
+
+    // --- normal-codec encode (search vs boundary table) ----------------
+    {
+        KernelRow r{"normal encode", elems, "Melem/s"};
+        std::vector<u32> ref_codes(codec_n), fast_codes(codec_n);
+        r.refSec = secondsOf(reps, [&] {
+            for (size_t i = 0; i < codec_n; ++i)
+                ref_codes[i] = normal.encodeReference(xs[i], 0.4f);
+        });
+        r.fastSec = secondsOf(reps, [&] {
+            for (size_t i = 0; i < codec_n; ++i)
+                fast_codes[i] = normal.encode(xs[i], 0.4f);
+        });
+        r.identical = ref_codes == fast_codes;
+        rows.push_back(r);
+    }
+
+    // --- OVP stream encode / decode ------------------------------------
+    std::vector<u8> ref_bytes, fast_bytes;
+    {
+        KernelRow r{"ovp encode", elems, "Melem/s"};
+        r.refSec = secondsOf(
+            reps, [&] { ref_bytes = encodeStreamReference(codec, xs); });
+        r.fastSec = secondsOf(reps, [&] { fast_bytes = codec.encode(xs); });
+        r.identical = ref_bytes == fast_bytes;
+        rows.push_back(r);
+    }
+    {
+        KernelRow r{"ovp decode", elems, "Melem/s"};
+        std::vector<float> ref_vals, fast_vals;
+        r.refSec = secondsOf(reps, [&] {
+            ref_vals = decodeStreamReference(codec, ref_bytes, codec_n);
+        });
+        r.fastSec = secondsOf(
+            reps, [&] { fast_vals = codec.decode(fast_bytes, codec_n); });
+        r.identical = sameFloats(ref_vals, fast_vals);
+        rows.push_back(r);
+    }
+
+    // --- fused fakeQuant round trip ------------------------------------
+    {
+        KernelRow r{"fakeQuant", elems, "Melem/s"};
+        std::vector<float> ref_vals, fast_vals;
+        OvpStats ref_st, fast_st;
+        r.refSec = secondsOf(
+            reps, [&] { ref_vals = codec.fakeQuantReference(xs, &ref_st); });
+        r.fastSec =
+            secondsOf(reps, [&] { fast_vals = codec.fakeQuant(xs, &fast_st); });
+        r.identical = sameFloats(ref_vals, fast_vals) &&
+                      ref_st.pairs == fast_st.pairs &&
+                      ref_st.outlierPairs == fast_st.outlierPairs &&
+                      ref_st.prunedOutliers == fast_st.prunedOutliers;
+        rows.push_back(r);
+    }
+
+    // --- quantizer calibration -----------------------------------------
+    {
+        KernelRow r{"calibrate", 1.0, "calib/s"};
+        QuantDecision ref_d, fast_d;
+        r.refSec = secondsOf(
+            reps, [&] { ref_d = quantizer.calibrateReference(calib_xs); });
+        r.fastSec =
+            secondsOf(reps, [&] { fast_d = quantizer.calibrate(calib_xs); });
+        r.identical = sameDecision(ref_d, fast_d);
+        rows.push_back(r);
+    }
+
+    // --- GEMM ----------------------------------------------------------
+    const double gflop = 2.0 * static_cast<double>(dim) *
+                         static_cast<double>(dim) *
+                         static_cast<double>(dim) / 1e9;
+    {
+        KernelRow r{"gemm matmul", gflop, "GFLOP/s"};
+        Tensor ref_c, fast_c;
+        r.refSec = secondsOf(reps, [&] { ref_c = matmulReference(ta, tb); });
+        r.fastSec = secondsOf(reps, [&] { fast_c = matmul(ta, tb); });
+        r.identical = sameTensor(ref_c, fast_c);
+        rows.push_back(r);
+    }
+    {
+        KernelRow r{"gemm matmulTransB", gflop, "GFLOP/s"};
+        Tensor ref_c, fast_c;
+        r.refSec =
+            secondsOf(reps, [&] { ref_c = matmulTransBReference(ta, tb); });
+        r.fastSec = secondsOf(reps, [&] { fast_c = matmulTransB(ta, tb); });
+        r.identical = sameTensor(ref_c, fast_c);
+        rows.push_back(r);
+    }
+
+    // --- axpy ----------------------------------------------------------
+    {
+        const double mb = static_cast<double>(dim) *
+                          static_cast<double>(dim) / 1e6;
+        KernelRow r{"axpy", mb, "Melem/s"};
+        Tensor ref_c = ta.clone();
+        Tensor fast_c = ta.clone();
+        const float alpha = 0.37f;
+        float *rc = ref_c.raw();
+        const float *ra = tb.raw();
+        r.refSec = secondsOf(reps, [&] {
+            for (size_t i = 0; i < ref_c.size(); ++i)
+                rc[i] += alpha * ra[i];
+        });
+        r.fastSec = secondsOf(reps, [&] { axpy(fast_c, tb, alpha); });
+        // Accumulated the same number of reps? No: best-of timing runs
+        // the body `reps` times on both sides, so the tensors have seen
+        // the same sequence of in-place updates and must still agree.
+        r.identical = sameTensor(ref_c, fast_c);
+        rows.push_back(r);
+    }
+
+    par::setThreadCount(0);
+
+    // --- report --------------------------------------------------------
+    std::printf("== Micro kernels: reference vs fast path (1 thread) ==\n\n");
+    Table t({"Kernel", "Reference", "Fast", "Speedup", "Bit-identical"});
+    BenchReport report("bench_micro_kernels");
+    report.note("mode", smoke::enabled() ? "smoke" : "full");
+    report.note("threads", "1");
+    report.note("codec_n", std::to_string(codec_n));
+    report.note("calibrate_n", std::to_string(calib_n));
+    report.note("gemm_dim", std::to_string(dim));
+    for (const KernelRow &r : rows) {
+        const double rate_ref = r.work / r.refSec;
+        const double rate_fast = r.work / r.fastSec;
+        const double speedup = r.refSec / r.fastSec;
+        t.addRow({r.name,
+                  Table::num(rate_ref, 2) + " " + r.unit,
+                  Table::num(rate_fast, 2) + " " + r.unit,
+                  Table::num(speedup, 2) + "x",
+                  r.identical ? "yes" : "NO"});
+        report.add(r.name)
+            .label("unit", r.unit)
+            .metric("ref_sec", r.refSec)
+            .metric("fast_sec", r.fastSec)
+            .metric("ref_rate", rate_ref)
+            .metric("fast_rate", rate_fast)
+            .metric("speedup", speedup)
+            .metric("identical", r.identical ? 1.0 : 0.0);
+        OLIVE_ASSERT(r.identical,
+                     "fast path diverged from reference oracle");
+    }
+    t.print();
+    report.writeFile(args.get("out"));
+    std::printf("\nJSON written to %s (smoke numbers are not "
+                "paper-comparable).\n", args.get("out").c_str());
     return 0;
 }

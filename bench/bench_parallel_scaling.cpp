@@ -10,18 +10,18 @@
  *   ./build/bench_parallel_scaling --threads 8 --reps 5
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <functional>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "models/config.hpp"
 #include "models/synthetic.hpp"
 #include "nn/transformer.hpp"
 #include "quant/quantizer.hpp"
 #include "tensor/gemm.hpp"
 #include "util/args.hpp"
+#include "util/benchjson.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
 #include "util/smoke.hpp"
@@ -31,20 +31,8 @@ using namespace olive;
 
 namespace {
 
-/** Best-of-reps wall seconds of @p fn. */
-double
-secondsOf(int reps, const std::function<void()> &fn)
-{
-    double best = 1e30;
-    for (int r = 0; r < reps; ++r) {
-        const auto t0 = std::chrono::steady_clock::now();
-        fn();
-        const std::chrono::duration<double> dt =
-            std::chrono::steady_clock::now() - t0;
-        best = std::min(best, dt.count());
-    }
-    return best;
-}
+using benchutil::gaussianTensor;
+using benchutil::secondsOf;
 
 struct KernelResult
 {
@@ -56,22 +44,12 @@ struct KernelResult
     bool identical = false;
 };
 
-Tensor
-gaussianTensor(std::initializer_list<size_t> shape, u64 seed)
-{
-    Tensor t(shape);
-    Rng rng(seed);
-    for (auto &v : t.data())
-        v = static_cast<float>(rng.gaussian());
-    return t;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    Args args(argc, argv, {{"reps", "3"}});
+    Args args(argc, argv, {{"reps", "3"}, {"out", "BENCH_parallel.json"}});
     smoke::banner();
     const int reps = static_cast<int>(args.getInt("reps"));
     const size_t nthreads = par::threadCount();
@@ -138,21 +116,35 @@ main(int argc, char **argv)
     std::printf("== Parallel scaling: serial vs %zu threads ==\n\n",
                 nthreads);
     Table t({"Kernel", "Serial", "Parallel", "Speedup", "Bit-identical"});
+    BenchReport report("bench_parallel_scaling");
+    report.note("mode", smoke::enabled() ? "smoke" : "full");
+    report.note("threads", std::to_string(nthreads));
     for (const KernelResult &r : results) {
         const double rate_s = r.work / r.serialSec;
         const double rate_p = r.work / r.parallelSec;
+        const double speedup = r.serialSec / r.parallelSec;
         t.addRow({r.name,
                   Table::num(rate_s, 2) + " " + r.unit,
                   Table::num(rate_p, 2) + " " + r.unit,
-                  Table::num(r.serialSec / r.parallelSec, 2) + "x",
+                  Table::num(speedup, 2) + "x",
                   r.identical ? "yes" : "NO"});
+        report.add(r.name)
+            .label("unit", r.unit)
+            .metric("serial_sec", r.serialSec)
+            .metric("parallel_sec", r.parallelSec)
+            .metric("serial_rate", rate_s)
+            .metric("parallel_rate", rate_p)
+            .metric("speedup", speedup)
+            .metric("identical", r.identical ? 1.0 : 0.0);
         OLIVE_ASSERT(r.identical,
                      "parallel output diverged from serial — determinism "
                      "violation");
     }
     t.print();
+    report.writeFile(args.get("out"));
     std::printf("\nthreads: set OLIVE_THREADS or --threads; 1 forces "
                 "serial.  Outputs are bit-identical by construction "
-                "(deterministic static partitioning).\n");
+                "(deterministic static partitioning).  JSON written to "
+                "%s.\n", args.get("out").c_str());
     return 0;
 }

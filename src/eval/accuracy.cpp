@@ -111,23 +111,29 @@ lnRows(const Tensor &h)
 {
     Tensor out({h.dim(0), h.dim(1)});
     const size_t d = h.dim(1);
-    for (size_t t = 0; t < h.dim(0); ++t) {
-        double mean = 0.0;
-        for (size_t j = 0; j < d; ++j)
-            mean += h.at(t, j);
-        mean /= static_cast<double>(d);
-        double var = 0.0;
-        for (size_t j = 0; j < d; ++j) {
-            const double dv = h.at(t, j) - mean;
-            var += dv * dv;
+    // Rows normalize independently and each chunk writes only its own
+    // output rows, so the loop parallelizes deterministically (the span
+    // evaluator calls this once per example, outside any parallel
+    // region).
+    par::parallelFor(0, h.dim(0), 8, [&](size_t tb, size_t te) {
+        for (size_t t = tb; t < te; ++t) {
+            const float *hrow = h.raw() + t * d;
+            float *orow = out.raw() + t * d;
+            double mean = 0.0;
+            for (size_t j = 0; j < d; ++j)
+                mean += hrow[j];
+            mean /= static_cast<double>(d);
+            double var = 0.0;
+            for (size_t j = 0; j < d; ++j) {
+                const double dv = hrow[j] - mean;
+                var += dv * dv;
+            }
+            var /= static_cast<double>(d);
+            const double inv = 1.0 / std::sqrt(var + 1e-6);
+            for (size_t j = 0; j < d; ++j)
+                orow[j] = static_cast<float>((hrow[j] - mean) * inv);
         }
-        var /= static_cast<double>(d);
-        const double inv = 1.0 / std::sqrt(var + 1e-6);
-        for (size_t j = 0; j < d; ++j) {
-            out.at(t, j) = static_cast<float>(
-                (h.at(t, j) - mean) * inv);
-        }
-    }
+    });
     return out;
 }
 

@@ -53,31 +53,76 @@ selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
     // across a chunk (grain = seq: one head per chunk); each index
     // computes exactly the serial expression, keeping the forward
     // bit-exact at any thread count (see util/parallel.hpp).
+    //
+    // Both inner products are register-tiled like tensor/gemm: four
+    // score columns share one pass over the query row, and four context
+    // lanes share one pass over the softmaxed row.  Each output still
+    // accumulates in double over the same ascending index, so the tiled
+    // loops are bit-identical to the scalar ones.
+    const float *pq = q.raw();
+    const float *pk = k.raw();
+    const float *pv = v.raw();
+    float *pctx = ctx.raw();
     par::parallelFor(0, n_heads * seq, seq, [&](size_t b, size_t e_) {
         std::vector<float> row(seq);
         for (size_t idx = b; idx < e_; ++idx) {
             const size_t h = idx / seq;
             const size_t i = idx % seq;
-            for (size_t j = 0; j < seq; ++j) {
-                if (causal && j > i) {
-                    row[j] = -1e30f;
-                    continue;
-                }
-                double acc = 0.0;
+            const float *qrow = pq + i * d + h * dh;
+            const size_t j_end = causal ? i + 1 : seq;
+            size_t j = 0;
+            for (; j + 4 <= j_end; j += 4) {
+                const float *k0 = pk + j * d + h * dh;
+                const float *k1 = k0 + d;
+                const float *k2 = k1 + d;
+                const float *k3 = k2 + d;
+                double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
                 for (size_t e = 0; e < dh; ++e) {
-                    acc += static_cast<double>(q.at(i, h * dh + e)) *
-                           k.at(j, h * dh + e);
+                    const double qv = qrow[e];
+                    a0 += qv * k0[e];
+                    a1 += qv * k1[e];
+                    a2 += qv * k2[e];
+                    a3 += qv * k3[e];
                 }
+                row[j + 0] = static_cast<float>(a0) * inv_sqrt_dh;
+                row[j + 1] = static_cast<float>(a1) * inv_sqrt_dh;
+                row[j + 2] = static_cast<float>(a2) * inv_sqrt_dh;
+                row[j + 3] = static_cast<float>(a3) * inv_sqrt_dh;
+            }
+            for (; j < j_end; ++j) {
+                const float *krow = pk + j * d + h * dh;
+                double acc = 0.0;
+                for (size_t e = 0; e < dh; ++e)
+                    acc += static_cast<double>(qrow[e]) * krow[e];
                 row[j] = static_cast<float>(acc) * inv_sqrt_dh;
             }
+            for (; j < seq; ++j)
+                row[j] = -1e30f;
             ops::softmaxRow(row);
-            for (size_t e = 0; e < dh; ++e) {
-                double acc = 0.0;
-                for (size_t j = 0; j < seq; ++j) {
-                    acc += static_cast<double>(row[j]) *
-                           v.at(j, h * dh + e);
+            float *crow = pctx + i * d + h * dh;
+            size_t e = 0;
+            for (; e + 4 <= dh; e += 4) {
+                double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+                for (size_t jj = 0; jj < seq; ++jj) {
+                    const double r = row[jj];
+                    const float *vrow = pv + jj * d + h * dh + e;
+                    a0 += r * vrow[0];
+                    a1 += r * vrow[1];
+                    a2 += r * vrow[2];
+                    a3 += r * vrow[3];
                 }
-                ctx.at(i, h * dh + e) = static_cast<float>(acc);
+                crow[e + 0] = static_cast<float>(a0);
+                crow[e + 1] = static_cast<float>(a1);
+                crow[e + 2] = static_cast<float>(a2);
+                crow[e + 3] = static_cast<float>(a3);
+            }
+            for (; e < dh; ++e) {
+                double acc = 0.0;
+                for (size_t jj = 0; jj < seq; ++jj) {
+                    acc += static_cast<double>(row[jj]) *
+                           pv[jj * d + h * dh + e];
+                }
+                crow[e] = static_cast<float>(acc);
             }
         }
     });

@@ -83,7 +83,10 @@ valueTable(NormalType t)
 }
 
 NormalCodec::NormalCodec(NormalType type)
-    : type_(type)
+    : type_(type),
+      identifier_(outlierIdentifier(type)),
+      codeMask_((1u << bitWidth(type)) - 1u),
+      maxMag_(maxNormalMagnitude(type))
 {
     values_ = valueTable(type);
     codes_.reserve(values_.size());
@@ -111,10 +114,32 @@ NormalCodec::NormalCodec(NormalType type)
         }
         codes_.push_back(code);
     }
+
+    // Decode LUTs over the full code space; the identifier slot stays
+    // zero and is never read (guarded by the decode asserts).
+    for (u32 code = 0; code <= codeMask_; ++code) {
+        if (code == identifier_)
+            continue;
+        intLut_[code] = decodeIntReference(code);
+        expIntLut_[code] = decodeExpIntReference(code);
+    }
+
+    // Encode boundary table.  All representable values are small
+    // integers, so every midpoint (v_i + v_{i+1}) / 2 is an exact
+    // double, and encodeReference's nearest-value comparison
+    // (x - lo <= hi - x, both differences exact for bracketed x)
+    // reduces to exactly "x <= midpoint": ties at a midpoint choose the
+    // lower value.  The chosen index is therefore the number of
+    // midpoints strictly below x.
+    boundaries_.reserve(values_.size() - 1);
+    for (size_t i = 0; i + 1 < values_.size(); ++i) {
+        boundaries_.push_back(
+            (static_cast<double>(values_[i]) + values_[i + 1]) / 2.0);
+    }
 }
 
 u32
-NormalCodec::encode(float real, float scale) const
+NormalCodec::encodeReference(float real, float scale) const
 {
     OLIVE_ASSERT(scale > 0.0f, "scale must be positive");
     const double x = static_cast<double>(real) / scale;
@@ -134,7 +159,7 @@ NormalCodec::encode(float real, float scale) const
 }
 
 int
-NormalCodec::decodeInt(u32 code) const
+NormalCodec::decodeIntReference(u32 code) const
 {
     OLIVE_ASSERT(!isIdentifier(code), "identifier is not a normal value");
     switch (type_) {
@@ -150,14 +175,8 @@ NormalCodec::decodeInt(u32 code) const
     OLIVE_PANIC("unknown NormalType");
 }
 
-float
-NormalCodec::decode(u32 code, float scale) const
-{
-    return static_cast<float>(decodeInt(code)) * scale;
-}
-
 ExpInt
-NormalCodec::decodeExpInt(u32 code) const
+NormalCodec::decodeExpIntReference(u32 code) const
 {
     OLIVE_ASSERT(!isIdentifier(code), "identifier is not a normal value");
     switch (type_) {
@@ -165,7 +184,7 @@ NormalCodec::decodeExpInt(u32 code) const
       case NormalType::Int8:
         // The OVP decoder appends a zero exponent for int types
         // (Sec. 4.2).
-        return ExpInt{0, decodeInt(code)};
+        return ExpInt{0, decodeIntReference(code)};
       case NormalType::Flint4: {
         const auto &e = kFlintExpInt[code & 0x7u];
         const i32 sign = (code & 0x8u) ? -1 : 1;
@@ -173,12 +192,6 @@ NormalCodec::decodeExpInt(u32 code) const
       }
     }
     OLIVE_PANIC("unknown NormalType");
-}
-
-bool
-NormalCodec::isIdentifier(u32 code) const
-{
-    return code == outlierIdentifier(type_);
 }
 
 } // namespace olive

@@ -14,11 +14,20 @@
  * A codec maps real values to codes under a positive scale factor
  * (real ~= scale * decoded integer value) and back, and also exposes the
  * exponent-integer pair form the hardware decoder produces.
+ *
+ * Every code space is at most 256 entries, so the codec precomputes
+ * decode lookup tables (code -> grid integer, code -> exponent-integer
+ * pair) and encode midpoint boundary tables at construction.  The
+ * original search-based implementations are retained as *Reference()
+ * oracles; the fast paths are bit-identical to them (asserted
+ * exhaustively by tests/test_kernels_oracle.cpp).
  */
 
 #ifndef OLIVE_QUANT_DTYPE_HPP
 #define OLIVE_QUANT_DTYPE_HPP
 
+#include <array>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -68,29 +77,106 @@ class NormalCodec
      * Quantize @p real under @p scale to the nearest representable
      * value, never producing the identifier code.  Values beyond the
      * range saturate.
+     *
+     * Fast path: the integer types round arithmetically on their
+     * uniform grid; flint4 counts precomputed midpoint boundaries
+     * branchlessly.  Bit-identical to encodeReference().  Defined
+     * inline so the per-pair OVP loops can inline the per-scalar call.
+     * @pre scale > 0 (validated once by the owning OvpCodec, not per
+     *      call; encodeReference() keeps the per-call assert)
      */
-    u32 encode(float real, float scale) const;
+    u32 encode(float real, float scale) const
+    {
+        const double x = static_cast<double>(real) / scale;
+        size_t idx;
+        if (type_ == NormalType::Flint4) {
+            // Branchless boundary count over the 14 midpoints;
+            // saturation falls out (x below all -> 0, above all ->
+            // last).
+            size_t n_above = 0;
+            for (double b : boundaries_)
+                n_above += (x > b) ? 1u : 0u;
+            idx = n_above;
+        } else {
+            // Uniform grid [-M, M]: the boundary count is the closed
+            // form ceil(x - 0.5) clamped to the range.  x - 0.5 is
+            // exact for |x| < 2^51, so the rounding (ties toward the
+            // lower value) matches the boundary rule bit-for-bit.
+            const int max_mag = maxMag_;
+            int v;
+            if (!(x > -static_cast<double>(max_mag))) {
+                // Includes NaN, which lower_bound also sends to the
+                // first value in the reference path.
+                v = -max_mag;
+            } else if (x >= static_cast<double>(max_mag)) {
+                v = max_mag;
+            } else {
+                v = static_cast<int>(std::ceil(x - 0.5));
+            }
+            idx = static_cast<size_t>(v + max_mag);
+        }
+        return codes_[idx];
+    }
+
+    /**
+     * The original binary-search nearest-value encoder, retained as the
+     * bit-exactness oracle for encode().
+     */
+    u32 encodeReference(float real, float scale) const;
 
     /** Decoded integer grid value of @p code. @pre code != identifier */
-    int decodeInt(u32 code) const;
+    int decodeInt(u32 code) const
+    {
+        OLIVE_ASSERT(code != identifier_, "identifier is not a normal value");
+        return intLut_[code & codeMask_];
+    }
+
+    /** Original switch-based decode, the oracle for decodeInt(). */
+    int decodeIntReference(u32 code) const;
 
     /** Real value of @p code under @p scale. */
-    float decode(u32 code, float scale) const;
+    float decode(u32 code, float scale) const
+    {
+        return static_cast<float>(decodeInt(code)) * scale;
+    }
 
     /**
      * Exponent-integer pair of @p code as produced by the hardware
      * normal decoder (int types get exponent 0; flint gets its
      * exponent/mantissa split).
      */
-    ExpInt decodeExpInt(u32 code) const;
+    ExpInt decodeExpInt(u32 code) const
+    {
+        OLIVE_ASSERT(code != identifier_, "identifier is not a normal value");
+        return expIntLut_[code & codeMask_];
+    }
+
+    /** Original switch-based decode, the oracle for decodeExpInt(). */
+    ExpInt decodeExpIntReference(u32 code) const;
 
     /** True if @p code is the outlier identifier of this type. */
-    bool isIdentifier(u32 code) const;
+    bool isIdentifier(u32 code) const { return code == identifier_; }
 
   private:
     NormalType type_;
+    u32 identifier_;
+    u32 codeMask_;              // (1 << bitWidth) - 1
+    int maxMag_;                // maxNormalMagnitude(type_)
     std::vector<int> values_;   // ascending representable values
     std::vector<u32> codes_;    // code for values_[i]
+
+    // Decode LUTs over the full code space (identifier slots hold 0 and
+    // are guarded by the asserts above).
+    std::array<int, 256> intLut_{};
+    std::array<ExpInt, 256> expIntLut_{};
+
+    // Encode boundary table: boundaries_[i] is the midpoint between
+    // values_[i] and values_[i+1]; the chosen index is the number of
+    // boundaries strictly below the scaled input (ties at a midpoint go
+    // to the lower value, matching encodeReference's comparison).  Only
+    // flint4 walks the table; the uniform integer grids use the
+    // closed-form equivalent in encode().
+    std::vector<double> boundaries_;
 };
 
 } // namespace olive

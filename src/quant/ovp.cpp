@@ -116,10 +116,66 @@ OvpCodec::OvpCodec(NormalType normal, float scale, double threshold,
       codec_(normal),
       abfloat_(outlierTypeFor(normal, abfloat_bias)),
       scale_(scale),
-      threshold_(threshold)
+      threshold_(threshold),
+      identifier_(outlierIdentifier(normal))
 {
     OLIVE_ASSERT(scale_ > 0.0f, "OVP scale must be positive");
     OLIVE_ASSERT(threshold_ > 0.0, "OVP threshold must be positive");
+
+    // Decoded real value of every code under the fixed scale, using
+    // exactly the reference decode expressions so LUT lookups are
+    // bit-identical to decodePairReference.
+    const u32 n_codes = 1u << bitWidth(normal_);
+    for (u32 code = 0; code < n_codes; ++code) {
+        if (code != identifier_)
+            normalValue_[code] = codec_.decode(code, scale_);
+        outlierValue_[code] =
+            static_cast<float>(abfloat_.decode(code)) * scale_;
+    }
+
+    // Outlier encode boundary table.  AbFloat::encode is a monotone
+    // step function of the magnitude (round-to-nearest on the abfloat
+    // grid, saturating at both ends); its switch points are the
+    // midpoints between consecutive distinct representable magnitudes,
+    // with ties rounding away from zero (llround).  All magnitudes are
+    // integers times powers of two, so every midpoint is an exact
+    // double and the step positions are verified exactly below.
+    outlierSign_ =
+        1u << (static_cast<u32>(abfloat_.expBits() + abfloat_.mantBits()));
+    const std::vector<i64> mags = abfloat_.unsignedValueTable();
+    // mags is ascending and deduplicated; drop the leading zero (the
+    // all-zeros code is never produced for outliers).
+    std::vector<double> vals;
+    for (i64 v : mags) {
+        if (v > 0)
+            vals.push_back(static_cast<double>(v));
+    }
+    OLIVE_ASSERT(!vals.empty(), "empty abfloat magnitude table");
+    outlierCodes_.reserve(vals.size());
+    for (double v : vals)
+        outlierCodes_.push_back(abfloat_.encode(v));
+    outlierBounds_.reserve(vals.size() - 1);
+    for (size_t i = 0; i + 1 < vals.size(); ++i) {
+        const double mid = (vals[i] + vals[i + 1]) / 2.0;
+        outlierBounds_.push_back(mid);
+        // Verify the step position bit-exactly: at the midpoint the
+        // reference rounds up (away from zero); just below it rounds
+        // down.
+        OLIVE_ASSERT(abfloat_.encode(mid) == outlierCodes_[i + 1],
+                     "abfloat midpoint must round up");
+        OLIVE_ASSERT(abfloat_.encode(std::nextafter(mid, 0.0)) ==
+                         outlierCodes_[i],
+                     "abfloat below-midpoint must round down");
+    }
+    // Below-range magnitudes saturate up to the smallest nonzero code
+    // and the codes can never collide with the identifier.
+    OLIVE_ASSERT(abfloat_.encode(vals.front() / 4.0) == outlierCodes_[0],
+                 "abfloat below-range must saturate to the minimum");
+    for (u32 code : outlierCodes_) {
+        OLIVE_ASSERT(code != identifier_ &&
+                         (code | outlierSign_) != identifier_,
+                     "outlier code must not be the identifier");
+    }
 }
 
 size_t
@@ -134,8 +190,9 @@ OvpCodec::bytesPerPair(NormalType t)
     return bitWidth(t) == 4 ? 1 : 2;
 }
 
+template <bool kReference>
 u32
-OvpCodec::quantizeOutlier(float val) const
+OvpCodec::quantizeOutlierImpl(float val) const
 {
     // Outliers quantize on the same integer grid as normals; the
     // accumulator-overflow rule of Sec. 4.5 clips the grid magnitude to
@@ -144,45 +201,120 @@ OvpCodec::quantizeOutlier(float val) const
     double grid = static_cast<double>(val) / scale_;
     constexpr double kClip = 32768.0; // 2^15
     grid = std::clamp(grid, -kClip, kClip);
-    const u32 code = abfloat_.encode(grid);
-    // Abfloat never emits +-0, so it can never collide with the
-    // identifier (which is the -0 bit pattern of both widths).
-    OLIVE_ASSERT(code != outlierIdentifier(normal_),
-                 "outlier code must not be the identifier");
-    return code;
+    if constexpr (kReference) {
+        const u32 code = abfloat_.encode(grid);
+        // Abfloat never emits +-0, so it can never collide with the
+        // identifier (which is the -0 bit pattern of both widths).
+        OLIVE_ASSERT(code != identifier_,
+                     "outlier code must not be the identifier");
+        return code;
+    } else {
+        // Boundary count instead of Algorithm 2's log2/round sequence;
+        // the table construction verified the step positions against
+        // the reference encoder, and the codes were screened against
+        // the identifier once at construction.
+        const double mag = std::fabs(grid);
+        size_t idx;
+        if (outlierBounds_.size() <= 16) {
+            size_t n_above = 0;
+            for (double b : outlierBounds_)
+                n_above += (mag >= b) ? 1u : 0u;
+            idx = n_above;
+        } else {
+            idx = static_cast<size_t>(
+                std::upper_bound(outlierBounds_.begin(),
+                                 outlierBounds_.end(), mag) -
+                outlierBounds_.begin());
+        }
+        const u32 code = outlierCodes_[idx];
+        return (grid < 0.0) ? (code | outlierSign_) : code;
+    }
 }
 
-void
-OvpCodec::encodePair(float val1, float val2, u32 &out1, u32 &out2) const
+u32
+OvpCodec::quantizeOutlier(float val) const
+{
+    return quantizeOutlierImpl<false>(val);
+}
+
+u32
+OvpCodec::quantizeOutlierReference(float val) const
+{
+    return quantizeOutlierImpl<true>(val);
+}
+
+template <bool kReference>
+PairRole
+OvpCodec::encodePairImpl(float val1, float val2, u32 &out1, u32 &out2) const
 {
     const double a1 = std::fabs(val1);
     const double a2 = std::fabs(val2);
-    const u32 identifier = outlierIdentifier(normal_);
+    const bool o1 = a1 > threshold_;
+    const bool o2 = a2 > threshold_;
 
-    if (a1 > threshold_ && a1 >= a2) {
+    if (o1 && a1 >= a2) {
         // Left outlier: the right value is sacrificed as the victim.
-        out1 = quantizeOutlier(val1);
-        out2 = identifier;
-    } else if (a2 > threshold_) {
-        // Right outlier: the left value is the victim.
-        out1 = identifier;
-        out2 = quantizeOutlier(val2);
+        out1 = quantizeOutlierImpl<kReference>(val1);
+        out2 = identifier_;
+        return o2 ? PairRole::PrunedOutlier : PairRole::OutlierVictim;
+    }
+    if (o2) {
+        // Right outlier: the left value is the victim.  If the left
+        // value was itself an outlier (o1, but smaller), it is pruned.
+        out1 = identifier_;
+        out2 = quantizeOutlierImpl<kReference>(val2);
+        return o1 ? PairRole::PrunedOutlier : PairRole::OutlierVictim;
+    }
+    if constexpr (kReference) {
+        out1 = codec_.encodeReference(val1, scale_);
+        out2 = codec_.encodeReference(val2, scale_);
     } else {
         out1 = codec_.encode(val1, scale_);
         out2 = codec_.encode(val2, scale_);
     }
+    return PairRole::NormalNormal;
+}
+
+PairRole
+OvpCodec::encodePair(float val1, float val2, u32 &out1, u32 &out2) const
+{
+    return encodePairImpl<false>(val1, val2, out1, out2);
+}
+
+PairRole
+OvpCodec::encodePairReference(float val1, float val2, u32 &out1,
+                              u32 &out2) const
+{
+    return encodePairImpl<true>(val1, val2, out1, out2);
 }
 
 void
 OvpCodec::decodePair(u32 in1, u32 in2, float &val1, float &val2) const
 {
-    const u32 identifier = outlierIdentifier(normal_);
-    OLIVE_ASSERT(!(in1 == identifier && in2 == identifier),
+    OLIVE_ASSERT(!(in1 == identifier_ && in2 == identifier_),
                  "both slots cannot hold the identifier");
-    if (in1 == identifier) {
+    if (in1 == identifier_) {
+        val1 = 0.0f;
+        val2 = outlierValue_[in2];
+    } else if (in2 == identifier_) {
+        val1 = outlierValue_[in1];
+        val2 = 0.0f;
+    } else {
+        val1 = normalValue_[in1];
+        val2 = normalValue_[in2];
+    }
+}
+
+void
+OvpCodec::decodePairReference(u32 in1, u32 in2, float &val1,
+                              float &val2) const
+{
+    OLIVE_ASSERT(!(in1 == identifier_ && in2 == identifier_),
+                 "both slots cannot hold the identifier");
+    if (in1 == identifier_) {
         val1 = 0.0f;
         val2 = static_cast<float>(abfloat_.decode(in2)) * scale_;
-    } else if (in2 == identifier) {
+    } else if (in2 == identifier_) {
         val1 = static_cast<float>(abfloat_.decode(in1)) * scale_;
         val2 = 0.0f;
     } else {
@@ -196,7 +328,6 @@ OvpCodec::encode(std::span<const float> xs, OvpStats *stats) const
 {
     const size_t pairs = (xs.size() + 1) / 2;
     std::vector<u8> out(pairs * bytesPerPair());
-    const u32 identifier = outlierIdentifier(normal_);
     const bool nibble_packed = bytesPerPair() == 1;
 
     // Pairs encode independently into disjoint output bytes; the stats
@@ -211,13 +342,11 @@ OvpCodec::encode(std::span<const float> xs, OvpStats *stats) const
             const float v2 =
                 (2 * p + 1 < xs.size()) ? xs[2 * p + 1] : 0.0f;
             u32 c1, c2;
-            encodePair(v1, v2, c1, c2);
+            const PairRole role = encodePair(v1, v2, c1, c2);
 
-            if (c1 == identifier || c2 == identifier) {
+            if (role != PairRole::NormalNormal) {
                 ++st.outlierPairs;
-                const bool v1_out = std::fabs(v1) > threshold_;
-                const bool v2_out = std::fabs(v2) > threshold_;
-                if (v1_out && v2_out)
+                if (role == PairRole::PrunedOutlier)
                     ++st.prunedOutliers;
             }
 
@@ -277,8 +406,128 @@ OvpCodec::decode(std::span<const u8> bytes, size_t count) const
 std::vector<float>
 OvpCodec::fakeQuant(std::span<const float> xs, OvpStats *stats) const
 {
-    const auto bytes = encode(xs, stats);
-    return decode(bytes, xs.size());
+    // Fused value -> codes -> value pass: no byte stream, no second
+    // sweep.  Codes are exactly what encode() would pack and decodePair
+    // is the same table decode() uses, so the output floats and the
+    // stats are bit-identical to decode(encode(xs), xs.size()).
+    const size_t pairs = (xs.size() + 1) / 2;
+    std::vector<float> out(xs.size());
+    const size_t chunks = par::chunkCount(0, pairs, kPairGrain);
+    std::vector<OvpStats> partial(stats ? chunks : 0);
+    par::parallelFor(0, pairs, kPairGrain, [&](size_t pb, size_t pe) {
+        OvpStats st;
+        for (size_t p = pb; p < pe; ++p) {
+            const float v1 = xs[2 * p];
+            const bool has2 = 2 * p + 1 < xs.size();
+            const float v2 = has2 ? xs[2 * p + 1] : 0.0f;
+            u32 c1, c2;
+            const PairRole role = encodePair(v1, v2, c1, c2);
+            if (role != PairRole::NormalNormal) {
+                ++st.outlierPairs;
+                if (role == PairRole::PrunedOutlier)
+                    ++st.prunedOutliers;
+            }
+            float q1, q2;
+            decodePair(c1, c2, q1, q2);
+            out[2 * p] = q1;
+            if (has2)
+                out[2 * p + 1] = q2;
+        }
+        if (stats)
+            partial[par::chunkIndex(0, kPairGrain, pb)] = st;
+    });
+    if (stats) {
+        OvpStats total;
+        total.pairs = pairs;
+        for (const OvpStats &st : partial) {
+            total.outlierPairs += st.outlierPairs;
+            total.prunedOutliers += st.prunedOutliers;
+        }
+        *stats = total;
+    }
+    return out;
+}
+
+std::vector<float>
+OvpCodec::fakeQuantReference(std::span<const float> xs,
+                             OvpStats *stats) const
+{
+    // The pre-LUT round trip: search-based normal encode into a packed
+    // byte stream, then a second per-scalar decode sweep.  Serial on
+    // purpose — it is the single-thread "before" baseline the micro
+    // benchmark compares against, and the oracle the tests hold
+    // fakeQuant() to.
+    const size_t pairs = (xs.size() + 1) / 2;
+    const bool nibble_packed = bytesPerPair() == 1;
+    std::vector<u8> bytes(pairs * bytesPerPair());
+    OvpStats st;
+    st.pairs = pairs;
+    for (size_t p = 0; p < pairs; ++p) {
+        const float v1 = xs[2 * p];
+        const float v2 = (2 * p + 1 < xs.size()) ? xs[2 * p + 1] : 0.0f;
+        u32 c1, c2;
+        const PairRole role = encodePairReference(v1, v2, c1, c2);
+        if (role != PairRole::NormalNormal) {
+            ++st.outlierPairs;
+            if (role == PairRole::PrunedOutlier)
+                ++st.prunedOutliers;
+        }
+        if (nibble_packed) {
+            bytes[p] = bits::packNibbles(static_cast<u8>(c2),
+                                         static_cast<u8>(c1));
+        } else {
+            bytes[2 * p] = static_cast<u8>(c1);
+            bytes[2 * p + 1] = static_cast<u8>(c2);
+        }
+    }
+    std::vector<float> out(xs.size());
+    for (size_t p = 0; p < pairs; ++p) {
+        u32 c1, c2;
+        if (nibble_packed) {
+            c1 = bits::lowNibble(bytes[p]);
+            c2 = bits::highNibble(bytes[p]);
+        } else {
+            c1 = bytes[2 * p];
+            c2 = bytes[2 * p + 1];
+        }
+        float v1, v2;
+        decodePairReference(c1, c2, v1, v2);
+        out[2 * p] = v1;
+        if (2 * p + 1 < xs.size())
+            out[2 * p + 1] = v2;
+    }
+    if (stats)
+        *stats = st;
+    return out;
+}
+
+double
+OvpCodec::fakeQuantMse(std::span<const float> xs) const
+{
+    if (xs.empty())
+        return 0.0;
+    // Serial, element-order accumulation: must match
+    // stats::mse(xs, fakeQuant(xs)) bit-for-bit, and the calibration
+    // grid this serves already parallelizes across candidates (a nested
+    // parallelFor would run inline anyway).
+    const size_t pairs = (xs.size() + 1) / 2;
+    double acc = 0.0;
+    for (size_t p = 0; p < pairs; ++p) {
+        const float v1 = xs[2 * p];
+        const bool has2 = 2 * p + 1 < xs.size();
+        const float v2 = has2 ? xs[2 * p + 1] : 0.0f;
+        u32 c1, c2;
+        encodePair(v1, v2, c1, c2);
+        float q1, q2;
+        decodePair(c1, c2, q1, q2);
+        const double d1 = static_cast<double>(v1) - q1;
+        acc += d1 * d1;
+        if (has2) {
+            const double d2 = static_cast<double>(v2) - q2;
+            acc += d2 * d2;
+        }
+    }
+    return acc / static_cast<double>(xs.size());
 }
 
 } // namespace olive

@@ -16,6 +16,7 @@
 #ifndef OLIVE_QUANT_OVP_HPP
 #define OLIVE_QUANT_OVP_HPP
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -67,6 +68,19 @@ struct OvpStats
 };
 
 /**
+ * Role the encoder assigned to a pair, reported by encodePair so stats
+ * never re-derive the outlier/pruned classification with a second
+ * threshold comparison that could drift from the encoder's tie-break
+ * rule.
+ */
+enum class PairRole
+{
+    NormalNormal,   //!< Both values encoded with the normal type.
+    OutlierVictim,  //!< One outlier; the other value was a normal victim.
+    PrunedOutlier,  //!< Both beyond the threshold; one outlier was pruned.
+};
+
+/**
  * Tensor-level OVP codec for one (normal type, scale, threshold)
  * configuration.
  *
@@ -75,6 +89,12 @@ struct OvpStats
  * framework ties it to the scale (threshold = scale * max normal
  * magnitude), but the codec accepts them independently so ablations can
  * decouple them.
+ *
+ * Construction precomputes the decoded real value of every normal and
+ * abfloat code under the fixed scale, so the per-pair hot paths are
+ * table lookups.  The original per-scalar implementations are retained
+ * as *Reference() oracles and are bit-identical to the fast paths
+ * (tests/test_kernels_oracle.cpp asserts this exhaustively).
  */
 class OvpCodec
 {
@@ -107,12 +127,17 @@ class OvpCodec
 
     /**
      * Algorithm 1: encode one pair of reals into two codes.  Exactly one
-     * of the output codes may be the identifier.
+     * of the output codes may be the identifier.  Returns the role the
+     * encoder assigned to the pair.
      */
-    void encodePair(float val1, float val2, u32 &out1, u32 &out2) const;
+    PairRole encodePair(float val1, float val2, u32 &out1, u32 &out2) const;
 
     /** Inverse of encodePair: identifier slots decode to zero. */
     void decodePair(u32 in1, u32 in2, float &val1, float &val2) const;
+
+    /** decodePair without the value LUTs, the decode oracle. */
+    void decodePairReference(u32 in1, u32 in2, float &val1,
+                             float &val2) const;
 
     /**
      * Encode a whole tensor into a packed, memory-aligned byte stream.
@@ -126,19 +151,86 @@ class OvpCodec
     /** Decode @p count elements from a packed stream. */
     std::vector<float> decode(std::span<const u8> bytes, size_t count) const;
 
-    /** Quantize-dequantize round trip without packing. */
+    /**
+     * Quantize-dequantize round trip without packing.  Fused: each pair
+     * goes value -> codes -> value directly, never materializing the
+     * byte stream, but producing bit-identical floats and stats to
+     * decode(encode(xs), xs.size()).
+     */
     std::vector<float> fakeQuant(std::span<const float> xs,
                                  OvpStats *stats = nullptr) const;
 
+    /**
+     * Pre-LUT round trip (search-based normal encode, per-scalar
+     * abfloat decode, full encode -> byte stream -> decode).  Retained
+     * as the bit-exactness oracle and the "before" baseline of
+     * bench_micro_kernels.
+     */
+    std::vector<float> fakeQuantReference(std::span<const float> xs,
+                                          OvpStats *stats = nullptr) const;
+
+    /**
+     * Mean squared error of the fake-quantization round trip in one
+     * allocation-free pass: bit-identical to
+     * stats::mse(xs, fakeQuant(xs)) but without materializing either
+     * the byte stream or the round-tripped vector.  Runs serially — the
+     * accumulation order must match stats::mse exactly, and the
+     * calibration grid already parallelizes across candidates.
+     */
+    double fakeQuantMse(std::span<const float> xs) const;
+
+    /**
+     * The encodePair used by fakeQuantReference: search-based normal
+     * encode with the per-call scale assert.  Exposed for the oracle
+     * tests and the micro benchmark.
+     */
+    PairRole encodePairReference(float val1, float val2, u32 &out1,
+                                 u32 &out2) const;
+
   private:
-    /** Quantize one outlier value to an abfloat code (with 2^15 clip). */
+    /**
+     * Quantize one outlier value to an abfloat code (with 2^15 clip).
+     * Fast path: counts precomputed midpoint boundaries between the
+     * distinct representable abfloat magnitudes instead of running
+     * Algorithm 2's log2/round sequence per scalar.  The boundary
+     * semantics (ties round away from zero, like llround) are verified
+     * against AbFloat::encode at construction.
+     */
     u32 quantizeOutlier(float val) const;
+
+    /** Algorithm 2 per scalar, the oracle for quantizeOutlier(). */
+    u32 quantizeOutlierReference(float val) const;
+
+    /** Shared clip + sign handling of the two outlier quantizers. */
+    template <bool kReference>
+    u32 quantizeOutlierImpl(float val) const;
+
+    /** Shared body of encodePair / encodePairReference. */
+    template <bool kReference>
+    PairRole encodePairImpl(float val1, float val2, u32 &out1,
+                            u32 &out2) const;
 
     NormalType normal_;
     NormalCodec codec_;
     AbFloat abfloat_;
     float scale_;
     double threshold_;
+
+    // Per-pair constants and decode value LUTs, fixed at construction:
+    // the decoded real value of every normal / abfloat code under
+    // scale_, computed with exactly the reference expressions.
+    u32 identifier_;
+    std::array<float, 256> normalValue_{};
+    std::array<float, 256> outlierValue_{};
+
+    // Outlier encode boundary table: outlierBounds_[i] is the midpoint
+    // between the i-th and (i+1)-th distinct representable abfloat
+    // magnitudes; a magnitude in interval i (mag < bounds[i], >= the
+    // previous) encodes as outlierCodes_[i].  outlierSign_ is the sign
+    // bit of the abfloat code space.
+    std::vector<double> outlierBounds_;
+    std::vector<u32> outlierCodes_;
+    u32 outlierSign_ = 0;
 };
 
 } // namespace olive

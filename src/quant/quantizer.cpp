@@ -10,6 +10,82 @@
 
 namespace olive {
 
+namespace {
+
+/**
+ * Shared (type, threshold) grid sweep: every candidate scores
+ * independently on the shared sample via @p score, and the winner is
+ * reduced serially in grid order afterwards, which reproduces the
+ * serial first-strictly-better rule exactly.  Invalid candidates carry
+ * an infinite MSE and never win.
+ */
+template <typename ScoreFn>
+QuantDecision
+gridSearch(const OliveConfig &config, std::span<const float> s,
+           const ScoreFn &score)
+{
+    // Outlier-robust bulk sigma: on tensors whose outliers reach
+    // hundreds of sigma (OPT-6.7B activations), the plain standard
+    // deviation is inflated by the tail itself and would seed the
+    // search far above the bulk.
+    const double sigma = stats::robustSigma(s);
+    const double amax = stats::absMax(s);
+    OLIVE_ASSERT(amax > 0.0, "cannot calibrate an all-zero tensor");
+
+    // Initial threshold from the 3-sigma rule (Sec. 3.4); degenerate
+    // near-constant tensors fall back to the absolute maximum.
+    const double t0 = (sigma > 0.0) ? 3.0 * sigma : amax;
+
+    std::vector<NormalType> types;
+    if (config.bits == 8) {
+        types = {NormalType::Int8};
+    } else if (config.adaptiveType) {
+        types = {NormalType::Int4, NormalType::Flint4};
+    } else {
+        types = {config.forcedType};
+    }
+
+    const size_t points = static_cast<size_t>(config.searchPoints);
+    std::vector<QuantDecision> grid(types.size() * points);
+    par::parallelFor(0, grid.size(), 1, [&](size_t cb, size_t ce) {
+        for (size_t idx = cb; idx < ce; ++idx) {
+            QuantDecision cand;
+            cand.mse = std::numeric_limits<double>::infinity();
+            grid[idx] = cand;
+
+            const NormalType type = types[idx / points];
+            const size_t i = idx % points;
+            const int max_mag = maxNormalMagnitude(type);
+            const double frac = static_cast<double>(i) /
+                                static_cast<double>(points - 1);
+            // Geometric sweep of the threshold around 3 sigma.
+            const double mult =
+                config.searchLo *
+                std::pow(config.searchHi / config.searchLo, frac);
+            cand.threshold = t0 * mult;
+            cand.scale = static_cast<float>(cand.threshold / max_mag);
+            if (cand.scale <= 0.0f || !std::isfinite(cand.scale))
+                continue;
+
+            cand.normal = type;
+            OvpCodec codec(type, cand.scale, cand.threshold);
+            cand.mse = score(codec, s);
+            grid[idx] = cand;
+        }
+    });
+
+    QuantDecision best;
+    best.mse = std::numeric_limits<double>::infinity();
+    for (const QuantDecision &c : grid) {
+        if (c.mse < best.mse)
+            best = c;
+    }
+    OLIVE_ASSERT(std::isfinite(best.mse), "calibration found no candidate");
+    return best;
+}
+
+} // namespace
+
 OliveQuantizer::OliveQuantizer(OliveConfig config)
     : config_(config)
 {
@@ -45,69 +121,25 @@ OliveQuantizer::calibrate(std::span<const float> xs) const
 {
     OLIVE_ASSERT(!xs.empty(), "cannot calibrate on empty data");
     const std::vector<float> s = sample(xs);
-    // Outlier-robust bulk sigma: on tensors whose outliers reach
-    // hundreds of sigma (OPT-6.7B activations), the plain standard
-    // deviation is inflated by the tail itself and would seed the
-    // search far above the bulk.
-    const double sigma = stats::robustSigma(s);
-    const double amax = stats::absMax(s);
-    OLIVE_ASSERT(amax > 0.0, "cannot calibrate an all-zero tensor");
+    // Fused scoring: one allocation-free value->codes->value MSE pass
+    // per candidate, bit-identical to the reference round trip.
+    return gridSearch(config_, s,
+                      [](const OvpCodec &codec, std::span<const float> ss) {
+                          return codec.fakeQuantMse(ss);
+                      });
+}
 
-    // Initial threshold from the 3-sigma rule (Sec. 3.4); degenerate
-    // near-constant tensors fall back to the absolute maximum.
-    const double t0 = (sigma > 0.0) ? 3.0 * sigma : amax;
-
-    std::vector<NormalType> types;
-    if (config_.bits == 8) {
-        types = {NormalType::Int8};
-    } else if (config_.adaptiveType) {
-        types = {NormalType::Int4, NormalType::Flint4};
-    } else {
-        types = {config_.forcedType};
-    }
-
-    // Candidate grid: every (type, threshold) pair scores independently
-    // on the shared sample, so the sweep parallelizes; the winner is
-    // reduced serially in grid order afterwards, which reproduces the
-    // serial first-strictly-better rule exactly.  Invalid candidates
-    // carry an infinite MSE and never win.
-    const size_t points = static_cast<size_t>(config_.searchPoints);
-    std::vector<QuantDecision> grid(types.size() * points);
-    par::parallelFor(0, grid.size(), 1, [&](size_t cb, size_t ce) {
-        for (size_t idx = cb; idx < ce; ++idx) {
-            QuantDecision cand;
-            cand.mse = std::numeric_limits<double>::infinity();
-            grid[idx] = cand;
-
-            const NormalType type = types[idx / points];
-            const size_t i = idx % points;
-            const int max_mag = maxNormalMagnitude(type);
-            const double frac = static_cast<double>(i) /
-                                static_cast<double>(points - 1);
-            // Geometric sweep of the threshold around 3 sigma.
-            const double mult =
-                config_.searchLo *
-                std::pow(config_.searchHi / config_.searchLo, frac);
-            cand.threshold = t0 * mult;
-            cand.scale = static_cast<float>(cand.threshold / max_mag);
-            if (cand.scale <= 0.0f || !std::isfinite(cand.scale))
-                continue;
-
-            cand.normal = type;
-            OvpCodec codec(type, cand.scale, cand.threshold);
-            cand.mse = stats::mse(s, codec.fakeQuant(s));
-            grid[idx] = cand;
-        }
-    });
-
-    QuantDecision best;
-    best.mse = std::numeric_limits<double>::infinity();
-    for (const QuantDecision &c : grid) {
-        if (c.mse < best.mse)
-            best = c;
-    }
-    OLIVE_ASSERT(std::isfinite(best.mse), "calibration found no candidate");
-    return best;
+QuantDecision
+OliveQuantizer::calibrateReference(std::span<const float> xs) const
+{
+    OLIVE_ASSERT(!xs.empty(), "cannot calibrate on empty data");
+    const std::vector<float> s = sample(xs);
+    // The pre-fusion scorer: materialize the full round trip per
+    // candidate and score it with stats::mse.
+    return gridSearch(config_, s,
+                      [](const OvpCodec &codec, std::span<const float> ss) {
+                          return stats::mse(ss, codec.fakeQuantReference(ss));
+                      });
 }
 
 OvpCodec

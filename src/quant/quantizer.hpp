@@ -55,9 +55,21 @@ class OliveQuantizer
 
     /**
      * Search the threshold (and normal type) minimizing sample MSE.
+     * Each grid candidate is scored with a single allocation-free MSE
+     * pass over the shared sample (OvpCodec::fakeQuantMse), so no
+     * per-candidate byte stream or round-trip vector is materialized.
      * @pre xs is non-empty and not all zeros.
      */
     QuantDecision calibrate(std::span<const float> xs) const;
+
+    /**
+     * The pre-fusion grid search: per candidate, a full fake-quant
+     * round trip (encode -> byte stream -> decode) scored with
+     * stats::mse.  Retained as the decision oracle and the "before"
+     * baseline of bench_micro_kernels; returns exactly the same
+     * winning type/threshold/scale/MSE as calibrate().
+     */
+    QuantDecision calibrateReference(std::span<const float> xs) const;
 
     /** Codec implementing a frozen decision. */
     OvpCodec makeCodec(const QuantDecision &d) const;

@@ -9,12 +9,171 @@ namespace olive {
 
 namespace {
 
+/** Row / inner-dim cache block (rows per parallel chunk, l per pass). */
 constexpr size_t kBlock = 64;
+
+/**
+ * Register-tile width: independent double accumulator chains hide the
+ * add latency of the serial per-element accumulation (ILP must come
+ * from adjacent output elements), sized for baseline x86-64's sixteen
+ * xmm registers.
+ */
+constexpr size_t kJTile = 16;
+
+/** Elements per parallel chunk of axpy. */
+constexpr size_t kAxpyGrain = 1u << 14;
+
+/**
+ * Core streaming GEMM: C = A(m,k) * B(k,n) [+ bias] with B row-major,
+ * given either as floats (@p pbf) or already widened to double
+ * (@p pbd; exactly one is non-null).  Cache-blocked over l (kBlock)
+ * with a per-row-block double accumulator; float B blocks are widened
+ * to a double scratch once per l-block instead of re-running the
+ * float->double conversion for every A row (widening is exact, so
+ * products are unchanged); the kJTile register tile keeps partial sums
+ * in registers across the l-block instead of round-tripping the
+ * accumulator buffer once per l.  Every output element accumulates in
+ * double over ascending l (blocks ascend, l ascends within a block) —
+ * exactly the reference order — so the kernel is bit-identical to
+ * matmulReference, and to matmulTransBReference when B holds the
+ * transposed weights.
+ */
+Tensor
+streamKernel(const Tensor &a, const float *pbf, const double *pbd,
+             size_t n, const float *bias)
+{
+    const size_t m = a.dim(0), k = a.dim(1);
+    Tensor c({m, n});
+    const float *pa = a.raw();
+    float *pc = c.raw();
+
+    par::parallelFor(0, m, kBlock, [&](size_t r0, size_t r1) {
+        std::vector<double> acc((r1 - r0) * n, 0.0);
+        std::vector<double> bscratch(pbd ? 0 : kBlock * n);
+        for (size_t l0 = 0; l0 < k; l0 += kBlock) {
+            const size_t l1 = std::min(l0 + kBlock, k);
+            const double *bblk;
+            if (pbd) {
+                bblk = pbd + l0 * n;
+            } else {
+                for (size_t l = l0; l < l1; ++l) {
+                    const float *brow = pbf + l * n;
+                    double *drow = bscratch.data() + (l - l0) * n;
+                    for (size_t j = 0; j < n; ++j)
+                        drow[j] = brow[j];
+                }
+                bblk = bscratch.data();
+            }
+            for (size_t i = r0; i < r1; ++i) {
+                double *arow_acc = acc.data() + (i - r0) * n;
+                const float *arow = pa + i * k;
+                size_t j = 0;
+                for (; j + kJTile <= n; j += kJTile) {
+                    double t[kJTile];
+                    for (size_t u = 0; u < kJTile; ++u)
+                        t[u] = arow_acc[j + u];
+                    for (size_t l = l0; l < l1; ++l) {
+                        const double av = arow[l];
+                        const double *brow = bblk + (l - l0) * n + j;
+                        for (size_t u = 0; u < kJTile; ++u)
+                            t[u] += av * brow[u];
+                    }
+                    for (size_t u = 0; u < kJTile; ++u)
+                        arow_acc[j + u] = t[u];
+                }
+                for (; j < n; ++j) {
+                    double t = arow_acc[j];
+                    for (size_t l = l0; l < l1; ++l)
+                        t += static_cast<double>(arow[l]) *
+                             bblk[(l - l0) * n + j];
+                    arow_acc[j] = t;
+                }
+            }
+        }
+        for (size_t i = r0; i < r1; ++i) {
+            const double *arow = acc.data() + (i - r0) * n;
+            float *crow = pc + i * n;
+            if (bias) {
+                // float(acc) + bias in float arithmetic, exactly the
+                // add the former second sweep applied to the stored
+                // float.
+                for (size_t j = 0; j < n; ++j)
+                    crow[j] = static_cast<float>(arow[j]) + bias[j];
+            } else {
+                for (size_t j = 0; j < n; ++j)
+                    crow[j] = static_cast<float>(arow[j]);
+            }
+        }
+    });
+    return c;
+}
+
+/** (n,k) floats -> row-major (k,n) doubles (widening is exact). */
+std::vector<double>
+transposeToDouble(const Tensor &b)
+{
+    const size_t n = b.dim(0), k = b.dim(1);
+    std::vector<double> out(k * n);
+    const float *pb = b.raw();
+    par::parallelFor(0, n, kBlock, [&](size_t j0, size_t j1) {
+        for (size_t j = j0; j < j1; ++j)
+            for (size_t l = 0; l < k; ++l)
+                out[l * n + j] = pb[j * k + l];
+    });
+    return out;
+}
 
 } // namespace
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
+{
+    OLIVE_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
+    OLIVE_ASSERT(b.dim(0) == a.dim(1), "matmul inner dims must agree");
+    return streamKernel(a, b.raw(), nullptr, b.dim(1), nullptr);
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    OLIVE_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
+    OLIVE_ASSERT(b.dim(1) == a.dim(1), "matmulTransB inner dims must agree");
+    // One O(n*k) widening transpose turns the strided dot products into
+    // the streaming kernel's unit-stride row passes; each output
+    // element still accumulates a(i,l) * b(j,l) in double over
+    // ascending l, so the result is bit-identical to
+    // matmulTransBReference.
+    const std::vector<double> bt = transposeToDouble(b);
+    return streamKernel(a, nullptr, bt.data(), b.dim(0), nullptr);
+}
+
+Tensor
+linearForward(const Tensor &a, const Tensor &w, const Tensor &bias)
+{
+    OLIVE_ASSERT(a.rank() == 2 && w.rank() == 2, "matmul needs matrices");
+    OLIVE_ASSERT(w.dim(1) == a.dim(1), "matmulTransB inner dims must agree");
+    OLIVE_ASSERT(bias.rank() == 1 && bias.dim(0) == w.dim(0),
+                 "bias must match output features");
+    const std::vector<double> wt = transposeToDouble(w);
+    return streamKernel(a, nullptr, wt.data(), w.dim(0), bias.raw());
+}
+
+void
+axpy(Tensor &c, const Tensor &a, float alpha)
+{
+    OLIVE_ASSERT(c.size() == a.size(), "axpy size mismatch");
+    float *cd = c.raw();
+    const float *ad = a.raw();
+    // Elements are independent and written exactly once, so the loop
+    // parallelizes deterministically and the body vectorizes.
+    par::parallelFor(0, c.size(), kAxpyGrain, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            cd[i] += alpha * ad[i];
+    });
+}
+
+Tensor
+matmulReference(const Tensor &a, const Tensor &b)
 {
     OLIVE_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
     const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -25,9 +184,6 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pb = b.raw();
     float *pc = c.raw();
 
-    // Row blocks parallelize; every output element accumulates in double
-    // over ascending l, the same order and precision as matmulTransB, so
-    // the two paths agree bitwise on transposed inputs.
     par::parallelFor(0, m, kBlock, [&](size_t r0, size_t r1) {
         std::vector<double> acc((r1 - r0) * n, 0.0);
         for (size_t l0 = 0; l0 < k; l0 += kBlock) {
@@ -53,7 +209,7 @@ matmul(const Tensor &a, const Tensor &b)
 }
 
 Tensor
-matmulTransB(const Tensor &a, const Tensor &b)
+matmulTransBReference(const Tensor &a, const Tensor &b)
 {
     OLIVE_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
     const size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
@@ -77,35 +233,6 @@ matmulTransB(const Tensor &a, const Tensor &b)
         }
     });
     return c;
-}
-
-Tensor
-linearForward(const Tensor &a, const Tensor &w, const Tensor &bias)
-{
-    Tensor c = matmulTransB(a, w);
-    const size_t n = c.dim(1);
-    OLIVE_ASSERT(bias.rank() == 1 && bias.dim(0) == n,
-                 "bias must match output features");
-    const float *pbias = bias.raw();
-    float *pc = c.raw();
-    par::parallelFor(0, c.dim(0), 8, [&](size_t r0, size_t r1) {
-        for (size_t i = r0; i < r1; ++i) {
-            float *crow = pc + i * n;
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += pbias[j];
-        }
-    });
-    return c;
-}
-
-void
-axpy(Tensor &c, const Tensor &a, float alpha)
-{
-    OLIVE_ASSERT(c.size() == a.size(), "axpy size mismatch");
-    auto cd = c.data();
-    auto ad = a.data();
-    for (size_t i = 0; i < cd.size(); ++i)
-        cd[i] += alpha * ad[i];
 }
 
 } // namespace olive

@@ -10,6 +10,13 @@
  * ascending inner index, so matmul and matmulTransB agree bitwise on
  * transposed inputs, and row-parallel execution (util/parallel) is
  * bit-identical to serial at any OLIVE_THREADS value.
+ *
+ * The public kernels are register-tiled and cache-blocked; tiling only
+ * regroups which output elements are computed together — each element
+ * still accumulates over the same ascending inner index in double — so
+ * the fast kernels are bit-identical to the straightforward
+ * *Reference() implementations retained below as oracles
+ * (tests/test_kernels_oracle.cpp compares them bytewise).
  */
 
 #ifndef OLIVE_TENSOR_GEMM_HPP
@@ -33,8 +40,14 @@ Tensor matmulTransB(const Tensor &a, const Tensor &b);
 /** C = A * B^T + bias (bias is rank-1 with n elements). */
 Tensor linearForward(const Tensor &a, const Tensor &w, const Tensor &bias);
 
-/** In-place C += alpha * A. */
+/** In-place C += alpha * A (parallel; each element written once). */
 void axpy(Tensor &c, const Tensor &a, float alpha);
+
+/** Untiled matmul, the bit-exactness oracle for matmul(). */
+Tensor matmulReference(const Tensor &a, const Tensor &b);
+
+/** Untiled matmulTransB, the bit-exactness oracle for matmulTransB(). */
+Tensor matmulTransBReference(const Tensor &a, const Tensor &b);
 
 } // namespace olive
 

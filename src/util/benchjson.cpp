@@ -1,0 +1,150 @@
+#include "benchjson.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace olive {
+
+namespace {
+
+/** JSON string escape: quotes, backslashes, and control characters. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON number: shortest round-trippable-ish form; null for non-finite. */
+std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+BenchReport::Entry &
+BenchReport::Entry::metric(const std::string &key, double value)
+{
+    metrics_.emplace_back(key, value);
+    return *this;
+}
+
+BenchReport::Entry &
+BenchReport::Entry::label(const std::string &key, const std::string &value)
+{
+    labels_.emplace_back(key, value);
+    return *this;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : benchName_(std::move(bench_name))
+{
+}
+
+void
+BenchReport::note(const std::string &key, const std::string &value)
+{
+    notes_.emplace_back(key, value);
+}
+
+BenchReport::Entry &
+BenchReport::add(const std::string &name)
+{
+    entries_.emplace_back(name);
+    return entries_.back();
+}
+
+std::string
+BenchReport::render() const
+{
+    // Built with plain += appends only: GCC 12's -Wrestrict false
+    // positive fires on literal + temporary-string operator+ chains.
+    std::string out;
+    out += "{\n  \"bench\": \"";
+    out += escape(benchName_);
+    out += "\",\n  \"meta\": {";
+    for (size_t i = 0; i < notes_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"";
+        out += escape(notes_[i].first);
+        out += "\": \"";
+        out += escape(notes_[i].second);
+        out += "\"";
+    }
+    out += "},\n  \"results\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        out += "    {\"name\": \"";
+        out += escape(e.name_);
+        out += "\"";
+        for (const auto &[key, value] : e.labels_) {
+            out += ", \"";
+            out += escape(key);
+            out += "\": \"";
+            out += escape(value);
+            out += "\"";
+        }
+        for (const auto &[key, value] : e.metrics_) {
+            out += ", \"";
+            out += escape(key);
+            out += "\": ";
+            out += number(value);
+        }
+        out += "}";
+        if (i + 1 < entries_.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool
+BenchReport::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string doc = render();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return ok;
+}
+
+} // namespace olive

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Machine-readable benchmark reports.
+ *
+ * The bench drivers print human-oriented ASCII tables (util/table); this
+ * helper additionally records the same numbers as a small JSON document
+ * (BENCH_micro.json, BENCH_parallel.json, ...) so the repository's
+ * performance trajectory is tracked across PRs and CI can upload the
+ * files as artifacts.
+ *
+ * The writer is deliberately tiny: ordered entries of numeric metrics
+ * and string labels, no external JSON dependency.  Non-finite metrics
+ * serialize as null (JSON has no inf/nan).
+ */
+
+#ifndef OLIVE_UTIL_BENCHJSON_HPP
+#define OLIVE_UTIL_BENCHJSON_HPP
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olive {
+
+/** Ordered JSON report of one benchmark run. */
+class BenchReport
+{
+  public:
+    /** One named result row. */
+    class Entry
+    {
+      public:
+        explicit Entry(std::string name) : name_(std::move(name)) {}
+
+        /** Attach a numeric metric (chainable). */
+        Entry &metric(const std::string &key, double value);
+
+        /** Attach a string label (chainable). */
+        Entry &label(const std::string &key, const std::string &value);
+
+      private:
+        friend class BenchReport;
+        std::string name_;
+        std::vector<std::pair<std::string, double>> metrics_;
+        std::vector<std::pair<std::string, std::string>> labels_;
+    };
+
+    /** @param bench_name Driver name recorded in the document. */
+    explicit BenchReport(std::string bench_name);
+
+    /** Top-level string metadata (smoke flag, thread count, ...). */
+    void note(const std::string &key, const std::string &value);
+
+    /**
+     * Append a result row and return it for metric()/label()
+     * chaining.  The reference stays valid across later add() calls
+     * (entries live in a deque).
+     */
+    Entry &add(const std::string &name);
+
+    /** Render the whole report as a JSON document. */
+    std::string render() const;
+
+    /**
+     * Write render() to @p path.  Returns false (after printing a
+     * warning) if the file cannot be written; benches treat that as
+     * non-fatal so read-only working directories do not fail smoke
+     * runs.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::string benchName_;
+    std::vector<std::pair<std::string, std::string>> notes_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_UTIL_BENCHJSON_HPP

@@ -132,13 +132,22 @@ percentile(std::span<const float> xs, double p)
 {
     OLIVE_ASSERT(!xs.empty(), "percentile of empty span");
     OLIVE_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
-    std::vector<float> sorted(xs.begin(), xs.end());
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::vector<float> v(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
     const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    // Selection instead of a full sort: nth_element places the exact
+    // lo-th order statistic, and the (lo+1)-th is the minimum of the
+    // right partition — the same two values a sorted copy would yield,
+    // at O(n) instead of O(n log n).  robustSigma calls this twice per
+    // calibration, so it is on the quantizer's hot path.
+    const auto mid = v.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(v.begin(), mid, v.end());
+    const float vlo = v[lo];
+    const float vhi =
+        (hi == lo) ? vlo : *std::min_element(mid + 1, v.end());
+    return vlo * (1.0 - frac) + vhi * frac;
 }
 
 double
