@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Serving benchmark: continuous-batching decode throughput, step
+ * latency, and KV-cache memory across cache formats (fp32, int8 /
+ * olive8 / olive4), writing BENCH_serving.json.
+ *
+ * Each format serves the identical request workload twice — pinned to
+ * one thread and at the ambient pool size — and the two generated
+ * token streams are asserted bit-identical before any number is
+ * reported: the engine's determinism guarantee is part of what this
+ * bench demonstrates (the ctest "serve" legs run it at OLIVE_THREADS=1
+ * and =8).  The quality columns come from serve::cacheImpact on text
+ * sampled from the same model.
+ *
+ *   ./build/bench_serving --requests 16 --max-new 16 --threads 8
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/perplexity.hpp"
+#include "models/config.hpp"
+#include "serve/cache_eval.hpp"
+#include "serve/engine.hpp"
+#include "util/args.hpp"
+#include "util/benchjson.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+#include "util/smoke.hpp"
+#include "util/table.hpp"
+
+using namespace olive;
+
+namespace {
+
+/** One format's serving run: metrics + concatenated token stream. */
+struct RunResult
+{
+    std::vector<int> tokens;
+    serve::ServeMetrics metrics;
+    size_t steps = 0;
+};
+
+RunResult
+runWorkload(const eval::LmModel &lm, serve::ServeConfig cfg,
+            const std::vector<std::vector<int>> &prompts, size_t max_new)
+{
+    serve::ServeEngine engine(lm, cfg);
+    for (const auto &p : prompts)
+        engine.submit(p, max_new);
+    RunResult r;
+    r.steps = engine.runToCompletion();
+    for (const serve::FinishedRequest &f : engine.finished()) {
+        r.tokens.push_back(static_cast<int>(f.id));
+        r.tokens.insert(r.tokens.end(), f.generated.begin(),
+                        f.generated.end());
+    }
+    r.metrics = engine.metrics();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv, {{"model", "GPT2-XL"},
+                           {"requests", ""},
+                           {"prompt-len", ""},
+                           {"max-new", ""},
+                           {"batch-tokens", "8"},
+                           {"max-active", "4"},
+                           {"seed", "23"},
+                           {"out", "BENCH_serving.json"}});
+    smoke::banner();
+    const size_t nthreads = par::threadCount();
+
+    const size_t n_requests = args.get("requests").empty()
+                                  ? smoke::count(12, 3)
+                                  : static_cast<size_t>(args.getInt("requests"));
+    const size_t prompt_len = args.get("prompt-len").empty()
+                                  ? smoke::count(20, 5)
+                                  : static_cast<size_t>(args.getInt("prompt-len"));
+    const size_t max_new = args.get("max-new").empty()
+                               ? smoke::count(12, 4)
+                               : static_cast<size_t>(args.getInt("max-new"));
+
+    const auto config = models::byName(args.get("model"));
+    eval::LmModel lm = eval::makeLm(config, 1234);
+    // A calibrated teacher (see eval/perplexity.hpp) keeps the proxy
+    // PPL columns comparable with the Table 9 machinery.
+    eval::calibrateToTarget(lm, 24.0, smoke::count(2, 1),
+                            smoke::count(12, 8), 7);
+
+    Rng rng(static_cast<u64>(args.getInt("seed")));
+    std::vector<std::vector<int>> prompts(n_requests);
+    for (auto &p : prompts) {
+        p.resize(1 + prompt_len / 2 + rng.uniformInt(prompt_len));
+        for (auto &t : p)
+            t = static_cast<int>(rng.uniformInt(lm.vocab));
+    }
+
+    Rng trng(99);
+    const eval::TokenData text =
+        eval::sampleText(lm, smoke::count(3, 1), smoke::count(16, 8), trng);
+
+    serve::ServeConfig scfg;
+    scfg.maxBatchTokens = static_cast<size_t>(args.getInt("batch-tokens"));
+    scfg.maxActiveRequests = static_cast<size_t>(args.getInt("max-active"));
+
+    const std::vector<serve::KvCacheFormat> formats = {
+        serve::KvCacheFormat::Fp32, serve::KvCacheFormat::Int8,
+        serve::KvCacheFormat::Olive8, serve::KvCacheFormat::Olive4};
+
+    std::printf("== Serving: %zu requests, prompt~%zu, max-new %zu, "
+                "batch-tokens %zu, active<=%zu (%s eval dims) ==\n\n",
+                n_requests, prompt_len, max_new, scfg.maxBatchTokens,
+                scfg.maxActiveRequests, config.name.c_str());
+
+    Table t({"KV cache", "tok/s", "gen/s", "p50 ms", "p99 ms",
+             "cache B", "vs fp32", "proxy PPL", "hidden MSE"});
+    BenchReport report("bench_serving");
+    report.note("mode", smoke::enabled() ? "smoke" : "full");
+    report.note("threads", std::to_string(nthreads));
+    report.note("model", config.name);
+    report.note("requests", std::to_string(n_requests));
+    report.note("max_new", std::to_string(max_new));
+    report.note("batch_tokens", std::to_string(scfg.maxBatchTokens));
+
+    double olive4_ratio = -1.0;
+    for (serve::KvCacheFormat fmt : formats) {
+        scfg.cacheFormat = fmt;
+        // Determinism first: serial and ambient-pool runs must produce
+        // identical token streams.
+        par::setThreadCount(1);
+        const RunResult serial = runWorkload(lm, scfg, prompts, max_new);
+        par::setThreadCount(nthreads);
+        const RunResult run = runWorkload(lm, scfg, prompts, max_new);
+        OLIVE_ASSERT(serial.tokens == run.tokens,
+                     "serving output diverged across thread counts — "
+                     "determinism violation");
+
+        const auto scheme = serve::makeKvScheme(fmt);
+        const serve::CacheImpact impact =
+            serve::cacheImpact(lm, text, *scheme);
+
+        const serve::ServeMetrics &m = run.metrics;
+        const double ratio =
+            m.peakFp32CacheBytes
+                ? static_cast<double>(m.peakEncodedCacheBytes) /
+                      static_cast<double>(m.peakFp32CacheBytes)
+                : 0.0;
+        if (fmt == serve::KvCacheFormat::Olive4)
+            olive4_ratio = ratio;
+        t.addRow({scheme->name(), Table::num(m.tokensPerSecond(), 1),
+                  Table::num(m.generatedPerSecond(), 1),
+                  Table::num(m.stepLatencyMs(50.0), 3),
+                  Table::num(m.stepLatencyMs(99.0), 3),
+                  std::to_string(m.peakEncodedCacheBytes),
+                  Table::num(ratio, 3) + "x",
+                  Table::num(impact.perplexity, 3),
+                  Table::sci(impact.hiddenMse)});
+        report.add(scheme->name())
+            .metric("tokens_per_sec", m.tokensPerSecond())
+            .metric("generated_per_sec", m.generatedPerSecond())
+            .metric("p50_step_ms", m.stepLatencyMs(50.0))
+            .metric("p99_step_ms", m.stepLatencyMs(99.0))
+            .metric("steps", static_cast<double>(run.steps))
+            .metric("tokens_processed",
+                    static_cast<double>(m.tokensProcessed))
+            .metric("tokens_generated",
+                    static_cast<double>(m.tokensGenerated))
+            .metric("peak_cache_bytes",
+                    static_cast<double>(m.peakEncodedCacheBytes))
+            .metric("peak_cache_fp32_bytes",
+                    static_cast<double>(m.peakFp32CacheBytes))
+            .metric("cache_ratio_vs_fp32", ratio)
+            .metric("impact_proxy_ppl", impact.perplexity)
+            .metric("impact_hidden_mse", impact.hiddenMse)
+            .metric("impact_logit_mse", impact.logitMse)
+            .metric("deterministic", 1.0);
+    }
+    par::setThreadCount(0);
+
+    t.print();
+    // The paper-level claim this subsystem exists for: the OVP cache
+    // holds the same tokens in at most a quarter of the fp32 bytes.
+    OLIVE_ASSERT(olive4_ratio > 0.0 && olive4_ratio <= 0.25,
+                 "olive4 KV cache exceeded 0.25x of fp32 bytes");
+    report.writeFile(args.get("out"));
+    std::printf("\nAll formats served bit-identical token streams at 1 "
+                "thread and %zu threads.  JSON written to %s.\n",
+                nthreads, args.get("out").c_str());
+    return 0;
+}

@@ -10,21 +10,34 @@ namespace olive {
 namespace eval {
 
 Tensor
-LmModel::logits(const std::vector<int> &tokens, Scheme *act_scheme) const
+LmModel::embed(std::span<const int> tokens) const
 {
-    OLIVE_ASSERT(!tokens.empty(), "logits of empty sequence");
+    OLIVE_ASSERT(!tokens.empty(), "embedding an empty sequence");
     const size_t d = backbone.dModel;
     Tensor x({tokens.size(), d});
     for (size_t t = 0; t < tokens.size(); ++t) {
         const auto tok = static_cast<size_t>(tokens[t]);
-        OLIVE_ASSERT(tok < vocab, "token out of range");
+        OLIVE_ASSERT(tokens[t] >= 0 && tok < vocab, "token out of range");
         for (size_t j = 0; j < d; ++j)
             x.at(t, j) = embedding.at(tok, j);
     }
-    const Tensor h = backbone.forward(x, act_scheme);
+    return x;
+}
+
+Tensor
+LmModel::logitsFromHidden(const Tensor &h) const
+{
     Tensor lg = matmulTransB(h, embedding);
     ops::scale(lg, static_cast<float>(1.0 / temperature));
     return lg;
+}
+
+Tensor
+LmModel::logits(const std::vector<int> &tokens, Scheme *act_scheme) const
+{
+    const Tensor x = embed(tokens);
+    const Tensor h = backbone.forward(x, act_scheme);
+    return logitsFromHidden(h);
 }
 
 LmModel

@@ -17,6 +17,7 @@
 #ifndef OLIVE_EVAL_PERPLEXITY_HPP
 #define OLIVE_EVAL_PERPLEXITY_HPP
 
+#include <span>
 #include <vector>
 
 #include "models/config.hpp"
@@ -43,6 +44,17 @@ struct LmModel
      */
     Tensor logits(const std::vector<int> &tokens,
                   Scheme *act_scheme = nullptr) const;
+
+    /**
+     * Project backbone hidden states (rows, d) onto the tied embedding
+     * and apply the temperature — the output half of logits(), shared
+     * with the serving engine's incremental decode so the two paths
+     * cannot drift arithmetically.
+     */
+    Tensor logitsFromHidden(const Tensor &h) const;
+
+    /** Copy token embedding rows into a (tokens.size(), d) input. */
+    Tensor embed(std::span<const int> tokens) const;
 };
 
 /** Build the synthetic LM for @p config (eval dims). */

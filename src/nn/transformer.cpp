@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "serve/kv_cache.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "util/parallel.hpp"
@@ -12,14 +13,107 @@ namespace nn {
 
 namespace {
 
-/** Fake-quantize a tensor as an activation if a scheme is given. */
+/**
+ * Fake-quantize a tensor as an activation if a scheme is given.
+ * PerToken calibrates each row independently — for a (1, d) tensor the
+ * two granularities coincide, which is what makes forwardStep's
+ * single-row quantization the exact per-token counterpart of forward.
+ */
 Tensor
-maybeQuantAct(const Tensor &x, Scheme *scheme)
+maybeQuantAct(const Tensor &x, Scheme *scheme,
+              ActQuant granularity = ActQuant::PerTensor)
 {
     if (!scheme)
         return x.clone();
-    auto q = scheme->apply(x.data(), TensorKind::Activation);
-    return Tensor(x.shape(), std::move(q));
+    if (granularity == ActQuant::PerTensor || x.dim(0) == 1) {
+        auto q = scheme->apply(x.data(), TensorKind::Activation);
+        return Tensor(x.shape(), std::move(q));
+    }
+    Tensor out(x.shape());
+    for (size_t i = 0; i < x.dim(0); ++i) {
+        const auto q = scheme->apply(x.row(i), TensorKind::Activation);
+        std::copy(q.begin(), q.end(), out.row(i).begin());
+    }
+    return out;
+}
+
+/**
+ * One (head, query-row) attention: scores against K rows
+ * [0, attend_len), masked fill up to row.size(), softmax, context over
+ * row.size() V rows.  @p qrow / @p pk / @p pv are already offset to
+ * the head (column h*dh); K/V rows are strided by @p d.
+ *
+ * Shared verbatim by selfAttention (attend_len = causal ? i+1 : seq,
+ * row length seq) and selfAttentionStep (attend_len = row length =
+ * cache length): full forward's masked positions softmax to exactly
+ * zero and contribute exact-zero context terms, so the two callers are
+ * bit-identical on the common prefix BY CONSTRUCTION — there is one
+ * kernel to keep in sync, not two (tests/test_decode_parity.cpp
+ * asserts the resulting parity exhaustively).
+ *
+ * Both inner products are register-tiled like tensor/gemm: four score
+ * columns share one pass over the query row, and four context lanes
+ * share one pass over the softmaxed row.  Each output accumulates in
+ * double over the same ascending index as the scalar remainder loops,
+ * so the tiling never changes a bit.
+ */
+void
+attendRow(const float *qrow, const float *pk, const float *pv, size_t d,
+          size_t dh, size_t attend_len, float inv_sqrt_dh,
+          std::span<float> row, float *crow)
+{
+    const size_t row_len = row.size();
+    size_t j = 0;
+    for (; j + 4 <= attend_len; j += 4) {
+        const float *k0 = pk + j * d;
+        const float *k1 = k0 + d;
+        const float *k2 = k1 + d;
+        const float *k3 = k2 + d;
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        for (size_t e = 0; e < dh; ++e) {
+            const double qv = qrow[e];
+            a0 += qv * k0[e];
+            a1 += qv * k1[e];
+            a2 += qv * k2[e];
+            a3 += qv * k3[e];
+        }
+        row[j + 0] = static_cast<float>(a0) * inv_sqrt_dh;
+        row[j + 1] = static_cast<float>(a1) * inv_sqrt_dh;
+        row[j + 2] = static_cast<float>(a2) * inv_sqrt_dh;
+        row[j + 3] = static_cast<float>(a3) * inv_sqrt_dh;
+    }
+    for (; j < attend_len; ++j) {
+        const float *krow = pk + j * d;
+        double acc = 0.0;
+        for (size_t e = 0; e < dh; ++e)
+            acc += static_cast<double>(qrow[e]) * krow[e];
+        row[j] = static_cast<float>(acc) * inv_sqrt_dh;
+    }
+    for (; j < row_len; ++j)
+        row[j] = -1e30f;
+    ops::softmaxRow(row);
+    size_t e = 0;
+    for (; e + 4 <= dh; e += 4) {
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        for (size_t jj = 0; jj < row_len; ++jj) {
+            const double r = row[jj];
+            const float *vrow = pv + jj * d + e;
+            a0 += r * vrow[0];
+            a1 += r * vrow[1];
+            a2 += r * vrow[2];
+            a3 += r * vrow[3];
+        }
+        crow[e + 0] = static_cast<float>(a0);
+        crow[e + 1] = static_cast<float>(a1);
+        crow[e + 2] = static_cast<float>(a2);
+        crow[e + 3] = static_cast<float>(a3);
+    }
+    for (; e < dh; ++e) {
+        double acc = 0.0;
+        for (size_t jj = 0; jj < row_len; ++jj)
+            acc += static_cast<double>(row[jj]) * pv[jj * d + e];
+        crow[e] = static_cast<float>(acc);
+    }
 }
 
 } // namespace
@@ -32,7 +126,7 @@ Linear::forward(const Tensor &x) const
 
 Tensor
 selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
-              bool causal, Scheme *act_scheme)
+              bool causal, Scheme *act_scheme, ActQuant act_granularity)
 {
     const size_t seq = x.dim(0);
     const size_t d = x.dim(1);
@@ -40,7 +134,7 @@ selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
     const size_t dh = d / n_heads;
     const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
 
-    const Tensor xq = maybeQuantAct(x, act_scheme);
+    const Tensor xq = maybeQuantAct(x, act_scheme, act_granularity);
     Tensor q = layer.q.forward(xq);
     Tensor k = layer.k.forward(xq);
     Tensor v = layer.v.forward(xq);
@@ -53,12 +147,6 @@ selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
     // across a chunk (grain = seq: one head per chunk); each index
     // computes exactly the serial expression, keeping the forward
     // bit-exact at any thread count (see util/parallel.hpp).
-    //
-    // Both inner products are register-tiled like tensor/gemm: four
-    // score columns share one pass over the query row, and four context
-    // lanes share one pass over the softmaxed row.  Each output still
-    // accumulates in double over the same ascending index, so the tiled
-    // loops are bit-identical to the scalar ones.
     const float *pq = q.raw();
     const float *pk = k.raw();
     const float *pv = v.raw();
@@ -68,62 +156,56 @@ selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
         for (size_t idx = b; idx < e_; ++idx) {
             const size_t h = idx / seq;
             const size_t i = idx % seq;
-            const float *qrow = pq + i * d + h * dh;
-            const size_t j_end = causal ? i + 1 : seq;
-            size_t j = 0;
-            for (; j + 4 <= j_end; j += 4) {
-                const float *k0 = pk + j * d + h * dh;
-                const float *k1 = k0 + d;
-                const float *k2 = k1 + d;
-                const float *k3 = k2 + d;
-                double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-                for (size_t e = 0; e < dh; ++e) {
-                    const double qv = qrow[e];
-                    a0 += qv * k0[e];
-                    a1 += qv * k1[e];
-                    a2 += qv * k2[e];
-                    a3 += qv * k3[e];
-                }
-                row[j + 0] = static_cast<float>(a0) * inv_sqrt_dh;
-                row[j + 1] = static_cast<float>(a1) * inv_sqrt_dh;
-                row[j + 2] = static_cast<float>(a2) * inv_sqrt_dh;
-                row[j + 3] = static_cast<float>(a3) * inv_sqrt_dh;
-            }
-            for (; j < j_end; ++j) {
-                const float *krow = pk + j * d + h * dh;
-                double acc = 0.0;
-                for (size_t e = 0; e < dh; ++e)
-                    acc += static_cast<double>(qrow[e]) * krow[e];
-                row[j] = static_cast<float>(acc) * inv_sqrt_dh;
-            }
-            for (; j < seq; ++j)
-                row[j] = -1e30f;
-            ops::softmaxRow(row);
-            float *crow = pctx + i * d + h * dh;
-            size_t e = 0;
-            for (; e + 4 <= dh; e += 4) {
-                double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-                for (size_t jj = 0; jj < seq; ++jj) {
-                    const double r = row[jj];
-                    const float *vrow = pv + jj * d + h * dh + e;
-                    a0 += r * vrow[0];
-                    a1 += r * vrow[1];
-                    a2 += r * vrow[2];
-                    a3 += r * vrow[3];
-                }
-                crow[e + 0] = static_cast<float>(a0);
-                crow[e + 1] = static_cast<float>(a1);
-                crow[e + 2] = static_cast<float>(a2);
-                crow[e + 3] = static_cast<float>(a3);
-            }
-            for (; e < dh; ++e) {
-                double acc = 0.0;
-                for (size_t jj = 0; jj < seq; ++jj) {
-                    acc += static_cast<double>(row[jj]) *
-                           pv[jj * d + h * dh + e];
-                }
-                crow[e] = static_cast<float>(acc);
-            }
+            attendRow(pq + i * d + h * dh, pk + h * dh, pv + h * dh, d,
+                      dh, causal ? i + 1 : seq, inv_sqrt_dh, row,
+                      pctx + i * d + h * dh);
+        }
+    });
+
+    const Tensor ctxq = maybeQuantAct(ctx, act_scheme, act_granularity);
+    return layer.o.forward(ctxq);
+}
+
+Tensor
+selfAttentionStep(const Tensor &x, const Layer &layer, size_t n_heads,
+                  serve::KvCache &cache, Scheme *act_scheme)
+{
+    OLIVE_ASSERT(x.rank() == 2 && x.dim(0) == 1, "step input must be (1, d)");
+    const size_t d = x.dim(1);
+    OLIVE_ASSERT(d == cache.dModel(), "cache width must match the model");
+    OLIVE_ASSERT(d % n_heads == 0, "d_model must divide by heads");
+    const size_t dh = d / n_heads;
+    const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    const Tensor xq = maybeQuantAct(x, act_scheme);
+    Tensor q = layer.q.forward(xq);
+    Tensor k = layer.k.forward(xq);
+    Tensor v = layer.v.forward(xq);
+
+    // Persist this token's K/V through the cache codec, then attend
+    // over the decoded prefix.  The persistent bytes are the encoded
+    // stream; the (len, d) scratch below is transient working set.
+    cache.append(k.row(0), v.row(0));
+    const size_t len = cache.length();
+    Tensor kc({len, d}), vc({len, d});
+    cache.decodeK(kc);
+    cache.decodeV(vc);
+
+    // The query is row i = len-1 of the equivalent full forward, so
+    // the causal score range j < i+1 is exactly [0, len): attendRow
+    // runs with attend_len == row length and no masked tail.  Sharing
+    // the kernel with selfAttention is what makes the step bit-exact
+    // against the full forward (see attendRow's comment).
+    Tensor ctx({1, d});
+    const float *pq = q.raw();
+    const float *pk = kc.raw();
+    const float *pv = vc.raw();
+    float *pctx = ctx.raw();
+    par::parallelFor(0, n_heads, 1, [&](size_t b, size_t e_) {
+        std::vector<float> row(len);
+        for (size_t h = b; h < e_; ++h) {
+            attendRow(pq + h * dh, pk + h * dh, pv + h * dh, d, dh, len,
+                      inv_sqrt_dh, row, pctx + h * dh);
         }
     });
 
@@ -132,18 +214,51 @@ selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
 }
 
 Tensor
-Transformer::forward(const Tensor &x, Scheme *act_scheme) const
+Transformer::forward(const Tensor &x, Scheme *act_scheme,
+                     ActQuant act_granularity) const
 {
     OLIVE_ASSERT(x.rank() == 2 && x.dim(1) == dModel,
                  "input must be (seq, d_model)");
     Tensor h = x.clone();
     for (const Layer &layer : layers) {
         // Attention block with residual + post-LN.
-        Tensor attn = selfAttention(h, layer, nHeads, causal, act_scheme);
+        Tensor attn = selfAttention(h, layer, nHeads, causal, act_scheme,
+                                    act_granularity);
         Tensor res = ops::add(h, attn);
         h = ops::layerNorm(res, layer.ln1Gamma, layer.ln1Beta);
 
         // FFN block with residual + post-LN.
+        const Tensor hq = maybeQuantAct(h, act_scheme, act_granularity);
+        Tensor f = layer.ff1.forward(hq);
+        ops::gelu(f);
+        const Tensor fq = maybeQuantAct(f, act_scheme, act_granularity);
+        Tensor f2 = layer.ff2.forward(fq);
+        Tensor res2 = ops::add(h, f2);
+        h = ops::layerNorm(res2, layer.ln2Gamma, layer.ln2Beta);
+    }
+    return h;
+}
+
+Tensor
+Transformer::forwardStep(const Tensor &x_t, serve::DecodeState &state,
+                         Scheme *act_scheme) const
+{
+    OLIVE_ASSERT(x_t.rank() == 2 && x_t.dim(0) == 1 && x_t.dim(1) == dModel,
+                 "step input must be (1, d_model)");
+    OLIVE_ASSERT(causal, "incremental decode requires a causal model");
+    OLIVE_ASSERT(state.layers.size() == layers.size(),
+                 "decode state must have one cache per layer");
+    Tensor h = x_t.clone();
+    for (size_t li = 0; li < layers.size(); ++li) {
+        const Layer &layer = layers[li];
+        serve::KvCache &cache = state.layers[li];
+        OLIVE_ASSERT(cache.length() == state.position,
+                     "cache length is out of sync with the decode position");
+
+        Tensor attn = selfAttentionStep(h, layer, nHeads, cache, act_scheme);
+        Tensor res = ops::add(h, attn);
+        h = ops::layerNorm(res, layer.ln1Gamma, layer.ln1Beta);
+
         const Tensor hq = maybeQuantAct(h, act_scheme);
         Tensor f = layer.ff1.forward(hq);
         ops::gelu(f);
@@ -152,6 +267,7 @@ Transformer::forward(const Tensor &x, Scheme *act_scheme) const
         Tensor res2 = ops::add(h, f2);
         h = ops::layerNorm(res2, layer.ln2Gamma, layer.ln2Beta);
     }
+    state.position += 1;
     return h;
 }
 

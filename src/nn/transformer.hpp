@@ -21,7 +21,29 @@
 #include "util/random.hpp"
 
 namespace olive {
+
+namespace serve {
+class KvCache;
+struct DecodeState;
+} // namespace serve
+
 namespace nn {
+
+/**
+ * Granularity of activation fake-quantization during forward.
+ *
+ * PerTensor calibrates each activation tensor as a whole (the PTQ
+ * evaluation flow).  PerToken calibrates every (1, d) token row
+ * independently — the only granularity an incremental decoder can
+ * realize, since a step never sees future tokens.  forwardStep always
+ * quantizes per token; forward(..., PerToken) is its bit-exact
+ * full-sequence counterpart (see tests/test_decode_parity.cpp).
+ */
+enum class ActQuant
+{
+    PerTensor,
+    PerToken,
+};
 
 /** One linear layer: y = x W^T + b, with W stored (out, in). */
 struct Linear
@@ -54,9 +76,23 @@ struct Transformer
     /**
      * Forward pass.  @p x is (seq, dModel).  If @p act_scheme is
      * non-null every linear-layer input is fake-quantized as an
-     * activation first.
+     * activation first, at the given granularity.
      */
-    Tensor forward(const Tensor &x, Scheme *act_scheme = nullptr) const;
+    Tensor forward(const Tensor &x, Scheme *act_scheme = nullptr,
+                   ActQuant act_granularity = ActQuant::PerTensor) const;
+
+    /**
+     * Incremental decode: process ONE token row @p x_t (1, dModel)
+     * against the KV caches in @p state, appending this token's K/V
+     * per layer and attending over the cached prefix.  Requires a
+     * causal model.  With the FP32 cache scheme the returned row is
+     * bit-identical to row t of forward() over the same prefix
+     * (activation schemes quantize per token, matching
+     * forward(..., ActQuant::PerToken)); quantized cache schemes trade
+     * that exactness for cache bytes, measured by serve::cacheImpact.
+     */
+    Tensor forwardStep(const Tensor &x_t, serve::DecodeState &state,
+                       Scheme *act_scheme = nullptr) const;
 
     /** Total parameter count. */
     size_t parameterCount() const;
@@ -75,7 +111,17 @@ Transformer quantizeTransformer(const Transformer &model, Scheme &scheme);
 
 /** Multi-head self-attention used by Transformer::forward. */
 Tensor selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
-                     bool causal, Scheme *act_scheme);
+                     bool causal, Scheme *act_scheme,
+                     ActQuant act_granularity = ActQuant::PerTensor);
+
+/**
+ * One-token self-attention over a KV cache, used by forwardStep: the
+ * token's K/V rows are appended to @p cache (through its codec), then
+ * the query attends over the decoded cache.  @p x is (1, d).
+ */
+Tensor selfAttentionStep(const Tensor &x, const Layer &layer,
+                         size_t n_heads, serve::KvCache &cache,
+                         Scheme *act_scheme);
 
 } // namespace nn
 } // namespace olive

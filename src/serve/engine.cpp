@@ -1,0 +1,210 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace serve {
+
+double
+ServeMetrics::tokensPerSecond() const
+{
+    return totalSeconds > 0.0
+               ? static_cast<double>(tokensProcessed) / totalSeconds
+               : 0.0;
+}
+
+double
+ServeMetrics::generatedPerSecond() const
+{
+    return totalSeconds > 0.0
+               ? static_cast<double>(tokensGenerated) / totalSeconds
+               : 0.0;
+}
+
+double
+ServeMetrics::stepLatencyMs(double p) const
+{
+    if (stepSeconds.empty())
+        return 0.0;
+    return stats::percentile(stepSeconds, p) * 1e3;
+}
+
+ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
+    : model_(&model), cfg_(config), scheme_(makeKvScheme(config.cacheFormat))
+{
+    OLIVE_ASSERT(model.vocab > 0 && model.backbone.causal,
+                 "serving needs a causal LM");
+    OLIVE_ASSERT(cfg_.maxBatchTokens >= 1, "token budget must be >= 1");
+    OLIVE_ASSERT(cfg_.maxActiveRequests >= 1, "batch width must be >= 1");
+}
+
+u64
+ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens)
+{
+    OLIVE_ASSERT(!prompt.empty(), "request prompt must be non-empty");
+    OLIVE_ASSERT(max_new_tokens >= 1, "request must generate >= 1 token");
+    for (int tok : prompt)
+        OLIVE_ASSERT(tok >= 0 && static_cast<size_t>(tok) < model_->vocab,
+                     "prompt token out of range");
+    ActiveRequest a;
+    a.req.id = nextId_++;
+    a.req.prompt = std::move(prompt);
+    a.req.maxNewTokens = max_new_tokens;
+    a.submitStep = metrics_.steps;
+    pending_.push_back(std::move(a));
+    return pending_.back().req.id;
+}
+
+void
+ServeEngine::admit()
+{
+    while (!pending_.empty() && active_.size() < cfg_.maxActiveRequests) {
+        ActiveRequest a = std::move(pending_.front());
+        pending_.pop_front();
+        a.admitStep = metrics_.steps + 1; // the step about to run
+        a.state = makeDecodeState(model_->backbone, *scheme_);
+        active_.push_back(std::move(a));
+    }
+}
+
+size_t
+ServeEngine::runRequest(ActiveRequest &a, size_t ntok, u64 step_no) const
+{
+    const size_t d = model_->backbone.dModel;
+    const std::vector<int> &prompt = a.req.prompt;
+    size_t done = 0;
+    Tensor x({1, d});
+    while (done < ntok) {
+        const size_t pos = a.state.position;
+        const int tok = pos < prompt.size()
+                            ? prompt[pos]
+                            : a.generated[pos - prompt.size()];
+        const auto trow =
+            model_->embedding.row(static_cast<size_t>(tok));
+        std::copy(trow.begin(), trow.end(), x.row(0).begin());
+        const Tensor h =
+            model_->backbone.forwardStep(x, a.state, cfg_.actScheme);
+        ++done;
+        if (pos + 1 < prompt.size())
+            continue; // mid-prefill: no logits needed yet
+        // This was the last prompt token or a decode token: project to
+        // the vocabulary and extend the generation greedily.
+        const Tensor lg = model_->logitsFromHidden(h);
+        a.generated.push_back(ops::argmaxRow(lg.row(0)));
+        if (a.firstTokenStep == 0)
+            a.firstTokenStep = step_no;
+        if (a.generated.size() >= a.req.maxNewTokens)
+            a.done = true;
+        // Autoregression: the token just produced is the next step's
+        // input, so a request never decodes twice within one step.
+        break;
+    }
+    return done;
+}
+
+bool
+ServeEngine::step()
+{
+    admit();
+    if (active_.empty())
+        return false;
+    const auto t0 = std::chrono::steady_clock::now();
+    const u64 step_no = ++metrics_.steps;
+
+    // Budgeting pass 1: one token each, FIFO, while budget lasts —
+    // decode latency fairness.  Pass 2: leftover budget tops up
+    // prefill-phase requests (chunked prefill), never past the token
+    // that produces their first generation.
+    std::vector<size_t> quota(active_.size(), 0);
+    size_t budget = cfg_.maxBatchTokens;
+    for (size_t i = 0; i < active_.size() && budget > 0; ++i) {
+        quota[i] = 1;
+        --budget;
+    }
+    for (size_t i = 0; i < active_.size() && budget > 0; ++i) {
+        const ActiveRequest &a = active_[i];
+        if (quota[i] == 0 || a.state.position >= a.req.prompt.size())
+            continue;
+        const size_t remaining = a.req.prompt.size() - a.state.position;
+        const size_t extra = std::min(budget, remaining - quota[i]);
+        quota[i] += extra;
+        budget -= extra;
+    }
+
+    // Execute: requests are independent, so the batch parallelizes
+    // deterministically (forwardStep's inner parallel regions run
+    // inline on the worker).
+    std::vector<size_t> processed(active_.size(), 0);
+    std::vector<size_t> gen_before(active_.size(), 0);
+    for (size_t i = 0; i < active_.size(); ++i)
+        gen_before[i] = active_[i].generated.size();
+    par::parallelFor(0, active_.size(), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            processed[i] = runRequest(active_[i], quota[i], step_no);
+    });
+
+    // Accounting (before eviction, so a finishing request's cache
+    // counts toward this step's footprint).
+    size_t enc = 0, fp32 = 0;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        metrics_.tokensProcessed += processed[i];
+        metrics_.tokensGenerated +=
+            active_[i].generated.size() - gen_before[i];
+        enc += active_[i].state.encodedBytes();
+        fp32 += active_[i].state.fp32Bytes();
+    }
+    metrics_.peakEncodedCacheBytes =
+        std::max(metrics_.peakEncodedCacheBytes, enc);
+    metrics_.peakFp32CacheBytes =
+        std::max(metrics_.peakFp32CacheBytes, fp32);
+
+    // Evict finished requests, preserving FIFO order of the rest.
+    std::vector<ActiveRequest> still;
+    still.reserve(active_.size());
+    for (ActiveRequest &a : active_) {
+        if (!a.done) {
+            still.push_back(std::move(a));
+            continue;
+        }
+        FinishedRequest f;
+        f.id = a.req.id;
+        f.prompt = std::move(a.req.prompt);
+        f.generated = std::move(a.generated);
+        f.submitStep = a.submitStep;
+        f.admitStep = a.admitStep;
+        f.firstTokenStep = a.firstTokenStep;
+        f.finishStep = step_no;
+        f.cacheEncodedBytes = a.state.encodedBytes();
+        f.cacheFp32Bytes = a.state.fp32Bytes();
+        finished_.push_back(std::move(f));
+    }
+    active_ = std::move(still);
+
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    metrics_.stepSeconds.push_back(static_cast<float>(dt.count()));
+    metrics_.totalSeconds += dt.count();
+    return true;
+}
+
+size_t
+ServeEngine::runToCompletion(size_t max_steps)
+{
+    size_t n = 0;
+    while (step()) {
+        ++n;
+        OLIVE_ASSERT(max_steps == 0 || n <= max_steps,
+                     "serving did not drain within the step limit");
+    }
+    return n;
+}
+
+} // namespace serve
+} // namespace olive

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Continuous-batching serving engine over the incremental decoder.
+ *
+ * Requests (a prompt plus a generation budget) enter a FIFO queue; each
+ * engine step admits pending requests into the active batch, assigns
+ * every active request a share of a configurable per-step token budget
+ * (decode phase: exactly one token; prefill phase: a chunk of the
+ * remaining prompt — chunked prefill), and runs the assigned tokens
+ * through nn::Transformer::forwardStep batched across requests with
+ * util/parallel.  Finished requests are evicted at the end of the step,
+ * releasing their KV-cache bytes to the accounting.
+ *
+ * Determinism contract: admission, budgeting and eviction are pure
+ * functions of the queue state, and each request's step work is a pure
+ * function of its own state, so the generated token streams are
+ * bit-identical at every OLIVE_THREADS value (the CTest "serve" legs
+ * assert this).  Only the measured latencies vary with the machine.
+ */
+
+#ifndef OLIVE_SERVE_ENGINE_HPP
+#define OLIVE_SERVE_ENGINE_HPP
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "eval/perplexity.hpp"
+#include "kv_cache.hpp"
+#include "quant/scheme.hpp"
+
+namespace olive {
+namespace serve {
+
+/** Engine configuration. */
+struct ServeConfig
+{
+    KvCacheFormat cacheFormat = KvCacheFormat::Fp32;
+    size_t maxBatchTokens = 8;    //!< Token budget per engine step.
+    size_t maxActiveRequests = 8; //!< Continuous-batch width cap.
+    Scheme *actScheme = nullptr;  //!< Optional per-token activation quant.
+};
+
+/** One generation request. */
+struct Request
+{
+    u64 id = 0;
+    std::vector<int> prompt;
+    size_t maxNewTokens = 0;
+};
+
+/** A retired request with its generation and latency bookkeeping. */
+struct FinishedRequest
+{
+    u64 id = 0;
+    std::vector<int> prompt;
+    std::vector<int> generated;
+    u64 submitStep = 0;     //!< Engine step count at submit().
+    u64 admitStep = 0;      //!< Step that admitted it into the batch.
+    u64 firstTokenStep = 0; //!< Step that produced its first token.
+    u64 finishStep = 0;     //!< Step that produced its last token.
+    size_t cacheEncodedBytes = 0; //!< KV footprint at finish (its peak).
+    size_t cacheFp32Bytes = 0;    //!< Same cache uncompressed.
+};
+
+/** Aggregate throughput/latency/memory accounting. */
+struct ServeMetrics
+{
+    u64 steps = 0;
+    u64 tokensProcessed = 0; //!< Prefill + decode tokens.
+    u64 tokensGenerated = 0;
+    double totalSeconds = 0.0;
+    std::vector<float> stepSeconds;    //!< Per-step wall time.
+    size_t peakEncodedCacheBytes = 0;  //!< Across all in-flight requests.
+    size_t peakFp32CacheBytes = 0;
+
+    /** Processed tokens per wall second. */
+    double tokensPerSecond() const;
+
+    /** Generated tokens per wall second. */
+    double generatedPerSecond() const;
+
+    /** p-th percentile (0..100) of step latency, in milliseconds. */
+    double stepLatencyMs(double p) const;
+};
+
+/**
+ * The serving engine.  The model and the config's actScheme must
+ * outlive the engine.
+ */
+class ServeEngine
+{
+  public:
+    ServeEngine(const eval::LmModel &model, ServeConfig config);
+
+    /** Enqueue a request; returns its id. @pre prompt non-empty. */
+    u64 submit(std::vector<int> prompt, size_t max_new_tokens);
+
+    /**
+     * Run one continuous-batching step (admit, budget, decode, evict).
+     * Returns false — doing nothing — when no work is queued or active.
+     */
+    bool step();
+
+    /**
+     * Step until every submitted request has finished; returns the
+     * number of steps taken.  @p max_steps 0 means no limit (progress
+     * is guaranteed: every step with active work processes >= 1 token).
+     */
+    size_t runToCompletion(size_t max_steps = 0);
+
+    size_t pendingCount() const { return pending_.size(); }
+    size_t activeCount() const { return active_.size(); }
+
+    /** Retired requests, in finish order. */
+    const std::vector<FinishedRequest> &finished() const { return finished_; }
+
+    const ServeMetrics &metrics() const { return metrics_; }
+    const ServeConfig &config() const { return cfg_; }
+    const KvScheme &kvScheme() const { return *scheme_; }
+
+  private:
+    struct ActiveRequest
+    {
+        Request req;
+        u64 submitStep = 0;
+        u64 admitStep = 0;
+        u64 firstTokenStep = 0;
+        DecodeState state;
+        std::vector<int> generated;
+        bool done = false;
+    };
+
+    /** FIFO admission into the active batch. */
+    void admit();
+
+    /** Run up to @p ntok tokens of one request; returns tokens done. */
+    size_t runRequest(ActiveRequest &a, size_t ntok, u64 step_no) const;
+
+    const eval::LmModel *model_;
+    ServeConfig cfg_;
+    std::unique_ptr<KvScheme> scheme_;
+    std::deque<ActiveRequest> pending_; //!< Submitted, not yet admitted.
+    std::vector<ActiveRequest> active_;
+    std::vector<FinishedRequest> finished_;
+    ServeMetrics metrics_;
+    u64 nextId_ = 1;
+};
+
+} // namespace serve
+} // namespace olive
+
+#endif // OLIVE_SERVE_ENGINE_HPP

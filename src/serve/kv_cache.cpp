@@ -1,0 +1,276 @@
+#include "kv_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "baselines/uniform.hpp"
+#include "nn/transformer.hpp"
+#include "quant/ovp.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace olive {
+namespace serve {
+
+namespace {
+
+OliveConfig
+withBits(OliveConfig config, int bits)
+{
+    config.bits = bits;
+    return config;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ fp32
+
+void
+Fp32KvScheme::encodeRow(std::span<const float> row, std::vector<u8> &bytes,
+                        KvRowMeta &meta) const
+{
+    meta = KvRowMeta{};
+    const size_t off = bytes.size();
+    bytes.resize(off + row.size() * sizeof(float));
+    std::memcpy(bytes.data() + off, row.data(), row.size() * sizeof(float));
+}
+
+void
+Fp32KvScheme::decodeRow(std::span<const u8> bytes, const KvRowMeta &,
+                        std::span<float> out) const
+{
+    OLIVE_ASSERT(bytes.size() == out.size() * sizeof(float),
+                 "fp32 kv row payload size mismatch");
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+}
+
+// ------------------------------------------------------------- ovp
+
+OvpKvScheme::OvpKvScheme(int bits, OliveConfig config)
+    : quantizer_(withBits(config, bits))
+{
+    OLIVE_ASSERT(bits == 4 || bits == 8, "OVP KV cache supports 4/8 bits");
+}
+
+std::string
+OvpKvScheme::name() const
+{
+    return "kv-olive" + std::to_string(quantizer_.config().bits);
+}
+
+size_t
+OvpKvScheme::rowBytes(size_t d) const
+{
+    const NormalType t = quantizer_.config().bits == 8 ? NormalType::Int8
+                                                       : NormalType::Int4;
+    return ((d + 1) / 2) * OvpCodec::bytesPerPair(t);
+}
+
+void
+OvpKvScheme::encodeRow(std::span<const float> row, std::vector<u8> &bytes,
+                       KvRowMeta &meta) const
+{
+    OLIVE_ASSERT(!row.empty(), "cannot encode an empty KV row");
+    if (stats::absMax(row) == 0.0) {
+        // Nothing to calibrate on; an all-zero row decodes to zeros.
+        meta = KvRowMeta{};
+        bytes.resize(bytes.size() + rowBytes(row.size()), 0);
+        return;
+    }
+    const QuantDecision d = quantizer_.calibrate(row);
+    const OvpCodec codec = quantizer_.makeCodec(d);
+    const std::vector<u8> enc = codec.encode(row);
+    OLIVE_ASSERT(enc.size() == rowBytes(row.size()),
+                 "OVP row payload size drifted from rowBytes()");
+    meta.scale = d.scale;
+    meta.threshold = d.threshold;
+    meta.normal = d.normal;
+    bytes.insert(bytes.end(), enc.begin(), enc.end());
+}
+
+void
+OvpKvScheme::decodeRow(std::span<const u8> bytes, const KvRowMeta &meta,
+                       std::span<float> out) const
+{
+    if (meta.scale == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    const OvpCodec codec(meta.normal, meta.scale, meta.threshold);
+    const std::vector<float> vals = codec.decode(bytes, out.size());
+    std::copy(vals.begin(), vals.end(), out.begin());
+}
+
+// ------------------------------------------------------------ int8
+
+void
+Int8KvScheme::encodeRow(std::span<const float> row, std::vector<u8> &bytes,
+                        KvRowMeta &meta) const
+{
+    OLIVE_ASSERT(!row.empty(), "cannot encode an empty KV row");
+    meta = KvRowMeta{};
+    const size_t off = bytes.size();
+    bytes.resize(off + row.size());
+    if (stats::absMax(row) == 0.0)
+        return; // scale 0 sentinel, zero payload
+    const float scale = searchUniformScale(row, 127);
+    meta.scale = scale;
+    for (size_t i = 0; i < row.size(); ++i) {
+        // Exactly uniformFakeQuant's arithmetic, but storing the code.
+        double q = std::nearbyint(static_cast<double>(row[i]) / scale);
+        q = std::clamp(q, -127.0, 127.0);
+        bytes[off + i] = static_cast<u8>(static_cast<i8>(q));
+    }
+}
+
+void
+Int8KvScheme::decodeRow(std::span<const u8> bytes, const KvRowMeta &meta,
+                        std::span<float> out) const
+{
+    OLIVE_ASSERT(bytes.size() == out.size(),
+                 "int8 kv row payload size mismatch");
+    if (meta.scale == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    for (size_t i = 0; i < out.size(); ++i) {
+        const auto q = static_cast<i8>(bytes[i]);
+        out[i] = static_cast<float>(static_cast<double>(q) * meta.scale);
+    }
+}
+
+// --------------------------------------------------------- factory
+
+std::unique_ptr<KvScheme>
+makeKvScheme(KvCacheFormat format)
+{
+    switch (format) {
+    case KvCacheFormat::Fp32:
+        return std::make_unique<Fp32KvScheme>();
+    case KvCacheFormat::Olive4:
+        return std::make_unique<OvpKvScheme>(4);
+    case KvCacheFormat::Olive8:
+        return std::make_unique<OvpKvScheme>(8);
+    case KvCacheFormat::Int8:
+        return std::make_unique<Int8KvScheme>();
+    }
+    OLIVE_PANIC("unreachable kv cache format");
+}
+
+KvCacheFormat
+parseKvCacheFormat(const std::string &id)
+{
+    if (id == "fp32")
+        return KvCacheFormat::Fp32;
+    if (id == "olive4")
+        return KvCacheFormat::Olive4;
+    if (id == "olive8")
+        return KvCacheFormat::Olive8;
+    if (id == "int8")
+        return KvCacheFormat::Int8;
+    OLIVE_FATAL("unknown KV cache format \"" + id +
+                "\" (known: fp32, olive4, olive8, int8)");
+}
+
+std::vector<std::string>
+kvCacheFormatIds()
+{
+    return {"fp32", "olive4", "olive8", "int8"};
+}
+
+// --------------------------------------------------------- KvCache
+
+KvCache::KvCache(const KvScheme &scheme, size_t d)
+    : scheme_(&scheme), d_(d)
+{
+    OLIVE_ASSERT(d > 0, "KV cache row width must be positive");
+}
+
+void
+KvCache::append(std::span<const float> k, std::span<const float> v)
+{
+    OLIVE_ASSERT(k.size() == d_ && v.size() == d_,
+                 "KV row width must match the cache");
+    const size_t rb = scheme_->rowBytes(d_);
+    KvRowMeta km, vm;
+    scheme_->encodeRow(k, kBytes_, km);
+    scheme_->encodeRow(v, vBytes_, vm);
+    OLIVE_ASSERT(kBytes_.size() == (kMeta_.size() + 1) * rb &&
+                     vBytes_.size() == (vMeta_.size() + 1) * rb,
+                 "KV codec appended a payload of unexpected size");
+    kMeta_.push_back(km);
+    vMeta_.push_back(vm);
+}
+
+void
+KvCache::decodeAll(const std::vector<u8> &bytes,
+                   const std::vector<KvRowMeta> &meta, Tensor &out) const
+{
+    OLIVE_ASSERT(out.rank() == 2 && out.dim(0) == meta.size() &&
+                     out.dim(1) == d_,
+                 "decode target must be (length, d)");
+    const size_t rb = scheme_->rowBytes(d_);
+    // Rows are independent and each is a pure function of its payload
+    // bytes, so the decode parallelizes deterministically (and runs
+    // inline when the engine is already parallel across requests).
+    par::parallelFor(0, meta.size(), 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            scheme_->decodeRow(
+                std::span<const u8>(bytes.data() + i * rb, rb), meta[i],
+                out.row(i));
+        }
+    });
+}
+
+void
+KvCache::decodeK(Tensor &out) const
+{
+    decodeAll(kBytes_, kMeta_, out);
+}
+
+void
+KvCache::decodeV(Tensor &out) const
+{
+    decodeAll(vBytes_, vMeta_, out);
+}
+
+size_t
+KvCache::encodedBytes() const
+{
+    return kBytes_.size() + vBytes_.size() +
+           (kMeta_.size() + vMeta_.size()) * scheme_->metaBytesPerRow();
+}
+
+// ----------------------------------------------------- DecodeState
+
+size_t
+DecodeState::encodedBytes() const
+{
+    size_t n = 0;
+    for (const KvCache &c : layers)
+        n += c.encodedBytes();
+    return n;
+}
+
+size_t
+DecodeState::fp32Bytes() const
+{
+    size_t n = 0;
+    for (const KvCache &c : layers)
+        n += c.fp32Bytes();
+    return n;
+}
+
+DecodeState
+makeDecodeState(const nn::Transformer &model, const KvScheme &scheme)
+{
+    DecodeState state;
+    state.layers.reserve(model.layers.size());
+    for (size_t i = 0; i < model.layers.size(); ++i)
+        state.layers.emplace_back(scheme, model.dModel);
+    return state;
+}
+
+} // namespace serve
+} // namespace olive

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Quantized KV cache for incremental (autoregressive) decode.
+ *
+ * In real LLM serving the KV cache is the dominant memory consumer —
+ * it grows with every generated token of every in-flight request while
+ * the weights stay fixed — which makes it the natural target for the
+ * paper's hardware-friendly OVP format.  A KvCache stores the K and V
+ * rows of one transformer layer for one request through a pluggable
+ * per-row codec (KvScheme): rows are encoded to a packed byte stream
+ * with per-row codec parameters (scale / threshold / normal type) when
+ * appended, and decoded on the fly each step into the attention
+ * kernel's scratch buffers.  Persistent storage is the compressed
+ * stream; only the transient working set is FP32.
+ *
+ * Formats: FP32 passthrough (bit-exact — the decode-parity contract of
+ * nn::Transformer::forwardStep is stated against it), OVP at 4 or 8
+ * bits (per-row OliveQuantizer calibration, the paper's method), and a
+ * symmetric per-row int8 baseline (the standard "KV cache in int8"
+ * deployment, no outlier mechanism).
+ */
+
+#ifndef OLIVE_SERVE_KV_CACHE_HPP
+#define OLIVE_SERVE_KV_CACHE_HPP
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quant/dtype.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/common.hpp"
+
+namespace olive {
+namespace nn {
+struct Transformer;
+} // namespace nn
+
+namespace serve {
+
+/**
+ * Per-row codec parameters, stored alongside the packed payload.  The
+ * fields a format actually uses are counted against its cache footprint
+ * by KvScheme::metaBytesPerRow(); unused fields stay at their defaults.
+ * scale == 0 marks an all-zero row (nothing to calibrate on), which
+ * decodes to zeros for every lossy format.
+ */
+struct KvRowMeta
+{
+    float scale = 0.0f;
+    double threshold = 0.0;
+    NormalType normal = NormalType::Int4;
+};
+
+/**
+ * Pluggable per-row KV codec.  encodeRow appends exactly
+ * rowBytes(row.size()) payload bytes, so row offsets in a KvCache are a
+ * pure function of the row index — no per-row index structure is
+ * needed, mirroring how OVP itself keeps DRAM accesses aligned.
+ */
+class KvScheme
+{
+  public:
+    virtual ~KvScheme() = default;
+
+    /** Display name, e.g. "kv-olive4". */
+    virtual std::string name() const = 0;
+
+    /** Encode one row: append payload to @p bytes, fill @p meta. */
+    virtual void encodeRow(std::span<const float> row,
+                           std::vector<u8> &bytes, KvRowMeta &meta) const = 0;
+
+    /** Decode one row previously produced by encodeRow. */
+    virtual void decodeRow(std::span<const u8> bytes, const KvRowMeta &meta,
+                           std::span<float> out) const = 0;
+
+    /** Payload bytes per encoded row of @p d elements. */
+    virtual size_t rowBytes(size_t d) const = 0;
+
+    /** Bytes of KvRowMeta this format actually needs per row. */
+    virtual size_t metaBytesPerRow() const = 0;
+
+    /** True when decodeRow(encodeRow(x)) == x bitwise. */
+    virtual bool lossless() const { return false; }
+};
+
+/** FP32 passthrough: 4 bytes/element, bit-exact round trip. */
+class Fp32KvScheme : public KvScheme
+{
+  public:
+    std::string name() const override { return "kv-fp32"; }
+    void encodeRow(std::span<const float> row, std::vector<u8> &bytes,
+                   KvRowMeta &meta) const override;
+    void decodeRow(std::span<const u8> bytes, const KvRowMeta &meta,
+                   std::span<float> out) const override;
+    size_t rowBytes(size_t d) const override { return d * sizeof(float); }
+    size_t metaBytesPerRow() const override { return 0; }
+    bool lossless() const override { return true; }
+};
+
+/**
+ * OVP KV cache rows: each row is calibrated with the OliVe per-tensor
+ * quantizer (MSE threshold search, adaptive int4/flint4 type at 4 bits)
+ * and packed with OvpCodec — identical bytes to a DRAM-resident OliVe
+ * tensor.  Per-row calibration is the KV-cache analogue of per-tensor
+ * PTQ: a row is one token's K (or V) projection, and token outliers are
+ * exactly what OVP absorbs.
+ */
+class OvpKvScheme : public KvScheme
+{
+  public:
+    /** @param bits 4 or 8.  @param config overrides the search grid. */
+    explicit OvpKvScheme(int bits, OliveConfig config = {});
+
+    std::string name() const override;
+    void encodeRow(std::span<const float> row, std::vector<u8> &bytes,
+                   KvRowMeta &meta) const override;
+    void decodeRow(std::span<const u8> bytes, const KvRowMeta &meta,
+                   std::span<float> out) const override;
+    size_t rowBytes(size_t d) const override;
+    /**
+     * scale (4) + normal type tag (1).  The outlier threshold shapes
+     * only the encode-side pair classification; OVP decode is a pure
+     * (code, scale, type) lookup, so the threshold — kept in KvRowMeta
+     * for bookkeeping — never needs to persist with the cache
+     * (KvScheme.OvpDecodeIsThresholdIndependent asserts this).
+     */
+    size_t metaBytesPerRow() const override { return 5; }
+
+  private:
+    OliveQuantizer quantizer_;
+};
+
+/**
+ * Symmetric per-row int8 baseline: one MSE-searched scale per row,
+ * values round and saturate — the standard outlier-oblivious int8
+ * KV-cache deployment the OVP format is compared against.
+ */
+class Int8KvScheme : public KvScheme
+{
+  public:
+    std::string name() const override { return "kv-int8"; }
+    void encodeRow(std::span<const float> row, std::vector<u8> &bytes,
+                   KvRowMeta &meta) const override;
+    void decodeRow(std::span<const u8> bytes, const KvRowMeta &meta,
+                   std::span<float> out) const override;
+    size_t rowBytes(size_t d) const override { return d; }
+    /** scale (4). */
+    size_t metaBytesPerRow() const override { return 4; }
+};
+
+/** KV cache storage formats selectable by drivers and the engine. */
+enum class KvCacheFormat
+{
+    Fp32,
+    Olive4,
+    Olive8,
+    Int8,
+};
+
+/** Factory for the format's codec. */
+std::unique_ptr<KvScheme> makeKvScheme(KvCacheFormat format);
+
+/** Parse a format id ("fp32", "olive4", "olive8", "int8"); fatal else. */
+KvCacheFormat parseKvCacheFormat(const std::string &id);
+
+/** All format ids (for driver --help strings and benches). */
+std::vector<std::string> kvCacheFormatIds();
+
+/**
+ * One transformer layer's K and V rows for one request, stored through
+ * a KvScheme.  append() encodes one token's K and V projection rows;
+ * decodeK/decodeV materialize the whole cache into (length, d) scratch
+ * tensors for the attention kernel.
+ */
+class KvCache
+{
+  public:
+    /** @param scheme must outlive the cache. */
+    KvCache(const KvScheme &scheme, size_t d);
+
+    /** Append one token's K and V rows (each of d elements). */
+    void append(std::span<const float> k, std::span<const float> v);
+
+    /** Tokens cached so far. */
+    size_t length() const { return kMeta_.size(); }
+
+    /** Row width (the model d_model). */
+    size_t dModel() const { return d_; }
+
+    const KvScheme &scheme() const { return *scheme_; }
+
+    /** Decode all K rows into @p out, shaped (length, d) by the caller. */
+    void decodeK(Tensor &out) const;
+
+    /** Decode all V rows into @p out, shaped (length, d) by the caller. */
+    void decodeV(Tensor &out) const;
+
+    /** Persistent footprint: packed payload + per-row codec params. */
+    size_t encodedBytes() const;
+
+    /** What the same cache would occupy uncompressed. */
+    size_t fp32Bytes() const { return 2 * length() * d_ * sizeof(float); }
+
+  private:
+    void decodeAll(const std::vector<u8> &bytes,
+                   const std::vector<KvRowMeta> &meta, Tensor &out) const;
+
+    const KvScheme *scheme_;
+    size_t d_;
+    std::vector<u8> kBytes_, vBytes_;
+    std::vector<KvRowMeta> kMeta_, vMeta_;
+};
+
+/**
+ * Per-request incremental decode state: one KvCache per transformer
+ * layer plus the next position to fill.  Built by makeDecodeState and
+ * advanced by nn::Transformer::forwardStep.
+ */
+struct DecodeState
+{
+    std::vector<KvCache> layers;
+    size_t position = 0; //!< Tokens processed so far.
+
+    /** Persistent cache footprint across all layers. */
+    size_t encodedBytes() const;
+
+    /** FP32-equivalent footprint across all layers. */
+    size_t fp32Bytes() const;
+};
+
+/** Fresh decode state for @p model; @p scheme must outlive it. */
+DecodeState makeDecodeState(const nn::Transformer &model,
+                            const KvScheme &scheme);
+
+} // namespace serve
+} // namespace olive
+
+#endif // OLIVE_SERVE_KV_CACHE_HPP

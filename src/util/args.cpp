@@ -18,25 +18,37 @@ Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
             positional_.push_back(arg);
             continue;
         }
-        arg = arg.substr(2);
+        // erase() instead of self-assigning substr(): the latter trips
+        // GCC 12's -Wrestrict false positive when inlined into drivers.
+        arg.erase(0, 2);
         std::string name, value;
         bool bare = false;
         const auto eq = arg.find('=');
         if (eq != std::string::npos) {
-            name = arg.substr(0, eq);
-            value = arg.substr(eq + 1);
+            name.assign(arg, 0, eq);
+            value.assign(arg, eq + 1, std::string::npos);
         } else {
-            name = arg;
+            name = std::move(arg);
             if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
                 value = argv[++i];
             } else {
-                value = "1"; // bare boolean flag
+                value.push_back('1'); // bare boolean flag
                 bare = true;
             }
         }
         auto it = values_.find(name);
-        if (it == values_.end())
-            OLIVE_FATAL("unknown flag --" + name);
+        if (it == values_.end()) {
+            // Report the full flag set so a typo is a one-round fix
+            // (std::map keeps the list sorted).
+            std::string known_flags;
+            for (const auto &kv : values_) {
+                if (!known_flags.empty())
+                    known_flags += ", ";
+                known_flags += "--" + kv.first;
+            }
+            OLIVE_FATAL("unknown flag --" + name +
+                        " (known flags: " + known_flags + ")");
+        }
         // The implicit --threads is numeric-only: the bare-boolean "1"
         // (or an empty "--threads=") would silently pin the pool serial
         // where the user almost certainly forgot the count.

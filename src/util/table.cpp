@@ -75,10 +75,18 @@ Table::sci(double v)
 {
     if (v == 0.0)
         return "0";
-    const double e = std::floor(std::log10(std::fabs(v)));
-    const double mant = v / std::pow(10.0, e);
+    double e = std::floor(std::log10(std::fabs(v)));
+    double mant = v / std::pow(10.0, e);
+    // %.0f rounds, so a mantissa in [9.5, 10) would render as the
+    // malformed "10E-4"; renormalize it to "1E-3".
+    if (std::fabs(mant) >= 9.5) {
+        mant /= 10.0;
+        e += 1.0;
+    }
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.0fE+%d", mant, static_cast<int>(e));
+    // %+d keeps the historical "1E+4" form while fixing the negative
+    // exponent case (previously rendered as "7E+-3").
+    std::snprintf(buf, sizeof(buf), "%.0fE%+d", mant, static_cast<int>(e));
     return buf;
 }
 

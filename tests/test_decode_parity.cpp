@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Decode-vs-full-forward parity: nn::Transformer::forwardStep over an
+ * FP32 KV cache must reproduce Transformer::forward bit-exactly on
+ * every prefix — the contract the serving engine is built on.  The
+ * sweep is exhaustive over small causal architectures (layer counts,
+ * head counts, widths, sequence lengths spanning the attention kernel's
+ * 4-wide tile boundaries), with and without activation quantization
+ * schemes (which quantize per token in both paths:
+ * forward(..., ActQuant::PerToken)).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/uniform.hpp"
+#include "models/config.hpp"
+#include "models/synthetic.hpp"
+#include "nn/transformer.hpp"
+#include "quant/scheme.hpp"
+#include "serve/kv_cache.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace {
+
+bool
+bitIdentical(std::span<const float> a, std::span<const float> b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+nn::Transformer
+causalBackbone(size_t layers, size_t d_model, size_t heads, size_t d_ff,
+               u64 seed)
+{
+    auto config = models::bertBase();
+    config.evalLayers = layers;
+    config.evalDModel = d_model;
+    config.evalHeads = heads;
+    config.evalDFf = d_ff;
+    nn::Transformer m = models::makeBackbone(config, seed);
+    m.causal = true;
+    return m;
+}
+
+Tensor
+randomInput(size_t seq, size_t d, u64 seed)
+{
+    Tensor x({seq, d});
+    Rng rng(seed);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian());
+    return x;
+}
+
+/**
+ * Assert that stepping through an FP32 cache reproduces the full
+ * forward bit-exactly at every prefix length.
+ */
+void
+expectParity(const nn::Transformer &model, const Tensor &x,
+             Scheme *act_scheme)
+{
+    const Tensor full =
+        model.forward(x, act_scheme, nn::ActQuant::PerToken);
+
+    const serve::Fp32KvScheme fp32;
+    serve::DecodeState state = serve::makeDecodeState(model, fp32);
+    Tensor x_t({1, x.dim(1)});
+    for (size_t t = 0; t < x.dim(0); ++t) {
+        auto src = x.row(t);
+        std::copy(src.begin(), src.end(), x_t.row(0).begin());
+        const Tensor h = model.forwardStep(x_t, state, act_scheme);
+        // Causality makes row t of the full forward the ground truth
+        // for step t, for every prefix.
+        ASSERT_TRUE(bitIdentical(h.row(0), full.row(t)))
+            << "prefix " << t + 1 << " of " << x.dim(0);
+    }
+    EXPECT_EQ(state.position, x.dim(0));
+}
+
+TEST(DecodeParity, ExhaustiveArchitectureSweep)
+{
+    // (layers, d_model, heads, d_ff) spanning single/multi layer,
+    // single/multi head, and head widths that hit the 4-wide context
+    // tile (dh = 4, 8) and its scalar remainder (dh = 3, 6).
+    const struct
+    {
+        size_t layers, d, heads, ff;
+    } archs[] = {
+        {1, 8, 1, 16}, {1, 8, 2, 16},  {2, 12, 4, 24},
+        {2, 16, 2, 32}, {3, 12, 2, 20}, {1, 6, 2, 12},
+    };
+    // Sequence lengths around the 4-wide score tile boundary.
+    const size_t seqs[] = {1, 2, 3, 4, 5, 7, 9};
+    u64 seed = 100;
+    for (const auto &a : archs) {
+        const nn::Transformer m =
+            causalBackbone(a.layers, a.d, a.heads, a.ff, ++seed);
+        for (size_t seq : seqs) {
+            SCOPED_TRACE(testing::Message()
+                         << "layers=" << a.layers << " d=" << a.d
+                         << " heads=" << a.heads << " seq=" << seq);
+            expectParity(m, randomInput(seq, a.d, seed * 31 + seq),
+                         nullptr);
+        }
+    }
+}
+
+TEST(DecodeParity, WithOliveActivationScheme)
+{
+    OliveScheme olive4(4);
+    const nn::Transformer m = causalBackbone(2, 12, 2, 24, 7);
+    for (size_t seq : {1u, 3u, 5u, 8u}) {
+        SCOPED_TRACE(seq);
+        expectParity(m, randomInput(seq, 12, 900 + seq), &olive4);
+    }
+}
+
+TEST(DecodeParity, WithInt8ActivationScheme)
+{
+    UniformIntScheme int8(8);
+    const nn::Transformer m = causalBackbone(2, 16, 4, 32, 8);
+    for (size_t seq : {2u, 4u, 6u}) {
+        SCOPED_TRACE(seq);
+        expectParity(m, randomInput(seq, 16, 1700 + seq), &int8);
+    }
+}
+
+TEST(DecodeParity, RealisticBackboneWithOutlierInput)
+{
+    // The synthetic eval backbone at its real eval dims, with the
+    // model's own outlier-bearing input distribution.
+    auto config = models::byName("GPT2-XL");
+    nn::Transformer m = models::makeBackbone(config, 21);
+    m.causal = true;
+    Rng rng(22);
+    const Tensor x = models::makeInputSequence(config, 10, rng);
+    expectParity(m, x, nullptr);
+}
+
+TEST(DecodeParity, PerTokenGranularityMatchesPerTensorOnSingleRows)
+{
+    // For a one-token sequence the two activation granularities are
+    // the same computation by construction.
+    OliveScheme olive4(4);
+    const nn::Transformer m = causalBackbone(1, 8, 2, 16, 40);
+    const Tensor x = randomInput(1, 8, 41);
+    const Tensor a = m.forward(x, &olive4, nn::ActQuant::PerTensor);
+    const Tensor b = m.forward(x, &olive4, nn::ActQuant::PerToken);
+    EXPECT_TRUE(bitIdentical(a.data(), b.data()));
+}
+
+TEST(DecodeParity, StepOutputsAreIndependentOfLaterTokens)
+{
+    // Stepping a longer sequence never revises earlier outputs: the
+    // cache-append-only design is prefix-stable like the causal mask.
+    const nn::Transformer m = causalBackbone(2, 12, 4, 24, 50);
+    const Tensor x = randomInput(6, 12, 51);
+
+    const serve::Fp32KvScheme fp32;
+    serve::DecodeState s1 = serve::makeDecodeState(m, fp32);
+    serve::DecodeState s2 = serve::makeDecodeState(m, fp32);
+    Tensor x_t({1, 12});
+    std::vector<Tensor> outs;
+    for (size_t t = 0; t < 6; ++t) {
+        auto src = x.row(t);
+        std::copy(src.begin(), src.end(), x_t.row(0).begin());
+        outs.push_back(m.forwardStep(x_t, s1, nullptr));
+    }
+    for (size_t t = 0; t < 3; ++t) {
+        auto src = x.row(t);
+        std::copy(src.begin(), src.end(), x_t.row(0).begin());
+        const Tensor h = m.forwardStep(x_t, s2, nullptr);
+        EXPECT_TRUE(bitIdentical(h.row(0), outs[t].row(0))) << t;
+    }
+}
+
+} // namespace
+} // namespace olive

@@ -9,7 +9,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
+#include "models/config.hpp"
+#include "models/synthetic.hpp"
+#include "nn/transformer.hpp"
 #include "quant/framework.hpp"
 #include "quant/stream.hpp"
 #include "util/random.hpp"
@@ -232,6 +236,52 @@ TEST(Stream, RoundTripThroughFile)
     EXPECT_EQ(loaded.bytes, stream.bytes);
     const auto vals = loaded.decode();
     EXPECT_GT(stats::sqnrDb(xs, vals), 25.0);
+}
+
+TEST(Stream, QuantizedTransformerRoundTripsBitwise)
+{
+    // Success-side coverage of the deserialize/loadStream validation:
+    // every weight matrix of a transformer, quantized with the standard
+    // OliVe flow, must survive pack -> serialize -> parse and
+    // save -> load with a bitwise-identical decode.  This is the
+    // checkpoint format a serving deployment would ship.
+    auto config = models::bertBase();
+    config.evalLayers = 2;
+    config.evalDModel = 16;
+    config.evalHeads = 2;
+    config.evalDFf = 32;
+    const nn::Transformer model = models::makeBackbone(config, 33);
+
+    const OliveQuantizer q;
+    const std::string path = "/tmp/olive_test_model_tensor.ovp";
+    size_t tensors = 0;
+    for (const Tensor *w : model.weightMatrices()) {
+        const OvpCodec codec = q.makeCodec(q.calibrate(w->data()));
+        const OvpStream stream = packStream(codec, w->data());
+        const std::vector<float> direct = codec.fakeQuant(w->data());
+
+        // In-memory blob round trip.
+        const OvpStream parsed = deserialize(serialize(stream));
+        const std::vector<float> from_blob = parsed.decode();
+        ASSERT_EQ(from_blob.size(), direct.size());
+        EXPECT_EQ(std::memcmp(from_blob.data(), direct.data(),
+                              direct.size() * sizeof(float)),
+                  0)
+            << "blob decode diverged on tensor " << tensors;
+
+        // File round trip.
+        saveStream(stream, path);
+        const OvpStream loaded = loadStream(path);
+        EXPECT_EQ(loaded.bytes, stream.bytes);
+        const std::vector<float> from_file = loaded.decode();
+        EXPECT_EQ(std::memcmp(from_file.data(), direct.data(),
+                              direct.size() * sizeof(float)),
+                  0)
+            << "file decode diverged on tensor " << tensors;
+        ++tensors;
+    }
+    std::remove(path.c_str());
+    EXPECT_EQ(tensors, 2u * 6u); // 6 weight matrices per layer
 }
 
 TEST(Stream, RejectsBadMagic)

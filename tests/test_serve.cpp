@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Tests of the serving subsystem: KV-cache codecs (round trips, byte
+ * accounting, compression), the continuous-batching engine (greedy
+ * generation against a full-forward reference, scheduling invariance,
+ * budget bookkeeping), the cache-quantization eval hook, and the
+ * ServeDeterminism.* suite the ctest "serve" legs pin at
+ * OLIVE_THREADS=1 and =8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "baselines/uniform.hpp"
+#include "eval/perplexity.hpp"
+#include "models/config.hpp"
+#include "models/synthetic.hpp"
+#include "serve/cache_eval.hpp"
+#include "serve/engine.hpp"
+#include "serve/kv_cache.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace {
+
+bool
+bitIdentical(std::span<const float> a, std::span<const float> b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+std::vector<float>
+outlierRow(size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<float> xs(n);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.heavyTail(0.01, 3.5, 60.0));
+    return xs;
+}
+
+/** Restores the ambient pool size when a test returns. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { par::setThreadCount(0); }
+};
+
+eval::LmModel
+tinyLm(u64 seed = 1234)
+{
+    auto config = models::bertBase();
+    config.evalLayers = 2;
+    config.evalDModel = 24;
+    config.evalHeads = 4;
+    config.evalDFf = 48;
+    config.evalVocab = 64;
+    eval::LmModel lm;
+    lm.vocab = config.evalVocab;
+    lm.backbone = models::makeBackbone(config, seed);
+    lm.backbone.causal = true;
+    lm.embedding = Tensor({lm.vocab, config.evalDModel});
+    Rng rng(seed ^ 0xabcdULL);
+    for (auto &v : lm.embedding.data())
+        v = static_cast<float>(rng.gaussian());
+    return lm;
+}
+
+std::vector<std::vector<int>>
+randomPrompts(size_t n, size_t max_len, size_t vocab, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<int>> prompts(n);
+    for (auto &p : prompts) {
+        p.resize(1 + rng.uniformInt(max_len));
+        for (auto &t : p)
+            t = static_cast<int>(rng.uniformInt(vocab));
+    }
+    return prompts;
+}
+
+/** Concatenated (id, generated...) streams, the determinism fingerprint. */
+std::vector<int>
+serveWorkload(const eval::LmModel &lm, serve::ServeConfig cfg,
+              const std::vector<std::vector<int>> &prompts, size_t max_new,
+              serve::ServeMetrics *metrics_out = nullptr)
+{
+    serve::ServeEngine engine(lm, cfg);
+    for (const auto &p : prompts)
+        engine.submit(p, max_new);
+    engine.runToCompletion(100000);
+    std::vector<int> out;
+    for (const serve::FinishedRequest &f : engine.finished()) {
+        out.push_back(static_cast<int>(f.id));
+        out.insert(out.end(), f.generated.begin(), f.generated.end());
+    }
+    if (metrics_out)
+        *metrics_out = engine.metrics();
+    return out;
+}
+
+// -------------------------------------------------------- kv codecs
+
+TEST(KvScheme, Fp32RoundTripIsBitExact)
+{
+    const serve::Fp32KvScheme s;
+    EXPECT_TRUE(s.lossless());
+    const auto row = outlierRow(96, 1);
+    std::vector<u8> bytes;
+    serve::KvRowMeta meta;
+    s.encodeRow(row, bytes, meta);
+    EXPECT_EQ(bytes.size(), s.rowBytes(row.size()));
+    std::vector<float> back(row.size());
+    s.decodeRow(bytes, meta, back);
+    EXPECT_TRUE(bitIdentical(row, back));
+}
+
+TEST(KvScheme, OvpRowMatchesCodecFakeQuant)
+{
+    // The cache's encode/decode must be exactly the OliVe PTQ round
+    // trip for the row: per-row calibration + OvpCodec packing.
+    for (int bits : {4, 8}) {
+        const serve::OvpKvScheme s(bits);
+        const OliveQuantizer quantizer(OliveConfig{.bits = bits});
+        for (u64 seed : {2u, 3u, 4u}) {
+            const auto row = outlierRow(96, seed);
+            std::vector<u8> bytes;
+            serve::KvRowMeta meta;
+            s.encodeRow(row, bytes, meta);
+            ASSERT_EQ(bytes.size(), s.rowBytes(row.size()));
+            std::vector<float> back(row.size());
+            s.decodeRow(bytes, meta, back);
+            const auto ref = quantizer.fakeQuant(row);
+            EXPECT_TRUE(bitIdentical(ref, back)) << bits << ":" << seed;
+        }
+    }
+}
+
+TEST(KvScheme, OvpAllZeroRowDecodesToZeros)
+{
+    const serve::OvpKvScheme s(4);
+    const std::vector<float> row(32, 0.0f);
+    std::vector<u8> bytes;
+    serve::KvRowMeta meta;
+    s.encodeRow(row, bytes, meta);
+    EXPECT_EQ(meta.scale, 0.0f);
+    std::vector<float> back(row.size(), 1.0f);
+    s.decodeRow(bytes, meta, back);
+    for (float v : back)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(KvScheme, OvpDecodeIsThresholdIndependent)
+{
+    // The accounting claim behind metaBytesPerRow() == 5: the decoder
+    // needs only (scale, normal type) — the threshold shapes pair
+    // classification at encode time and can be discarded afterwards.
+    const serve::OvpKvScheme s(4);
+    const auto row = outlierRow(96, 21);
+    std::vector<u8> bytes;
+    serve::KvRowMeta meta;
+    s.encodeRow(row, bytes, meta);
+    std::vector<float> back(row.size()), back2(row.size());
+    s.decodeRow(bytes, meta, back);
+    serve::KvRowMeta forged = meta;
+    forged.threshold = meta.threshold * 1000.0 + 1.0;
+    s.decodeRow(bytes, forged, back2);
+    EXPECT_TRUE(bitIdentical(back, back2));
+}
+
+TEST(KvScheme, Int8RowMatchesUniformFakeQuant)
+{
+    const serve::Int8KvScheme s;
+    const auto row = outlierRow(96, 5);
+    std::vector<u8> bytes;
+    serve::KvRowMeta meta;
+    s.encodeRow(row, bytes, meta);
+    ASSERT_EQ(bytes.size(), row.size());
+    std::vector<float> back(row.size());
+    s.decodeRow(bytes, meta, back);
+    const float scale = searchUniformScale(row, 127);
+    EXPECT_EQ(meta.scale, scale);
+    const auto ref = uniformFakeQuant(row, scale, 127);
+    // Integer codes cannot carry the sign of zero, so a -0.0f in the
+    // fake-quant reference decodes as +0.0f; values are otherwise
+    // reproduced bit for bit.
+    ASSERT_EQ(ref.size(), back.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(ref[i], back[i]) << i; // arithmetic: -0 == +0
+        if (ref[i] != 0.0f) {
+            EXPECT_TRUE(bitIdentical({&ref[i], 1}, {&back[i], 1})) << i;
+        }
+    }
+}
+
+TEST(KvCache, ByteAccountingAndCompression)
+{
+    const size_t d = 96, rows = 16;
+    const serve::Fp32KvScheme fp32;
+    const serve::OvpKvScheme olive4(4);
+    serve::KvCache cache_fp32(fp32, d);
+    serve::KvCache cache_ovp(olive4, d);
+    for (size_t i = 0; i < rows; ++i) {
+        const auto k = outlierRow(d, 100 + i);
+        const auto v = outlierRow(d, 200 + i);
+        cache_fp32.append(k, v);
+        cache_ovp.append(k, v);
+    }
+    EXPECT_EQ(cache_fp32.length(), rows);
+    EXPECT_EQ(cache_fp32.fp32Bytes(), 2 * rows * d * sizeof(float));
+    EXPECT_EQ(cache_fp32.encodedBytes(), cache_fp32.fp32Bytes());
+    EXPECT_EQ(cache_ovp.encodedBytes(),
+              2 * rows * (olive4.rowBytes(d) + olive4.metaBytesPerRow()));
+    // The acceptance bar: OVP-4 cache <= 0.25x of fp32 bytes.
+    EXPECT_LE(static_cast<double>(cache_ovp.encodedBytes()),
+              0.25 * static_cast<double>(cache_ovp.fp32Bytes()));
+
+    // Decoded shapes and fp32 exactness.
+    Tensor k_dec({rows, d}), v_dec({rows, d});
+    cache_fp32.decodeK(k_dec);
+    cache_fp32.decodeV(v_dec);
+    const auto k0 = outlierRow(d, 100);
+    EXPECT_TRUE(bitIdentical(k_dec.row(0), k0));
+}
+
+TEST(KvCache, FormatFactoryAndParse)
+{
+    for (const std::string &id : serve::kvCacheFormatIds()) {
+        const auto scheme =
+            serve::makeKvScheme(serve::parseKvCacheFormat(id));
+        EXPECT_FALSE(scheme->name().empty());
+    }
+    EXPECT_EQ(serve::makeKvScheme(serve::KvCacheFormat::Olive4)->name(),
+              "kv-olive4");
+}
+
+// ----------------------------------------------------------- engine
+
+TEST(ServeEngine, GreedyMatchesFullForwardReference)
+{
+    // With the FP32 cache, the engine's incremental greedy decode must
+    // reproduce the naive full-recompute reference token for token.
+    const eval::LmModel lm = tinyLm();
+    std::vector<int> prompt = {5, 17, 3, 40, 22};
+    const size_t max_new = 6;
+
+    std::vector<int> ref_seq = prompt;
+    std::vector<int> ref_generated;
+    for (size_t i = 0; i < max_new; ++i) {
+        const Tensor lg = lm.logits(ref_seq);
+        const int tok = ops::argmaxRow(lg.row(lg.dim(0) - 1));
+        ref_generated.push_back(tok);
+        ref_seq.push_back(tok);
+    }
+
+    serve::ServeConfig cfg;
+    cfg.cacheFormat = serve::KvCacheFormat::Fp32;
+    serve::ServeEngine engine(lm, cfg);
+    engine.submit(prompt, max_new);
+    engine.runToCompletion(1000);
+    ASSERT_EQ(engine.finished().size(), 1u);
+    EXPECT_EQ(engine.finished()[0].generated, ref_generated);
+}
+
+TEST(ServeEngine, OutputsInvariantToSchedulingConfig)
+{
+    // Token outputs depend only on the model and the request — not on
+    // batch width or the per-step token budget.
+    const eval::LmModel lm = tinyLm(77);
+    const auto prompts = randomPrompts(5, 9, lm.vocab, 8);
+    const size_t max_new = 5;
+
+    serve::ServeConfig wide;
+    wide.maxBatchTokens = 64;
+    wide.maxActiveRequests = 8;
+    serve::ServeConfig narrow;
+    narrow.maxBatchTokens = 2;
+    narrow.maxActiveRequests = 2;
+    serve::ServeConfig mid;
+    mid.maxBatchTokens = 3;
+    mid.maxActiveRequests = 3;
+
+    // Finish ORDER legitimately depends on scheduling (a narrow batch
+    // finishes early arrivals sooner), so compare per-request streams.
+    const auto by_id = [&](serve::ServeConfig cfg) {
+        serve::ServeEngine engine(lm, cfg);
+        for (const auto &p : prompts)
+            engine.submit(p, max_new);
+        engine.runToCompletion(100000);
+        std::map<u64, std::vector<int>> out;
+        for (const serve::FinishedRequest &f : engine.finished())
+            out[f.id] = f.generated;
+        return out;
+    };
+    const auto a = by_id(wide);
+    EXPECT_EQ(a, by_id(narrow));
+    EXPECT_EQ(a, by_id(mid));
+}
+
+TEST(ServeEngine, ContinuousBatchingBookkeeping)
+{
+    const eval::LmModel lm = tinyLm(99);
+    const auto prompts = randomPrompts(6, 7, lm.vocab, 9);
+    const size_t max_new = 4;
+
+    serve::ServeConfig cfg;
+    cfg.maxBatchTokens = 4;
+    cfg.maxActiveRequests = 2; // forces queueing + admission waves
+    serve::ServeEngine engine(lm, cfg);
+    size_t total_prompt = 0;
+    for (const auto &p : prompts) {
+        engine.submit(p, max_new);
+        total_prompt += p.size();
+    }
+    EXPECT_EQ(engine.pendingCount(), prompts.size());
+    engine.runToCompletion(100000);
+    EXPECT_EQ(engine.pendingCount(), 0u);
+    EXPECT_EQ(engine.activeCount(), 0u);
+    ASSERT_EQ(engine.finished().size(), prompts.size());
+
+    const serve::ServeMetrics &m = engine.metrics();
+    EXPECT_EQ(m.tokensProcessed, total_prompt + prompts.size() * (max_new - 1));
+    EXPECT_EQ(m.tokensGenerated, prompts.size() * max_new);
+    EXPECT_EQ(m.stepSeconds.size(), m.steps);
+    EXPECT_GT(m.peakEncodedCacheBytes, 0u);
+
+    for (const serve::FinishedRequest &f : engine.finished()) {
+        EXPECT_EQ(f.generated.size(), max_new);
+        EXPECT_GE(f.firstTokenStep, f.admitStep);
+        EXPECT_GE(f.finishStep, f.firstTokenStep);
+        EXPECT_GT(f.cacheEncodedBytes, 0u);
+        EXPECT_EQ(f.cacheFp32Bytes,
+                  2 * (f.prompt.size() + max_new - 1) *
+                      lm.backbone.dModel * sizeof(float) *
+                      lm.backbone.layers.size());
+        EXPECT_LE(f.cacheEncodedBytes, m.peakEncodedCacheBytes);
+    }
+}
+
+TEST(ServeEngine, QuantizedCacheServesAndCompresses)
+{
+    const eval::LmModel lm = tinyLm(55);
+    const auto prompts = randomPrompts(3, 6, lm.vocab, 10);
+    serve::ServeConfig cfg;
+    cfg.cacheFormat = serve::KvCacheFormat::Olive4;
+    serve::ServeMetrics m;
+    const auto tokens = serveWorkload(lm, cfg, prompts, 4, &m);
+    EXPECT_FALSE(tokens.empty());
+    for (int t : tokens)
+        EXPECT_TRUE(t >= 0 && static_cast<size_t>(t) < lm.vocab);
+    EXPECT_LE(static_cast<double>(m.peakEncodedCacheBytes),
+              0.25 * static_cast<double>(m.peakFp32CacheBytes));
+}
+
+TEST(ServeEngine, PerTokenActivationSchemeSupported)
+{
+    const eval::LmModel lm = tinyLm(60);
+    OliveScheme olive8(8);
+    serve::ServeConfig cfg;
+    cfg.actScheme = &olive8;
+    const auto prompts = randomPrompts(2, 5, lm.vocab, 11);
+    const auto tokens = serveWorkload(lm, cfg, prompts, 3);
+    EXPECT_EQ(tokens.size(), 2u * (1 + 3));
+}
+
+// -------------------------------------------------------- eval hook
+
+TEST(CacheImpact, Fp32IsExactAndMatchesPerplexityEval)
+{
+    const eval::LmModel lm = tinyLm(70);
+    Rng rng(12);
+    const eval::TokenData text = eval::sampleText(lm, 2, 8, rng);
+    const serve::Fp32KvScheme fp32;
+    const serve::CacheImpact impact = serve::cacheImpact(lm, text, fp32);
+    EXPECT_EQ(impact.hiddenMse, 0.0);
+    EXPECT_EQ(impact.logitMse, 0.0);
+    EXPECT_DOUBLE_EQ(impact.perplexity, eval::perplexity(lm, text));
+    EXPECT_EQ(impact.encodedBytes, impact.fp32Bytes);
+}
+
+TEST(CacheImpact, QuantizedCacheTradesExactnessForBytes)
+{
+    const eval::LmModel lm = tinyLm(71);
+    Rng rng(13);
+    const eval::TokenData text = eval::sampleText(lm, 2, 8, rng);
+    const serve::OvpKvScheme olive4(4);
+    const serve::Int8KvScheme int8;
+    const auto i4 = serve::cacheImpact(lm, text, olive4);
+    const auto i8 = serve::cacheImpact(lm, text, int8);
+    for (const serve::CacheImpact *c : {&i4, &i8}) {
+        EXPECT_GT(c->hiddenMse, 0.0);
+        EXPECT_TRUE(std::isfinite(c->perplexity));
+        EXPECT_GE(c->perplexity, 1.0);
+        EXPECT_LT(c->compression(), 0.5);
+    }
+    EXPECT_LE(i4.compression(), 0.25);
+}
+
+// ----------------------------------------------------- determinism
+
+TEST(ServeDeterminism, TokenStreamsBitIdenticalAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    const eval::LmModel lm = tinyLm(80);
+    const auto prompts = randomPrompts(4, 8, lm.vocab, 14);
+    for (serve::KvCacheFormat fmt :
+         {serve::KvCacheFormat::Fp32, serve::KvCacheFormat::Olive4}) {
+        serve::ServeConfig cfg;
+        cfg.cacheFormat = fmt;
+        cfg.maxBatchTokens = 6;
+        cfg.maxActiveRequests = 3;
+
+        par::setThreadCount(1);
+        serve::ServeMetrics m1;
+        const auto serial = serveWorkload(lm, cfg, prompts, 5, &m1);
+        // 0 = the ambient OLIVE_THREADS default, so the ctest "serve"
+        // legs (OLIVE_THREADS=1 and =8) exercise both pool shapes.
+        for (size_t threads : {2u, 0u}) {
+            par::setThreadCount(threads);
+            serve::ServeMetrics m2;
+            EXPECT_EQ(serveWorkload(lm, cfg, prompts, 5, &m2), serial)
+                << threads;
+            EXPECT_EQ(m1.tokensProcessed, m2.tokensProcessed);
+            EXPECT_EQ(m1.peakEncodedCacheBytes, m2.peakEncodedCacheBytes);
+        }
+    }
+}
+
+TEST(ServeDeterminism, DecodeStepBitIdenticalAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    const eval::LmModel lm = tinyLm(81);
+    const serve::OvpKvScheme olive4(4);
+    Rng rng(15);
+    Tensor x({1, lm.backbone.dModel});
+
+    par::setThreadCount(1);
+    serve::DecodeState s1 = serve::makeDecodeState(lm.backbone, olive4);
+    std::vector<Tensor> ref;
+    std::vector<Tensor> inputs;
+    for (size_t t = 0; t < 6; ++t) {
+        for (auto &v : x.data())
+            v = static_cast<float>(rng.gaussian());
+        inputs.push_back(x.clone());
+        ref.push_back(lm.backbone.forwardStep(x, s1));
+    }
+    for (size_t threads : {2u, 0u}) {
+        par::setThreadCount(threads);
+        serve::DecodeState s2 = serve::makeDecodeState(lm.backbone, olive4);
+        for (size_t t = 0; t < 6; ++t) {
+            const Tensor h = lm.backbone.forwardStep(inputs[t], s2);
+            EXPECT_TRUE(bitIdentical(h.data(), ref[t].data()))
+                << threads << ":" << t;
+        }
+    }
+}
+
+} // namespace
+} // namespace olive

@@ -240,6 +240,9 @@ TEST(Table, NumberFormatting)
     EXPECT_EQ(Table::pct(12.3456, 1), "12.3%");
     EXPECT_EQ(Table::sci(12345.0), "1E+4");
     EXPECT_EQ(Table::sci(0.0), "0");
+    EXPECT_EQ(Table::sci(0.007), "7E-3");
+    EXPECT_EQ(Table::sci(9.6e-4), "1E-3"); // rounding renormalizes
+    EXPECT_EQ(Table::sci(-9.6e-4), "-1E-3");
 }
 
 // ----------------------------------------------------------------- args
@@ -262,6 +265,44 @@ TEST(Args, BareBooleanFlag)
     const char *argv[] = {"prog", "--verbose"};
     Args args(2, const_cast<char **>(argv), {{"verbose", "0"}});
     EXPECT_TRUE(args.getBool("verbose"));
+}
+
+TEST(Args, EqualsSyntax)
+{
+    // Both spellings of every flag: --name value and --name=value.
+    const char *argv[] = {"prog", "--model=GPT2-XL", "--bits", "8",
+                          "--out=report.json", "--ratio=0.25"};
+    Args args(6, const_cast<char **>(argv),
+              {{"model", ""}, {"bits", "4"}, {"out", ""}, {"ratio", "1"}});
+    EXPECT_EQ(args.get("model"), "GPT2-XL");
+    EXPECT_EQ(args.getInt("bits"), 8);
+    EXPECT_EQ(args.get("out"), "report.json");
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio"), 0.25);
+}
+
+TEST(Args, EqualsSyntaxKeepsDashesInValue)
+{
+    // An = value may itself contain '=' or start with '-'.
+    const char *argv[] = {"prog", "--expr=a=b", "--delta=-3"};
+    Args args(3, const_cast<char **>(argv), {{"expr", ""}, {"delta", "0"}});
+    EXPECT_EQ(args.get("expr"), "a=b");
+    EXPECT_EQ(args.getInt("delta"), -3);
+}
+
+TEST(ArgsDeathTest, UnknownFlagIsReportedWithKnownSet)
+{
+    // Unknown flags are a fatal user error, and the message names the
+    // accepted flags (plus the implicit --threads) for a one-round fix.
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_EXIT(
+        {
+            Args args(2, const_cast<char **>(argv),
+                      {{"model", ""}, {"bits", "4"}});
+            (void)args;
+        },
+        ::testing::ExitedWithCode(1),
+        "unknown flag --bogus.*known flags.*--bits.*--model.*--threads");
 }
 
 } // namespace
