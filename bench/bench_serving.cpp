@@ -9,13 +9,20 @@
  * token streams are asserted bit-identical before any number is
  * reported: the engine's determinism guarantee is part of what this
  * bench demonstrates (the ctest "serve" legs run it at OLIVE_THREADS=1
- * and =8).  The quality columns come from serve::cacheImpact on text
- * sampled from the same model.
+ * and =8).  Storage is the paged block pool (the production layout); a
+ * contiguous-reference fp32 row is kept for comparison, and a
+ * shared-prefix workload row demonstrates prefix sharing: strictly
+ * lower peak pool bytes than the identical unshared run, with zero
+ * payload copies from admission/eviction (copy-on-write rows are the
+ * only copies, asserted via the pool's copy counter).  The quality
+ * columns come from serve::cacheImpact on text sampled from the same
+ * model.
  *
  *   ./build/bench_serving --requests 16 --max-new 16 --threads 8
  */
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,7 +45,8 @@ namespace {
 /** One format's serving run: metrics + concatenated token stream. */
 struct RunResult
 {
-    std::vector<int> tokens;
+    std::vector<int> tokens; //!< (id, generated...) in finish order.
+    std::map<u64, std::vector<int>> byId; //!< Order-independent view.
     serve::ServeMetrics metrics;
     size_t steps = 0;
 };
@@ -56,9 +64,61 @@ runWorkload(const eval::LmModel &lm, serve::ServeConfig cfg,
         r.tokens.push_back(static_cast<int>(f.id));
         r.tokens.insert(r.tokens.end(), f.generated.begin(),
                         f.generated.end());
+        r.byId[f.id] = f.generated;
     }
     r.metrics = engine.metrics();
     return r;
+}
+
+/** Serial-vs-ambient determinism check, then the ambient-pool run. */
+RunResult
+runChecked(const eval::LmModel &lm, const serve::ServeConfig &cfg,
+           const std::vector<std::vector<int>> &prompts, size_t max_new,
+           size_t nthreads)
+{
+    par::setThreadCount(1);
+    const RunResult serial = runWorkload(lm, cfg, prompts, max_new);
+    par::setThreadCount(nthreads);
+    const RunResult run = runWorkload(lm, cfg, prompts, max_new);
+    OLIVE_ASSERT(serial.tokens == run.tokens,
+                 "serving output diverged across thread counts — "
+                 "determinism violation");
+    return run;
+}
+
+BenchReport::Entry &
+reportRow(BenchReport &report, const std::string &name, const RunResult &r,
+          const serve::ServeConfig &cfg)
+{
+    const serve::ServeMetrics &m = r.metrics;
+    const double ratio =
+        m.peakFp32CacheBytes
+            ? static_cast<double>(m.peakEncodedCacheBytes) /
+                  static_cast<double>(m.peakFp32CacheBytes)
+            : 0.0;
+    return report.add(name)
+        .metric("tokens_per_sec", m.tokensPerSecond())
+        .metric("generated_per_sec", m.generatedPerSecond())
+        .metric("p50_step_ms", m.stepLatencyMs(50.0))
+        .metric("p99_step_ms", m.stepLatencyMs(99.0))
+        .metric("steps", static_cast<double>(r.steps))
+        .metric("tokens_processed", static_cast<double>(m.tokensProcessed))
+        .metric("tokens_generated", static_cast<double>(m.tokensGenerated))
+        .metric("peak_cache_bytes",
+                static_cast<double>(m.peakEncodedCacheBytes))
+        .metric("peak_cache_fp32_bytes",
+                static_cast<double>(m.peakFp32CacheBytes))
+        .metric("cache_ratio_vs_fp32", ratio)
+        .metric("paged", cfg.pagedCache ? 1.0 : 0.0)
+        .metric("block_rows",
+                cfg.pagedCache ? static_cast<double>(cfg.blockRows) : 0.0)
+        .metric("prefix_sharing", cfg.prefixSharing ? 1.0 : 0.0)
+        .metric("peak_shared_saved_bytes",
+                static_cast<double>(m.peakSharedSavedBytes))
+        .metric("cow_copy_rows", static_cast<double>(m.cowCopyRows))
+        .metric("shared_prefill_rows_skipped",
+                static_cast<double>(m.sharedPrefillRowsSkipped))
+        .metric("deterministic", 1.0);
 }
 
 } // namespace
@@ -72,6 +132,7 @@ main(int argc, char **argv)
                            {"max-new", ""},
                            {"batch-tokens", "8"},
                            {"max-active", "4"},
+                           {"block-rows", "4"},
                            {"seed", "23"},
                            {"out", "BENCH_serving.json"}});
     smoke::banner();
@@ -109,15 +170,18 @@ main(int argc, char **argv)
     serve::ServeConfig scfg;
     scfg.maxBatchTokens = static_cast<size_t>(args.getInt("batch-tokens"));
     scfg.maxActiveRequests = static_cast<size_t>(args.getInt("max-active"));
+    scfg.blockRows = static_cast<size_t>(args.getInt("block-rows"));
 
     const std::vector<serve::KvCacheFormat> formats = {
         serve::KvCacheFormat::Fp32, serve::KvCacheFormat::Int8,
         serve::KvCacheFormat::Olive8, serve::KvCacheFormat::Olive4};
 
     std::printf("== Serving: %zu requests, prompt~%zu, max-new %zu, "
-                "batch-tokens %zu, active<=%zu (%s eval dims) ==\n\n",
+                "batch-tokens %zu, active<=%zu, block-rows %zu "
+                "(%s eval dims) ==\n\n",
                 n_requests, prompt_len, max_new, scfg.maxBatchTokens,
-                scfg.maxActiveRequests, config.name.c_str());
+                scfg.maxActiveRequests, scfg.blockRows,
+                config.name.c_str());
 
     Table t({"KV cache", "tok/s", "gen/s", "p50 ms", "p99 ms",
              "cache B", "vs fp32", "proxy PPL", "hidden MSE"});
@@ -128,19 +192,15 @@ main(int argc, char **argv)
     report.note("requests", std::to_string(n_requests));
     report.note("max_new", std::to_string(max_new));
     report.note("batch_tokens", std::to_string(scfg.maxBatchTokens));
+    report.note("block_rows", std::to_string(scfg.blockRows));
+    report.note("storage", "paged");
+    report.note("decode_codec_cache", "on");
 
     double olive4_ratio = -1.0;
     for (serve::KvCacheFormat fmt : formats) {
         scfg.cacheFormat = fmt;
-        // Determinism first: serial and ambient-pool runs must produce
-        // identical token streams.
-        par::setThreadCount(1);
-        const RunResult serial = runWorkload(lm, scfg, prompts, max_new);
-        par::setThreadCount(nthreads);
-        const RunResult run = runWorkload(lm, scfg, prompts, max_new);
-        OLIVE_ASSERT(serial.tokens == run.tokens,
-                     "serving output diverged across thread counts — "
-                     "determinism violation");
+        const RunResult run =
+            runChecked(lm, scfg, prompts, max_new, nthreads);
 
         const auto scheme = serve::makeKvScheme(fmt);
         const serve::CacheImpact impact =
@@ -162,25 +222,90 @@ main(int argc, char **argv)
                   Table::num(ratio, 3) + "x",
                   Table::num(impact.perplexity, 3),
                   Table::sci(impact.hiddenMse)});
-        report.add(scheme->name())
-            .metric("tokens_per_sec", m.tokensPerSecond())
-            .metric("generated_per_sec", m.generatedPerSecond())
-            .metric("p50_step_ms", m.stepLatencyMs(50.0))
-            .metric("p99_step_ms", m.stepLatencyMs(99.0))
-            .metric("steps", static_cast<double>(run.steps))
-            .metric("tokens_processed",
-                    static_cast<double>(m.tokensProcessed))
-            .metric("tokens_generated",
-                    static_cast<double>(m.tokensGenerated))
-            .metric("peak_cache_bytes",
-                    static_cast<double>(m.peakEncodedCacheBytes))
-            .metric("peak_cache_fp32_bytes",
-                    static_cast<double>(m.peakFp32CacheBytes))
-            .metric("cache_ratio_vs_fp32", ratio)
+        reportRow(report, scheme->name(), run, scfg)
             .metric("impact_proxy_ppl", impact.perplexity)
             .metric("impact_hidden_mse", impact.hiddenMse)
-            .metric("impact_logit_mse", impact.logitMse)
-            .metric("deterministic", 1.0);
+            .metric("impact_logit_mse", impact.logitMse);
+        // Paged eviction/admission never copies payload bytes; with
+        // sharing idle on random prompts the copy counter must be 0.
+        OLIVE_ASSERT(m.cowCopyRows == 0,
+                     "unshared workload performed payload copies");
+    }
+
+    // Contiguous-reference comparison row: the pre-paging layout the
+    // fuzz suite uses as its oracle, same workload, fp32.
+    {
+        serve::ServeConfig ref = scfg;
+        ref.cacheFormat = serve::KvCacheFormat::Fp32;
+        ref.pagedCache = false;
+        const RunResult run =
+            runChecked(lm, ref, prompts, max_new, nthreads);
+        t.addRow({"kv-fp32-contig",
+                  Table::num(run.metrics.tokensPerSecond(), 1),
+                  Table::num(run.metrics.generatedPerSecond(), 1),
+                  Table::num(run.metrics.stepLatencyMs(50.0), 3),
+                  Table::num(run.metrics.stepLatencyMs(99.0), 3),
+                  std::to_string(run.metrics.peakEncodedCacheBytes), "-",
+                  "-", "-"});
+        reportRow(report, "kv-fp32-contig", run, ref);
+    }
+
+    // Shared-prefix workload: every request extends one long common
+    // prompt prefix (the system-prompt serving pattern).  With sharing,
+    // later requests reference the first request's prefix blocks
+    // instead of re-caching (and re-computing) them: peak pool bytes
+    // must drop strictly below the identical unshared run while the
+    // token streams stay bit-identical.  The prefix dominates the
+    // request length so the per-sharer saving (full prefix blocks)
+    // clearly exceeds the one partial CoW block of slack.
+    {
+        std::vector<int> prefix(3 * prompt_len + 1);
+        for (auto &tok : prefix)
+            tok = static_cast<int>(rng.uniformInt(lm.vocab));
+        std::vector<std::vector<int>> shared_prompts(n_requests, prefix);
+        for (auto &p : shared_prompts) {
+            const size_t tail = 1 + rng.uniformInt(3);
+            for (size_t i = 0; i < tail; ++i)
+                p.push_back(static_cast<int>(rng.uniformInt(lm.vocab)));
+        }
+        serve::ServeConfig base = scfg;
+        base.cacheFormat = serve::KvCacheFormat::Fp32;
+        base.maxActiveRequests = n_requests; // sharers overlap the donor
+        serve::ServeConfig shared_cfg = base, unshared_cfg = base;
+        shared_cfg.prefixSharing = true;
+        unshared_cfg.prefixSharing = false;
+        const RunResult shared =
+            runChecked(lm, shared_cfg, shared_prompts, max_new, nthreads);
+        const RunResult unshared = runChecked(lm, unshared_cfg,
+                                              shared_prompts, max_new,
+                                              nthreads);
+        // Sharing reshapes the schedule (sharers skip prefill), so
+        // finish ORDER may differ; per-request streams must not.
+        OLIVE_ASSERT(shared.byId == unshared.byId,
+                     "prefix sharing changed the generated tokens");
+        // The headline claims of the paged refactor, asserted:
+        OLIVE_ASSERT(shared.metrics.peakEncodedCacheBytes <
+                         unshared.metrics.peakEncodedCacheBytes,
+                     "prefix sharing failed to lower the peak footprint");
+        OLIVE_ASSERT(unshared.metrics.cowCopyRows == 0,
+                     "admission/eviction copied payload bytes");
+        OLIVE_ASSERT(shared.metrics.sharedPrefillRowsSkipped > 0,
+                     "shared-prefix workload shared nothing");
+        for (const auto &[name, run] :
+             {std::pair<const char *, const RunResult &>(
+                  "kv-fp32-shared-prefix", shared),
+              std::pair<const char *, const RunResult &>(
+                  "kv-fp32-unshared-prefix", unshared)}) {
+            t.addRow({name, Table::num(run.metrics.tokensPerSecond(), 1),
+                      Table::num(run.metrics.generatedPerSecond(), 1),
+                      Table::num(run.metrics.stepLatencyMs(50.0), 3),
+                      Table::num(run.metrics.stepLatencyMs(99.0), 3),
+                      std::to_string(run.metrics.peakEncodedCacheBytes),
+                      "-", "-", "-"});
+        }
+        reportRow(report, "kv-fp32-shared-prefix", shared, shared_cfg);
+        reportRow(report, "kv-fp32-unshared-prefix", unshared,
+                  unshared_cfg);
     }
     par::setThreadCount(0);
 
@@ -190,8 +315,10 @@ main(int argc, char **argv)
     OLIVE_ASSERT(olive4_ratio > 0.0 && olive4_ratio <= 0.25,
                  "olive4 KV cache exceeded 0.25x of fp32 bytes");
     report.writeFile(args.get("out"));
-    std::printf("\nAll formats served bit-identical token streams at 1 "
-                "thread and %zu threads.  JSON written to %s.\n",
+    std::printf("\nAll rows served bit-identical token streams at 1 "
+                "thread and %zu threads; the shared-prefix run peaked "
+                "below the unshared run with zero admission/eviction "
+                "copies.  JSON written to %s.\n",
                 nthreads, args.get("out").c_str());
     return 0;
 }

@@ -36,6 +36,12 @@ main(int argc, char **argv)
                            {"max-new", ""},
                            {"batch-tokens", "8"},
                            {"max-active", "4"},
+                           {"paged", "1"},
+                           {"block-rows", "4"},
+                           {"pool-blocks", "0"},
+                           {"share", "1"},
+                           {"shared-prefix", "0"},
+                           {"stop-tokens", "0"},
                            {"impact", "1"},
                            {"seed", "17"}});
     smoke::banner();
@@ -62,31 +68,61 @@ main(int argc, char **argv)
     scfg.cacheFormat = serve::parseKvCacheFormat(args.get("cache"));
     scfg.maxBatchTokens = static_cast<size_t>(args.getInt("batch-tokens"));
     scfg.maxActiveRequests = static_cast<size_t>(args.getInt("max-active"));
+    scfg.pagedCache = args.getBool("paged");
+    scfg.blockRows = static_cast<size_t>(args.getInt("block-rows"));
+    scfg.poolBlocks = static_cast<size_t>(args.getInt("pool-blocks"));
+    scfg.prefixSharing = args.getBool("share");
     serve::ServeEngine engine(lm, scfg);
 
     std::printf("== Serving demo: %s, %zu-layer eval backbone, d=%zu, "
                 "vocab=%zu ==\n",
                 config.name.c_str(), config.evalLayers, config.evalDModel,
                 config.evalVocab);
-    std::printf("cache=%s  batch-tokens=%zu  max-active=%zu  "
-                "requests=%zu  prompt~%zu  max-new=%zu\n\n",
-                engine.kvScheme().name().c_str(), scfg.maxBatchTokens,
-                scfg.maxActiveRequests, n_requests, prompt_len, max_new);
+    std::printf("cache=%s  storage=%s  batch-tokens=%zu  max-active=%zu  "
+                "requests=%zu  prompt~%zu  max-new=%zu\n",
+                engine.kvScheme().name().c_str(),
+                scfg.pagedCache ? "paged" : "contiguous",
+                scfg.maxBatchTokens, scfg.maxActiveRequests, n_requests,
+                prompt_len, max_new);
+    if (scfg.pagedCache) {
+        std::printf("block-rows=%zu  pool-blocks=%s  prefix-sharing=%s\n",
+                    scfg.blockRows,
+                    scfg.poolBlocks
+                        ? std::to_string(scfg.poolBlocks).c_str()
+                        : "unbounded",
+                    scfg.prefixSharing ? "on" : "off");
+    }
+    std::printf("\n");
 
     Rng rng(static_cast<u64>(args.getInt("seed")));
+    // --shared-prefix: all requests extend one common prompt prefix so
+    // the paged cache's prefix sharing has something to deduplicate.
+    std::vector<int> common;
+    if (args.getBool("shared-prefix")) {
+        common.resize(2 * prompt_len);
+        for (auto &t : common)
+            t = static_cast<int>(rng.uniformInt(lm.vocab));
+    }
+    // --stop-tokens N: give every request N random stop tokens, making
+    // generation lengths data-dependent.
+    const size_t n_stops =
+        static_cast<size_t>(args.getInt("stop-tokens"));
     for (size_t r = 0; r < n_requests; ++r) {
         // Varied prompt lengths exercise chunked prefill + admission.
         const size_t len = 1 + prompt_len / 2 + rng.uniformInt(prompt_len);
-        std::vector<int> prompt(len);
-        for (auto &t : prompt)
+        std::vector<int> prompt = common;
+        for (size_t i = 0; i < len; ++i)
+            prompt.push_back(static_cast<int>(rng.uniformInt(lm.vocab)));
+        std::vector<int> stops(n_stops);
+        for (auto &t : stops)
             t = static_cast<int>(rng.uniformInt(lm.vocab));
-        engine.submit(std::move(prompt), max_new);
+        engine.submit(std::move(prompt), max_new, std::move(stops));
     }
 
     const size_t steps = engine.runToCompletion();
 
     Table per_req({"Req", "Prompt", "Generated", "Admit", "First tok",
-                   "Finish", "First tokens..."});
+                   "Finish", "Shared", "Stop?", "First tokens..."});
     // Spelled as append rather than "s" + to_string(...): GCC 12's
     // -Wrestrict false-positives on operator+(const char*, string&&).
     const auto step_tag = [](u64 s) {
@@ -106,7 +142,9 @@ main(int argc, char **argv)
         per_req.addRow({std::to_string(f.id), std::to_string(f.prompt.size()),
                         std::to_string(f.generated.size()),
                         step_tag(f.admitStep), step_tag(f.firstTokenStep),
-                        step_tag(f.finishStep), preview});
+                        step_tag(f.finishStep),
+                        std::to_string(f.sharedPrefixRows),
+                        f.stoppedByToken ? "eos" : "-", preview});
     }
     per_req.print();
 
@@ -124,6 +162,17 @@ main(int argc, char **argv)
                     ? static_cast<double>(m.peakEncodedCacheBytes) /
                           static_cast<double>(m.peakFp32CacheBytes)
                     : 0.0);
+    if (const serve::BlockPool *pool = engine.blockPool()) {
+        std::printf("block pool: %zu B/block, peak %zu B, prefix sharing "
+                    "saved up to %zu B, %llu prefill rows skipped, %llu "
+                    "rows copied (CoW only — admission/eviction copy "
+                    "nothing)\n",
+                    pool->blockBytes(), pool->peakBytes(),
+                    m.peakSharedSavedBytes,
+                    static_cast<unsigned long long>(
+                        m.sharedPrefillRowsSkipped),
+                    static_cast<unsigned long long>(m.cowCopyRows));
+    }
 
     if (args.getBool("impact")) {
         // What does the cache codec cost in model quality?

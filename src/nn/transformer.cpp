@@ -251,7 +251,7 @@ Transformer::forwardStep(const Tensor &x_t, serve::DecodeState &state,
     Tensor h = x_t.clone();
     for (size_t li = 0; li < layers.size(); ++li) {
         const Layer &layer = layers[li];
-        serve::KvCache &cache = state.layers[li];
+        serve::KvCache &cache = *state.layers[li];
         OLIVE_ASSERT(cache.length() == state.position,
                      "cache length is out of sync with the decode position");
 

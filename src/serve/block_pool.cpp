@@ -1,0 +1,243 @@
+#include "block_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace olive {
+namespace serve {
+
+namespace {
+
+/**
+ * Index reservation for capacity-unbounded pools: the block index must
+ * never reallocate (row accessors read it lock-free), so it is
+ * reserved once at construction.  2^20 blocks of even the smallest
+ * block dwarf any workload in this repository; allocate() asserts the
+ * cap rather than silently reallocating under concurrent readers.
+ */
+constexpr size_t kUnboundedIndexCap = size_t{1} << 20;
+
+} // namespace
+
+BlockPool::BlockPool(const KvScheme &scheme, size_t d, size_t block_rows,
+                     size_t max_blocks)
+    : scheme_(&scheme), d_(d), blockRows_(block_rows),
+      maxBlocks_(max_blocks), rowBytes_(scheme.rowBytes(d))
+{
+    OLIVE_ASSERT(d > 0, "block pool row width must be positive");
+    OLIVE_ASSERT(block_rows > 0, "blocks must hold at least one row");
+    blocks_.reserve(maxBlocks_ > 0 ? maxBlocks_ : kUnboundedIndexCap);
+}
+
+size_t
+BlockPool::blockBytes() const
+{
+    return blockRows_ * 2 * (rowBytes_ + scheme_->metaBytesPerRow());
+}
+
+// Lock-free: ids below the published count index stable unique_ptr
+// slots (the vector never reallocates — reserved at construction), and
+// a caller only dereferences ids published to it, so the pointed-to
+// Block cannot be mutated structurally underneath it.
+
+BlockPool::Block &
+BlockPool::live(u32 id)
+{
+    OLIVE_ASSERT(id < publishedBlocks_.load(std::memory_order_acquire) &&
+                     blocks_[id]->refcount > 0,
+                 "block id is not live");
+    return *blocks_[id];
+}
+
+const BlockPool::Block &
+BlockPool::live(u32 id) const
+{
+    OLIVE_ASSERT(id < publishedBlocks_.load(std::memory_order_acquire) &&
+                     blocks_[id]->refcount > 0,
+                 "block id is not live");
+    return *blocks_[id];
+}
+
+u32
+BlockPool::allocate()
+{
+    // The engine appends to different requests' caches in parallel, so
+    // concurrent allocate() calls are the norm; everything here is
+    // under the lock.  Within an engine step blocks are only ever
+    // allocated (releases happen in the serial eviction phase), so the
+    // peak update commutes across interleavings.
+    const std::lock_guard<std::mutex> lock(mu_);
+    u32 id;
+    if (!freeList_.empty()) {
+        id = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        OLIVE_ASSERT(maxBlocks_ == 0 || blocks_.size() < maxBlocks_,
+                     "block pool capacity exhausted — the admission gate "
+                     "must reserve blocks before they are needed");
+        OLIVE_ASSERT(blocks_.size() < blocks_.capacity(),
+                     "block pool outgrew its reserved index");
+        id = static_cast<u32>(blocks_.size());
+        auto b = std::make_unique<Block>();
+        b->payload.resize(blockRows_ * 2 * rowBytes_);
+        b->meta.resize(blockRows_ * 2);
+        blocks_.push_back(std::move(b));
+        publishedBlocks_.store(blocks_.size(), std::memory_order_release);
+    }
+    Block &b = *blocks_[id];
+    OLIVE_ASSERT(b.refcount == 0, "allocated a block that is still live");
+    b.refcount = 1;
+    ++blocksInUse_;
+    peakBytes_ = std::max(peakBytes_, blocksInUse_ * blockBytes());
+    return id;
+}
+
+void
+BlockPool::retain(u32 id)
+{
+    Block &b = live(id);
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++b.refcount;
+    ++sharedBlocks_;
+}
+
+void
+BlockPool::release(u32 id)
+{
+    Block &b = live(id);
+    const std::lock_guard<std::mutex> lock(mu_);
+    --b.refcount;
+    if (b.refcount == 0) {
+        --blocksInUse_;
+        freeList_.push_back(id);
+    } else {
+        --sharedBlocks_;
+    }
+}
+
+int
+BlockPool::refcount(u32 id) const
+{
+    OLIVE_ASSERT(id < publishedBlocks_.load(std::memory_order_acquire),
+                 "block id out of range");
+    return blocks_[id]->refcount;
+}
+
+// Slot layout: the payload keeps all K rows first, then all V rows, so
+// a slot's K and V rows are each contiguous runs of rowBytes_.  Meta is
+// stored (K meta, V meta) interleaved per slot.
+
+u8 *
+BlockPool::kRow(u32 id, size_t slot)
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).payload.data() + slot * rowBytes_;
+}
+
+u8 *
+BlockPool::vRow(u32 id, size_t slot)
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).payload.data() + (blockRows_ + slot) * rowBytes_;
+}
+
+const u8 *
+BlockPool::kRow(u32 id, size_t slot) const
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).payload.data() + slot * rowBytes_;
+}
+
+const u8 *
+BlockPool::vRow(u32 id, size_t slot) const
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).payload.data() + (blockRows_ + slot) * rowBytes_;
+}
+
+KvRowMeta &
+BlockPool::kMeta(u32 id, size_t slot)
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).meta[slot * 2];
+}
+
+KvRowMeta &
+BlockPool::vMeta(u32 id, size_t slot)
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).meta[slot * 2 + 1];
+}
+
+const KvRowMeta &
+BlockPool::kMeta(u32 id, size_t slot) const
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).meta[slot * 2];
+}
+
+const KvRowMeta &
+BlockPool::vMeta(u32 id, size_t slot) const
+{
+    OLIVE_ASSERT(slot < blockRows_, "block slot out of range");
+    return live(id).meta[slot * 2 + 1];
+}
+
+void
+BlockPool::copyRows(u32 src, u32 dst, size_t nrows)
+{
+    OLIVE_ASSERT(nrows <= blockRows_, "cannot copy more rows than a block");
+    OLIVE_ASSERT(src != dst, "copy-on-write source and target must differ");
+    const Block &s = live(src);
+    Block &t = live(dst);
+    const std::lock_guard<std::mutex> lock(mu_);
+    // K rows and V rows are each contiguous prefixes of their halves.
+    std::memcpy(t.payload.data(), s.payload.data(), nrows * rowBytes_);
+    std::memcpy(t.payload.data() + blockRows_ * rowBytes_,
+                s.payload.data() + blockRows_ * rowBytes_,
+                nrows * rowBytes_);
+    std::copy(s.meta.begin(),
+              s.meta.begin() + static_cast<std::ptrdiff_t>(nrows * 2),
+              t.meta.begin());
+    payloadCopyRows_ += nrows;
+}
+
+void
+BlockPool::checkInvariants() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    OLIVE_ASSERT(publishedBlocks_.load() == blocks_.size(),
+                 "published block count drifted from the index");
+    size_t in_use = 0, extra_refs = 0;
+    for (const auto &b : blocks_) {
+        OLIVE_ASSERT(b->refcount >= 0, "negative block refcount");
+        if (b->refcount > 0) {
+            ++in_use;
+            extra_refs += static_cast<size_t>(b->refcount) - 1;
+        }
+    }
+    OLIVE_ASSERT(in_use == blocksInUse_,
+                 "blocksInUse drifted from the per-block refcounts");
+    OLIVE_ASSERT(extra_refs == sharedBlocks_,
+                 "sharedBlocks drifted from the per-block refcounts");
+    OLIVE_ASSERT(in_use + freeList_.size() == blocks_.size(),
+                 "free list does not cover exactly the refcount-0 blocks");
+    OLIVE_ASSERT(bytesInUse() == blocksInUse_ * blockBytes(),
+                 "bytesInUse is not blocks-in-use x block bytes");
+    OLIVE_ASSERT(peakBytes_ >= bytesInUse(),
+                 "peak bytes fell below the current footprint");
+    OLIVE_ASSERT(maxBlocks_ == 0 || blocks_.size() <= maxBlocks_,
+                 "pool grew beyond its capacity cap");
+    // Free-list ids must be unique and actually free.
+    std::vector<u32> fl = freeList_;
+    std::sort(fl.begin(), fl.end());
+    for (size_t i = 0; i < fl.size(); ++i) {
+        OLIVE_ASSERT(i == 0 || fl[i] != fl[i - 1],
+                     "free list holds a block twice (double free)");
+        OLIVE_ASSERT(fl[i] < blocks_.size() && blocks_[fl[i]]->refcount == 0,
+                     "free list holds a live block");
+    }
+}
+
+} // namespace serve
+} // namespace olive

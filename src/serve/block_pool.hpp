@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Fixed-size block pool backing the paged KV cache.
+ *
+ * Real serving engines (vLLM-style PagedAttention) stop storing each
+ * request's KV cache as one contiguous stream: the cache is paged into
+ * fixed-size blocks of a few token rows each, owned by a global pool,
+ * and per-(request, layer) block tables map logical row indices to
+ * (block, slot).  Admission allocates blocks from a free list, eviction
+ * returns them without touching payload bytes, and two requests whose
+ * prompts share a tokenized prefix can reference the same blocks
+ * read-only through refcounts (copy-on-write at the first divergent,
+ * partially filled block).
+ *
+ * A block holds blockRows() token slots; each slot stores one token's
+ * encoded K row and V row (through the pool's KvScheme codec) plus
+ * their KvRowMeta.  Blocks are append-once: rows are only ever written
+ * into a block while it is the exclusively owned tail of exactly one
+ * block table, so a block that became shareable (full, refcounted) is
+ * immutable from then on — sharing never needs locks and never changes
+ * bytes.
+ *
+ * Accounting is pool-level: bytesInUse() == blocksInUse() x
+ * blockBytes() at every instant (checkInvariants() recomputes both
+ * sides from scratch), peakBytes() is monotone within a run, and
+ * sharedSavedBytes() counts the bytes that extra references avoid
+ * duplicating.  payloadCopyRows() counts every row whose payload the
+ * pool ever memcpy'd — copy-on-write is the only source, so the serving
+ * bench can assert that admission and eviction copy nothing.
+ *
+ * Thread safety: the engine appends to different requests' caches
+ * concurrently, so allocate() (the only structural mutation reachable
+ * from that path) is serialized by a mutex, and the accounting peak
+ * stays deterministic because blocks are only released between steps —
+ * within a step blocksInUse is monotone, so its per-step maximum is
+ * interleaving-independent.  retain/release/copyRows only run from the
+ * engine's serial admission/eviction phases but take the lock anyway.
+ * Row accessors are lock-free: the block index is reserved up front
+ * (never reallocates; allocate() asserts the cap), a block's storage
+ * address is stable for its lifetime, blocks are append-once, and an
+ * id is only ever dereferenced by threads it was published to.
+ */
+
+#ifndef OLIVE_SERVE_BLOCK_POOL_HPP
+#define OLIVE_SERVE_BLOCK_POOL_HPP
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kv_cache.hpp"
+
+namespace olive {
+namespace serve {
+
+/** Global pool of fixed-size KV blocks (see file comment). */
+class BlockPool
+{
+  public:
+    /**
+     * @param scheme     Row codec; must outlive the pool.
+     * @param d          Model row width.
+     * @param block_rows Token slots per block (>= 1).
+     * @param max_blocks Capacity cap; 0 means unbounded.
+     */
+    BlockPool(const KvScheme &scheme, size_t d, size_t block_rows,
+              size_t max_blocks = 0);
+
+    const KvScheme &scheme() const { return *scheme_; }
+    size_t dModel() const { return d_; }
+    size_t blockRows() const { return blockRows_; }
+    size_t capacity() const { return maxBlocks_; }
+
+    /** Encoded payload bytes of one K (or V) row. */
+    size_t rowBytes() const { return rowBytes_; }
+
+    /**
+     * The pool-level accounting unit: payload of blockRows() K+V row
+     * pairs plus their per-row codec meta.  A partially filled block
+     * still occupies (and is charged) the full block.
+     */
+    size_t blockBytes() const;
+
+    /**
+     * Allocate a block with refcount 1, reusing the free list before
+     * growing.  Panics if a capacity cap would be exceeded — callers
+     * (the engine's admission gate) must reserve capacity up front.
+     */
+    u32 allocate();
+
+    /** Add a reference (prefix sharing). @pre block is live. */
+    void retain(u32 id);
+
+    /**
+     * Drop one reference; the block returns to the free list when the
+     * count hits zero.  Payload bytes are never touched.  @pre live.
+     */
+    void release(u32 id);
+
+    /** Current reference count (0 = free). */
+    int refcount(u32 id) const;
+
+    // ---- row storage access (slot = logical row % blockRows) ----
+    u8 *kRow(u32 id, size_t slot);
+    u8 *vRow(u32 id, size_t slot);
+    const u8 *kRow(u32 id, size_t slot) const;
+    const u8 *vRow(u32 id, size_t slot) const;
+    KvRowMeta &kMeta(u32 id, size_t slot);
+    KvRowMeta &vMeta(u32 id, size_t slot);
+    const KvRowMeta &kMeta(u32 id, size_t slot) const;
+    const KvRowMeta &vMeta(u32 id, size_t slot) const;
+
+    /**
+     * Copy-on-write helper: copy slots [0, nrows) of @p src into @p dst
+     * (payload and meta), counting the rows in payloadCopyRows().  The
+     * only pool operation that duplicates payload bytes.
+     */
+    void copyRows(u32 src, u32 dst, size_t nrows);
+
+    // ---- accounting ----
+    size_t blocksInUse() const { return blocksInUse_; }
+    size_t freeBlocks() const { return freeList_.size(); }
+    size_t bytesInUse() const { return blocksInUse_ * blockBytes(); }
+    /** High-water mark of bytesInUse(); monotone within a run. */
+    size_t peakBytes() const { return peakBytes_; }
+    /** Bytes extra references avoid duplicating: sum (refs-1) x block. */
+    size_t sharedSavedBytes() const { return sharedBlocks_ * blockBytes(); }
+    /** Rows whose payload was ever memcpy'd (copy-on-write only). */
+    u64 payloadCopyRows() const { return payloadCopyRows_; }
+
+    /**
+     * Test hook: recompute every aggregate (blocks in use, shared
+     * block count, free-list membership) from the raw block array and
+     * panic on any mismatch — the BlockPool property tests call this
+     * after every mutation.
+     */
+    void checkInvariants() const;
+
+  private:
+    struct Block
+    {
+        std::vector<u8> payload;     //!< blockRows x (K row + V row).
+        std::vector<KvRowMeta> meta; //!< blockRows x (K meta, V meta).
+        int refcount = 0;
+    };
+
+    Block &live(u32 id);
+    const Block &live(u32 id) const;
+
+    const KvScheme *scheme_;
+    size_t d_;
+    size_t blockRows_;
+    size_t maxBlocks_;
+    size_t rowBytes_;
+
+    mutable std::mutex mu_; //!< Guards everything below but payloads.
+    std::vector<std::unique_ptr<Block>> blocks_;
+    /** blocks_.size(), published for lock-free accessor range checks. */
+    std::atomic<size_t> publishedBlocks_{0};
+    std::vector<u32> freeList_;
+    size_t blocksInUse_ = 0;
+    size_t sharedBlocks_ = 0; //!< Sum over live blocks of (refcount-1).
+    size_t peakBytes_ = 0;
+    u64 payloadCopyRows_ = 0;
+};
+
+} // namespace serve
+} // namespace olive
+
+#endif // OLIVE_SERVE_BLOCK_POOL_HPP

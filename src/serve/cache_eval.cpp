@@ -37,7 +37,13 @@ cacheImpact(const eval::LmModel &model, const eval::TokenData &text,
         const Tensor href = backbone.forward(xfull);
         const Tensor lgref = model.logitsFromHidden(href);
 
-        // Decode path through the candidate cache scheme.
+        // Decode path through the candidate cache scheme, over the
+        // contiguous layout: quality is layout-independent (rows
+        // encode to the same bytes wherever they live — the paged
+        // fuzz suite pins that bitwise), and the contiguous accounting
+        // reports the codec's exact payload+meta bytes, free of paged
+        // partial-block slack, which is what the compression() metric
+        // is meant to isolate.
         DecodeState state = makeDecodeState(backbone, scheme);
         Tensor x({1, d});
         for (size_t t = 0; t < seq.size(); ++t) {

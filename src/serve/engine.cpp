@@ -12,6 +12,27 @@
 namespace olive {
 namespace serve {
 
+namespace {
+
+/**
+ * Rows of @p cand's prompt that a cache of @p donor's prompt can seed:
+ * the longest common tokenized prefix, capped so the candidate still
+ * computes at least its final prompt token itself (the step that emits
+ * its first generated token must run, and it appends that row).
+ */
+size_t
+shareablePrefixRows(const std::vector<int> &donor,
+                    const std::vector<int> &cand)
+{
+    const size_t cap = std::min(donor.size(), cand.size() - 1);
+    size_t n = 0;
+    while (n < cap && donor[n] == cand[n])
+        ++n;
+    return n;
+}
+
+} // namespace
+
 double
 ServeMetrics::tokensPerSecond() const
 {
@@ -43,33 +64,131 @@ ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
                  "serving needs a causal LM");
     OLIVE_ASSERT(cfg_.maxBatchTokens >= 1, "token budget must be >= 1");
     OLIVE_ASSERT(cfg_.maxActiveRequests >= 1, "batch width must be >= 1");
+    if (cfg_.pagedCache) {
+        OLIVE_ASSERT(cfg_.blockRows >= 1, "blocks must hold >= 1 row");
+        pool_ = std::make_unique<BlockPool>(*scheme_, model.backbone.dModel,
+                                            cfg_.blockRows, cfg_.poolBlocks);
+    }
 }
 
 u64
-ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens)
+ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens,
+                    std::vector<int> stop_tokens)
 {
     OLIVE_ASSERT(!prompt.empty(), "request prompt must be non-empty");
     OLIVE_ASSERT(max_new_tokens >= 1, "request must generate >= 1 token");
     for (int tok : prompt)
         OLIVE_ASSERT(tok >= 0 && static_cast<size_t>(tok) < model_->vocab,
                      "prompt token out of range");
+    for (int tok : stop_tokens)
+        OLIVE_ASSERT(tok >= 0 && static_cast<size_t>(tok) < model_->vocab,
+                     "stop token out of range");
     ActiveRequest a;
     a.req.id = nextId_++;
     a.req.prompt = std::move(prompt);
     a.req.maxNewTokens = max_new_tokens;
+    a.req.stopTokens = std::move(stop_tokens);
     a.submitStep = metrics_.steps;
     pending_.push_back(std::move(a));
     return pending_.back().req.id;
 }
 
+size_t
+ServeEngine::worstCaseBlocks(const Request &req) const
+{
+    // The cache never holds more than prompt + maxNew - 1 rows per
+    // layer (the final generated token is never fed back).  Reserving
+    // the full amount — ignoring any sharing discount — keeps the
+    // capacity argument airtight: every block a request references,
+    // shared or owned, lies within its own block table, whose length
+    // this bounds; so sum(reservations) >= blocks in use always.
+    const size_t rows = req.prompt.size() + req.maxNewTokens - 1;
+    const size_t per_layer = (rows + cfg_.blockRows - 1) / cfg_.blockRows;
+    return per_layer * model_->backbone.layers.size();
+}
+
+/**
+ * FIFO admission.  For a paged engine each candidate passes two gates
+ * before it is admitted, and admission stops at the first candidate
+ * that fails one (strict FIFO, so the schedule is a pure function of
+ * queue state):
+ *
+ *  1. Warm-donor deferral (prefixSharing): if an active request's
+ *     prompt shares a longer tokenized prefix than any donor has cached
+ *     SO FAR, admitting now would permanently forgo the difference —
+ *     the candidate waits until the best donor's cache covers it.
+ *     Donors always progress, so deferral always terminates (in the
+ *     worst case the donor finishes, leaves the batch, and the
+ *     candidate admits unshared).
+ *  2. Capacity reservation (poolBlocks > 0): the candidate's
+ *     worst-case block count must fit beside the reservations of all
+ *     active requests, so BlockPool::allocate can never fail mid-step.
+ *
+ * An admitted candidate with a shareable cached prefix seeds its block
+ * tables from the donor: full blocks by reference, the partial
+ * boundary block by copy-on-write, and its decode position skips past
+ * the seeded rows (bit-exact — causal K/V rows are pure functions of
+ * the tokens at or before them, and activation quantization is
+ * per-token).
+ */
 void
 ServeEngine::admit()
 {
     while (!pending_.empty() && active_.size() < cfg_.maxActiveRequests) {
+        ActiveRequest &cand = pending_.front();
+        size_t share_rows = 0;
+        size_t donor_idx = active_.size();
+        if (cfg_.pagedCache && cfg_.prefixSharing) {
+            size_t best_future = 0;
+            for (size_t i = 0; i < active_.size(); ++i) {
+                const size_t lcp = shareablePrefixRows(
+                    active_[i].req.prompt, cand.req.prompt);
+                // Sub-block prefixes would share nothing (pure copy);
+                // only a full block of rows is worth waiting for.
+                if (lcp < cfg_.blockRows)
+                    continue;
+                best_future = std::max(best_future, lcp);
+                const size_t now =
+                    std::min(lcp, active_[i].state.position);
+                if (now > share_rows) {
+                    share_rows = now;
+                    donor_idx = i;
+                }
+            }
+            if (best_future > share_rows)
+                break; // gate 1: wait for the warm donor
+        }
+        if (cfg_.pagedCache && cfg_.poolBlocks > 0) {
+            const size_t need = worstCaseBlocks(cand.req);
+            OLIVE_ASSERT(!active_.empty() || need <= cfg_.poolBlocks,
+                         "block pool is smaller than a single request's "
+                         "worst-case cache");
+            if (committedBlocks_ + need > cfg_.poolBlocks)
+                break; // gate 2: wait for evictions to release blocks
+        }
+
         ActiveRequest a = std::move(pending_.front());
         pending_.pop_front();
         a.admitStep = metrics_.steps + 1; // the step about to run
-        a.state = makeDecodeState(model_->backbone, *scheme_);
+        if (cfg_.pagedCache) {
+            a.state = makePagedDecodeState(model_->backbone, *pool_);
+            a.reservedBlocks = worstCaseBlocks(a.req);
+            committedBlocks_ += a.reservedBlocks;
+            if (share_rows > 0) {
+                const DecodeState &donor = active_[donor_idx].state;
+                for (size_t li = 0; li < a.state.layers.size(); ++li) {
+                    static_cast<PagedKvCache &>(*a.state.layers[li])
+                        .shareFrom(static_cast<const PagedKvCache &>(
+                                       *donor.layers[li]),
+                                   share_rows);
+                }
+                a.state.position = share_rows;
+                a.sharedPrefixRows = share_rows;
+                metrics_.sharedPrefillRowsSkipped += share_rows;
+            }
+        } else {
+            a.state = makeDecodeState(model_->backbone, *scheme_);
+        }
         active_.push_back(std::move(a));
     }
 }
@@ -97,11 +216,20 @@ ServeEngine::runRequest(ActiveRequest &a, size_t ntok, u64 step_no) const
         // This was the last prompt token or a decode token: project to
         // the vocabulary and extend the generation greedily.
         const Tensor lg = model_->logitsFromHidden(h);
-        a.generated.push_back(ops::argmaxRow(lg.row(0)));
+        const int next = ops::argmaxRow(lg.row(0));
+        a.generated.push_back(next);
         if (a.firstTokenStep == 0)
             a.firstTokenStep = step_no;
-        if (a.generated.size() >= a.req.maxNewTokens)
+        // Generation ends at the budget or at any stop token — the
+        // latter makes request lengths data-dependent, so eviction
+        // timing is shaped by the model's own outputs.
+        if (std::find(a.req.stopTokens.begin(), a.req.stopTokens.end(),
+                      next) != a.req.stopTokens.end()) {
             a.done = true;
+            a.stoppedByToken = true;
+        } else if (a.generated.size() >= a.req.maxNewTokens) {
+            a.done = true;
+        }
         // Autoregression: the token just produced is the next step's
         // input, so a request never decodes twice within one step.
         break;
@@ -151,14 +279,25 @@ ServeEngine::step()
     });
 
     // Accounting (before eviction, so a finishing request's cache
-    // counts toward this step's footprint).
-    size_t enc = 0, fp32 = 0;
+    // counts toward this step's footprint).  The paged footprint is
+    // pool-level — blocks in use x block bytes — so shared blocks are
+    // counted once, not once per referencing request.
+    size_t fp32 = 0;
     for (size_t i = 0; i < active_.size(); ++i) {
         metrics_.tokensProcessed += processed[i];
         metrics_.tokensGenerated +=
             active_[i].generated.size() - gen_before[i];
-        enc += active_[i].state.encodedBytes();
         fp32 += active_[i].state.fp32Bytes();
+    }
+    size_t enc = 0;
+    if (pool_) {
+        enc = pool_->bytesInUse();
+        metrics_.peakSharedSavedBytes = std::max(
+            metrics_.peakSharedSavedBytes, pool_->sharedSavedBytes());
+        metrics_.cowCopyRows = pool_->payloadCopyRows();
+    } else {
+        for (const ActiveRequest &a : active_)
+            enc += a.state.encodedBytes();
     }
     metrics_.peakEncodedCacheBytes =
         std::max(metrics_.peakEncodedCacheBytes, enc);
@@ -166,6 +305,8 @@ ServeEngine::step()
         std::max(metrics_.peakFp32CacheBytes, fp32);
 
     // Evict finished requests, preserving FIFO order of the rest.
+    // Destroying a paged request's caches releases its blocks to the
+    // free list — refcount decrements only, no payload copies.
     std::vector<ActiveRequest> still;
     still.reserve(active_.size());
     for (ActiveRequest &a : active_) {
@@ -183,6 +324,9 @@ ServeEngine::step()
         f.finishStep = step_no;
         f.cacheEncodedBytes = a.state.encodedBytes();
         f.cacheFp32Bytes = a.state.fp32Bytes();
+        f.sharedPrefixRows = a.sharedPrefixRows;
+        f.stoppedByToken = a.stoppedByToken;
+        committedBlocks_ -= a.reservedBlocks;
         finished_.push_back(std::move(f));
     }
     active_ = std::move(still);
@@ -204,6 +348,26 @@ ServeEngine::runToCompletion(size_t max_steps)
                      "serving did not drain within the step limit");
     }
     return n;
+}
+
+std::vector<u64>
+ServeEngine::activeIds() const
+{
+    std::vector<u64> ids;
+    ids.reserve(active_.size());
+    for (const ActiveRequest &a : active_)
+        ids.push_back(a.req.id);
+    return ids;
+}
+
+const DecodeState *
+ServeEngine::activeState(u64 id) const
+{
+    for (const ActiveRequest &a : active_) {
+        if (a.req.id == id)
+            return &a.state;
+    }
+    return nullptr;
 }
 
 } // namespace serve

@@ -2,18 +2,32 @@
  * @file
  * Continuous-batching serving engine over the incremental decoder.
  *
- * Requests (a prompt plus a generation budget) enter a FIFO queue; each
- * engine step admits pending requests into the active batch, assigns
- * every active request a share of a configurable per-step token budget
- * (decode phase: exactly one token; prefill phase: a chunk of the
- * remaining prompt — chunked prefill), and runs the assigned tokens
- * through nn::Transformer::forwardStep batched across requests with
- * util/parallel.  Finished requests are evicted at the end of the step,
- * releasing their KV-cache bytes to the accounting.
+ * Requests (a prompt plus a generation budget and optional stop-token
+ * set) enter a FIFO queue; each engine step admits pending requests
+ * into the active batch, assigns every active request a share of a
+ * configurable per-step token budget (decode phase: exactly one token;
+ * prefill phase: a chunk of the remaining prompt — chunked prefill),
+ * and runs the assigned tokens through nn::Transformer::forwardStep
+ * batched across requests with util/parallel.  Finished requests are
+ * evicted at the end of the step, releasing their KV-cache blocks to
+ * the pool's free list without copying a byte.
  *
- * Determinism contract: admission, budgeting and eviction are pure
- * functions of the queue state, and each request's step work is a pure
- * function of its own state, so the generated token streams are
+ * KV storage is paged by default (ServeConfig::pagedCache): one global
+ * BlockPool per engine holds fixed-size blocks of a few token rows
+ * each, and every (request, layer) cache is a block table into it.
+ * Admission reserves each request's worst-case block count against the
+ * pool capacity (poolBlocks) so allocation can never fail mid-step;
+ * requests whose prompts share a tokenized prefix with an active
+ * request reference the donor's full prefix blocks read-only
+ * (refcounted, copy-on-write at the first divergent partial block) and
+ * skip recomputing the shared rows — bit-exactly, because causal K/V
+ * rows depend only on the tokens at or before them.  The contiguous
+ * layout survives as pagedCache = false, the oracle configuration the
+ * churn-fuzz suite compares against.
+ *
+ * Determinism contract: admission, budgeting, sharing and eviction are
+ * pure functions of the queue state, and each request's step work is a
+ * pure function of its own state, so the generated token streams are
  * bit-identical at every OLIVE_THREADS value (the CTest "serve" legs
  * assert this).  Only the measured latencies vary with the machine.
  */
@@ -25,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "block_pool.hpp"
 #include "eval/perplexity.hpp"
 #include "kv_cache.hpp"
 #include "quant/scheme.hpp"
@@ -39,6 +54,11 @@ struct ServeConfig
     size_t maxBatchTokens = 8;    //!< Token budget per engine step.
     size_t maxActiveRequests = 8; //!< Continuous-batch width cap.
     Scheme *actScheme = nullptr;  //!< Optional per-token activation quant.
+
+    bool pagedCache = true;  //!< Block-table storage (false = contiguous).
+    size_t blockRows = 4;    //!< Token rows per block (paged only).
+    size_t poolBlocks = 0;   //!< Pool capacity in blocks; 0 = unbounded.
+    bool prefixSharing = true; //!< Share prompt-prefix blocks (paged only).
 };
 
 /** One generation request. */
@@ -47,6 +67,7 @@ struct Request
     u64 id = 0;
     std::vector<int> prompt;
     size_t maxNewTokens = 0;
+    std::vector<int> stopTokens; //!< Generation ends at any of these.
 };
 
 /** A retired request with its generation and latency bookkeeping. */
@@ -61,6 +82,8 @@ struct FinishedRequest
     u64 finishStep = 0;     //!< Step that produced its last token.
     size_t cacheEncodedBytes = 0; //!< KV footprint at finish (its peak).
     size_t cacheFp32Bytes = 0;    //!< Same cache uncompressed.
+    size_t sharedPrefixRows = 0;  //!< Rows seeded by prefix sharing.
+    bool stoppedByToken = false;  //!< Ended at a stop token, not budget.
 };
 
 /** Aggregate throughput/latency/memory accounting. */
@@ -73,6 +96,13 @@ struct ServeMetrics
     std::vector<float> stepSeconds;    //!< Per-step wall time.
     size_t peakEncodedCacheBytes = 0;  //!< Across all in-flight requests.
     size_t peakFp32CacheBytes = 0;
+    /** Peak of the pool's (refs-1) x block bytes — what sharing saves. */
+    size_t peakSharedSavedBytes = 0;
+    /** Rows whose payload was memcpy'd (copy-on-write only; admission
+     *  and eviction never copy — bench_serving asserts 0 unshared). */
+    u64 cowCopyRows = 0;
+    /** Prefill rows skipped because a shared prefix seeded them. */
+    u64 sharedPrefillRowsSkipped = 0;
 
     /** Processed tokens per wall second. */
     double tokensPerSecond() const;
@@ -93,8 +123,13 @@ class ServeEngine
   public:
     ServeEngine(const eval::LmModel &model, ServeConfig config);
 
-    /** Enqueue a request; returns its id. @pre prompt non-empty. */
-    u64 submit(std::vector<int> prompt, size_t max_new_tokens);
+    /**
+     * Enqueue a request; returns its id.  @pre prompt non-empty.
+     * Generation ends at max_new_tokens or at the first token in
+     * @p stop_tokens (which is included in the generation).
+     */
+    u64 submit(std::vector<int> prompt, size_t max_new_tokens,
+               std::vector<int> stop_tokens = {});
 
     /**
      * Run one continuous-batching step (admit, budget, decode, evict).
@@ -119,6 +154,15 @@ class ServeEngine
     const ServeConfig &config() const { return cfg_; }
     const KvScheme &kvScheme() const { return *scheme_; }
 
+    /** The pool behind a paged engine; nullptr when contiguous. */
+    const BlockPool *blockPool() const { return pool_.get(); }
+
+    /** Ids of currently active requests, in batch order (test hook). */
+    std::vector<u64> activeIds() const;
+
+    /** Decode state of an active request; nullptr if not active. */
+    const DecodeState *activeState(u64 id) const;
+
   private:
     struct ActiveRequest
     {
@@ -129,10 +173,16 @@ class ServeEngine
         DecodeState state;
         std::vector<int> generated;
         bool done = false;
+        bool stoppedByToken = false;
+        size_t sharedPrefixRows = 0;
+        size_t reservedBlocks = 0; //!< Admission-time capacity charge.
     };
 
-    /** FIFO admission into the active batch. */
+    /** FIFO admission into the active batch (see admit() in the .cpp). */
     void admit();
+
+    /** Worst-case pool blocks @p req can ever reference, all layers. */
+    size_t worstCaseBlocks(const Request &req) const;
 
     /** Run up to @p ntok tokens of one request; returns tokens done. */
     size_t runRequest(ActiveRequest &a, size_t ntok, u64 step_no) const;
@@ -140,6 +190,8 @@ class ServeEngine
     const eval::LmModel *model_;
     ServeConfig cfg_;
     std::unique_ptr<KvScheme> scheme_;
+    std::unique_ptr<BlockPool> pool_; //!< Paged engines only.
+    size_t committedBlocks_ = 0;      //!< Sum of active reservations.
     std::deque<ActiveRequest> pending_; //!< Submitted, not yet admitted.
     std::vector<ActiveRequest> active_;
     std::vector<FinishedRequest> finished_;

@@ -1,10 +1,13 @@
 #include "kv_cache.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
+#include <unordered_map>
 
 #include "baselines/uniform.hpp"
+#include "block_pool.hpp"
 #include "nn/transformer.hpp"
 #include "quant/ovp.hpp"
 #include "util/parallel.hpp"
@@ -20,6 +23,45 @@ withBits(OliveConfig config, int bits)
 {
     config.bits = bits;
     return config;
+}
+
+/**
+ * Decode-side OvpCodec amortization.  Constructing an OvpCodec builds
+ * 256-entry value LUTs plus the outlier boundary tables — fine once per
+ * tensor, wasteful once per cached row per decode step, because the
+ * attention kernel re-decodes every cached row on every step and a
+ * row's (normal type, scale) recurs unchanged across all of them.  The
+ * codec's decode side is a pure function of (normal, scale): the
+ * threshold only shapes encode-time pair classification
+ * (KvScheme.OvpDecodeIsThresholdIndependent pins this), and OvpKvScheme
+ * always uses the default complementary abfloat bias.  So decode codecs
+ * are cached per (normal, scale-bits) key.
+ *
+ * The cache is thread_local: decodeRow runs concurrently across rows
+ * under par::parallelFor, and a per-thread map needs no locks while
+ * staying bit-deterministic (every thread constructs the identical
+ * codec from the identical key).  Bounded so adversarial scale churn
+ * cannot grow it without limit.
+ */
+const OvpCodec &
+cachedDecodeCodec(NormalType normal, float scale)
+{
+    thread_local std::unordered_map<u64, std::unique_ptr<OvpCodec>> cache;
+    const u64 key = (static_cast<u64>(std::bit_cast<u32>(scale)) << 8) |
+                    static_cast<u64>(static_cast<u8>(normal));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        if (cache.size() >= 4096)
+            cache.clear();
+        // The threshold argument is irrelevant to decode; any positive
+        // value yields the same decode LUTs under this (normal, scale).
+        it = cache
+                 .emplace(key, std::make_unique<OvpCodec>(
+                                   normal, scale,
+                                   static_cast<double>(scale)))
+                 .first;
+    }
+    return *it->second;
 }
 
 } // namespace
@@ -97,7 +139,10 @@ OvpKvScheme::decodeRow(std::span<const u8> bytes, const KvRowMeta &meta,
         std::fill(out.begin(), out.end(), 0.0f);
         return;
     }
-    const OvpCodec codec(meta.normal, meta.scale, meta.threshold);
+    // Construction amortized across rows and steps sharing a (normal,
+    // scale); bit-identical to a freshly constructed codec
+    // (KvScheme.OvpDecodeCodecCacheIsBitIdentical pins this).
+    const OvpCodec &codec = cachedDecodeCodec(meta.normal, meta.scale);
     const std::vector<float> vals = codec.decode(bytes, out.size());
     std::copy(vals.begin(), vals.end(), out.begin());
 }
@@ -187,8 +232,15 @@ KvCache::KvCache(const KvScheme &scheme, size_t d)
     OLIVE_ASSERT(d > 0, "KV cache row width must be positive");
 }
 
+// ----------------------------------------------- KvCacheReference
+
+KvCacheReference::KvCacheReference(const KvScheme &scheme, size_t d)
+    : KvCache(scheme, d)
+{
+}
+
 void
-KvCache::append(std::span<const float> k, std::span<const float> v)
+KvCacheReference::append(std::span<const float> k, std::span<const float> v)
 {
     OLIVE_ASSERT(k.size() == d_ && v.size() == d_,
                  "KV row width must match the cache");
@@ -204,8 +256,9 @@ KvCache::append(std::span<const float> k, std::span<const float> v)
 }
 
 void
-KvCache::decodeAll(const std::vector<u8> &bytes,
-                   const std::vector<KvRowMeta> &meta, Tensor &out) const
+KvCacheReference::decodeAll(const std::vector<u8> &bytes,
+                            const std::vector<KvRowMeta> &meta,
+                            Tensor &out) const
 {
     OLIVE_ASSERT(out.rank() == 2 && out.dim(0) == meta.size() &&
                      out.dim(1) == d_,
@@ -224,22 +277,138 @@ KvCache::decodeAll(const std::vector<u8> &bytes,
 }
 
 void
-KvCache::decodeK(Tensor &out) const
+KvCacheReference::decodeK(Tensor &out) const
 {
     decodeAll(kBytes_, kMeta_, out);
 }
 
 void
-KvCache::decodeV(Tensor &out) const
+KvCacheReference::decodeV(Tensor &out) const
 {
     decodeAll(vBytes_, vMeta_, out);
 }
 
 size_t
-KvCache::encodedBytes() const
+KvCacheReference::encodedBytes() const
 {
     return kBytes_.size() + vBytes_.size() +
            (kMeta_.size() + vMeta_.size()) * scheme_->metaBytesPerRow();
+}
+
+// --------------------------------------------------- PagedKvCache
+
+PagedKvCache::PagedKvCache(BlockPool &pool)
+    : KvCache(pool.scheme(), pool.dModel()), pool_(&pool)
+{
+}
+
+PagedKvCache::~PagedKvCache()
+{
+    // Eviction: every referenced block drops one reference; payload
+    // bytes are never copied or cleared (the free list recycles them).
+    for (u32 id : table_)
+        pool_->release(id);
+}
+
+void
+PagedKvCache::append(std::span<const float> k, std::span<const float> v)
+{
+    OLIVE_ASSERT(k.size() == d_ && v.size() == d_,
+                 "KV row width must match the cache");
+    const size_t B = pool_->blockRows();
+    const size_t slot = rows_ % B;
+    if (slot == 0)
+        table_.push_back(pool_->allocate());
+    OLIVE_ASSERT(rows_ / B == table_.size() - 1,
+                 "block table is out of sync with the row count");
+    const u32 tail = table_.back();
+    OLIVE_ASSERT(pool_->refcount(tail) == 1,
+                 "appending into a shared block (tail must be exclusive)");
+    // The codec appends into a staging vector (its contract); the row
+    // is then placed into the block slot.  Same bytes per row as the
+    // contiguous layout by construction.
+    const size_t rb = pool_->rowBytes();
+    scratch_.clear();
+    scheme_->encodeRow(k, scratch_, pool_->kMeta(tail, slot));
+    OLIVE_ASSERT(scratch_.size() == rb,
+                 "KV codec appended a payload of unexpected size");
+    std::memcpy(pool_->kRow(tail, slot), scratch_.data(), rb);
+    scratch_.clear();
+    scheme_->encodeRow(v, scratch_, pool_->vMeta(tail, slot));
+    OLIVE_ASSERT(scratch_.size() == rb,
+                 "KV codec appended a payload of unexpected size");
+    std::memcpy(pool_->vRow(tail, slot), scratch_.data(), rb);
+    ++rows_;
+}
+
+void
+PagedKvCache::decodePlane(bool k_plane, Tensor &out) const
+{
+    OLIVE_ASSERT(out.rank() == 2 && out.dim(0) == rows_ && out.dim(1) == d_,
+                 "decode target must be (length, d)");
+    const size_t B = pool_->blockRows();
+    const size_t rb = pool_->rowBytes();
+    // Row iteration walks the block table; rows stay independent, so
+    // the decode parallelizes deterministically exactly like the
+    // contiguous layout.
+    par::parallelFor(0, rows_, 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+            const u32 id = table_[i / B];
+            const size_t slot = i % B;
+            const u8 *row =
+                k_plane ? pool_->kRow(id, slot) : pool_->vRow(id, slot);
+            const KvRowMeta &meta =
+                k_plane ? pool_->kMeta(id, slot) : pool_->vMeta(id, slot);
+            scheme_->decodeRow(std::span<const u8>(row, rb), meta,
+                               out.row(i));
+        }
+    });
+}
+
+void
+PagedKvCache::decodeK(Tensor &out) const
+{
+    decodePlane(true, out);
+}
+
+void
+PagedKvCache::decodeV(Tensor &out) const
+{
+    decodePlane(false, out);
+}
+
+size_t
+PagedKvCache::encodedBytes() const
+{
+    return table_.size() * pool_->blockBytes();
+}
+
+void
+PagedKvCache::shareFrom(const PagedKvCache &donor, size_t rows)
+{
+    OLIVE_ASSERT(rows_ == 0 && table_.empty(),
+                 "prefix sharing requires an empty cache");
+    OLIVE_ASSERT(donor.pool_ == pool_, "sharing requires a common pool");
+    OLIVE_ASSERT(rows <= donor.rows_, "donor does not cover the prefix");
+    if (rows == 0)
+        return;
+    const size_t B = pool_->blockRows();
+    // Full blocks are immutable (the donor only writes its tail), so
+    // they are shared by reference: refcount up, zero payload copies.
+    const size_t full = rows / B;
+    for (size_t b = 0; b < full; ++b) {
+        pool_->retain(donor.table_[b]);
+        table_.push_back(donor.table_[b]);
+    }
+    // Copy-on-write at the first divergent block: the trailing partial
+    // rows land in a fresh exclusive block this cache can append into.
+    const size_t partial = rows % B;
+    if (partial > 0) {
+        const u32 fresh = pool_->allocate();
+        pool_->copyRows(donor.table_[full], fresh, partial);
+        table_.push_back(fresh);
+    }
+    rows_ = rows;
 }
 
 // ----------------------------------------------------- DecodeState
@@ -248,8 +417,8 @@ size_t
 DecodeState::encodedBytes() const
 {
     size_t n = 0;
-    for (const KvCache &c : layers)
-        n += c.encodedBytes();
+    for (const auto &c : layers)
+        n += c->encodedBytes();
     return n;
 }
 
@@ -257,8 +426,8 @@ size_t
 DecodeState::fp32Bytes() const
 {
     size_t n = 0;
-    for (const KvCache &c : layers)
-        n += c.fp32Bytes();
+    for (const auto &c : layers)
+        n += c->fp32Bytes();
     return n;
 }
 
@@ -268,7 +437,20 @@ makeDecodeState(const nn::Transformer &model, const KvScheme &scheme)
     DecodeState state;
     state.layers.reserve(model.layers.size());
     for (size_t i = 0; i < model.layers.size(); ++i)
-        state.layers.emplace_back(scheme, model.dModel);
+        state.layers.push_back(
+            std::make_unique<KvCacheReference>(scheme, model.dModel));
+    return state;
+}
+
+DecodeState
+makePagedDecodeState(const nn::Transformer &model, BlockPool &pool)
+{
+    OLIVE_ASSERT(pool.dModel() == model.dModel,
+                 "pool row width must match the model");
+    DecodeState state;
+    state.layers.reserve(model.layers.size());
+    for (size_t i = 0; i < model.layers.size(); ++i)
+        state.layers.push_back(std::make_unique<PagedKvCache>(pool));
     return state;
 }
 

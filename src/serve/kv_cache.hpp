@@ -174,18 +174,32 @@ std::vector<std::string> kvCacheFormatIds();
  * a KvScheme.  append() encodes one token's K and V projection rows;
  * decodeK/decodeV materialize the whole cache into (length, d) scratch
  * tensors for the attention kernel.
+ *
+ * Two storage layouts implement the interface: KvCacheReference keeps
+ * one contiguous byte stream per (request, layer) — the original
+ * design, retained as the bit-exactness oracle the paged fuzz suite
+ * compares against — and PagedKvCache maps logical rows through a block
+ * table into a shared BlockPool (eviction without copying, prefix
+ * sharing between requests).  Both produce identical decoded tensors
+ * for identical appended rows: the per-row codec bytes are a pure
+ * function of the row, independent of where they are stored.
  */
 class KvCache
 {
   public:
     /** @param scheme must outlive the cache. */
     KvCache(const KvScheme &scheme, size_t d);
+    virtual ~KvCache() = default;
+
+    KvCache(const KvCache &) = delete;
+    KvCache &operator=(const KvCache &) = delete;
 
     /** Append one token's K and V rows (each of d elements). */
-    void append(std::span<const float> k, std::span<const float> v);
+    virtual void append(std::span<const float> k,
+                        std::span<const float> v) = 0;
 
     /** Tokens cached so far. */
-    size_t length() const { return kMeta_.size(); }
+    virtual size_t length() const = 0;
 
     /** Row width (the model d_model). */
     size_t dModel() const { return d_; }
@@ -193,35 +207,115 @@ class KvCache
     const KvScheme &scheme() const { return *scheme_; }
 
     /** Decode all K rows into @p out, shaped (length, d) by the caller. */
-    void decodeK(Tensor &out) const;
+    virtual void decodeK(Tensor &out) const = 0;
 
     /** Decode all V rows into @p out, shaped (length, d) by the caller. */
-    void decodeV(Tensor &out) const;
+    virtual void decodeV(Tensor &out) const = 0;
 
-    /** Persistent footprint: packed payload + per-row codec params. */
-    size_t encodedBytes() const;
+    /**
+     * Persistent footprint.  Contiguous: packed payload + per-row codec
+     * params.  Paged: referenced blocks x block bytes — what this cache
+     * would occupy if nothing were shared (pool-level bytesInUse() is
+     * the deduplicated truth).
+     */
+    virtual size_t encodedBytes() const = 0;
 
     /** What the same cache would occupy uncompressed. */
     size_t fp32Bytes() const { return 2 * length() * d_ * sizeof(float); }
+
+  protected:
+    const KvScheme *scheme_;
+    size_t d_;
+};
+
+/**
+ * The original contiguous layout: one packed byte stream per K/V side.
+ * Kept alive as the oracle for the paged implementation (the churn-fuzz
+ * suite runs both side by side and demands bit-identical outputs).
+ */
+class KvCacheReference final : public KvCache
+{
+  public:
+    KvCacheReference(const KvScheme &scheme, size_t d);
+
+    void append(std::span<const float> k,
+                std::span<const float> v) override;
+    size_t length() const override { return kMeta_.size(); }
+    void decodeK(Tensor &out) const override;
+    void decodeV(Tensor &out) const override;
+    size_t encodedBytes() const override;
 
   private:
     void decodeAll(const std::vector<u8> &bytes,
                    const std::vector<KvRowMeta> &meta, Tensor &out) const;
 
-    const KvScheme *scheme_;
-    size_t d_;
     std::vector<u8> kBytes_, vBytes_;
     std::vector<KvRowMeta> kMeta_, vMeta_;
 };
 
+class BlockPool;
+
+/**
+ * Paged layout: logical row i lives in slot i % blockRows of block
+ * table_[i / blockRows], all blocks owned by a global BlockPool.  The
+ * tail block is exclusively owned (refcount contribution 1, written by
+ * appends); all earlier blocks are full and immutable, so they can be
+ * shared read-only between requests via shareFrom().
+ */
+class PagedKvCache final : public KvCache
+{
+  public:
+    /** @param pool must outlive the cache (and defines the scheme/d). */
+    explicit PagedKvCache(BlockPool &pool);
+    ~PagedKvCache() override;
+
+    PagedKvCache(PagedKvCache &&) = delete;
+    PagedKvCache &operator=(PagedKvCache &&) = delete;
+
+    void append(std::span<const float> k,
+                std::span<const float> v) override;
+    size_t length() const override { return rows_; }
+    void decodeK(Tensor &out) const override;
+    void decodeV(Tensor &out) const override;
+    size_t encodedBytes() const override;
+
+    /**
+     * Seed this (empty) cache with the first @p rows rows of @p donor:
+     * full blocks are shared by reference (refcount, zero copies); a
+     * trailing partial block is copy-on-write duplicated so this cache
+     * can append its own divergent rows after it.  The donor's rows
+     * must cover @p rows.
+     */
+    void shareFrom(const PagedKvCache &donor, size_t rows);
+
+    /** Block-table length (referenced blocks), for accounting/tests. */
+    size_t blockCount() const { return table_.size(); }
+
+    /** Block id of table entry @p i (test/introspection hook). */
+    u32 blockId(size_t i) const { return table_[i]; }
+
+    BlockPool &pool() const { return *pool_; }
+
+  private:
+    /** Shared body of decodeK/decodeV: walk the block table. */
+    void decodePlane(bool k_plane, Tensor &out) const;
+
+    BlockPool *pool_;
+    std::vector<u32> table_;
+    size_t rows_ = 0;
+    std::vector<u8> scratch_; //!< Encode staging for one row.
+};
+
 /**
  * Per-request incremental decode state: one KvCache per transformer
- * layer plus the next position to fill.  Built by makeDecodeState and
- * advanced by nn::Transformer::forwardStep.
+ * layer plus the next position to fill.  Built by makeDecodeState
+ * (contiguous reference caches) or makePagedDecodeState (block-table
+ * caches over a shared pool) and advanced by
+ * nn::Transformer::forwardStep.
  */
 struct DecodeState
 {
-    std::vector<KvCache> layers;
+    std::vector<std::unique_ptr<KvCache>> layers;
     size_t position = 0; //!< Tokens processed so far.
 
     /** Persistent cache footprint across all layers. */
@@ -231,9 +325,13 @@ struct DecodeState
     size_t fp32Bytes() const;
 };
 
-/** Fresh decode state for @p model; @p scheme must outlive it. */
+/** Fresh contiguous decode state; @p scheme must outlive it. */
 DecodeState makeDecodeState(const nn::Transformer &model,
                             const KvScheme &scheme);
+
+/** Fresh paged decode state over @p pool; the pool must outlive it. */
+DecodeState makePagedDecodeState(const nn::Transformer &model,
+                                 BlockPool &pool);
 
 } // namespace serve
 } // namespace olive

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Property tests for serve::BlockPool, the allocator behind the paged
+ * KV cache: refcounts hit zero exactly at release, the free list never
+ * double-frees, byte accounting is blocks-in-use x block bytes at every
+ * step with a monotone peak, copy-on-write is the only payload copier,
+ * and a seeded randomized churn loop checks the whole invariant set
+ * (via the checkInvariants() hook) after every single mutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "serve/block_pool.hpp"
+#include "serve/kv_cache.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace {
+
+TEST(BlockPool, AllocateRetainsReleaseLifecycle)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, 8, 4);
+    EXPECT_EQ(pool.blocksInUse(), 0u);
+    EXPECT_EQ(pool.bytesInUse(), 0u);
+
+    const u32 a = pool.allocate();
+    EXPECT_EQ(pool.refcount(a), 1);
+    EXPECT_EQ(pool.blocksInUse(), 1u);
+    EXPECT_EQ(pool.bytesInUse(), pool.blockBytes());
+
+    pool.retain(a);
+    EXPECT_EQ(pool.refcount(a), 2);
+    EXPECT_EQ(pool.blocksInUse(), 1u); // shared, still one block
+    EXPECT_EQ(pool.sharedSavedBytes(), pool.blockBytes());
+
+    pool.release(a);
+    EXPECT_EQ(pool.refcount(a), 1);
+    EXPECT_EQ(pool.blocksInUse(), 1u);
+    EXPECT_EQ(pool.sharedSavedBytes(), 0u);
+
+    pool.release(a);
+    EXPECT_EQ(pool.refcount(a), 0); // zero exactly at the last release
+    EXPECT_EQ(pool.blocksInUse(), 0u);
+    EXPECT_EQ(pool.freeBlocks(), 1u);
+    pool.checkInvariants();
+}
+
+TEST(BlockPool, FreeListRecyclesWithoutGrowing)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, 8, 2);
+    const u32 a = pool.allocate();
+    const u32 b = pool.allocate();
+    pool.release(a);
+    // The free list must hand back the released id before growing.
+    const u32 c = pool.allocate();
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(pool.blocksInUse(), 2u);
+    pool.release(b);
+    pool.release(c);
+    EXPECT_EQ(pool.freeBlocks(), 2u);
+    pool.checkInvariants();
+}
+
+TEST(BlockPool, BlockBytesChargesPayloadAndMeta)
+{
+    // A block holds blockRows (K row + V row) slots; each row carries
+    // the codec's payload plus its per-row meta — exactly the unit the
+    // engine's pool-level accounting multiplies by.
+    const size_t d = 24, rows = 4;
+    const serve::OvpKvScheme olive4(4);
+    serve::BlockPool pool(olive4, d, rows);
+    EXPECT_EQ(pool.rowBytes(), olive4.rowBytes(d));
+    EXPECT_EQ(pool.blockBytes(),
+              rows * 2 * (olive4.rowBytes(d) + olive4.metaBytesPerRow()));
+}
+
+TEST(BlockPool, CapacityCapIsEnforced)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, 8, 2, /*max_blocks=*/2);
+    const u32 a = pool.allocate();
+    (void)pool.allocate();
+    EXPECT_DEATH((void)pool.allocate(), "capacity exhausted");
+    pool.release(a);
+    // Freed capacity is allocatable again.
+    EXPECT_EQ(pool.allocate(), a);
+    pool.checkInvariants();
+}
+
+TEST(BlockPool, DoubleFreeAndDeadAccessPanic)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, 8, 2);
+    const u32 a = pool.allocate();
+    pool.release(a);
+    EXPECT_DEATH(pool.release(a), "not live");
+    EXPECT_DEATH(pool.retain(a), "not live");
+    EXPECT_DEATH((void)pool.kRow(a, 0), "not live");
+}
+
+TEST(BlockPool, CopyRowsIsTheOnlyPayloadCopier)
+{
+    const size_t d = 8, rows = 4;
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, d, rows);
+    const u32 src = pool.allocate();
+    const u32 dst = pool.allocate();
+    EXPECT_EQ(pool.payloadCopyRows(), 0u); // allocation copies nothing
+
+    // Fill three source slots with distinct bytes, copy two.
+    for (size_t s = 0; s < 3; ++s) {
+        std::fill(pool.kRow(src, s), pool.kRow(src, s) + pool.rowBytes(),
+                  static_cast<u8>(0x10 + s));
+        std::fill(pool.vRow(src, s), pool.vRow(src, s) + pool.rowBytes(),
+                  static_cast<u8>(0x20 + s));
+        pool.kMeta(src, s).scale = static_cast<float>(s + 1);
+        pool.vMeta(src, s).scale = static_cast<float>(s + 101);
+    }
+    pool.copyRows(src, dst, 2);
+    EXPECT_EQ(pool.payloadCopyRows(), 2u);
+    for (size_t s = 0; s < 2; ++s) {
+        EXPECT_EQ(pool.kRow(dst, s)[0], static_cast<u8>(0x10 + s));
+        EXPECT_EQ(pool.vRow(dst, s)[0], static_cast<u8>(0x20 + s));
+        EXPECT_EQ(pool.kMeta(dst, s).scale, static_cast<float>(s + 1));
+        EXPECT_EQ(pool.vMeta(dst, s).scale, static_cast<float>(s + 101));
+    }
+    pool.release(src);
+    pool.release(dst);
+    pool.checkInvariants();
+}
+
+TEST(BlockPool, RandomizedChurnKeepsEveryInvariant)
+{
+    // Seeded property loop: random allocate/retain/release churn with a
+    // shadow refcount model.  After every mutation: the pool-recomputed
+    // invariants hold (checkInvariants), bytesInUse equals blocks-in-use
+    // x block bytes, the peak is monotone, and each block's refcount
+    // matches the shadow (zero exactly when the shadow released last).
+    const serve::Fp32KvScheme fp32;
+    for (u64 seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+        Rng rng(seed);
+        const size_t block_rows = 1 + rng.uniformInt(4);
+        const size_t cap = rng.uniformInt(2) ? 0 : 12;
+        serve::BlockPool pool(fp32, 8, block_rows, cap);
+        std::vector<u32> live;          // one entry per outstanding ref
+        std::vector<int> shadow;        // refcount model, by block id
+        size_t last_peak = 0;
+        for (int it = 0; it < 400; ++it) {
+            const double u = rng.uniform();
+            if (u < 0.45 && (cap == 0 || pool.blocksInUse() +
+                                                 pool.freeBlocks() <
+                                             12 ||
+                             pool.freeBlocks() > 0)) {
+                const u32 id = pool.allocate();
+                if (id >= shadow.size())
+                    shadow.resize(id + 1, 0);
+                EXPECT_EQ(shadow[id], 0);
+                shadow[id] = 1;
+                live.push_back(id);
+            } else if (u < 0.65 && !live.empty()) {
+                const u32 id = live[rng.uniformInt(live.size())];
+                pool.retain(id);
+                ++shadow[id];
+                live.push_back(id);
+            } else if (!live.empty()) {
+                const size_t pick = rng.uniformInt(live.size());
+                const u32 id = live[pick];
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+                pool.release(id);
+                --shadow[id];
+                EXPECT_EQ(pool.refcount(id), shadow[id]);
+                // Zero exactly at the release that drops the last ref.
+                EXPECT_EQ(shadow[id] == 0, pool.refcount(id) == 0);
+            }
+            pool.checkInvariants();
+            size_t in_use = 0;
+            for (int rc : shadow)
+                in_use += rc > 0 ? 1u : 0u;
+            EXPECT_EQ(pool.blocksInUse(), in_use);
+            EXPECT_EQ(pool.bytesInUse(), in_use * pool.blockBytes());
+            EXPECT_GE(pool.peakBytes(), last_peak); // monotone
+            EXPECT_GE(pool.peakBytes(), pool.bytesInUse());
+            last_peak = pool.peakBytes();
+        }
+        EXPECT_EQ(pool.payloadCopyRows(), 0u); // churn never copies
+    }
+}
+
+} // namespace
+} // namespace olive
