@@ -18,6 +18,13 @@
  * columns come from serve::cacheImpact on text sampled from the same
  * model.
  *
+ * Attention reads go through the decoded-block working set
+ * (serve::DecodedBlockCache); every paged row reports its hit/miss/
+ * eviction counters, and the bench asserts in-process that total codec
+ * decode work grew linearly with processed tokens — the O(1)-per-step
+ * amortization the working set exists for.  A kv-olive8-scratch row
+ * re-runs olive8 with the working set off for comparison.
+ *
  *   ./build/bench_serving --requests 16 --max-new 16 --threads 8
  */
 
@@ -118,7 +125,40 @@ reportRow(BenchReport &report, const std::string &name, const RunResult &r,
         .metric("cow_copy_rows", static_cast<double>(m.cowCopyRows))
         .metric("shared_prefill_rows_skipped",
                 static_cast<double>(m.sharedPrefillRowsSkipped))
+        .metric("decoded_cache",
+                cfg.pagedCache && cfg.decodedCache ? 1.0 : 0.0)
+        .metric("decoded_cache_hits", static_cast<double>(m.decodedCacheHits))
+        .metric("decoded_cache_misses",
+                static_cast<double>(m.decodedCacheMisses))
+        .metric("decoded_cache_evictions",
+                static_cast<double>(m.decodedCacheEvictions))
+        .metric("decoded_cache_rows",
+                static_cast<double>(m.decodedCacheRows))
+        .metric("decoded_cache_peak_bytes",
+                static_cast<double>(m.decodedCachePeakBytes))
         .metric("deterministic", 1.0);
+}
+
+/**
+ * The O(1)-amortization witness, asserted in-bench: with the decoded
+ * working set on, codec decode work grows linearly with appended rows
+ * — each (block, slot) decodes at most once per residency, so total
+ * decoded (K, V) pairs are bounded by layers x processed tokens plus
+ * the copy-on-write slots that land in fresh blocks.  The scratch path
+ * it replaced re-decoded the whole prefix every step (quadratic in
+ * request length), which blows far past this bound on any non-trivial
+ * workload.
+ */
+void
+assertDecodeWorkIsLinear(const serve::ServeMetrics &m, size_t layers)
+{
+    const u64 bound =
+        static_cast<u64>(layers) * m.tokensProcessed + m.cowCopyRows;
+    OLIVE_ASSERT(m.decodedCacheRows <= bound,
+                 "decoded-cache codec work exceeded the linear bound — "
+                 "the working set is re-decoding resident rows");
+    OLIVE_ASSERT(m.decodedCacheRows > 0 && m.decodedCacheHits > 0,
+                 "decoded cache saw no traffic on a decode workload");
 }
 
 } // namespace
@@ -195,6 +235,7 @@ main(int argc, char **argv)
     report.note("block_rows", std::to_string(scfg.blockRows));
     report.note("storage", "paged");
     report.note("decode_codec_cache", "on");
+    report.note("decoded_cache", "on");
 
     double olive4_ratio = -1.0;
     for (serve::KvCacheFormat fmt : formats) {
@@ -230,6 +271,27 @@ main(int argc, char **argv)
         // sharing idle on random prompts the copy counter must be 0.
         OLIVE_ASSERT(m.cowCopyRows == 0,
                      "unshared workload performed payload copies");
+        assertDecodeWorkIsLinear(m, lm.backbone.layers.size());
+    }
+
+    // The scratch-path comparison row: the same olive8 workload with
+    // the decoded working set off, so the JSON records what block-table
+    // attention buys over per-step whole-prefix re-decoding (the
+    // pre-working-set behaviour, retained as the bit-exactness oracle).
+    {
+        serve::ServeConfig scratch = scfg;
+        scratch.cacheFormat = serve::KvCacheFormat::Olive8;
+        scratch.decodedCache = false;
+        const RunResult run =
+            runChecked(lm, scratch, prompts, max_new, nthreads);
+        t.addRow({"kv-olive8-scratch",
+                  Table::num(run.metrics.tokensPerSecond(), 1),
+                  Table::num(run.metrics.generatedPerSecond(), 1),
+                  Table::num(run.metrics.stepLatencyMs(50.0), 3),
+                  Table::num(run.metrics.stepLatencyMs(99.0), 3),
+                  std::to_string(run.metrics.peakEncodedCacheBytes), "-",
+                  "-", "-"});
+        reportRow(report, "kv-olive8-scratch", run, scratch);
     }
 
     // Contiguous-reference comparison row: the pre-paging layout the

@@ -39,6 +39,8 @@ main(int argc, char **argv)
                            {"paged", "1"},
                            {"block-rows", "4"},
                            {"pool-blocks", "0"},
+                           {"decoded-cache", "1"},
+                           {"decoded-cache-blocks", "0"},
                            {"share", "1"},
                            {"shared-prefix", "0"},
                            {"stop-tokens", "0"},
@@ -72,6 +74,9 @@ main(int argc, char **argv)
     scfg.blockRows = static_cast<size_t>(args.getInt("block-rows"));
     scfg.poolBlocks = static_cast<size_t>(args.getInt("pool-blocks"));
     scfg.prefixSharing = args.getBool("share");
+    scfg.decodedCache = args.getBool("decoded-cache");
+    scfg.decodedCacheBlocks =
+        static_cast<size_t>(args.getInt("decoded-cache-blocks"));
     serve::ServeEngine engine(lm, scfg);
 
     std::printf("== Serving demo: %s, %zu-layer eval backbone, d=%zu, "
@@ -85,12 +90,19 @@ main(int argc, char **argv)
                 scfg.maxBatchTokens, scfg.maxActiveRequests, n_requests,
                 prompt_len, max_new);
     if (scfg.pagedCache) {
-        std::printf("block-rows=%zu  pool-blocks=%s  prefix-sharing=%s\n",
+        std::printf("block-rows=%zu  pool-blocks=%s  prefix-sharing=%s  "
+                    "decoded-cache=%s\n",
                     scfg.blockRows,
                     scfg.poolBlocks
                         ? std::to_string(scfg.poolBlocks).c_str()
                         : "unbounded",
-                    scfg.prefixSharing ? "on" : "off");
+                    scfg.prefixSharing ? "on" : "off",
+                    !scfg.decodedCache          ? "off"
+                    : scfg.decodedCacheBlocks
+                        ? (std::to_string(scfg.decodedCacheBlocks) +
+                           " blocks")
+                              .c_str()
+                        : "unbounded");
     }
     std::printf("\n");
 
@@ -172,6 +184,17 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         m.sharedPrefillRowsSkipped),
                     static_cast<unsigned long long>(m.cowCopyRows));
+    }
+    if (engine.decodedCache()) {
+        std::printf("decoded cache: %llu hits / %llu misses / %llu "
+                    "evictions, %llu row pairs decoded (linear in "
+                    "tokens, not steps x prefix), peak %zu B\n",
+                    static_cast<unsigned long long>(m.decodedCacheHits),
+                    static_cast<unsigned long long>(m.decodedCacheMisses),
+                    static_cast<unsigned long long>(
+                        m.decodedCacheEvictions),
+                    static_cast<unsigned long long>(m.decodedCacheRows),
+                    m.decodedCachePeakBytes);
     }
 
     if (args.getBool("impact")) {

@@ -116,6 +116,93 @@ attendRow(const float *qrow, const float *pk, const float *pv, size_t d,
     }
 }
 
+/**
+ * attendRow generalized to an ordered span list: the cache's rows
+ * [0, len) arrive as consecutive runs (serve::KvSpan) instead of one
+ * contiguous block — one run per KV block when a decoded working set
+ * backs the cache.  @p col is the head's column offset (h * dh); span
+ * rows are strided by @p d.
+ *
+ * Bit-identical to attendRow on the concatenation of the spans: every
+ * score row[base + j] accumulates in double over the same ascending e
+ * independently of its neighbours (the 4-wide tile restarting at span
+ * boundaries therefore cannot change a bit), and every context lane
+ * accumulates in double over the same ascending global jj — the span
+ * walk preserves the iteration order, it only changes how the row
+ * pointer is derived.  tests/test_decode_parity.cpp pins this against
+ * the retained scratch path across codecs and block sizes.
+ */
+void
+attendRowSpans(const float *qrow, const serve::KvSpan *spans, size_t nspans,
+               size_t col, size_t d, size_t dh, float inv_sqrt_dh,
+               std::span<float> row, float *crow)
+{
+    size_t base = 0;
+    for (size_t s = 0; s < nspans; ++s) {
+        const float *pk = spans[s].k + col;
+        const size_t n = spans[s].rows;
+        size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const float *k0 = pk + j * d;
+            const float *k1 = k0 + d;
+            const float *k2 = k1 + d;
+            const float *k3 = k2 + d;
+            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+            for (size_t e = 0; e < dh; ++e) {
+                const double qv = qrow[e];
+                a0 += qv * k0[e];
+                a1 += qv * k1[e];
+                a2 += qv * k2[e];
+                a3 += qv * k3[e];
+            }
+            row[base + j + 0] = static_cast<float>(a0) * inv_sqrt_dh;
+            row[base + j + 1] = static_cast<float>(a1) * inv_sqrt_dh;
+            row[base + j + 2] = static_cast<float>(a2) * inv_sqrt_dh;
+            row[base + j + 3] = static_cast<float>(a3) * inv_sqrt_dh;
+        }
+        for (; j < n; ++j) {
+            const float *krow = pk + j * d;
+            double acc = 0.0;
+            for (size_t e = 0; e < dh; ++e)
+                acc += static_cast<double>(qrow[e]) * krow[e];
+            row[base + j] = static_cast<float>(acc) * inv_sqrt_dh;
+        }
+        base += n;
+    }
+    OLIVE_ASSERT(base == row.size(), "spans must cover the score row");
+    ops::softmaxRow(row);
+    size_t e = 0;
+    for (; e + 4 <= dh; e += 4) {
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        size_t jj = 0;
+        for (size_t s = 0; s < nspans; ++s) {
+            const float *pv = spans[s].v + col + e;
+            for (size_t i = 0; i < spans[s].rows; ++i, ++jj) {
+                const double r = row[jj];
+                const float *vrow = pv + i * d;
+                a0 += r * vrow[0];
+                a1 += r * vrow[1];
+                a2 += r * vrow[2];
+                a3 += r * vrow[3];
+            }
+        }
+        crow[e + 0] = static_cast<float>(a0);
+        crow[e + 1] = static_cast<float>(a1);
+        crow[e + 2] = static_cast<float>(a2);
+        crow[e + 3] = static_cast<float>(a3);
+    }
+    for (; e < dh; ++e) {
+        double acc = 0.0;
+        size_t jj = 0;
+        for (size_t s = 0; s < nspans; ++s) {
+            const float *pv = spans[s].v + col + e;
+            for (size_t i = 0; i < spans[s].rows; ++i, ++jj)
+                acc += static_cast<double>(row[jj]) * pv[i * d];
+        }
+        crow[e] = static_cast<float>(acc);
+    }
+}
+
 } // namespace
 
 Tensor
@@ -183,30 +270,33 @@ selfAttentionStep(const Tensor &x, const Layer &layer, size_t n_heads,
     Tensor v = layer.v.forward(xq);
 
     // Persist this token's K/V through the cache codec, then attend
-    // over the decoded prefix.  The persistent bytes are the encoded
-    // stream; the (len, d) scratch below is transient working set.
+    // block-by-block over whatever decoded form the cache serves: one
+    // all-rows scratch span (the retained oracle path), or per-block
+    // spans pinned in the engine's DecodedBlockCache — where only the
+    // tail rows appended since the last step need decoding, making the
+    // per-step codec work O(1) amortized and the transient footprint
+    // bounded by the working set instead of (len, d).
     cache.append(k.row(0), v.row(0));
     const size_t len = cache.length();
-    Tensor kc({len, d}), vc({len, d});
-    cache.decodeK(kc);
-    cache.decodeV(vc);
 
     // The query is row i = len-1 of the equivalent full forward, so
-    // the causal score range j < i+1 is exactly [0, len): attendRow
-    // runs with attend_len == row length and no masked tail.  Sharing
-    // the kernel with selfAttention is what makes the step bit-exact
-    // against the full forward (see attendRow's comment).
+    // the causal score range j < i+1 is exactly [0, len): the kernel
+    // runs with no masked tail.  attendRowSpans is attendRow with the
+    // row pointer derived through the span list — bit-identical on the
+    // same rows (see its comment), which keeps the step bit-exact
+    // against the full forward and against the scratch path.
     Tensor ctx({1, d});
     const float *pq = q.raw();
-    const float *pk = kc.raw();
-    const float *pv = vc.raw();
     float *pctx = ctx.raw();
-    par::parallelFor(0, n_heads, 1, [&](size_t b, size_t e_) {
-        std::vector<float> row(len);
-        for (size_t h = b; h < e_; ++h) {
-            attendRow(pq + h * dh, pk + h * dh, pv + h * dh, d, dh, len,
-                      inv_sqrt_dh, row, pctx + h * dh);
-        }
+    cache.withDecoded([&](std::span<const serve::KvSpan> spans) {
+        par::parallelFor(0, n_heads, 1, [&](size_t b, size_t e_) {
+            std::vector<float> row(len);
+            for (size_t h = b; h < e_; ++h) {
+                attendRowSpans(pq + h * dh, spans.data(), spans.size(),
+                               h * dh, d, dh, inv_sqrt_dh, row,
+                               pctx + h * dh);
+            }
+        });
     });
 
     const Tensor ctxq = maybeQuantAct(ctx, act_scheme);

@@ -83,6 +83,31 @@ valueTable(NormalType t)
 }
 
 NormalCodec::NormalCodec(NormalType type)
+    : NormalCodec(shared(type))
+{
+}
+
+const NormalCodec &
+NormalCodec::shared(NormalType type)
+{
+    // Magic statics: built once per process, immutable afterwards, so
+    // concurrent first use (the calibration grid runs under
+    // par::parallelFor) is safe and every copy is bit-identical.
+    static const NormalCodec int4(Build{}, NormalType::Int4);
+    static const NormalCodec flint4(Build{}, NormalType::Flint4);
+    static const NormalCodec int8(Build{}, NormalType::Int8);
+    switch (type) {
+      case NormalType::Int4:
+        return int4;
+      case NormalType::Flint4:
+        return flint4;
+      case NormalType::Int8:
+        return int8;
+    }
+    OLIVE_PANIC("unknown NormalType");
+}
+
+NormalCodec::NormalCodec(Build, NormalType type)
     : type_(type),
       identifier_(outlierIdentifier(type)),
       codeMask_((1u << bitWidth(type)) - 1u),

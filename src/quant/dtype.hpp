@@ -71,6 +71,16 @@ class NormalCodec
   public:
     explicit NormalCodec(NormalType type);
 
+    /**
+     * Shared immutable codec for @p type.  The three instances are
+     * built once per process (thread-safe magic statics); the public
+     * constructor copies from them, so constructing a NormalCodec is a
+     * flat table copy rather than a rebuild — the OVP calibration grid
+     * constructs one codec per threshold candidate per KV row, which
+     * made the rebuild a serving hot path.
+     */
+    static const NormalCodec &shared(NormalType type);
+
     NormalType type() const { return type_; }
 
     /**
@@ -158,6 +168,12 @@ class NormalCodec
     bool isIdentifier(u32 code) const { return code == identifier_; }
 
   private:
+    /** Tag selecting the real table-building constructor. */
+    struct Build
+    {
+    };
+    NormalCodec(Build, NormalType type);
+
     NormalType type_;
     u32 identifier_;
     u32 codeMask_;              // (1 << bitWidth) - 1

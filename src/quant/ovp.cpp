@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "util/bitops.hpp"
@@ -110,28 +112,48 @@ pairCensus(std::span<const float> xs, double k_sigma)
     return c;
 }
 
-OvpCodec::OvpCodec(NormalType normal, float scale, double threshold,
-                   int abfloat_bias)
-    : normal_(normal),
-      codec_(normal),
-      abfloat_(outlierTypeFor(normal, abfloat_bias)),
-      scale_(scale),
-      threshold_(threshold),
-      identifier_(outlierIdentifier(normal))
-{
-    OLIVE_ASSERT(scale_ > 0.0f, "OVP scale must be positive");
-    OLIVE_ASSERT(threshold_ > 0.0, "OVP threshold must be positive");
+namespace {
 
-    // Decoded real value of every code under the fixed scale, using
-    // exactly the reference decode expressions so LUT lookups are
-    // bit-identical to decodePairReference.
-    const u32 n_codes = 1u << bitWidth(normal_);
-    for (u32 code = 0; code < n_codes; ++code) {
-        if (code != identifier_)
-            normalValue_[code] = codec_.decode(code, scale_);
-        outlierValue_[code] =
-            static_cast<float>(abfloat_.decode(code)) * scale_;
-    }
+/**
+ * Scale-independent outlier-side tables of one abfloat format: the
+ * decoded value of every code and the encode boundary/code tables with
+ * their bit-exact verification against AbFloat::encode.  Building them
+ * is the expensive part of OvpCodec construction (hundreds of abfloat
+ * encodes for E4M3), and the OVP calibration grid constructs one codec
+ * per threshold candidate per KV row — so the tables are cached per
+ * (normal type, bias) key and the constructor only applies the scale.
+ *
+ * The cache is thread_local, mirroring the decode-codec cache in
+ * kv_cache.cpp: codec construction runs concurrently inside the
+ * calibration grid's parallelFor, a per-thread map needs no locks, and
+ * every thread builds the identical tables from the identical key.  The
+ * key space is tiny (3 normal types x biases in [0, 40]), so no
+ * eviction is needed.
+ */
+struct OutlierTables
+{
+    u32 sign = 0;                    //!< Sign bit of the code space.
+    std::array<double, 256> decoded{}; //!< abfloat_.decode(code).
+    std::vector<double> bounds;      //!< Magnitude midpoints.
+    std::vector<u32> codes;          //!< Code per magnitude interval.
+};
+
+const OutlierTables &
+outlierTablesFor(NormalType normal, const AbFloat &abfloat)
+{
+    thread_local std::unordered_map<u32, std::unique_ptr<OutlierTables>>
+        cache;
+    const u32 key = (static_cast<u32>(normal) << 8) |
+                    static_cast<u32>(abfloat.bias());
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+
+    auto tabs = std::make_unique<OutlierTables>();
+    const u32 identifier = outlierIdentifier(normal);
+    const u32 n_codes = 1u << bitWidth(normal);
+    for (u32 code = 0; code < n_codes; ++code)
+        tabs->decoded[code] = abfloat.decode(code);
 
     // Outlier encode boundary table.  AbFloat::encode is a monotone
     // step function of the magnitude (round-to-nearest on the abfloat
@@ -140,9 +162,9 @@ OvpCodec::OvpCodec(NormalType normal, float scale, double threshold,
     // with ties rounding away from zero (llround).  All magnitudes are
     // integers times powers of two, so every midpoint is an exact
     // double and the step positions are verified exactly below.
-    outlierSign_ =
-        1u << (static_cast<u32>(abfloat_.expBits() + abfloat_.mantBits()));
-    const std::vector<i64> mags = abfloat_.unsignedValueTable();
+    tabs->sign =
+        1u << (static_cast<u32>(abfloat.expBits() + abfloat.mantBits()));
+    const std::vector<i64> mags = abfloat.unsignedValueTable();
     // mags is ascending and deduplicated; drop the leading zero (the
     // all-zeros code is never produced for outliers).
     std::vector<double> vals;
@@ -151,31 +173,61 @@ OvpCodec::OvpCodec(NormalType normal, float scale, double threshold,
             vals.push_back(static_cast<double>(v));
     }
     OLIVE_ASSERT(!vals.empty(), "empty abfloat magnitude table");
-    outlierCodes_.reserve(vals.size());
+    tabs->codes.reserve(vals.size());
     for (double v : vals)
-        outlierCodes_.push_back(abfloat_.encode(v));
-    outlierBounds_.reserve(vals.size() - 1);
+        tabs->codes.push_back(abfloat.encode(v));
+    tabs->bounds.reserve(vals.size() - 1);
     for (size_t i = 0; i + 1 < vals.size(); ++i) {
         const double mid = (vals[i] + vals[i + 1]) / 2.0;
-        outlierBounds_.push_back(mid);
+        tabs->bounds.push_back(mid);
         // Verify the step position bit-exactly: at the midpoint the
         // reference rounds up (away from zero); just below it rounds
         // down.
-        OLIVE_ASSERT(abfloat_.encode(mid) == outlierCodes_[i + 1],
+        OLIVE_ASSERT(abfloat.encode(mid) == tabs->codes[i + 1],
                      "abfloat midpoint must round up");
-        OLIVE_ASSERT(abfloat_.encode(std::nextafter(mid, 0.0)) ==
-                         outlierCodes_[i],
+        OLIVE_ASSERT(abfloat.encode(std::nextafter(mid, 0.0)) ==
+                         tabs->codes[i],
                      "abfloat below-midpoint must round down");
     }
     // Below-range magnitudes saturate up to the smallest nonzero code
     // and the codes can never collide with the identifier.
-    OLIVE_ASSERT(abfloat_.encode(vals.front() / 4.0) == outlierCodes_[0],
+    OLIVE_ASSERT(abfloat.encode(vals.front() / 4.0) == tabs->codes[0],
                  "abfloat below-range must saturate to the minimum");
-    for (u32 code : outlierCodes_) {
-        OLIVE_ASSERT(code != identifier_ &&
-                         (code | outlierSign_) != identifier_,
+    for (u32 code : tabs->codes) {
+        OLIVE_ASSERT(code != identifier && (code | tabs->sign) != identifier,
                      "outlier code must not be the identifier");
     }
+    return *cache.emplace(key, std::move(tabs)).first->second;
+}
+
+} // namespace
+
+OvpCodec::OvpCodec(NormalType normal, float scale, double threshold,
+                   int abfloat_bias)
+    : normal_(normal),
+      codec_(NormalCodec::shared(normal)),
+      abfloat_(outlierTypeFor(normal, abfloat_bias)),
+      scale_(scale),
+      threshold_(threshold),
+      identifier_(outlierIdentifier(normal))
+{
+    OLIVE_ASSERT(scale_ > 0.0f, "OVP scale must be positive");
+    OLIVE_ASSERT(threshold_ > 0.0, "OVP threshold must be positive");
+
+    const OutlierTables &tabs = outlierTablesFor(normal_, abfloat_);
+    // Decoded real value of every code under the fixed scale, using
+    // exactly the reference decode expressions so LUT lookups are
+    // bit-identical to decodePairReference.
+    const u32 n_codes = 1u << bitWidth(normal_);
+    for (u32 code = 0; code < n_codes; ++code) {
+        if (code != identifier_)
+            normalValue_[code] = codec_.decode(code, scale_);
+        outlierValue_[code] =
+            static_cast<float>(tabs.decoded[code]) * scale_;
+    }
+    outlierSign_ = tabs.sign;
+    outlierBounds_ = tabs.bounds;
+    outlierCodes_ = tabs.codes;
 }
 
 size_t

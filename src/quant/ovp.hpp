@@ -92,8 +92,13 @@ enum class PairRole
  *
  * Construction precomputes the decoded real value of every normal and
  * abfloat code under the fixed scale, so the per-pair hot paths are
- * table lookups.  The original per-scalar implementations are retained
- * as *Reference() oracles and are bit-identical to the fast paths
+ * table lookups.  The scale-independent parts (NormalCodec tables, the
+ * abfloat decode/boundary tables and their verification) are cached per
+ * type and only the two scaled value LUTs are filled per construction —
+ * the calibration grid builds one codec per threshold candidate per KV
+ * row, which made a full rebuild the dominant serving cost.  The
+ * original per-scalar implementations are retained as *Reference()
+ * oracles and are bit-identical to the fast paths
  * (tests/test_kernels_oracle.cpp asserts this exhaustively).
  */
 class OvpCodec
@@ -211,7 +216,14 @@ class OvpCodec
                             u32 &out2) const;
 
     NormalType normal_;
-    NormalCodec codec_;
+    /**
+     * The shared immutable per-type instance (NormalCodec::shared):
+     * codecs are constructed per threshold candidate per KV row, so
+     * even copying the ~7 KB of tables was measurable.  A reference
+     * member leaves OvpCodec copy-constructible (construct-in-place
+     * everywhere) but not assignable, which nothing needs.
+     */
+    const NormalCodec &codec_;
     AbFloat abfloat_;
     float scale_;
     double threshold_;

@@ -120,10 +120,15 @@ QuantDecision
 OliveQuantizer::calibrate(std::span<const float> xs) const
 {
     OLIVE_ASSERT(!xs.empty(), "cannot calibrate on empty data");
-    const std::vector<float> s = sample(xs);
+    // Under the cap, sample(xs) would return a verbatim copy — score
+    // the input span directly instead (per-row KV calibration lands
+    // here for every appended token, so the copy was hot).
+    const std::vector<float> s =
+        xs.size() <= config_.sampleCap ? std::vector<float>() : sample(xs);
+    const std::span<const float> view = s.empty() ? xs : s;
     // Fused scoring: one allocation-free value->codes->value MSE pass
     // per candidate, bit-identical to the reference round trip.
-    return gridSearch(config_, s,
+    return gridSearch(config_, view,
                       [](const OvpCodec &codec, std::span<const float> ss) {
                           return codec.fakeQuantMse(ss);
                       });

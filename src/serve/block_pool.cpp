@@ -102,6 +102,13 @@ BlockPool::retain(u32 id)
 }
 
 void
+BlockPool::setReleaseHook(std::function<void(u32)> hook)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    releaseHook_ = std::move(hook);
+}
+
+void
 BlockPool::release(u32 id)
 {
     Block &b = live(id);
@@ -110,6 +117,12 @@ BlockPool::release(u32 id)
     if (b.refcount == 0) {
         --blocksInUse_;
         freeList_.push_back(id);
+        // The payload is now recyclable: give the decoded working set
+        // its chance to drop the corresponding entry before the id can
+        // be handed out again (the hook's lock-order contract is in
+        // setReleaseHook's comment).
+        if (releaseHook_)
+            releaseHook_(id);
     } else {
         --sharedBlocks_;
     }

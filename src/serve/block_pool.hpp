@@ -45,6 +45,7 @@
 #define OLIVE_SERVE_BLOCK_POOL_HPP
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -101,6 +102,17 @@ class BlockPool
     /** Current reference count (0 = free). */
     int refcount(u32 id) const;
 
+    /**
+     * Hook invoked (under the pool lock) whenever a block's refcount
+     * hits zero in release() — the moment its payload becomes eligible
+     * for free-list recycling.  The decoded-block working set registers
+     * itself here so a recycled id can never serve stale decoded rows.
+     * The hook must not call back into pool methods that take the pool
+     * lock, and whatever it references must outlive every cache that
+     * still holds blocks (the engine orders its members accordingly).
+     */
+    void setReleaseHook(std::function<void(u32)> hook);
+
     // ---- row storage access (slot = logical row % blockRows) ----
     u8 *kRow(u32 id, size_t slot);
     u8 *vRow(u32 id, size_t slot);
@@ -155,6 +167,7 @@ class BlockPool
     size_t rowBytes_;
 
     mutable std::mutex mu_; //!< Guards everything below but payloads.
+    std::function<void(u32)> releaseHook_;
     std::vector<std::unique_ptr<Block>> blocks_;
     /** blocks_.size(), published for lock-free accessor range checks. */
     std::atomic<size_t> publishedBlocks_{0};

@@ -1,0 +1,206 @@
+#include "decoded_cache.hpp"
+
+#include <algorithm>
+
+namespace olive {
+namespace serve {
+
+DecodedBlockCache::DecodedBlockCache(const BlockPool &pool,
+                                     size_t capacity_blocks)
+    : pool_(&pool), capacity_(capacity_blocks),
+      entryBytes_(2 * pool.blockRows() * pool.dModel() * sizeof(float))
+{
+}
+
+void
+DecodedBlockCache::evictOverLimitLocked(size_t limit)
+{
+    if (capacity_ == 0)
+        return; // unbounded
+    // Walk from the LRU tail; pinned entries are skipped — an in-flight
+    // attention step is reading their rows — which is what makes the
+    // cap soft rather than a correctness hazard.
+    auto it = lru_.end();
+    while (map_.size() > limit && it != lru_.begin()) {
+        --it;
+        const u32 victim = *it;
+        if (map_.at(victim)->pins > 0)
+            continue;
+        it = lru_.erase(it); // points past the erased slot, toward the tail
+        map_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+DecodedBlockCache::Lease
+DecodedBlockCache::acquire(u32 id, size_t rows)
+{
+    OLIVE_ASSERT(rows >= 1 && rows <= pool_->blockRows(),
+                 "decoded rows must cover [1, blockRows]");
+    Entry *e;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(id);
+        if (it == map_.end()) {
+            // Make room first so the new entry itself is never the
+            // eviction victim; > capacity only if every survivor is
+            // pinned.
+            evictOverLimitLocked(capacity_ > 0 ? capacity_ - 1 : 0);
+            auto fresh = std::make_unique<Entry>();
+            fresh->k.resize(pool_->blockRows() * pool_->dModel());
+            fresh->v.resize(pool_->blockRows() * pool_->dModel());
+            lru_.push_front(id);
+            fresh->lruIt = lru_.begin();
+            it = map_.emplace(id, std::move(fresh)).first;
+            peakBytes_ = std::max(peakBytes_, map_.size() * entryBytes_);
+            misses_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            lru_.splice(lru_.begin(), lru_, it->second->lruIt);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        e = it->second.get();
+        ++e->pins;
+    }
+    // Extend the decoded prefix outside the cache-wide lock: concurrent
+    // acquirers of the same block serialize on the entry's fill mutex,
+    // and whichever decodes first writes the identical bytes (decode is
+    // a pure function of the block payload).
+    {
+        const std::lock_guard<std::mutex> lock(e->fill);
+        if (e->rows < rows) {
+            const size_t d = pool_->dModel();
+            const size_t rb = pool_->rowBytes();
+            const KvScheme &scheme = pool_->scheme();
+            for (size_t s = e->rows; s < rows; ++s) {
+                scheme.decodeRow(
+                    std::span<const u8>(pool_->kRow(id, s), rb),
+                    pool_->kMeta(id, s),
+                    std::span<float>(e->k.data() + s * d, d));
+                scheme.decodeRow(
+                    std::span<const u8>(pool_->vRow(id, s), rb),
+                    pool_->vMeta(id, s),
+                    std::span<float>(e->v.data() + s * d, d));
+            }
+            decodedRows_.fetch_add(rows - e->rows,
+                                   std::memory_order_relaxed);
+            e->rows = rows;
+        }
+    }
+    return Lease{e->k.data(), e->v.data()};
+}
+
+void
+DecodedBlockCache::release(u32 id)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    OLIVE_ASSERT(it != map_.end() && it->second->pins > 0,
+                 "releasing a decoded block that is not pinned");
+    --it->second->pins;
+    // Shrink back toward the cap as pins drop — the transient overflow
+    // a pinned working set forced is reclaimed at the first release.
+    evictOverLimitLocked(capacity_);
+}
+
+void
+DecodedBlockCache::invalidate(u32 id)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    if (it == map_.end())
+        return;
+    OLIVE_ASSERT(it->second->pins == 0,
+                 "invalidating a pinned decoded block — a freed pool "
+                 "block cannot be mid-attention");
+    lru_.erase(it->second->lruIt);
+    map_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t
+DecodedBlockCache::entryCount() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+size_t
+DecodedBlockCache::currentBytes() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.size() * entryBytes_;
+}
+
+size_t
+DecodedBlockCache::peakBytes() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return peakBytes_;
+}
+
+size_t
+DecodedBlockCache::pinnedCount() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto &[id, e] : map_)
+        n += e->pins > 0 ? 1u : 0u;
+    return n;
+}
+
+bool
+DecodedBlockCache::contains(u32 id) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(id) > 0;
+}
+
+int
+DecodedBlockCache::pinsOf(u32 id) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    return it == map_.end() ? -1 : it->second->pins;
+}
+
+size_t
+DecodedBlockCache::rowsOf(u32 id) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    return it == map_.end() ? 0 : it->second->rows;
+}
+
+void
+DecodedBlockCache::checkInvariants() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    OLIVE_ASSERT(lru_.size() == map_.size(),
+                 "LRU list drifted from the entry map");
+    size_t pinned = 0;
+    for (auto lit = lru_.begin(); lit != lru_.end(); ++lit) {
+        const u32 id = *lit;
+        auto it = map_.find(id);
+        OLIVE_ASSERT(it != map_.end(), "LRU id has no entry");
+        const Entry &e = *it->second;
+        OLIVE_ASSERT(e.lruIt == lit,
+                     "entry's LRU iterator does not point at its id "
+                     "(duplicate or stale LRU node)");
+        OLIVE_ASSERT(e.pins >= 0, "negative pin count");
+        OLIVE_ASSERT(e.rows >= 1 && e.rows <= pool_->blockRows(),
+                     "decoded row count outside [1, blockRows]");
+        OLIVE_ASSERT(e.k.size() == pool_->blockRows() * pool_->dModel() &&
+                         e.v.size() == e.k.size(),
+                     "entry buffers must span the full block capacity");
+        pinned += e.pins > 0 ? 1u : 0u;
+    }
+    OLIVE_ASSERT(peakBytes_ >= map_.size() * entryBytes_,
+                 "peak bytes fell below the current footprint");
+    // The soft cap: over capacity only while everything else is pinned.
+    OLIVE_ASSERT(capacity_ == 0 || map_.size() <= capacity_ ||
+                     pinned == map_.size(),
+                 "cache exceeds capacity with unpinned entries resident");
+}
+
+} // namespace serve
+} // namespace olive

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Decoded-block working set: a bounded, pin-aware LRU cache of the
+ * *decoded* (FP32) form of BlockPool blocks.
+ *
+ * The persistent KV cache stores codec bytes; attention consumes FP32
+ * rows.  Before this cache existed, every decode step re-ran the codec
+ * over the entire cached prefix — O(len) codec work per generated
+ * token, the dominant cost of serving a quantized cache.  The decoded
+ * working set turns that into O(1) amortized: each pool block's decoded
+ * K/V rows are materialized once, keyed by the pool block id, and every
+ * later step (and every *request* — prefix-shared blocks decode once
+ * for the whole cohort) reuses them.  A block's key is its pool id
+ * alone: a live block belongs to exactly one layer's caches at a time,
+ * so the id already pins down the (block, layer) identity the entry
+ * decodes.
+ *
+ * Entry lifecycle.  acquire(id, rows) pins an entry (creating it if
+ * absent) and extends its decoded prefix to @p rows — for the
+ * exclusively-owned tail block that means decoding only the rows
+ * appended since the last step, because filled slots of a block are
+ * append-once and never change.  release(id) unpins.  Pinned entries
+ * are never evicted (an in-flight attention step is reading their
+ * rows), so the capacity cap is soft: the cache may transiently exceed
+ * it by the number of pinned entries, and shrinks back as pins drop.
+ * invalidate(id) — driven by BlockPool's release hook — removes an
+ * entry the moment its block's refcount hits zero, so a recycled block
+ * id (free-list reuse, copy-on-write targets) can never serve stale
+ * decoded rows.
+ *
+ * Memory bound: entries hold full-capacity buffers (2 x blockRows x d
+ * floats, allocated once so row pointers stay stable while pinned), so
+ * the decoded working set is at most
+ *   max(capacityBlocks, pinned entries) x 2 x blockRows x d x 4 bytes,
+ * independent of sequence length.
+ *
+ * Thread safety: the engine decodes different requests' steps in
+ * parallel and two requests can share a block, so acquire/release race
+ * by design.  A cache-wide mutex guards the map/LRU/counters; a
+ * per-entry mutex serializes decode extension (losers of the race wait,
+ * then observe the rows already covered).  Decoded bytes are a pure
+ * function of the block bytes, so which thread decodes first never
+ * changes a value — token streams stay bit-identical at every
+ * OLIVE_THREADS.  Only the hit/miss/eviction *counters* can vary with
+ * interleaving under a multi-thread pool (they are exact when the
+ * engine is serial, which is what the shadow-model property test
+ * checks).
+ */
+
+#ifndef OLIVE_SERVE_DECODED_CACHE_HPP
+#define OLIVE_SERVE_DECODED_CACHE_HPP
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "block_pool.hpp"
+
+namespace olive {
+namespace serve {
+
+/** LRU working set of decoded blocks (see file comment). */
+class DecodedBlockCache
+{
+  public:
+    /** Decoded rows of one pinned block; row i of K lives at k + i*d. */
+    struct Lease
+    {
+        const float *k = nullptr;
+        const float *v = nullptr;
+    };
+
+    /**
+     * @param pool            Backing pool; must outlive the cache.
+     * @param capacity_blocks Soft entry cap; 0 = unbounded.
+     */
+    DecodedBlockCache(const BlockPool &pool, size_t capacity_blocks);
+
+    DecodedBlockCache(const DecodedBlockCache &) = delete;
+    DecodedBlockCache &operator=(const DecodedBlockCache &) = delete;
+
+    /**
+     * Pin block @p id and return its decoded rows, decoding slots
+     * [alreadyDecoded, rows) through the pool's codec.  The returned
+     * pointers stay valid until the matching release(id).  @p rows must
+     * not exceed the pool's blockRows(), and the addressed slots must
+     * have been filled (append-once) before the call.
+     */
+    Lease acquire(u32 id, size_t rows);
+
+    /** Drop one pin of @p id; may shrink the cache back to capacity. */
+    void release(u32 id);
+
+    /**
+     * Drop the entry for @p id, if any (not counted as an eviction).
+     * Wired to BlockPool::setReleaseHook so free-list recycling and
+     * copy-on-write targets can never serve stale rows.  @pre the entry
+     * is unpinned — a pinned block is referenced by a live cache, which
+     * holds a pool reference, so its refcount cannot have hit zero.
+     */
+    void invalidate(u32 id);
+
+    size_t capacity() const { return capacity_; }
+
+    /** Bytes of one entry's decoded payload (2 x blockRows x d x 4). */
+    size_t entryBytes() const { return entryBytes_; }
+
+    // ---- counters (cumulative; exact only under a serial engine) ----
+    /** acquire() calls served without creating an entry. */
+    u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+    /** acquire() calls that had to create (fully decode) an entry. */
+    u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+    /** Entries dropped to fit the capacity cap. */
+    u64 evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    /** Entries dropped by invalidate() (block freed / recycled). */
+    u64 invalidations() const
+    {
+        return invalidations_.load(std::memory_order_relaxed);
+    }
+    /** (K row, V row) slot pairs decoded through the codec — the O(1)
+     *  amortization witness: grows with appended tokens, not with the
+     *  per-step prefix length. */
+    u64 decodedRows() const
+    {
+        return decodedRows_.load(std::memory_order_relaxed);
+    }
+
+    // ---- accounting / test hooks ----
+    size_t entryCount() const;
+    size_t currentBytes() const;
+    /** High-water mark of currentBytes(); monotone within a run. */
+    size_t peakBytes() const;
+    size_t pinnedCount() const;
+    bool contains(u32 id) const;
+    int pinsOf(u32 id) const;      //!< -1 when absent.
+    size_t rowsOf(u32 id) const;   //!< 0 when absent.
+
+    /**
+     * Test hook: recompute every aggregate (entry/pin counts, LRU
+     * membership, byte accounting, the soft-capacity bound) from the
+     * raw entry map and panic on any mismatch.
+     */
+    void checkInvariants() const;
+
+  private:
+    struct Entry
+    {
+        std::vector<float> k, v;        //!< blockRows x d each, stable.
+        size_t rows = 0;                //!< Decoded slots so far.
+        int pins = 0;                   //!< Outstanding leases.
+        std::list<u32>::iterator lruIt; //!< Position in lru_.
+        std::mutex fill;                //!< Serializes decode extension.
+    };
+
+    /** Evict unpinned LRU-tail entries while over @p limit. @pre mu_. */
+    void evictOverLimitLocked(size_t limit);
+
+    const BlockPool *pool_;
+    size_t capacity_;
+    size_t entryBytes_;
+
+    mutable std::mutex mu_; //!< Guards map_, lru_, pins, peak bytes.
+    std::unordered_map<u32, std::unique_ptr<Entry>> map_;
+    std::list<u32> lru_; //!< Front = most recently acquired.
+    size_t peakBytes_ = 0;
+
+    std::atomic<u64> hits_{0};
+    std::atomic<u64> misses_{0};
+    std::atomic<u64> evictions_{0};
+    std::atomic<u64> invalidations_{0};
+    std::atomic<u64> decodedRows_{0};
+};
+
+} // namespace serve
+} // namespace olive
+
+#endif // OLIVE_SERVE_DECODED_CACHE_HPP

@@ -68,6 +68,15 @@ ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
         OLIVE_ASSERT(cfg_.blockRows >= 1, "blocks must hold >= 1 row");
         pool_ = std::make_unique<BlockPool>(*scheme_, model.backbone.dModel,
                                             cfg_.blockRows, cfg_.poolBlocks);
+        if (cfg_.decodedCache) {
+            dcache_ = std::make_unique<DecodedBlockCache>(
+                *pool_, cfg_.decodedCacheBlocks);
+            // A block whose refcount hits zero is about to be recycled
+            // through the free list; its decoded entry must go with it
+            // or a later reuse of the id would serve stale rows.
+            pool_->setReleaseHook(
+                [d = dcache_.get()](u32 id) { d->invalidate(id); });
+        }
     }
 }
 
@@ -171,7 +180,8 @@ ServeEngine::admit()
         pending_.pop_front();
         a.admitStep = metrics_.steps + 1; // the step about to run
         if (cfg_.pagedCache) {
-            a.state = makePagedDecodeState(model_->backbone, *pool_);
+            a.state =
+                makePagedDecodeState(model_->backbone, *pool_, dcache_.get());
             a.reservedBlocks = worstCaseBlocks(a.req);
             committedBlocks_ += a.reservedBlocks;
             if (share_rows > 0) {
@@ -295,6 +305,15 @@ ServeEngine::step()
         metrics_.peakSharedSavedBytes = std::max(
             metrics_.peakSharedSavedBytes, pool_->sharedSavedBytes());
         metrics_.cowCopyRows = pool_->payloadCopyRows();
+        if (dcache_) {
+            // Cumulative counters sampled, not accumulated — the cache
+            // already sums across steps.
+            metrics_.decodedCacheHits = dcache_->hits();
+            metrics_.decodedCacheMisses = dcache_->misses();
+            metrics_.decodedCacheEvictions = dcache_->evictions();
+            metrics_.decodedCacheRows = dcache_->decodedRows();
+            metrics_.decodedCachePeakBytes = dcache_->peakBytes();
+        }
     } else {
         for (const ActiveRequest &a : active_)
             enc += a.state.encodedBytes();

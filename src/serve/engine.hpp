@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "block_pool.hpp"
+#include "decoded_cache.hpp"
 #include "eval/perplexity.hpp"
 #include "kv_cache.hpp"
 #include "quant/scheme.hpp"
@@ -59,6 +60,18 @@ struct ServeConfig
     size_t blockRows = 4;    //!< Token rows per block (paged only).
     size_t poolBlocks = 0;   //!< Pool capacity in blocks; 0 = unbounded.
     bool prefixSharing = true; //!< Share prompt-prefix blocks (paged only).
+
+    /**
+     * Decoded-block working set (paged only): attention reads FP32
+     * block contents from a shared LRU cache instead of re-decoding the
+     * whole prefix into scratch each step — O(1) amortized codec work
+     * per decode step, and prefix-shared blocks decode once per cohort.
+     * false retains the scratch-materializing oracle path.
+     */
+    bool decodedCache = true;
+    /** Working-set capacity in blocks; 0 = unbounded.  A soft cap:
+     *  blocks pinned by in-flight attention are never evicted. */
+    size_t decodedCacheBlocks = 0;
 };
 
 /** One generation request. */
@@ -103,6 +116,18 @@ struct ServeMetrics
     u64 cowCopyRows = 0;
     /** Prefill rows skipped because a shared prefix seeded them. */
     u64 sharedPrefillRowsSkipped = 0;
+    /** Decoded-block working set counters (cumulative; zero when the
+     *  cache is off or the engine is contiguous).  decodedCacheRows is
+     *  the O(1)-amortization witness: (K, V) slot pairs ever decoded —
+     *  linear in appended rows when the working set holds, quadratic if
+     *  every step re-decoded its prefix.  Exact values are
+     *  deterministic only single-threaded (thread interleaving reorders
+     *  LRU traffic); token streams are bit-identical regardless. */
+    u64 decodedCacheHits = 0;
+    u64 decodedCacheMisses = 0;
+    u64 decodedCacheEvictions = 0;
+    u64 decodedCacheRows = 0;
+    size_t decodedCachePeakBytes = 0;
 
     /** Processed tokens per wall second. */
     double tokensPerSecond() const;
@@ -157,6 +182,9 @@ class ServeEngine
     /** The pool behind a paged engine; nullptr when contiguous. */
     const BlockPool *blockPool() const { return pool_.get(); }
 
+    /** The decoded-block working set; nullptr when off or contiguous. */
+    const DecodedBlockCache *decodedCache() const { return dcache_.get(); }
+
     /** Ids of currently active requests, in batch order (test hook). */
     std::vector<u64> activeIds() const;
 
@@ -191,6 +219,11 @@ class ServeEngine
     ServeConfig cfg_;
     std::unique_ptr<KvScheme> scheme_;
     std::unique_ptr<BlockPool> pool_; //!< Paged engines only.
+    /** Shared decoded working set.  Declared after pool_ and before the
+     *  request containers: destroying active_/pending_ releases blocks,
+     *  whose pool hook invalidates dcache_ — so caches die first, the
+     *  working set second, the pool last. */
+    std::unique_ptr<DecodedBlockCache> dcache_;
     size_t committedBlocks_ = 0;      //!< Sum of active reservations.
     std::deque<ActiveRequest> pending_; //!< Submitted, not yet admitted.
     std::vector<ActiveRequest> active_;

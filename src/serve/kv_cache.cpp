@@ -8,6 +8,7 @@
 
 #include "baselines/uniform.hpp"
 #include "block_pool.hpp"
+#include "decoded_cache.hpp"
 #include "nn/transformer.hpp"
 #include "quant/ovp.hpp"
 #include "util/parallel.hpp"
@@ -232,6 +233,26 @@ KvCache::KvCache(const KvScheme &scheme, size_t d)
     OLIVE_ASSERT(d > 0, "KV cache row width must be positive");
 }
 
+void
+KvCache::withDecoded(
+    const std::function<void(std::span<const KvSpan>)> &fn) const
+{
+    // The retained scratch-materializing path: decode every row into a
+    // transient (length, d) pair and serve it as one span.  O(length)
+    // codec work per call — the oracle the decoded-block working set is
+    // measured (and bit-compared) against.
+    const size_t len = length();
+    if (len == 0) {
+        fn(std::span<const KvSpan>());
+        return;
+    }
+    Tensor k({len, d_}), v({len, d_});
+    decodeK(k);
+    decodeV(v);
+    const KvSpan span{k.raw(), v.raw(), len};
+    fn(std::span<const KvSpan>(&span, 1));
+}
+
 // ----------------------------------------------- KvCacheReference
 
 KvCacheReference::KvCacheReference(const KvScheme &scheme, size_t d)
@@ -297,8 +318,8 @@ KvCacheReference::encodedBytes() const
 
 // --------------------------------------------------- PagedKvCache
 
-PagedKvCache::PagedKvCache(BlockPool &pool)
-    : KvCache(pool.scheme(), pool.dModel()), pool_(&pool)
+PagedKvCache::PagedKvCache(BlockPool &pool, DecodedBlockCache *dcache)
+    : KvCache(pool.scheme(), pool.dModel()), pool_(&pool), dcache_(dcache)
 {
 }
 
@@ -384,6 +405,35 @@ PagedKvCache::encodedBytes() const
 }
 
 void
+PagedKvCache::withDecoded(
+    const std::function<void(std::span<const KvSpan>)> &fn) const
+{
+    if (dcache_ == nullptr || rows_ == 0) {
+        // No working set attached (or nothing cached yet): fall back to
+        // the scratch-materializing oracle path.
+        KvCache::withDecoded(fn);
+        return;
+    }
+    const size_t B = pool_->blockRows();
+    // Pin every referenced block's decoded entry for the duration of
+    // the callback.  Prefix-shared blocks hit entries decoded by (or
+    // for) other requests; the tail block extends its decoded prefix by
+    // exactly the rows appended since the last step — the O(1)
+    // amortized codec work per step.
+    std::vector<KvSpan> spans;
+    spans.reserve(table_.size());
+    for (size_t b = 0; b < table_.size(); ++b) {
+        const size_t rows = std::min(B, rows_ - b * B);
+        const DecodedBlockCache::Lease lease =
+            dcache_->acquire(table_[b], rows);
+        spans.push_back(KvSpan{lease.k, lease.v, rows});
+    }
+    fn(std::span<const KvSpan>(spans.data(), spans.size()));
+    for (u32 id : table_)
+        dcache_->release(id);
+}
+
+void
 PagedKvCache::shareFrom(const PagedKvCache &donor, size_t rows)
 {
     OLIVE_ASSERT(rows_ == 0 && table_.empty(),
@@ -443,14 +493,15 @@ makeDecodeState(const nn::Transformer &model, const KvScheme &scheme)
 }
 
 DecodeState
-makePagedDecodeState(const nn::Transformer &model, BlockPool &pool)
+makePagedDecodeState(const nn::Transformer &model, BlockPool &pool,
+                     DecodedBlockCache *dcache)
 {
     OLIVE_ASSERT(pool.dModel() == model.dModel,
                  "pool row width must match the model");
     DecodeState state;
     state.layers.reserve(model.layers.size());
     for (size_t i = 0; i < model.layers.size(); ++i)
-        state.layers.push_back(std::make_unique<PagedKvCache>(pool));
+        state.layers.push_back(std::make_unique<PagedKvCache>(pool, dcache));
     return state;
 }
 

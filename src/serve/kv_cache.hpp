@@ -23,6 +23,7 @@
 #ifndef OLIVE_SERVE_KV_CACHE_HPP
 #define OLIVE_SERVE_KV_CACHE_HPP
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -170,6 +171,21 @@ KvCacheFormat parseKvCacheFormat(const std::string &id);
 std::vector<std::string> kvCacheFormatIds();
 
 /**
+ * One run of consecutive decoded rows served to block-table attention:
+ * row i of the span's K plane lives at k + i*d (stride = the model d),
+ * likewise for V.  A cache's rows [0, length) are presented as an
+ * ordered list of spans — one per referenced block when a decoded
+ * working set backs the cache, or a single all-rows span from the
+ * retained scratch-materializing path.
+ */
+struct KvSpan
+{
+    const float *k = nullptr;
+    const float *v = nullptr;
+    size_t rows = 0;
+};
+
+/**
  * One transformer layer's K and V rows for one request, stored through
  * a KvScheme.  append() encodes one token's K and V projection rows;
  * decodeK/decodeV materialize the whole cache into (length, d) scratch
@@ -213,6 +229,21 @@ class KvCache
     virtual void decodeV(Tensor &out) const = 0;
 
     /**
+     * Serve the decoded form of rows [0, length) to @p fn as an ordered
+     * span list (attention's read path).  The spans are valid only for
+     * the duration of the call.  The base implementation materializes a
+     * transient (length, d) scratch pair through decodeK/decodeV and
+     * passes one span — the original O(length)-codec-work-per-step path,
+     * retained as the bit-exactness oracle; PagedKvCache overrides it to
+     * pin per-block entries of a shared DecodedBlockCache, decoding only
+     * rows not already resident (O(1) amortized).  Both present
+     * identical floats: decode is a pure per-row function, so where the
+     * decoded copy lives can never change a value.
+     */
+    virtual void
+    withDecoded(const std::function<void(std::span<const KvSpan>)> &fn) const;
+
+    /**
      * Persistent footprint.  Contiguous: packed payload + per-row codec
      * params.  Paged: referenced blocks x block bytes — what this cache
      * would occupy if nothing were shared (pool-level bytesInUse() is
@@ -254,6 +285,7 @@ class KvCacheReference final : public KvCache
 };
 
 class BlockPool;
+class DecodedBlockCache;
 
 /**
  * Paged layout: logical row i lives in slot i % blockRows of block
@@ -265,8 +297,15 @@ class BlockPool;
 class PagedKvCache final : public KvCache
 {
   public:
-    /** @param pool must outlive the cache (and defines the scheme/d). */
-    explicit PagedKvCache(BlockPool &pool);
+    /**
+     * @param pool   must outlive the cache (and defines the scheme/d).
+     * @param dcache optional decoded-block working set (shared across
+     *               the engine's caches; must outlive this one).  When
+     *               given, withDecoded() serves per-block spans pinned
+     *               in it; when null, the base scratch path is used.
+     */
+    explicit PagedKvCache(BlockPool &pool,
+                          DecodedBlockCache *dcache = nullptr);
     ~PagedKvCache() override;
 
     PagedKvCache(PagedKvCache &&) = delete;
@@ -277,6 +316,8 @@ class PagedKvCache final : public KvCache
     size_t length() const override { return rows_; }
     void decodeK(Tensor &out) const override;
     void decodeV(Tensor &out) const override;
+    void withDecoded(const std::function<void(std::span<const KvSpan>)>
+                         &fn) const override;
     size_t encodedBytes() const override;
 
     /**
@@ -301,6 +342,7 @@ class PagedKvCache final : public KvCache
     void decodePlane(bool k_plane, Tensor &out) const;
 
     BlockPool *pool_;
+    DecodedBlockCache *dcache_; //!< Optional; engine-owned, shared.
     std::vector<u32> table_;
     size_t rows_ = 0;
     std::vector<u8> scratch_; //!< Encode staging for one row.
@@ -329,9 +371,14 @@ struct DecodeState
 DecodeState makeDecodeState(const nn::Transformer &model,
                             const KvScheme &scheme);
 
-/** Fresh paged decode state over @p pool; the pool must outlive it. */
+/**
+ * Fresh paged decode state over @p pool; the pool (and @p dcache when
+ * given — the engine's shared decoded-block working set) must outlive
+ * it.
+ */
 DecodeState makePagedDecodeState(const nn::Transformer &model,
-                                 BlockPool &pool);
+                                 BlockPool &pool,
+                                 DecodedBlockCache *dcache = nullptr);
 
 } // namespace serve
 } // namespace olive

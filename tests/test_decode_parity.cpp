@@ -8,6 +8,11 @@
  * 4-wide tile boundaries), with and without activation quantization
  * schemes (which quantize per token in both paths:
  * forward(..., ActQuant::PerToken)).
+ *
+ * BlockTableAttentionMatchesScratchPath extends the contract to the
+ * storage/read-path axis: block-table attention over DecodedBlockCache
+ * leases must match the retained scratch-materializing path bitwise,
+ * across all four KV codecs, blockRows 1..5 and every prefix length.
  */
 
 #include <gtest/gtest.h>
@@ -20,6 +25,8 @@
 #include "models/synthetic.hpp"
 #include "nn/transformer.hpp"
 #include "quant/scheme.hpp"
+#include "serve/block_pool.hpp"
+#include "serve/decoded_cache.hpp"
 #include "serve/kv_cache.hpp"
 #include "util/random.hpp"
 
@@ -153,6 +160,96 @@ TEST(DecodeParity, PerTokenGranularityMatchesPerTensorOnSingleRows)
     const Tensor a = m.forward(x, &olive4, nn::ActQuant::PerTensor);
     const Tensor b = m.forward(x, &olive4, nn::ActQuant::PerToken);
     EXPECT_TRUE(bitIdentical(a.data(), b.data()));
+}
+
+TEST(DecodeParity, BlockTableAttentionMatchesScratchPath)
+{
+    // Block-table attention (attendRowSpans over DecodedBlockCache
+    // leases) against the retained scratch-materializing path, bitwise
+    // on every step output: architectures x all four KV codecs x
+    // blockRows 1..5 (span boundaries landing on, inside, and past the
+    // kernel's 4-wide tiles) x every prefix of a 9-token sequence.
+    // Four cache paths step in lockstep — contiguous reference, paged
+    // without a working set (scratch over paged storage), paged with an
+    // unbounded working set, and paged with a single-block working set
+    // (maximum eviction churn mid-sequence) — and all must agree on
+    // every bit: partitioning the attention reads can move work, never
+    // a value.
+    const struct
+    {
+        size_t layers, d, heads, ff;
+    } archs[] = {{2, 12, 4, 24}, {1, 8, 2, 16}};
+    const serve::KvCacheFormat fmts[] = {
+        serve::KvCacheFormat::Fp32, serve::KvCacheFormat::Olive4,
+        serve::KvCacheFormat::Olive8, serve::KvCacheFormat::Int8};
+    const size_t seq = 9;
+    u64 seed = 7000;
+    for (const auto &a : archs) {
+        const nn::Transformer m =
+            causalBackbone(a.layers, a.d, a.heads, a.ff, ++seed);
+        const Tensor x = randomInput(seq, a.d, seed * 13);
+        for (const auto fmt : fmts) {
+            const auto scheme = serve::makeKvScheme(fmt);
+            u64 evictions = 0, decoded_rows = 0;
+            for (size_t block_rows = 1; block_rows <= 5; ++block_rows) {
+                SCOPED_TRACE(testing::Message()
+                             << scheme->name() << " d=" << a.d
+                             << " blockRows=" << block_rows);
+                // Declaration order is the lifecycle contract: caches
+                // (states) die first, their block releases fire the
+                // pool hook into the still-live working set, the pool
+                // dies last — exactly how the engine orders members.
+                serve::BlockPool pool_s(*scheme, a.d, block_rows);
+                serve::BlockPool pool_u(*scheme, a.d, block_rows);
+                serve::BlockPool pool_1(*scheme, a.d, block_rows);
+                serve::DecodedBlockCache dc_u(pool_u, 0);
+                serve::DecodedBlockCache dc_1(pool_1, 1);
+                pool_u.setReleaseHook(
+                    [&dc_u](u32 id) { dc_u.invalidate(id); });
+                pool_1.setReleaseHook(
+                    [&dc_1](u32 id) { dc_1.invalidate(id); });
+                serve::DecodeState ref =
+                    serve::makeDecodeState(m, *scheme);
+                serve::DecodeState scratch =
+                    serve::makePagedDecodeState(m, pool_s);
+                serve::DecodeState unbounded =
+                    serve::makePagedDecodeState(m, pool_u, &dc_u);
+                serve::DecodeState tiny =
+                    serve::makePagedDecodeState(m, pool_1, &dc_1);
+
+                Tensor x_t({1, a.d});
+                for (size_t t = 0; t < seq; ++t) {
+                    auto src = x.row(t);
+                    std::copy(src.begin(), src.end(),
+                              x_t.row(0).begin());
+                    const Tensor h0 = m.forwardStep(x_t, ref, nullptr);
+                    const Tensor h1 =
+                        m.forwardStep(x_t, scratch, nullptr);
+                    const Tensor h2 =
+                        m.forwardStep(x_t, unbounded, nullptr);
+                    const Tensor h3 = m.forwardStep(x_t, tiny, nullptr);
+                    ASSERT_TRUE(bitIdentical(h1.row(0), h0.row(0)))
+                        << "paged-scratch diverged at prefix " << t + 1;
+                    ASSERT_TRUE(bitIdentical(h2.row(0), h0.row(0)))
+                        << "block-table diverged at prefix " << t + 1;
+                    ASSERT_TRUE(bitIdentical(h3.row(0), h0.row(0)))
+                        << "tiny working set diverged at prefix "
+                        << t + 1;
+                    dc_u.checkInvariants();
+                    dc_1.checkInvariants();
+                }
+                evictions += dc_1.evictions();
+                decoded_rows += dc_u.decodedRows();
+                // Unbounded working set: every (block, slot) decodes
+                // exactly once per plane pair — seq rows per layer.
+                EXPECT_EQ(dc_u.decodedRows(), seq * a.layers);
+                EXPECT_EQ(dc_u.evictions(), 0u);
+            }
+            // The tiny-capacity sweep must actually have churned.
+            EXPECT_GT(evictions, 0u) << scheme->name();
+            EXPECT_GT(decoded_rows, 0u);
+        }
+    }
 }
 
 TEST(DecodeParity, StepOutputsAreIndependentOfLaterTokens)

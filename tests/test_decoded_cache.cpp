@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Property tests for serve::DecodedBlockCache, the pin-aware LRU
+ * working set of decoded KV blocks: acquire decodes exactly the
+ * not-yet-resident slots (tail extension is incremental), pinned
+ * entries are never evicted (the capacity cap is soft), the pool's
+ * release hook invalidates entries before their block id can recycle,
+ * and a seeded randomized churn loop drives the cache against a
+ * shadow-model LRU — comparing hit/miss/eviction counters, residency,
+ * pin counts, decoded row counts and decoded float contents, and
+ * re-checking every internal invariant (checkInvariants()) after every
+ * single mutation.
+ *
+ * The Fp32KvScheme payload is the raw float row, so expected decoded
+ * contents are exactly the bytes written into the pool slots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <list>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "serve/block_pool.hpp"
+#include "serve/decoded_cache.hpp"
+#include "serve/kv_cache.hpp"
+#include "util/random.hpp"
+
+namespace olive {
+namespace {
+
+constexpr size_t kD = 8;
+
+/** Write a recognizable fp32 pattern into one (block, slot) pair. */
+void
+fillSlot(serve::BlockPool &pool, u32 id, size_t slot, float tag)
+{
+    std::vector<float> k(kD), v(kD);
+    for (size_t i = 0; i < kD; ++i) {
+        k[i] = tag + static_cast<float>(slot) * 10.0f +
+               static_cast<float>(i);
+        v[i] = -k[i] + 0.5f;
+    }
+    std::memcpy(pool.kRow(id, slot), k.data(), kD * sizeof(float));
+    std::memcpy(pool.vRow(id, slot), v.data(), kD * sizeof(float));
+}
+
+/** The pattern fillSlot wrote, for lease-content checks. */
+void
+expectSlot(const serve::DecodedBlockCache::Lease &lease, size_t slot,
+           float tag)
+{
+    for (size_t i = 0; i < kD; ++i) {
+        const float want = tag + static_cast<float>(slot) * 10.0f +
+                           static_cast<float>(i);
+        EXPECT_EQ(lease.k[slot * kD + i], want);
+        EXPECT_EQ(lease.v[slot * kD + i], -want + 0.5f);
+    }
+}
+
+TEST(DecodedCache, AcquireDecodesIncrementallyAndCounts)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, kD, 4);
+    serve::DecodedBlockCache cache(pool, 0);
+    EXPECT_EQ(cache.entryBytes(), 2 * 4 * kD * sizeof(float));
+
+    const u32 id = pool.allocate();
+    fillSlot(pool, id, 0, 1000.0f);
+    fillSlot(pool, id, 1, 1000.0f);
+
+    // First acquire: a miss that decodes exactly the requested slots.
+    const auto l1 = cache.acquire(id, 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.decodedRows(), 1u);
+    EXPECT_EQ(cache.rowsOf(id), 1u);
+    expectSlot(l1, 0, 1000.0f);
+    cache.checkInvariants();
+
+    // Tail extension: the second acquire decodes only slot 1 — the
+    // O(1)-per-step property (filled slots are append-once, so the
+    // already-decoded prefix is never re-decoded).
+    const auto l2 = cache.acquire(id, 2);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.decodedRows(), 2u);
+    EXPECT_EQ(cache.rowsOf(id), 2u);
+    EXPECT_EQ(cache.pinsOf(id), 2);
+    expectSlot(l2, 0, 1000.0f);
+    expectSlot(l2, 1, 1000.0f);
+    // A shorter re-acquire decodes nothing and shrinks nothing.
+    (void)cache.acquire(id, 1);
+    EXPECT_EQ(cache.decodedRows(), 2u);
+    EXPECT_EQ(cache.rowsOf(id), 2u);
+    cache.checkInvariants();
+
+    cache.release(id);
+    cache.release(id);
+    cache.release(id);
+    EXPECT_EQ(cache.pinsOf(id), 0);
+    EXPECT_EQ(cache.entryCount(), 1u); // unbounded: stays resident
+    EXPECT_EQ(cache.currentBytes(), cache.entryBytes());
+    EXPECT_EQ(cache.peakBytes(), cache.entryBytes());
+    cache.checkInvariants();
+    pool.release(id);
+}
+
+TEST(DecodedCache, PinnedEntriesAreNeverEvicted)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, kD, 2);
+    serve::DecodedBlockCache cache(pool, /*capacity_blocks=*/1);
+
+    const u32 a = pool.allocate();
+    const u32 b = pool.allocate();
+    fillSlot(pool, a, 0, 100.0f);
+    fillSlot(pool, b, 0, 200.0f);
+
+    // Two pinned entries under a capacity of one: the cap is soft, so
+    // both stay resident — eviction may never invalidate a pointer an
+    // in-flight attention step is reading through.
+    const auto la = cache.acquire(a, 1);
+    const auto lb = cache.acquire(b, 1);
+    EXPECT_EQ(cache.entryCount(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.pinnedCount(), 2u);
+    expectSlot(la, 0, 100.0f); // both leases still serve valid rows
+    expectSlot(lb, 0, 200.0f);
+    cache.checkInvariants();
+
+    // The first release shrinks back to the cap: the now-unpinned LRU
+    // entry (a) goes, the still-pinned one (b) survives.
+    cache.release(a);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+    expectSlot(lb, 0, 200.0f);
+    cache.checkInvariants();
+
+    cache.release(b);
+    EXPECT_EQ(cache.entryCount(), 1u); // within cap: b stays warm
+    cache.checkInvariants();
+    pool.release(a);
+    pool.release(b);
+}
+
+TEST(DecodedCache, ReleaseHookInvalidatesBeforeIdRecycles)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, kD, 2);
+    serve::DecodedBlockCache cache(pool, 0);
+    // Wired exactly as the engine wires it: refcount hitting zero drops
+    // the decoded entry before the free list can hand the id out again.
+    pool.setReleaseHook([&cache](u32 id) { cache.invalidate(id); });
+
+    const u32 a = pool.allocate();
+    fillSlot(pool, a, 0, 300.0f);
+    (void)cache.acquire(a, 1);
+    cache.release(a);
+    EXPECT_TRUE(cache.contains(a));
+
+    // Sharing keeps the entry alive: dropping one of two references
+    // must not invalidate (the block is still live).
+    pool.retain(a);
+    pool.release(a);
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_EQ(cache.invalidations(), 0u);
+
+    // Allocate the donor while `a` is still live, so the free list can
+    // only hand a's id to the copy-on-write target below.
+    const u32 donor = pool.allocate();
+    fillSlot(pool, donor, 0, 400.0f);
+
+    // The last release recycles the id — the entry must go with it.
+    pool.release(a);
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_EQ(cache.invalidations(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u); // invalidation is not an eviction
+    cache.checkInvariants();
+
+    // The recycled id gets fresh bytes (here via copy-on-write from the
+    // donor); acquiring it again must decode those, never the stale
+    // 300-pattern the dead entry held.
+    const u32 b = pool.allocate();
+    ASSERT_EQ(b, a); // free list recycled the id
+    pool.copyRows(donor, b, 1);
+    const auto lb = cache.acquire(b, 1);
+    EXPECT_EQ(cache.misses(), 2u); // fresh decode, not a stale hit
+    expectSlot(lb, 0, 400.0f);
+    cache.release(b);
+    cache.checkInvariants();
+    pool.release(donor);
+    pool.release(b);
+}
+
+TEST(DecodedCacheDeath, MisuseIsCaught)
+{
+    const serve::Fp32KvScheme fp32;
+    serve::BlockPool pool(fp32, kD, 2);
+    serve::DecodedBlockCache cache(pool, 0);
+    const u32 id = pool.allocate();
+    fillSlot(pool, id, 0, 1.0f);
+    EXPECT_DEATH(cache.release(id), "not pinned"); // never acquired
+    (void)cache.acquire(id, 1);
+    // A pinned block is referenced by a live cache holding a pool
+    // reference, so its refcount cannot hit zero: an invalidation of a
+    // pinned entry can only be a lifecycle bug upstream.
+    EXPECT_DEATH(cache.invalidate(id), "pinned");
+    EXPECT_DEATH((void)cache.acquire(id, 3), "blockRows");
+    cache.release(id);
+    pool.release(id);
+}
+
+TEST(DecodedCache, RandomizedChurnMatchesShadowLru)
+{
+    // Seeded property loop: random acquire/release churn over a fixed
+    // population of live blocks, mirrored against a shadow model that
+    // re-implements the documented policy (LRU front on every acquire,
+    // eviction from the tail skipping pinned entries, limit cap-1 on
+    // insert and cap on release).  After every mutation the real
+    // cache's counters, residency, pins, decoded rows and invariants
+    // must match the shadow exactly — the counters are part of the
+    // serial determinism contract.
+    struct ShadowEntry
+    {
+        size_t rows = 0;
+        int pins = 0;
+    };
+    const serve::Fp32KvScheme fp32;
+    for (const size_t cap : {size_t{0}, size_t{1}, size_t{3}}) {
+        for (const u64 seed : {1u, 2u, 3u, 4u, 5u}) {
+            Rng rng(seed * 2654435761u + cap);
+            const size_t block_rows = 1 + rng.uniformInt(4);
+            serve::BlockPool pool(fp32, kD, block_rows);
+            serve::DecodedBlockCache cache(pool, cap);
+
+            const size_t n_blocks = 6;
+            std::vector<u32> ids;
+            for (size_t i = 0; i < n_blocks; ++i) {
+                const u32 id = pool.allocate();
+                for (size_t s = 0; s < block_rows; ++s)
+                    fillSlot(pool, id, s,
+                             static_cast<float>(id) * 1000.0f);
+                ids.push_back(id);
+            }
+
+            std::map<u32, ShadowEntry> shadow;
+            std::list<u32> shadow_lru; // front = MRU
+            u64 s_hits = 0, s_misses = 0, s_evictions = 0, s_rows = 0;
+            std::vector<u32> leases; // outstanding pins, multiset
+            const auto shadowEvict = [&](size_t limit) {
+                if (cap == 0)
+                    return;
+                for (auto it = shadow_lru.rbegin();
+                     shadow.size() > limit &&
+                     it != shadow_lru.rend();) {
+                    if (shadow.at(*it).pins > 0) {
+                        ++it;
+                        continue;
+                    }
+                    shadow.erase(*it);
+                    it = decltype(it)(shadow_lru.erase(std::prev(
+                        it.base()))); // resume toward the front
+                    ++s_evictions;
+                }
+            };
+
+            for (int op = 0; op < 600; ++op) {
+                const double u = rng.uniform();
+                if (u < 0.6 || leases.empty()) {
+                    const u32 id = ids[rng.uniformInt(ids.size())];
+                    const size_t rows = 1 + rng.uniformInt(block_rows);
+                    const auto lease = cache.acquire(id, rows);
+                    auto it = shadow.find(id);
+                    if (it == shadow.end()) {
+                        shadowEvict(cap > 0 ? cap - 1 : 0);
+                        it = shadow.emplace(id, ShadowEntry{}).first;
+                        shadow_lru.push_front(id);
+                        ++s_misses;
+                    } else {
+                        shadow_lru.remove(id);
+                        shadow_lru.push_front(id);
+                        ++s_hits;
+                    }
+                    if (rows > it->second.rows) {
+                        s_rows += rows - it->second.rows;
+                        it->second.rows = rows;
+                    }
+                    ++it->second.pins;
+                    leases.push_back(id);
+                    // Decoded contents must match the slot pattern for
+                    // every row the shadow says is resident.
+                    for (size_t s = 0; s < it->second.rows; ++s)
+                        expectSlot(lease, s,
+                                   static_cast<float>(id) * 1000.0f);
+                } else {
+                    const size_t pick = rng.uniformInt(leases.size());
+                    const u32 id = leases[pick];
+                    leases.erase(leases.begin() +
+                                 static_cast<std::ptrdiff_t>(pick));
+                    cache.release(id);
+                    --shadow.at(id).pins;
+                    shadowEvict(cap);
+                }
+
+                cache.checkInvariants();
+                EXPECT_EQ(cache.hits(), s_hits);
+                EXPECT_EQ(cache.misses(), s_misses);
+                EXPECT_EQ(cache.evictions(), s_evictions);
+                EXPECT_EQ(cache.decodedRows(), s_rows);
+                EXPECT_EQ(cache.entryCount(), shadow.size());
+                EXPECT_EQ(cache.currentBytes(),
+                          shadow.size() * cache.entryBytes());
+                size_t s_pinned = 0;
+                for (const auto &[id, e] : shadow) {
+                    EXPECT_TRUE(cache.contains(id));
+                    EXPECT_EQ(cache.pinsOf(id), e.pins) << id;
+                    EXPECT_EQ(cache.rowsOf(id), e.rows) << id;
+                    s_pinned += e.pins > 0 ? 1u : 0u;
+                }
+                EXPECT_EQ(cache.pinnedCount(), s_pinned);
+                for (u32 id : ids) {
+                    if (!shadow.count(id)) {
+                        EXPECT_FALSE(cache.contains(id)) << id;
+                    }
+                }
+                if (HasFailure())
+                    FAIL() << "shadow divergence at op " << op
+                           << " seed " << seed << " cap " << cap;
+            }
+
+            // Drain every lease; the cache must settle within the cap.
+            while (!leases.empty()) {
+                cache.release(leases.back());
+                --shadow.at(leases.back()).pins;
+                leases.pop_back();
+                shadowEvict(cap);
+            }
+            cache.checkInvariants();
+            EXPECT_EQ(cache.entryCount(), shadow.size());
+            if (cap > 0) {
+                EXPECT_LE(cache.entryCount(), cap);
+            }
+            for (u32 id : ids)
+                pool.release(id);
+        }
+    }
+}
+
+TEST(DecodedCache, ConcurrentAcquiresOfSharedBlocksAreSafe)
+{
+    // Engine-shaped race: several threads repeatedly pin the same few
+    // blocks (prefix sharing makes this the common case) with varying
+    // row counts.  Whatever the interleaving, every lease must serve
+    // the exact decoded pattern and the cache must end consistent and
+    // fully unpinned.  (Run under ASan/TSan in the sanitizer CI legs.)
+    const serve::Fp32KvScheme fp32;
+    const size_t block_rows = 4;
+    serve::BlockPool pool(fp32, kD, block_rows);
+    serve::DecodedBlockCache cache(pool, 2); // soft cap under pressure
+    std::vector<u32> ids;
+    for (size_t i = 0; i < 4; ++i) {
+        const u32 id = pool.allocate();
+        for (size_t s = 0; s < block_rows; ++s)
+            fillSlot(pool, id, s, static_cast<float>(id) * 1000.0f);
+        ids.push_back(id);
+    }
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < 8; ++t) {
+        workers.emplace_back([&, t]() {
+            Rng rng(t + 1);
+            for (int i = 0; i < 200; ++i) {
+                const u32 id = ids[rng.uniformInt(ids.size())];
+                const size_t rows = 1 + rng.uniformInt(block_rows);
+                const auto lease = cache.acquire(id, rows);
+                for (size_t s = 0; s < rows; ++s)
+                    expectSlot(lease, s,
+                               static_cast<float>(id) * 1000.0f);
+                cache.release(id);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    cache.checkInvariants();
+    EXPECT_EQ(cache.pinnedCount(), 0u);
+    EXPECT_EQ(cache.hits() + cache.misses(), 8u * 200u);
+    for (u32 id : ids)
+        pool.release(id);
+}
+
+} // namespace
+} // namespace olive

@@ -15,6 +15,12 @@
  * not just through a diverged argmax.  Pool invariants are re-checked
  * after every step of every paged run.
  *
+ * The DecodedCacheFuzz suite re-runs the same schedules with the
+ * decoded-block working set forced to degenerate capacities (one
+ * block, barely-enough, unbounded, off), demanding oracle-identical
+ * streams from each and meta-asserting that tiny capacities actually
+ * evict.
+ *
  * The ctest "serve" legs run this whole binary at OLIVE_THREADS=1 and
  * =8; a dedicated test also flips the pool size in-process.
  */
@@ -169,6 +175,8 @@ runSchedule(const eval::LmModel &lm, const serve::ServeConfig &cfg,
         eng.step();
         if (const serve::BlockPool *pool = eng.blockPool())
             pool->checkInvariants();
+        if (const serve::DecodedBlockCache *dc = eng.decodedCache())
+            dc->checkInvariants();
         ++step_idx;
         if (step_idx >= 100000u) {
             ADD_FAILURE() << "schedule did not drain";
@@ -332,6 +340,74 @@ TEST(PagedFuzz, SharingIsTokenStreamInvisible)
         shared_total += m_on.sharedPrefillRowsSkipped;
     }
     EXPECT_GT(shared_total, 0u);
+}
+
+// Decoded-block working set under churn: every schedule re-runs with
+// the working set at degenerate capacities — one single block (maximum
+// eviction pressure; the soft cap overflows transiently whenever a
+// table pins more than one block), barely enough for the largest
+// request, unbounded, and off entirely (the retained scratch path) —
+// and each variant's token streams must stay bit-identical to the
+// contiguous oracle.  The capacity knob may only move work, never a
+// value.  Registered as the ctest serve.decoded_cache legs at
+// OLIVE_THREADS=1 and =8.
+TEST(DecodedCacheFuzz, CapacitySweepMatchesReferenceOracle)
+{
+    const eval::LmModel lm = fuzzLm(4242);
+    const size_t n_layers = lm.backbone.layers.size();
+    u64 evictions_tiny = 0, hits_unbounded = 0, hits_tiny = 0;
+    for (u64 seed = 1; seed <= 100; ++seed) {
+        Rng rng(seed * 7919);
+        const Schedule s = randomSchedule(rng, lm.vocab, n_layers);
+        SCOPED_TRACE(testing::Message()
+                     << "seed=" << seed << " blockRows="
+                     << s.paged.blockRows << " pool=" << s.paged.poolBlocks);
+        const auto ref = runSchedule(lm, s.ref, s.subs);
+        // Barely enough: the largest single request's full block count
+        // across all layers — its own working set fits, but any
+        // concurrency or sharing across requests contends.
+        size_t barely = 1;
+        for (const SubSpec &sub : s.subs) {
+            const size_t rows = sub.prompt.size() + sub.maxNew - 1;
+            const size_t blocks = (rows + s.paged.blockRows - 1) /
+                                  s.paged.blockRows * n_layers;
+            barely = std::max(barely, blocks);
+        }
+        const struct
+        {
+            bool on;
+            size_t cap;
+        } variants[] = {{true, 1}, {true, barely}, {true, 0}, {false, 0}};
+        for (const auto &var : variants) {
+            serve::ServeConfig cfg = s.paged;
+            cfg.decodedCache = var.on;
+            cfg.decodedCacheBlocks = var.cap;
+            serve::ServeMetrics m;
+            const auto out = runSchedule(lm, cfg, s.subs, &m);
+            EXPECT_EQ(out, ref)
+                << "decodedCache=" << var.on << " cap=" << var.cap;
+            if (!var.on) {
+                EXPECT_EQ(m.decodedCacheMisses, 0u);
+                EXPECT_EQ(m.decodedCacheRows, 0u);
+                continue;
+            }
+            if (var.cap == 1) {
+                evictions_tiny += m.decodedCacheEvictions;
+                hits_tiny += m.decodedCacheHits;
+            } else if (var.cap == 0) {
+                hits_unbounded += m.decodedCacheHits;
+                EXPECT_EQ(m.decodedCacheEvictions, 0u)
+                    << "an unbounded working set must never evict";
+            }
+        }
+    }
+    // Meta-asserts: the sweep must actually exercise the machinery it
+    // claims to pin — a tiny cache must thrash, a large one must hit.
+    EXPECT_GT(evictions_tiny, 0u)
+        << "capacity 1 never evicted — the cap is not binding";
+    EXPECT_GT(hits_unbounded, hits_tiny)
+        << "an unbounded working set should out-hit a single block";
+    EXPECT_GT(hits_unbounded, 0u) << "no schedule ever hit the cache";
 }
 
 // In-process thread-count sweep over a few schedules, mirroring the
