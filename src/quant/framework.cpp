@@ -38,11 +38,14 @@ OliveMixedScheme::pickCodec(std::span<const float> xs, bool *escalated)
 std::vector<float>
 OliveMixedScheme::apply(std::span<const float> xs, TensorKind)
 {
-    ++applied_;
+    // relaxed: monotone statistics — appliers run from parallel
+    // kernels, but nothing is published through these counters and the
+    // readers tolerate in-flight staleness (see the header's contract).
+    applied_.fetch_add(1, std::memory_order_relaxed);
     bool escalated = false;
     const OvpCodec codec = pickCodec(xs, &escalated);
     if (escalated)
-        ++escalated_;
+        escalated_.fetch_add(1, std::memory_order_relaxed);
     return codec.fakeQuant(xs);
 }
 
@@ -56,9 +59,10 @@ OliveMixedScheme::calibrate(std::span<const float> calibration, TensorKind)
     // escalationRate()/weightBits() must reflect the tensors actually
     // quantized under the calibrate-then-apply flow.
     return [this, codec, escalated](std::span<const float> xs) {
-        ++applied_;
+        // relaxed: same monotone-statistic contract as apply().
+        applied_.fetch_add(1, std::memory_order_relaxed);
         if (escalated)
-            ++escalated_;
+            escalated_.fetch_add(1, std::memory_order_relaxed);
         return codec.fakeQuant(xs);
     };
 }
@@ -73,8 +77,11 @@ OliveMixedScheme::weightBits() const
 double
 OliveMixedScheme::escalationRate() const
 {
-    const u64 applied = applied_.load();
-    const u64 escalated = escalated_.load();
+    // relaxed: counters are sampled independently, so a reader racing
+    // an applier can see (applied, escalated) one increment apart —
+    // acceptable for a rate; exact once the parallel region joins.
+    const u64 applied = applied_.load(std::memory_order_relaxed);
+    const u64 escalated = escalated_.load(std::memory_order_relaxed);
     return applied ? static_cast<double>(escalated) /
                          static_cast<double>(applied)
                    : 0.0;

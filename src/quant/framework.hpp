@@ -41,8 +41,11 @@ class OliveMixedScheme : public Scheme
      * it runs (calibration itself does not), so escalationRate() and
      * weightBits() reflect the tensors actually quantized under the
      * calibrate-then-apply flow.  The applier references this scheme,
-     * which must outlive it; the counters are atomic, so appliers may
-     * run from parallel kernels.
+     * which must outlive it; the counters are atomic monotone
+     * statistics — incremented and read with memory_order_relaxed
+     * throughout, because no data is published through them and a
+     * concurrent reader only needs a value at most one in-flight
+     * application stale (exact once the parallel region joins).
      */
     Applier calibrate(std::span<const float> calibration,
                       TensorKind kind) override;
@@ -55,10 +58,16 @@ class OliveMixedScheme : public Scheme
     double escalationRate() const;
 
     /** Tensors quantized so far (apply() calls + applier invocations). */
-    u64 appliedCount() const { return applied_.load(); }
+    u64 appliedCount() const
+    {
+        return applied_.load(std::memory_order_relaxed);
+    }
 
     /** Of those, tensors that escalated to 8-bit. */
-    u64 escalatedCount() const { return escalated_.load(); }
+    u64 escalatedCount() const
+    {
+        return escalated_.load(std::memory_order_relaxed);
+    }
 
   private:
     /** Calibrate both precisions and pick; returns the chosen codec. */

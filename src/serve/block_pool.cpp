@@ -38,23 +38,51 @@ BlockPool::blockBytes() const
 // Lock-free: ids below the published count index stable unique_ptr
 // slots (the vector never reallocates — reserved at construction), and
 // a caller only dereferences ids published to it, so the pointed-to
-// Block cannot be mutated structurally underneath it.
+// Block cannot be mutated structurally underneath it.  The refcount
+// read is the liveness assert only: relaxed would do (payload
+// publication rides on the engine's step barrier or mu_, not on this
+// load), acquire is kept to match publishedBlocks_'s pairing.
 
 BlockPool::Block &
 BlockPool::live(u32 id)
 {
-    OLIVE_ASSERT(id < publishedBlocks_.load(std::memory_order_acquire) &&
-                     blocks_[id]->refcount > 0,
-                 "block id is not live");
+    OLIVE_ASSERT(
+        id < publishedBlocks_.load(std::memory_order_acquire) &&
+            blocks_[id]->refcount.load(std::memory_order_acquire) > 0,
+        "block id is not live");
     return *blocks_[id];
 }
 
 const BlockPool::Block &
 BlockPool::live(u32 id) const
 {
-    OLIVE_ASSERT(id < publishedBlocks_.load(std::memory_order_acquire) &&
-                     blocks_[id]->refcount > 0,
-                 "block id is not live");
+    OLIVE_ASSERT(
+        id < publishedBlocks_.load(std::memory_order_acquire) &&
+            blocks_[id]->refcount.load(std::memory_order_acquire) > 0,
+        "block id is not live");
+    return *blocks_[id];
+}
+
+// Under mu_ the refcount cannot move (mutations are lock-protected),
+// so relaxed loads are exact here.
+
+BlockPool::Block &
+BlockPool::liveLocked(u32 id)
+{
+    OLIVE_ASSERT(
+        id < blocks_.size() &&
+            blocks_[id]->refcount.load(std::memory_order_relaxed) > 0,
+        "block id is not live");
+    return *blocks_[id];
+}
+
+const BlockPool::Block &
+BlockPool::liveLocked(u32 id) const
+{
+    OLIVE_ASSERT(
+        id < blocks_.size() &&
+            blocks_[id]->refcount.load(std::memory_order_relaxed) > 0,
+        "block id is not live");
     return *blocks_[id];
 }
 
@@ -66,7 +94,7 @@ BlockPool::allocate()
     // under the lock.  Within an engine step blocks are only ever
     // allocated (releases happen in the serial eviction phase), so the
     // peak update commutes across interleavings.
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     u32 id;
     if (!freeList_.empty()) {
         id = freeList_.back();
@@ -85,8 +113,11 @@ BlockPool::allocate()
         publishedBlocks_.store(blocks_.size(), std::memory_order_release);
     }
     Block &b = *blocks_[id];
-    OLIVE_ASSERT(b.refcount == 0, "allocated a block that is still live");
-    b.refcount = 1;
+    OLIVE_ASSERT(b.refcount.load(std::memory_order_relaxed) == 0,
+                 "allocated a block that is still live");
+    // relaxed store: under mu_, and the block is published to its
+    // owner through the engine's structures, not through this value.
+    b.refcount.store(1, std::memory_order_relaxed);
     ++blocksInUse_;
     peakBytes_ = std::max(peakBytes_, blocksInUse_ * blockBytes());
     return id;
@@ -95,32 +126,34 @@ BlockPool::allocate()
 void
 BlockPool::retain(u32 id)
 {
-    Block &b = live(id);
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++b.refcount;
+    // Lock before the liveness check: a concurrent release of another
+    // reference must not interleave between check and increment.
+    const MutexLock lock(mu_);
+    Block &b = liveLocked(id);
+    b.refcount.fetch_add(1, std::memory_order_relaxed);
     ++sharedBlocks_;
 }
 
 void
 BlockPool::setReleaseHook(std::function<void(u32)> hook)
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     releaseHook_ = std::move(hook);
 }
 
 void
 BlockPool::release(u32 id)
 {
-    Block &b = live(id);
-    const std::lock_guard<std::mutex> lock(mu_);
-    --b.refcount;
-    if (b.refcount == 0) {
+    const MutexLock lock(mu_);
+    Block &b = liveLocked(id);
+    if (b.refcount.fetch_sub(1, std::memory_order_relaxed) == 1) {
         --blocksInUse_;
         freeList_.push_back(id);
         // The payload is now recyclable: give the decoded working set
         // its chance to drop the corresponding entry before the id can
         // be handed out again (the hook's lock-order contract is in
-        // setReleaseHook's comment).
+        // setReleaseHook's comment: pool mu_ is held here, so the hook
+        // takes the decoded-cache mutex *inside* it).
         if (releaseHook_)
             releaseHook_(id);
     } else {
@@ -131,9 +164,9 @@ BlockPool::release(u32 id)
 int
 BlockPool::refcount(u32 id) const
 {
-    OLIVE_ASSERT(id < publishedBlocks_.load(std::memory_order_acquire),
-                 "block id out of range");
-    return blocks_[id]->refcount;
+    const MutexLock lock(mu_);
+    OLIVE_ASSERT(id < blocks_.size(), "block id out of range");
+    return blocks_[id]->refcount.load(std::memory_order_relaxed);
 }
 
 // Slot layout: the payload keeps all K rows first, then all V rows, so
@@ -201,9 +234,9 @@ BlockPool::copyRows(u32 src, u32 dst, size_t nrows)
 {
     OLIVE_ASSERT(nrows <= blockRows_, "cannot copy more rows than a block");
     OLIVE_ASSERT(src != dst, "copy-on-write source and target must differ");
-    const Block &s = live(src);
-    Block &t = live(dst);
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
+    const Block &s = liveLocked(src);
+    Block &t = liveLocked(dst);
     // K rows and V rows are each contiguous prefixes of their halves.
     std::memcpy(t.payload.data(), s.payload.data(), nrows * rowBytes_);
     std::memcpy(t.payload.data() + blockRows_ * rowBytes_,
@@ -215,18 +248,62 @@ BlockPool::copyRows(u32 src, u32 dst, size_t nrows)
     payloadCopyRows_ += nrows;
 }
 
+size_t
+BlockPool::blocksInUse() const
+{
+    const MutexLock lock(mu_);
+    return blocksInUse_;
+}
+
+size_t
+BlockPool::freeBlocks() const
+{
+    const MutexLock lock(mu_);
+    return freeList_.size();
+}
+
+size_t
+BlockPool::bytesInUse() const
+{
+    const MutexLock lock(mu_);
+    return blocksInUse_ * blockBytes();
+}
+
+size_t
+BlockPool::peakBytes() const
+{
+    const MutexLock lock(mu_);
+    return peakBytes_;
+}
+
+size_t
+BlockPool::sharedSavedBytes() const
+{
+    const MutexLock lock(mu_);
+    return sharedBlocks_ * blockBytes();
+}
+
+u64
+BlockPool::payloadCopyRows() const
+{
+    const MutexLock lock(mu_);
+    return payloadCopyRows_;
+}
+
 void
 BlockPool::checkInvariants() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
-    OLIVE_ASSERT(publishedBlocks_.load() == blocks_.size(),
+    const MutexLock lock(mu_);
+    OLIVE_ASSERT(publishedBlocks_.load(std::memory_order_relaxed) ==
+                     blocks_.size(),
                  "published block count drifted from the index");
     size_t in_use = 0, extra_refs = 0;
     for (const auto &b : blocks_) {
-        OLIVE_ASSERT(b->refcount >= 0, "negative block refcount");
-        if (b->refcount > 0) {
+        const int refs = b->refcount.load(std::memory_order_relaxed);
+        OLIVE_ASSERT(refs >= 0, "negative block refcount");
+        if (refs > 0) {
             ++in_use;
-            extra_refs += static_cast<size_t>(b->refcount) - 1;
+            extra_refs += static_cast<size_t>(refs) - 1;
         }
     }
     OLIVE_ASSERT(in_use == blocksInUse_,
@@ -235,9 +312,9 @@ BlockPool::checkInvariants() const
                  "sharedBlocks drifted from the per-block refcounts");
     OLIVE_ASSERT(in_use + freeList_.size() == blocks_.size(),
                  "free list does not cover exactly the refcount-0 blocks");
-    OLIVE_ASSERT(bytesInUse() == blocksInUse_ * blockBytes(),
-                 "bytesInUse is not blocks-in-use x block bytes");
-    OLIVE_ASSERT(peakBytes_ >= bytesInUse(),
+    // bytesInUse() is blocksInUse_ x blockBytes() by definition now
+    // (computed under this same lock), so only the peak needs checking.
+    OLIVE_ASSERT(peakBytes_ >= blocksInUse_ * blockBytes(),
                  "peak bytes fell below the current footprint");
     OLIVE_ASSERT(maxBlocks_ == 0 || blocks_.size() <= maxBlocks_,
                  "pool grew beyond its capacity cap");
@@ -247,7 +324,9 @@ BlockPool::checkInvariants() const
     for (size_t i = 0; i < fl.size(); ++i) {
         OLIVE_ASSERT(i == 0 || fl[i] != fl[i - 1],
                      "free list holds a block twice (double free)");
-        OLIVE_ASSERT(fl[i] < blocks_.size() && blocks_[fl[i]]->refcount == 0,
+        OLIVE_ASSERT(fl[i] < blocks_.size() &&
+                         blocks_[fl[i]]->refcount.load(
+                             std::memory_order_relaxed) == 0,
                      "free list holds a live block");
     }
 }

@@ -30,15 +30,27 @@
  *
  * Thread safety: the engine appends to different requests' caches
  * concurrently, so allocate() (the only structural mutation reachable
- * from that path) is serialized by a mutex, and the accounting peak
+ * from that path) is serialized by mu_, and the accounting peak
  * stays deterministic because blocks are only released between steps —
  * within a step blocksInUse is monotone, so its per-step maximum is
  * interleaving-independent.  retain/release/copyRows only run from the
- * engine's serial admission/eviction phases but take the lock anyway.
+ * engine's serial admission/eviction phases but take the lock anyway,
+ * as do all accounting accessors (a metrics poller may sample them
+ * while another thread allocates).  Per-block refcounts are atomic:
+ * they are only *mutated* under mu_ (so the aggregate counters update
+ * atomically with them), but the lock-free row accessors read them in
+ * their liveness assert — see live().
+ *
  * Row accessors are lock-free: the block index is reserved up front
  * (never reallocates; allocate() asserts the cap), a block's storage
  * address is stable for its lifetime, blocks are append-once, and an
- * id is only ever dereferenced by threads it was published to.
+ * id is only ever dereferenced by threads it was published to (the
+ * engine's step barrier or the pool lock carries the publication).
+ *
+ * Lock hierarchy: mu_ is a leaf except for the release hook, which
+ * runs under mu_ and takes the decoded working set's cache mutex —
+ * pool mutex before decoded-cache mutex, never the reverse (the
+ * decoded cache only calls the pool's lock-free row accessors).
  */
 
 #ifndef OLIVE_SERVE_BLOCK_POOL_HPP
@@ -47,10 +59,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "kv_cache.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace olive {
 namespace serve {
@@ -88,19 +100,19 @@ class BlockPool
      * growing.  Panics if a capacity cap would be exceeded — callers
      * (the engine's admission gate) must reserve capacity up front.
      */
-    u32 allocate();
+    u32 allocate() OLIVE_EXCLUDES(mu_);
 
     /** Add a reference (prefix sharing). @pre block is live. */
-    void retain(u32 id);
+    void retain(u32 id) OLIVE_EXCLUDES(mu_);
 
     /**
      * Drop one reference; the block returns to the free list when the
      * count hits zero.  Payload bytes are never touched.  @pre live.
      */
-    void release(u32 id);
+    void release(u32 id) OLIVE_EXCLUDES(mu_);
 
     /** Current reference count (0 = free). */
-    int refcount(u32 id) const;
+    int refcount(u32 id) const OLIVE_EXCLUDES(mu_);
 
     /**
      * Hook invoked (under the pool lock) whenever a block's refcount
@@ -111,7 +123,7 @@ class BlockPool
      * lock, and whatever it references must outlive every cache that
      * still holds blocks (the engine orders its members accordingly).
      */
-    void setReleaseHook(std::function<void(u32)> hook);
+    void setReleaseHook(std::function<void(u32)> hook) OLIVE_EXCLUDES(mu_);
 
     // ---- row storage access (slot = logical row % blockRows) ----
     u8 *kRow(u32 id, size_t slot);
@@ -128,18 +140,18 @@ class BlockPool
      * (payload and meta), counting the rows in payloadCopyRows().  The
      * only pool operation that duplicates payload bytes.
      */
-    void copyRows(u32 src, u32 dst, size_t nrows);
+    void copyRows(u32 src, u32 dst, size_t nrows) OLIVE_EXCLUDES(mu_);
 
-    // ---- accounting ----
-    size_t blocksInUse() const { return blocksInUse_; }
-    size_t freeBlocks() const { return freeList_.size(); }
-    size_t bytesInUse() const { return blocksInUse_ * blockBytes(); }
+    // ---- accounting (each takes mu_: safe to poll concurrently) ----
+    size_t blocksInUse() const OLIVE_EXCLUDES(mu_);
+    size_t freeBlocks() const OLIVE_EXCLUDES(mu_);
+    size_t bytesInUse() const OLIVE_EXCLUDES(mu_);
     /** High-water mark of bytesInUse(); monotone within a run. */
-    size_t peakBytes() const { return peakBytes_; }
+    size_t peakBytes() const OLIVE_EXCLUDES(mu_);
     /** Bytes extra references avoid duplicating: sum (refs-1) x block. */
-    size_t sharedSavedBytes() const { return sharedBlocks_ * blockBytes(); }
+    size_t sharedSavedBytes() const OLIVE_EXCLUDES(mu_);
     /** Rows whose payload was ever memcpy'd (copy-on-write only). */
-    u64 payloadCopyRows() const { return payloadCopyRows_; }
+    u64 payloadCopyRows() const OLIVE_EXCLUDES(mu_);
 
     /**
      * Test hook: recompute every aggregate (blocks in use, shared
@@ -147,18 +159,27 @@ class BlockPool
      * panic on any mismatch — the BlockPool property tests call this
      * after every mutation.
      */
-    void checkInvariants() const;
+    void checkInvariants() const OLIVE_EXCLUDES(mu_);
 
   private:
     struct Block
     {
         std::vector<u8> payload;     //!< blockRows x (K row + V row).
         std::vector<KvRowMeta> meta; //!< blockRows x (K meta, V meta).
-        int refcount = 0;
+        /** References held by block tables.  Mutated only under the
+         *  pool's mu_ (never expressible as GUARDED_BY from a nested
+         *  struct), atomic because live()'s lock-free liveness assert
+         *  reads it — see the orderings documented at each access. */
+        std::atomic<int> refcount{0};
     };
 
+    /** Lock-free liveness check + lookup for the row accessors. */
     Block &live(u32 id);
     const Block &live(u32 id) const;
+
+    /** Same check under the pool lock (structural mutation paths). */
+    Block &liveLocked(u32 id) OLIVE_REQUIRES(mu_);
+    const Block &liveLocked(u32 id) const OLIVE_REQUIRES(mu_);
 
     const KvScheme *scheme_;
     size_t d_;
@@ -166,16 +187,25 @@ class BlockPool
     size_t maxBlocks_;
     size_t rowBytes_;
 
-    mutable std::mutex mu_; //!< Guards everything below but payloads.
-    std::function<void(u32)> releaseHook_;
+    mutable Mutex mu_; //!< Guards everything below but payloads.
+    std::function<void(u32)> releaseHook_ OLIVE_GUARDED_BY(mu_);
+    /** The block index.  Structural mutation (push_back) only under
+     *  mu_; left unannotated because the row accessors index it
+     *  lock-free below publishedBlocks_ (reserved storage — the begin
+     *  pointer never moves — and unique_ptr targets are
+     *  address-stable), which capability analysis cannot express. */
     std::vector<std::unique_ptr<Block>> blocks_;
-    /** blocks_.size(), published for lock-free accessor range checks. */
+    /** blocks_.size(), published for lock-free accessor range checks:
+     *  release store after push_back under mu_, acquire load in
+     *  live(), so an id below the loaded count indexes a fully
+     *  constructed Block. */
     std::atomic<size_t> publishedBlocks_{0};
-    std::vector<u32> freeList_;
-    size_t blocksInUse_ = 0;
-    size_t sharedBlocks_ = 0; //!< Sum over live blocks of (refcount-1).
-    size_t peakBytes_ = 0;
-    u64 payloadCopyRows_ = 0;
+    std::vector<u32> freeList_ OLIVE_GUARDED_BY(mu_);
+    size_t blocksInUse_ OLIVE_GUARDED_BY(mu_) = 0;
+    /** Sum over live blocks of (refcount-1). */
+    size_t sharedBlocks_ OLIVE_GUARDED_BY(mu_) = 0;
+    size_t peakBytes_ OLIVE_GUARDED_BY(mu_) = 0;
+    u64 payloadCopyRows_ OLIVE_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace serve

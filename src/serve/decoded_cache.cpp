@@ -39,7 +39,7 @@ DecodedBlockCache::acquire(u32 id, size_t rows)
                  "decoded rows must cover [1, blockRows]");
     Entry *e;
     {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         auto it = map_.find(id);
         if (it == map_.end()) {
             // Make room first so the new entry itself is never the
@@ -66,12 +66,15 @@ DecodedBlockCache::acquire(u32 id, size_t rows)
     // and whichever decodes first writes the identical bytes (decode is
     // a pure function of the block payload).
     {
-        const std::lock_guard<std::mutex> lock(e->fill);
-        if (e->rows < rows) {
+        const MutexLock lock(e->fill);
+        // relaxed load: fill serializes every writer, so the freshest
+        // value is visible here by mutex ordering alone.
+        const size_t have = e->rows.load(std::memory_order_relaxed);
+        if (have < rows) {
             const size_t d = pool_->dModel();
             const size_t rb = pool_->rowBytes();
             const KvScheme &scheme = pool_->scheme();
-            for (size_t s = e->rows; s < rows; ++s) {
+            for (size_t s = have; s < rows; ++s) {
                 scheme.decodeRow(
                     std::span<const u8>(pool_->kRow(id, s), rb),
                     pool_->kMeta(id, s),
@@ -81,9 +84,12 @@ DecodedBlockCache::acquire(u32 id, size_t rows)
                     pool_->vMeta(id, s),
                     std::span<float>(e->v.data() + s * d, d));
             }
-            decodedRows_.fetch_add(rows - e->rows,
+            decodedRows_.fetch_add(rows - have,
                                    std::memory_order_relaxed);
-            e->rows = rows;
+            // release store *after* the slot payload writes: an
+            // observer whose acquire load returns >= rows may read
+            // slots [0, rows) without holding fill.
+            e->rows.store(rows, std::memory_order_release);
         }
     }
     return Lease{e->k.data(), e->v.data()};
@@ -92,7 +98,7 @@ DecodedBlockCache::acquire(u32 id, size_t rows)
 void
 DecodedBlockCache::release(u32 id)
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     auto it = map_.find(id);
     OLIVE_ASSERT(it != map_.end() && it->second->pins > 0,
                  "releasing a decoded block that is not pinned");
@@ -105,7 +111,7 @@ DecodedBlockCache::release(u32 id)
 void
 DecodedBlockCache::invalidate(u32 id)
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     auto it = map_.find(id);
     if (it == map_.end())
         return;
@@ -120,28 +126,28 @@ DecodedBlockCache::invalidate(u32 id)
 size_t
 DecodedBlockCache::entryCount() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return map_.size();
 }
 
 size_t
 DecodedBlockCache::currentBytes() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return map_.size() * entryBytes_;
 }
 
 size_t
 DecodedBlockCache::peakBytes() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return peakBytes_;
 }
 
 size_t
 DecodedBlockCache::pinnedCount() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     size_t n = 0;
     for (const auto &[id, e] : map_)
         n += e->pins > 0 ? 1u : 0u;
@@ -151,14 +157,14 @@ DecodedBlockCache::pinnedCount() const
 bool
 DecodedBlockCache::contains(u32 id) const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return map_.count(id) > 0;
 }
 
 int
 DecodedBlockCache::pinsOf(u32 id) const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     auto it = map_.find(id);
     return it == map_.end() ? -1 : it->second->pins;
 }
@@ -166,15 +172,19 @@ DecodedBlockCache::pinsOf(u32 id) const
 size_t
 DecodedBlockCache::rowsOf(u32 id) const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     auto it = map_.find(id);
-    return it == map_.end() ? 0 : it->second->rows;
+    // acquire: pairs with the fill-side release store, so the caller
+    // may treat the returned count as a safely-readable decoded prefix.
+    return it == map_.end()
+               ? 0
+               : it->second->rows.load(std::memory_order_acquire);
 }
 
 void
 DecodedBlockCache::checkInvariants() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     OLIVE_ASSERT(lru_.size() == map_.size(),
                  "LRU list drifted from the entry map");
     size_t pinned = 0;
@@ -187,8 +197,15 @@ DecodedBlockCache::checkInvariants() const
                      "entry's LRU iterator does not point at its id "
                      "(duplicate or stale LRU node)");
         OLIVE_ASSERT(e.pins >= 0, "negative pin count");
-        OLIVE_ASSERT(e.rows >= 1 && e.rows <= pool_->blockRows(),
-                     "decoded row count outside [1, blockRows]");
+        // acquire sample of the fill-domain field (see Entry::rows):
+        // a lower bound while an extension is in flight, exact at
+        // rest.  rows == 0 is legal only for an entry whose first fill
+        // is still running — and such an entry is pinned by its
+        // creator.
+        const size_t rows = e.rows.load(std::memory_order_acquire);
+        OLIVE_ASSERT(rows <= pool_->blockRows() &&
+                         (rows >= 1 || e.pins > 0),
+                     "decoded row count outside [1, blockRows] at rest");
         OLIVE_ASSERT(e.k.size() == pool_->blockRows() * pool_->dModel() &&
                          e.v.size() == e.k.size(),
                      "entry buffers must span the full block capacity");

@@ -45,6 +45,16 @@
  * interleaving under a multi-thread pool (they are exact when the
  * engine is serial, which is what the shadow-model property test
  * checks).
+ *
+ * Lock discipline (machine-checked by the Clang thread-safety
+ * annotations, exercised by the TSan "race" tier): mu_ and an entry's
+ * fill mutex are never held together — acquire() drops mu_ before
+ * taking fill, and every other path touches only mu_.  A thread
+ * holding fill may call the pool's lock-free row accessors but must
+ * not take mu_ (that would invert against nothing today, but the rule
+ * keeps fill a leaf).  Entry::rows crosses the two domains — written
+ * under fill, sampled by mu_-side observers — so it is an atomic with
+ * release/acquire ordering rather than a field of either domain.
  */
 
 #ifndef OLIVE_SERVE_DECODED_CACHE_HPP
@@ -53,11 +63,11 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "block_pool.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace olive {
 namespace serve {
@@ -89,10 +99,10 @@ class DecodedBlockCache
      * not exceed the pool's blockRows(), and the addressed slots must
      * have been filled (append-once) before the call.
      */
-    Lease acquire(u32 id, size_t rows);
+    Lease acquire(u32 id, size_t rows) OLIVE_EXCLUDES(mu_);
 
     /** Drop one pin of @p id; may shrink the cache back to capacity. */
-    void release(u32 id);
+    void release(u32 id) OLIVE_EXCLUDES(mu_);
 
     /**
      * Drop the entry for @p id, if any (not counted as an eviction).
@@ -100,8 +110,10 @@ class DecodedBlockCache
      * copy-on-write targets can never serve stale rows.  @pre the entry
      * is unpinned — a pinned block is referenced by a live cache, which
      * holds a pool reference, so its refcount cannot have hit zero.
+     * Called from BlockPool::release under the *pool* lock: pool mutex
+     * before cache mutex is the one cross-object lock order here.
      */
-    void invalidate(u32 id);
+    void invalidate(u32 id) OLIVE_EXCLUDES(mu_);
 
     size_t capacity() const { return capacity_; }
 
@@ -109,6 +121,13 @@ class DecodedBlockCache
     size_t entryBytes() const { return entryBytes_; }
 
     // ---- counters (cumulative; exact only under a serial engine) ----
+    // Memory ordering: every counter is a monotone statistic — no data
+    // is published through it and no decision is taken on it mid-run —
+    // so both the increments (under mu_ or fill) and these lock-free
+    // reads use memory_order_relaxed, explicitly.  A reader polling
+    // concurrently with the engine sees values at most one in-flight
+    // operation stale; at quiescence (between steps, or after
+    // runToCompletion) they are exact.
     /** acquire() calls served without creating an entry. */
     u64 hits() const { return hits_.load(std::memory_order_relaxed); }
     /** acquire() calls that had to create (fully decode) an entry. */
@@ -131,44 +150,66 @@ class DecodedBlockCache
         return decodedRows_.load(std::memory_order_relaxed);
     }
 
-    // ---- accounting / test hooks ----
-    size_t entryCount() const;
-    size_t currentBytes() const;
+    // ---- accounting / test hooks (each takes mu_: pollable) ----
+    size_t entryCount() const OLIVE_EXCLUDES(mu_);
+    size_t currentBytes() const OLIVE_EXCLUDES(mu_);
     /** High-water mark of currentBytes(); monotone within a run. */
-    size_t peakBytes() const;
-    size_t pinnedCount() const;
-    bool contains(u32 id) const;
-    int pinsOf(u32 id) const;      //!< -1 when absent.
-    size_t rowsOf(u32 id) const;   //!< 0 when absent.
+    size_t peakBytes() const OLIVE_EXCLUDES(mu_);
+    size_t pinnedCount() const OLIVE_EXCLUDES(mu_);
+    bool contains(u32 id) const OLIVE_EXCLUDES(mu_);
+    int pinsOf(u32 id) const OLIVE_EXCLUDES(mu_);    //!< -1 when absent.
+    /** Decoded rows of @p id so far (0 when absent).  Sampled with an
+     *  acquire load against a concurrent fill-side extension, so the
+     *  value is an instantaneous lower bound; rows only grow while an
+     *  entry lives, so successive samples are monotone. */
+    size_t rowsOf(u32 id) const OLIVE_EXCLUDES(mu_);
 
     /**
      * Test hook: recompute every aggregate (entry/pin counts, LRU
      * membership, byte accounting, the soft-capacity bound) from the
      * raw entry map and panic on any mismatch.
      */
-    void checkInvariants() const;
+    void checkInvariants() const OLIVE_EXCLUDES(mu_);
 
   private:
     struct Entry
     {
-        std::vector<float> k, v;        //!< blockRows x d each, stable.
-        size_t rows = 0;                //!< Decoded slots so far.
-        int pins = 0;                   //!< Outstanding leases.
-        std::list<u32>::iterator lruIt; //!< Position in lru_.
-        std::mutex fill;                //!< Serializes decode extension.
+        std::vector<float> k, v; //!< blockRows x d each, stable.  The
+                                 //!< buffers are sized once at creation
+                                 //!< (under mu_); slots [0, rows) are
+                                 //!< written once under fill and then
+                                 //!< read lock-free by pinned leases —
+                                 //!< append-once publication the
+                                 //!< capability analysis cannot see.
+        /** Decoded slots so far.  The one field both lock domains
+         *  touch: written under fill (store-release *after* the slot
+         *  payloads, so any observer that reads rows >= r can safely
+         *  read rows [0, r)), read under fill by the extender
+         *  (relaxed — fill serializes writers) and with load-acquire
+         *  by mu_-side observers (rowsOf, checkInvariants).  Monotone
+         *  for the lifetime of the entry. */
+        std::atomic<size_t> rows{0};
+        int pins = 0; //!< Outstanding leases.  Guarded by the owning
+                      //!< cache's mu_ (an annotation cannot name
+                      //!< another object's capability).
+        std::list<u32>::iterator lruIt; //!< Position in lru_ (mu_).
+        Mutex fill; //!< Serializes decode extension; leaf lock, never
+                    //!< held together with mu_.
     };
 
-    /** Evict unpinned LRU-tail entries while over @p limit. @pre mu_. */
-    void evictOverLimitLocked(size_t limit);
+    /** Evict unpinned LRU-tail entries while over @p limit. */
+    void evictOverLimitLocked(size_t limit) OLIVE_REQUIRES(mu_);
 
     const BlockPool *pool_;
     size_t capacity_;
     size_t entryBytes_;
 
-    mutable std::mutex mu_; //!< Guards map_, lru_, pins, peak bytes.
-    std::unordered_map<u32, std::unique_ptr<Entry>> map_;
-    std::list<u32> lru_; //!< Front = most recently acquired.
-    size_t peakBytes_ = 0;
+    mutable Mutex mu_; //!< Guards map_, lru_, pins, peak bytes.
+    std::unordered_map<u32, std::unique_ptr<Entry>> map_
+        OLIVE_GUARDED_BY(mu_);
+    /** Front = most recently acquired. */
+    std::list<u32> lru_ OLIVE_GUARDED_BY(mu_);
+    size_t peakBytes_ OLIVE_GUARDED_BY(mu_) = 0;
 
     std::atomic<u64> hits_{0};
     std::atomic<u64> misses_{0};

@@ -58,7 +58,8 @@ ServeMetrics::stepLatencyMs(double p) const
 }
 
 ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
-    : model_(&model), cfg_(config), scheme_(makeKvScheme(config.cacheFormat))
+    : model_(&model), cfg_(std::move(config)),
+      scheme_(makeKvScheme(cfg_.cacheFormat))
 {
     OLIVE_ASSERT(model.vocab > 0 && model.backbone.causal,
                  "serving needs a causal LM");
@@ -92,6 +93,7 @@ ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens,
     for (int tok : stop_tokens)
         OLIVE_ASSERT(tok >= 0 && static_cast<size_t>(tok) < model_->vocab,
                      "stop token out of range");
+    const MutexLock lock(mu_);
     ActiveRequest a;
     a.req.id = nextId_++;
     a.req.prompt = std::move(prompt);
@@ -250,6 +252,12 @@ ServeEngine::runRequest(ActiveRequest &a, size_t ntok, u64 step_no) const
 bool
 ServeEngine::step()
 {
+    // The whole step is one engine critical section; snapshot pollers
+    // on other threads serialize against step boundaries.  Lock
+    // hierarchy: mu_ is taken first, the pool and decoded-cache
+    // mutexes nest inside (allocate/retain/release, hook-driven
+    // invalidation), never the reverse.
+    const MutexLock lock(mu_);
     admit();
     if (active_.empty())
         return false;
@@ -283,10 +291,18 @@ ServeEngine::step()
     std::vector<size_t> gen_before(active_.size(), 0);
     for (size_t i = 0; i < active_.size(); ++i)
         gen_before[i] = active_[i].generated.size();
-    par::parallelFor(0, active_.size(), 1, [&](size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i)
-            processed[i] = runRequest(active_[i], quota[i], step_no);
-    });
+    // The kernel is annotated as running under mu_: only the issuing
+    // thread formally holds the lock, but workers executing chunks are
+    // synchronized with it by the pool's job handoff (no other thread
+    // can hold mu_ while the region runs), so extending the critical
+    // section over them is sound — the stress tier runs this under
+    // TSan to back the claim up.
+    par::parallelFor(0, active_.size(), 1,
+                     [&](size_t b, size_t e) OLIVE_REQUIRES(mu_) {
+                         for (size_t i = b; i < e; ++i)
+                             processed[i] =
+                                 runRequest(active_[i], quota[i], step_no);
+                     });
 
     // Accounting (before eviction, so a finishing request's cache
     // counts toward this step's footprint).  The paged footprint is
@@ -369,9 +385,38 @@ ServeEngine::runToCompletion(size_t max_steps)
     return n;
 }
 
+size_t
+ServeEngine::pendingCount() const
+{
+    const MutexLock lock(mu_);
+    return pending_.size();
+}
+
+size_t
+ServeEngine::activeCount() const
+{
+    const MutexLock lock(mu_);
+    return active_.size();
+}
+
+size_t
+ServeEngine::finishedCount() const
+{
+    const MutexLock lock(mu_);
+    return finished_.size();
+}
+
+ServeMetrics
+ServeEngine::metricsSnapshot() const
+{
+    const MutexLock lock(mu_);
+    return metrics_;
+}
+
 std::vector<u64>
 ServeEngine::activeIds() const
 {
+    const MutexLock lock(mu_);
     std::vector<u64> ids;
     ids.reserve(active_.size());
     for (const ActiveRequest &a : active_)
@@ -382,6 +427,7 @@ ServeEngine::activeIds() const
 const DecodeState *
 ServeEngine::activeState(u64 id) const
 {
+    const MutexLock lock(mu_);
     for (const ActiveRequest &a : active_) {
         if (a.req.id == id)
             return &a.state;

@@ -30,6 +30,21 @@
  * pure function of its own state, so the generated token streams are
  * bit-identical at every OLIVE_THREADS value (the CTest "serve" legs
  * assert this).  Only the measured latencies vary with the machine.
+ *
+ * Thread safety: one thread drives submit()/step(); an engine-wide
+ * mutex makes the snapshot-style introspection hooks (metricsSnapshot,
+ * pendingCount, activeCount, finishedCount, activeIds, plus the
+ * pool's and decoded cache's own locked accessors) safe to call from
+ * other threads while a step is in flight — a poller simply serializes
+ * against step boundaries.  The reference-returning accessors
+ * (metrics(), finished(), activeState()) remain quiescent-phase hooks:
+ * valid only while no step() is running.  The step's parallel batch
+ * region runs *inside* the engine's critical section; workers are
+ * synchronized with the lock-holding issuer by the thread pool's job
+ * handoff, so their access to the active batch is race-free even
+ * though only the issuer formally holds the lock (annotated at the
+ * lambda).  Lock hierarchy: engine mutex before pool mutex before
+ * decoded-cache mutex, never any reverse edge.
  */
 
 #ifndef OLIVE_SERVE_ENGINE_HPP
@@ -44,6 +59,7 @@
 #include "eval/perplexity.hpp"
 #include "kv_cache.hpp"
 #include "quant/scheme.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace olive {
 namespace serve {
@@ -154,13 +170,15 @@ class ServeEngine
      * @p stop_tokens (which is included in the generation).
      */
     u64 submit(std::vector<int> prompt, size_t max_new_tokens,
-               std::vector<int> stop_tokens = {});
+               std::vector<int> stop_tokens = {}) OLIVE_EXCLUDES(mu_);
 
     /**
      * Run one continuous-batching step (admit, budget, decode, evict).
      * Returns false — doing nothing — when no work is queued or active.
+     * Holds the engine mutex for the whole step: concurrent pollers of
+     * the snapshot accessors observe between-step states only.
      */
-    bool step();
+    bool step() OLIVE_EXCLUDES(mu_);
 
     /**
      * Step until every submitted request has finished; returns the
@@ -169,9 +187,20 @@ class ServeEngine
      */
     size_t runToCompletion(size_t max_steps = 0);
 
-    size_t pendingCount() const { return pending_.size(); }
-    size_t activeCount() const { return active_.size(); }
+    // ---- snapshot introspection (locked: pollable from any thread
+    // while another thread steps; see the file comment) ----
+    size_t pendingCount() const OLIVE_EXCLUDES(mu_);
+    size_t activeCount() const OLIVE_EXCLUDES(mu_);
+    size_t finishedCount() const OLIVE_EXCLUDES(mu_);
 
+    /** Copy of the metrics, taken under the engine mutex. */
+    ServeMetrics metricsSnapshot() const OLIVE_EXCLUDES(mu_);
+
+    /** Ids of currently active requests, in batch order (test hook). */
+    std::vector<u64> activeIds() const OLIVE_EXCLUDES(mu_);
+
+    // ---- quiescent-phase accessors (valid only while no step() is in
+    // flight: they hand out references into engine-guarded state) ----
     /** Retired requests, in finish order. */
     const std::vector<FinishedRequest> &finished() const { return finished_; }
 
@@ -179,17 +208,19 @@ class ServeEngine
     const ServeConfig &config() const { return cfg_; }
     const KvScheme &kvScheme() const { return *scheme_; }
 
-    /** The pool behind a paged engine; nullptr when contiguous. */
+    /** The pool behind a paged engine; nullptr when contiguous.  The
+     *  pointer is fixed at construction, and the pool's accounting
+     *  accessors take its own lock — safe to poll concurrently. */
     const BlockPool *blockPool() const { return pool_.get(); }
 
-    /** The decoded-block working set; nullptr when off or contiguous. */
+    /** The decoded-block working set; nullptr when off or contiguous.
+     *  Fixed at construction; its accessors lock internally. */
     const DecodedBlockCache *decodedCache() const { return dcache_.get(); }
 
-    /** Ids of currently active requests, in batch order (test hook). */
-    std::vector<u64> activeIds() const;
-
-    /** Decode state of an active request; nullptr if not active. */
-    const DecodeState *activeState(u64 id) const;
+    /** Decode state of an active request; nullptr if not active.  The
+     *  lookup locks, but the returned pointer targets guarded state —
+     *  dereference it only in quiescent phases (no step() in flight). */
+    const DecodeState *activeState(u64 id) const OLIVE_EXCLUDES(mu_);
 
   private:
     struct ActiveRequest
@@ -207,7 +238,7 @@ class ServeEngine
     };
 
     /** FIFO admission into the active batch (see admit() in the .cpp). */
-    void admit();
+    void admit() OLIVE_REQUIRES(mu_);
 
     /** Worst-case pool blocks @p req can ever reference, all layers. */
     size_t worstCaseBlocks(const Request &req) const;
@@ -224,12 +255,21 @@ class ServeEngine
      *  whose pool hook invalidates dcache_ — so caches die first, the
      *  working set second, the pool last. */
     std::unique_ptr<DecodedBlockCache> dcache_;
-    size_t committedBlocks_ = 0;      //!< Sum of active reservations.
-    std::deque<ActiveRequest> pending_; //!< Submitted, not yet admitted.
-    std::vector<ActiveRequest> active_;
-    std::vector<FinishedRequest> finished_;
-    ServeMetrics metrics_;
-    u64 nextId_ = 1;
+
+    /** Serializes submit()/step() against the snapshot accessors.
+     *  ServeMetrics' plain (non-atomic) fields are sound because every
+     *  read and write happens under this lock — the documented
+     *  alternative to per-counter atomics, chosen so a snapshot is
+     *  internally consistent (e.g. steps matches stepSeconds.size()). */
+    mutable Mutex mu_;
+    size_t committedBlocks_ OLIVE_GUARDED_BY(mu_) =
+        0; //!< Sum of active reservations.
+    /** Submitted, not yet admitted. */
+    std::deque<ActiveRequest> pending_ OLIVE_GUARDED_BY(mu_);
+    std::vector<ActiveRequest> active_ OLIVE_GUARDED_BY(mu_);
+    std::vector<FinishedRequest> finished_ OLIVE_GUARDED_BY(mu_);
+    ServeMetrics metrics_ OLIVE_GUARDED_BY(mu_);
+    u64 nextId_ OLIVE_GUARDED_BY(mu_) = 1;
 };
 
 } // namespace serve

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
+#include "thread_annotations.hpp"
 
 namespace olive {
 namespace par {
@@ -42,7 +41,10 @@ struct RegionGuard
 size_t
 envThreads()
 {
-    const char *env = std::getenv(kThreadsEnv);
+    // getenv() is not reentrant against setenv(), which this codebase
+    // never calls after main() starts; the one read happens on first
+    // pool use.  (NOLINT: concurrency-mt-unsafe — see above.)
+    const char *env = std::getenv(kThreadsEnv); // NOLINT(concurrency-mt-unsafe)
     if (env && *env) {
         const size_t v = parseThreadCount(env, kThreadsEnv);
         if (v > 0)
@@ -86,6 +88,9 @@ runChunksSerial(size_t begin, size_t end, size_t grain,
  * the generation check and the cursor pop happen under the same lock.
  * The caller participates in its own job, so a region never deadlocks
  * waiting for busy workers.
+ *
+ * Lock hierarchy: apiMutex_ may be held while taking jobMutex_ (run(),
+ * stopWorkersLocked()); jobMutex_ is never held while taking apiMutex_.
  */
 class Pool
 {
@@ -104,29 +109,34 @@ class Pool
     {
         // Lock-free so kernels may size work by pool width without
         // re-entering apiMutex_ (which run() holds for the region).
+        // relaxed: the mirror is a monotone-free standalone value with
+        // no data published through it — any recent value is valid.
         return targetMirror_.load(std::memory_order_relaxed);
     }
 
     void
-    resize(size_t n)
+    resize(size_t n) OLIVE_EXCLUDES(apiMutex_)
     {
         OLIVE_ASSERT(!tls_in_region,
                      "setThreadCount inside a parallel region would "
                      "deadlock the pool");
-        std::lock_guard<std::mutex> lock(apiMutex_);
+        const MutexLock lock(apiMutex_);
         const size_t want = n ? n : envDefault();
         if (want == target_)
             return;
         stopWorkersLocked();
         target_ = want;
+        // relaxed: threads() readers need the value, not an ordering —
+        // resize happens-before the next region via apiMutex_ anyway.
         targetMirror_.store(want, std::memory_order_relaxed);
     }
 
     void
     run(size_t begin, size_t end, size_t grain,
         const std::function<void(size_t, size_t)> &fn)
+        OLIVE_EXCLUDES(apiMutex_, jobMutex_)
     {
-        std::lock_guard<std::mutex> lock(apiMutex_);
+        const MutexLock lock(apiMutex_);
         const size_t chunks = chunkCount(begin, end, grain);
         if (target_ == 1 || chunks <= 1) {
             runChunksSerial(begin, end, grain, fn);
@@ -136,7 +146,7 @@ class Pool
 
         u64 gen;
         {
-            std::lock_guard<std::mutex> job_lock(jobMutex_);
+            const MutexLock job_lock(jobMutex_);
             job_.fn = &fn;
             job_.begin = begin;
             job_.end = end;
@@ -147,13 +157,14 @@ class Pool
             job_.error = nullptr;
             gen = ++generation_;
         }
-        jobCv_.notify_all();
+        jobCv_.notifyAll();
 
         work(gen);
 
-        std::unique_lock<std::mutex> job_lock(jobMutex_);
-        doneCv_.wait(job_lock,
-                     [this] { return job_.doneChunks == job_.chunks; });
+        MutexLock job_lock(jobMutex_);
+        doneCv_.wait(job_lock, [this]() OLIVE_REQUIRES(jobMutex_) {
+            return job_.doneChunks == job_.chunks;
+        });
         job_.fn = nullptr;
         if (job_.error) {
             std::exception_ptr err = job_.error;
@@ -190,7 +201,7 @@ class Pool
     }
 
     void
-    ensureWorkersLocked()
+    ensureWorkersLocked() OLIVE_REQUIRES(apiMutex_)
     {
         if (!workers_.empty() || target_ <= 1)
             return;
@@ -200,42 +211,44 @@ class Pool
     }
 
     void
-    stopWorkers()
+    stopWorkers() OLIVE_EXCLUDES(apiMutex_)
     {
-        std::lock_guard<std::mutex> lock(apiMutex_);
+        const MutexLock lock(apiMutex_);
         stopWorkersLocked();
     }
 
     void
-    stopWorkersLocked()
+    stopWorkersLocked() OLIVE_REQUIRES(apiMutex_)
     {
         if (workers_.empty())
             return;
         {
-            std::lock_guard<std::mutex> job_lock(jobMutex_);
+            const MutexLock job_lock(jobMutex_);
             stop_ = true;
         }
-        jobCv_.notify_all();
+        jobCv_.notifyAll();
         for (std::thread &w : workers_)
             w.join();
         workers_.clear();
         {
-            std::lock_guard<std::mutex> job_lock(jobMutex_);
+            const MutexLock job_lock(jobMutex_);
             stop_ = false;
         }
     }
 
     void
-    workerLoop()
+    workerLoop() OLIVE_EXCLUDES(jobMutex_)
     {
         u64 seen = 0;
         for (;;) {
             u64 gen;
             {
-                std::unique_lock<std::mutex> job_lock(jobMutex_);
-                jobCv_.wait(job_lock, [this, seen] {
-                    return stop_ || (generation_ != seen && job_.fn);
-                });
+                MutexLock job_lock(jobMutex_);
+                jobCv_.wait(job_lock,
+                            [this, seen]() OLIVE_REQUIRES(jobMutex_) {
+                                return stop_ ||
+                                       (generation_ != seen && job_.fn);
+                            });
                 if (stop_)
                     return;
                 gen = generation_;
@@ -247,13 +260,13 @@ class Pool
 
     /** Execute chunks of job @p gen until its cursor drains. */
     void
-    work(u64 gen)
+    work(u64 gen) OLIVE_EXCLUDES(jobMutex_)
     {
         for (;;) {
             size_t b, e;
             const std::function<void(size_t, size_t)> *fn;
             {
-                std::lock_guard<std::mutex> job_lock(jobMutex_);
+                const MutexLock job_lock(jobMutex_);
                 if (generation_ != gen || !job_.fn ||
                     job_.nextChunk >= job_.chunks)
                     return;
@@ -266,30 +279,31 @@ class Pool
                 RegionGuard region;
                 (*fn)(b, e);
             } catch (...) {
-                std::lock_guard<std::mutex> job_lock(jobMutex_);
+                const MutexLock job_lock(jobMutex_);
                 if (generation_ == gen && !job_.error)
                     job_.error = std::current_exception();
             }
             {
-                std::lock_guard<std::mutex> job_lock(jobMutex_);
+                const MutexLock job_lock(jobMutex_);
                 if (generation_ == gen &&
                     ++job_.doneChunks == job_.chunks)
-                    doneCv_.notify_all();
+                    doneCv_.notifyAll();
             }
         }
     }
 
-    std::mutex apiMutex_; //!< Serializes regions and resizes.
-    size_t target_;       //!< Pool size (workers_ plus the caller).
+    Mutex apiMutex_; //!< Serializes regions and resizes.
+    /** Pool size (workers_ plus the caller). */
+    size_t target_ OLIVE_GUARDED_BY(apiMutex_);
     std::atomic<size_t> targetMirror_; //!< Lock-free copy for threads().
-    std::vector<std::thread> workers_;
+    std::vector<std::thread> workers_ OLIVE_GUARDED_BY(apiMutex_);
 
-    std::mutex jobMutex_;            //!< Guards every Job field below.
-    std::condition_variable jobCv_;  //!< Wakes workers for a new job.
-    std::condition_variable doneCv_; //!< Wakes the caller on completion.
-    u64 generation_ = 0;
-    bool stop_ = false;
-    Job job_;
+    Mutex jobMutex_;   //!< Guards every field below.
+    CondVar jobCv_;    //!< Wakes workers for a new job.
+    CondVar doneCv_;   //!< Wakes the caller on completion.
+    u64 generation_ OLIVE_GUARDED_BY(jobMutex_) = 0;
+    bool stop_ OLIVE_GUARDED_BY(jobMutex_) = false;
+    Job job_ OLIVE_GUARDED_BY(jobMutex_);
 };
 
 } // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Clang thread-safety (capability) annotations and the annotated lock
+ * primitives the concurrent subsystems build on.
+ *
+ * Clang's `-Wthread-safety` analysis turns the repository's locking
+ * conventions into compile-time checks: every mutex-protected field is
+ * declared OLIVE_GUARDED_BY its mutex, every `*Locked()` helper
+ * declares OLIVE_REQUIRES, and a lock-discipline violation (touching a
+ * guarded field without the lock, calling a Locked helper unlocked,
+ * double-acquiring) is a build break under the clang CI job, which
+ * compiles with `-Wthread-safety -Werror`.  Under GCC — which has no
+ * capability analysis — every macro expands to nothing, so the
+ * annotations are free documentation there.
+ *
+ * The analysis only understands lock types that are themselves
+ * annotated as capabilities, and libstdc++'s std::mutex is not; so
+ * this header also provides olive::Mutex / olive::MutexLock /
+ * olive::CondVar — thin, zero-overhead wrappers over std::mutex,
+ * std::unique_lock and std::condition_variable carrying the
+ * annotations.  All mutex-protected state in serve/ and util/parallel
+ * uses these instead of the std types directly.
+ *
+ * Known, deliberate limits of the static layer (the TSan tier covers
+ * the dynamic side):
+ *  - The analysis has no alias tracking: data published lock-free by
+ *    construction (append-once block payloads, pinned decoded planes)
+ *    is left unannotated with the publication protocol documented at
+ *    the field.
+ *  - An annotation cannot name another object's capability, so a
+ *    nested struct member guarded by its *owner's* mutex (e.g.
+ *    DecodedBlockCache::Entry::pins) documents the guard in a comment.
+ *  - std::condition_variable::wait() releases and reacquires the lock
+ *    internally; the analysis does not model that, which is sound (the
+ *    lock is held again whenever annotated code runs).  Wait
+ *    predicates run under the lock, so they are annotated
+ *    OLIVE_REQUIRES at the lambda.
+ */
+
+#ifndef OLIVE_UTIL_THREAD_ANNOTATIONS_HPP
+#define OLIVE_UTIL_THREAD_ANNOTATIONS_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OLIVE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef OLIVE_THREAD_ANNOTATION
+#define OLIVE_THREAD_ANNOTATION(x) // no capability analysis (GCC, old clang)
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define OLIVE_CAPABILITY(x) OLIVE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor / releases in its dtor. */
+#define OLIVE_SCOPED_CAPABILITY OLIVE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field may only be read/written while holding @p x. */
+#define OLIVE_GUARDED_BY(x) OLIVE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer field whose *pointee* is protected by @p x. */
+#define OLIVE_PT_GUARDED_BY(x) OLIVE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the capabilities to be held on entry (and exit). */
+#define OLIVE_REQUIRES(...) \
+    OLIVE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capabilities and holds them on return. */
+#define OLIVE_ACQUIRE(...) \
+    OLIVE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capabilities (held on entry, not on return). */
+#define OLIVE_RELEASE(...) \
+    OLIVE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function may not be called while holding the capabilities. */
+#define OLIVE_EXCLUDES(...) OLIVE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the capability guarding its result. */
+#define OLIVE_RETURN_CAPABILITY(x) OLIVE_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip analysis of one function body (justify at use). */
+#define OLIVE_NO_THREAD_SAFETY_ANALYSIS \
+    OLIVE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace olive {
+
+class CondVar;
+
+/**
+ * std::mutex carrying the capability annotation.  Same storage, same
+ * cost; lock()/unlock() only tell the analysis what they do.
+ */
+class OLIVE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() OLIVE_ACQUIRE() { mu_.lock(); }
+    void unlock() OLIVE_RELEASE() { mu_.unlock(); }
+
+  private:
+    friend class CondVar;
+    friend class MutexLock;
+    std::mutex mu_;
+};
+
+/**
+ * RAII lock over an olive::Mutex (the std::lock_guard / attr-carrying
+ * std::unique_lock of this codebase).  Supports early unlock() for the
+ * rethrow-outside-the-lock pattern and condition-variable waits via
+ * olive::CondVar.
+ */
+class OLIVE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) OLIVE_ACQUIRE(mu)
+        : lock_(mu.mu_)
+    {
+    }
+
+    ~MutexLock() OLIVE_RELEASE() = default; // unique_lock unlocks if held
+
+    /** Release before scope exit (e.g. to rethrow outside the lock). */
+    void unlock() OLIVE_RELEASE() { lock_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable paired with olive::Mutex.  The predicate runs
+ * with the lock held — annotate predicate lambdas
+ * OLIVE_REQUIRES(that_mutex) so guarded reads inside them check.
+ */
+class CondVar
+{
+  public:
+    /** Wait until @p pred (evaluated under @p lock's mutex) is true. */
+    template <class Pred>
+    void
+    wait(MutexLock &lock, Pred pred)
+    {
+        cv_.wait(lock.lock_, pred);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_UTIL_THREAD_ANNOTATIONS_HPP
