@@ -1,5 +1,6 @@
 #include "transformer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -131,16 +132,29 @@ attendRow(const float *qrow, const float *pk, const float *pv, size_t d,
  * walk preserves the iteration order, it only changes how the row
  * pointer is derived.  tests/test_decode_parity.cpp pins this against
  * the retained scratch path across codecs and block sizes.
+ *
+ * @p attend_len caps the scored positions: global columns
+ * [attend_len, row.size()) get the same -1e30 masked fill attendRow
+ * applies, which softmaxes to exactly 0 and contributes exact-zero
+ * context terms.  Batched prefill uses this as the intra-chunk causal
+ * mask (row i of a chunk attends [0, pos0+i+1) out of pos0+m cached
+ * rows); single-token decode passes attend_len == row.size(), the
+ * no-mask case identical to the previous behaviour.
  */
 void
 attendRowSpans(const float *qrow, const serve::KvSpan *spans, size_t nspans,
-               size_t col, size_t d, size_t dh, float inv_sqrt_dh,
-               std::span<float> row, float *crow)
+               size_t col, size_t d, size_t dh, size_t attend_len,
+               float inv_sqrt_dh, std::span<float> row, float *crow)
 {
     size_t base = 0;
     for (size_t s = 0; s < nspans; ++s) {
         const float *pk = spans[s].k + col;
-        const size_t n = spans[s].rows;
+        const size_t full = spans[s].rows;
+        // Rows of this span at global columns >= attend_len are masked:
+        // score them with the fill value instead of a dot product.
+        const size_t n = attend_len > base
+                             ? std::min(full, attend_len - base)
+                             : 0;
         size_t j = 0;
         for (; j + 4 <= n; j += 4) {
             const float *k0 = pk + j * d;
@@ -167,7 +181,9 @@ attendRowSpans(const float *qrow, const serve::KvSpan *spans, size_t nspans,
                 acc += static_cast<double>(qrow[e]) * krow[e];
             row[base + j] = static_cast<float>(acc) * inv_sqrt_dh;
         }
-        base += n;
+        for (; j < full; ++j)
+            row[base + j] = -1e30f;
+        base += full;
     }
     OLIVE_ASSERT(base == row.size(), "spans must cover the score row");
     ops::softmaxRow(row);
@@ -293,13 +309,66 @@ selfAttentionStep(const Tensor &x, const Layer &layer, size_t n_heads,
             std::vector<float> row(len);
             for (size_t h = b; h < e_; ++h) {
                 attendRowSpans(pq + h * dh, spans.data(), spans.size(),
-                               h * dh, d, dh, inv_sqrt_dh, row,
+                               h * dh, d, dh, len, inv_sqrt_dh, row,
                                pctx + h * dh);
             }
         });
     });
 
     const Tensor ctxq = maybeQuantAct(ctx, act_scheme);
+    return layer.o.forward(ctxq);
+}
+
+Tensor
+selfAttentionChunk(const Tensor &x, const Layer &layer, size_t n_heads,
+                   serve::KvCache &cache, Scheme *act_scheme)
+{
+    OLIVE_ASSERT(x.rank() == 2 && x.dim(0) >= 1, "chunk input must be (m, d)");
+    const size_t m = x.dim(0);
+    const size_t d = x.dim(1);
+    OLIVE_ASSERT(d == cache.dModel(), "cache width must match the model");
+    OLIVE_ASSERT(d % n_heads == 0, "d_model must divide by heads");
+    const size_t dh = d / n_heads;
+    const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    // Per-token quantization: each (1, d) row calibrates independently,
+    // exactly as the m equivalent forwardStep calls would.
+    const Tensor xq = maybeQuantAct(x, act_scheme, ActQuant::PerToken);
+    Tensor q = layer.q.forward(xq);
+    Tensor k = layer.k.forward(xq);
+    Tensor v = layer.v.forward(xq);
+
+    // Bulk-append the whole chunk's K/V rows, then attend.  Appending
+    // before attending is safe because row i's masked score range
+    // [0, pos0+i+1) never reaches the chunk rows after it — the
+    // intra-chunk causal mask below.
+    const size_t pos0 = cache.length();
+    cache.appendRows(k, v);
+    const size_t len = pos0 + m;
+
+    // Query row i of the chunk is row pos0+i of the equivalent full
+    // forward: it attends [0, pos0+i+1) and sees rows (pos0+i+1, len)
+    // only through the -1e30 fill, which softmaxes to exactly zero —
+    // bit-identical to the step loop (see attendRowSpans).  (head, row)
+    // pairs flatten into one parallel index space, grain m = one head
+    // per chunk, reusing an O(len) score row.
+    Tensor ctx({m, d});
+    const float *pq = q.raw();
+    float *pctx = ctx.raw();
+    cache.withDecoded([&](std::span<const serve::KvSpan> spans) {
+        par::parallelFor(0, n_heads * m, m, [&](size_t b, size_t e_) {
+            std::vector<float> row(len);
+            for (size_t idx = b; idx < e_; ++idx) {
+                const size_t h = idx / m;
+                const size_t i = idx % m;
+                attendRowSpans(pq + i * d + h * dh, spans.data(),
+                               spans.size(), h * dh, d, dh, pos0 + i + 1,
+                               inv_sqrt_dh, row, pctx + i * d + h * dh);
+            }
+        });
+    });
+
+    const Tensor ctxq = maybeQuantAct(ctx, act_scheme, ActQuant::PerToken);
     return layer.o.forward(ctxq);
 }
 
@@ -358,6 +427,49 @@ Transformer::forwardStep(const Tensor &x_t, serve::DecodeState &state,
         h = ops::layerNorm(res2, layer.ln2Gamma, layer.ln2Beta);
     }
     state.position += 1;
+    return h;
+}
+
+Tensor
+Transformer::forwardChunk(const Tensor &x_rows, serve::DecodeState &state,
+                          Scheme *act_scheme) const
+{
+    OLIVE_ASSERT(x_rows.rank() == 2 && x_rows.dim(0) >= 1 &&
+                     x_rows.dim(1) == dModel,
+                 "chunk input must be (m, d_model)");
+    OLIVE_ASSERT(causal, "incremental decode requires a causal model");
+    OLIVE_ASSERT(state.layers.size() == layers.size(),
+                 "decode state must have one cache per layer");
+    // Layer l's input row i depends only on layer l-1's rows [0, i] —
+    // all inside this chunk or already cached — so the whole chunk can
+    // advance layer by layer exactly like the full forward.  Every
+    // non-attention op (residual add, LayerNorm, GELU, the linear
+    // layers, per-token activation quant) is row-wise, so each row of h
+    // stays bit-identical to the row the token-by-token step loop
+    // computes (the same argument that makes forward() match
+    // forwardStep; BatchedPrefillMatchesStepLoop pins it here).
+    const size_t m = x_rows.dim(0);
+    Tensor h = x_rows.clone();
+    for (size_t li = 0; li < layers.size(); ++li) {
+        const Layer &layer = layers[li];
+        serve::KvCache &cache = *state.layers[li];
+        OLIVE_ASSERT(cache.length() == state.position,
+                     "cache length is out of sync with the decode position");
+
+        Tensor attn =
+            selfAttentionChunk(h, layer, nHeads, cache, act_scheme);
+        Tensor res = ops::add(h, attn);
+        h = ops::layerNorm(res, layer.ln1Gamma, layer.ln1Beta);
+
+        const Tensor hq = maybeQuantAct(h, act_scheme, ActQuant::PerToken);
+        Tensor f = layer.ff1.forward(hq);
+        ops::gelu(f);
+        const Tensor fq = maybeQuantAct(f, act_scheme, ActQuant::PerToken);
+        Tensor f2 = layer.ff2.forward(fq);
+        Tensor res2 = ops::add(h, f2);
+        h = ops::layerNorm(res2, layer.ln2Gamma, layer.ln2Beta);
+    }
+    state.position += m;
     return h;
 }
 

@@ -94,6 +94,22 @@ struct Transformer
     Tensor forwardStep(const Tensor &x_t, serve::DecodeState &state,
                        Scheme *act_scheme = nullptr) const;
 
+    /**
+     * Batched prefill: process @p x_rows (m, dModel) token rows in ONE
+     * pass against the KV caches in @p state — the m-row generalization
+     * of forwardStep, and bit-identical to m consecutive forwardStep
+     * calls over the same rows (tests/test_decode_parity.cpp:
+     * BatchedPrefillMatchesStepLoop).  Each layer bulk-appends all m
+     * K/V rows (KvCache::appendRows) and attends every row i over
+     * cached positions [0, pos0+i+1) via an intra-chunk causal mask, so
+     * the tiled GEMM kernels see an (m, d) batch instead of m (1, d)
+     * slivers.  Activations quantize per token (the only granularity a
+     * decoder can realize), matching forwardStep exactly.  Advances
+     * state.position by m; returns the (m, d) hidden rows.
+     */
+    Tensor forwardChunk(const Tensor &x_rows, serve::DecodeState &state,
+                        Scheme *act_scheme = nullptr) const;
+
     /** Total parameter count. */
     size_t parameterCount() const;
 
@@ -122,6 +138,18 @@ Tensor selfAttention(const Tensor &x, const Layer &layer, size_t n_heads,
 Tensor selfAttentionStep(const Tensor &x, const Layer &layer,
                          size_t n_heads, serve::KvCache &cache,
                          Scheme *act_scheme);
+
+/**
+ * Chunked self-attention over a KV cache, used by forwardChunk: all m
+ * rows of @p x (m, d) are bulk-appended to @p cache, then row i attends
+ * over cached positions [0, pos0+i+1) — the intra-chunk causal mask —
+ * where pos0 is the cache length before the call.  Bit-identical to m
+ * selfAttentionStep calls (masked tail positions softmax to exact zero,
+ * see attendRow's comment).
+ */
+Tensor selfAttentionChunk(const Tensor &x, const Layer &layer,
+                          size_t n_heads, serve::KvCache &cache,
+                          Scheme *act_scheme);
 
 } // namespace nn
 } // namespace olive

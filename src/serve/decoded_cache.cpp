@@ -123,6 +123,28 @@ DecodedBlockCache::invalidate(u32 id)
     invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void
+DecodedBlockCache::shrink(u32 id, size_t rows)
+{
+    OLIVE_ASSERT(rows >= 1 && rows <= pool_->blockRows(),
+                 "shrink target must stay within [1, blockRows]");
+    const MutexLock lock(mu_);
+    auto it = map_.find(id);
+    if (it == map_.end())
+        return;
+    Entry &e = *it->second;
+    OLIVE_ASSERT(e.pins == 0,
+                 "shrinking a pinned decoded block — rollback cannot "
+                 "overlap an attention step");
+    // pins == 0 means no acquire() is between its pin and unpin, so no
+    // fill is in flight: this store cannot race a fill-side extension.
+    // A later extender first takes mu_ (to pin), ordering it after this
+    // critical section, so its relaxed read under fill sees the value.
+    const size_t have = e.rows.load(std::memory_order_relaxed);
+    if (have > rows)
+        e.rows.store(rows, std::memory_order_release);
+}
+
 size_t
 DecodedBlockCache::entryCount() const
 {

@@ -115,6 +115,20 @@ class DecodedBlockCache
      */
     void invalidate(u32 id) OLIVE_EXCLUDES(mu_);
 
+    /**
+     * Forget decoded slots [rows, blockRows) of @p id, if an entry
+     * exists — the one sanctioned retreat from Entry::rows' otherwise
+     * monotone growth.  Speculative-decode rollback truncates rows out
+     * of a still-live tail block whose vacated slots will be re-encoded
+     * with different bytes by later appends; the surviving prefix stays
+     * resident (no re-decode), which is what keeps the decoded-rows
+     * linear bound intact across rejects.  @pre the entry is unpinned —
+     * rollback runs between attention steps, never during one — which
+     * also guarantees no fill-side extension is in flight (every filler
+     * holds a pin for the duration of its fill).
+     */
+    void shrink(u32 id, size_t rows) OLIVE_EXCLUDES(mu_);
+
     size_t capacity() const { return capacity_; }
 
     /** Bytes of one entry's decoded payload (2 x blockRows x d x 4). */
@@ -187,7 +201,9 @@ class DecodedBlockCache
          *  read rows [0, r)), read under fill by the extender
          *  (relaxed — fill serializes writers) and with load-acquire
          *  by mu_-side observers (rowsOf, checkInvariants).  Monotone
-         *  for the lifetime of the entry. */
+         *  for the lifetime of the entry, except for shrink(), which
+         *  lowers it while the entry is provably unpinned and unfilled
+         *  (speculative rollback). */
         std::atomic<size_t> rows{0};
         int pins = 0; //!< Outstanding leases.  Guarded by the owning
                       //!< cache's mu_ (an annotation cannot name

@@ -57,6 +57,23 @@ ServeMetrics::stepLatencyMs(double p) const
     return stats::percentile(stepSeconds, p) * 1e3;
 }
 
+double
+ServeMetrics::ttftMs(double p) const
+{
+    if (ttftSeconds.empty())
+        return 0.0;
+    return stats::percentile(ttftSeconds, p) * 1e3;
+}
+
+double
+ServeMetrics::specAcceptRate() const
+{
+    return specDrafted > 0
+               ? static_cast<double>(specAccepted) /
+                     static_cast<double>(specDrafted)
+               : 0.0;
+}
+
 ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
     : model_(&model), cfg_(std::move(config)),
       scheme_(makeKvScheme(cfg_.cacheFormat))
@@ -77,6 +94,16 @@ ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
             // or a later reuse of the id would serve stale rows.
             pool_->setReleaseHook(
                 [d = dcache_.get()](u32 id) { d->invalidate(id); });
+        }
+    }
+    if (cfg_.speculate) {
+        OLIVE_ASSERT(cfg_.draftLen >= 1,
+                     "speculative decode needs draftLen >= 1");
+        if (cfg_.proposer != nullptr) {
+            proposer_ = cfg_.proposer;
+        } else {
+            ownedProposer_ = std::make_unique<NgramProposer>();
+            proposer_ = ownedProposer_.get();
         }
     }
 }
@@ -100,6 +127,7 @@ ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens,
     a.req.maxNewTokens = max_new_tokens;
     a.req.stopTokens = std::move(stop_tokens);
     a.submitStep = metrics_.steps;
+    a.submitTime = std::chrono::steady_clock::now();
     pending_.push_back(std::move(a));
     return pending_.back().req.id;
 }
@@ -212,14 +240,128 @@ ServeEngine::runRequest(ActiveRequest &a, size_t ntok, u64 step_no) const
     const std::vector<int> &prompt = a.req.prompt;
     size_t done = 0;
     Tensor x({1, d});
+    const auto embedInto = [&](int tok, std::span<float> row) {
+        const auto trow = model_->embedding.row(static_cast<size_t>(tok));
+        std::copy(trow.begin(), trow.end(), row.begin());
+    };
+    // Extend the generation greedily with @p next; returns true when
+    // the request finished.  Generation ends at the budget or at any
+    // stop token — the latter makes request lengths data-dependent, so
+    // eviction timing is shaped by the model's own outputs.
+    const auto extend = [&](int next) {
+        a.generated.push_back(next);
+        if (a.firstTokenStep == 0) {
+            a.firstTokenStep = step_no;
+            const std::chrono::duration<double> ttft =
+                std::chrono::steady_clock::now() - a.submitTime;
+            a.ttftSeconds = ttft.count();
+        }
+        if (std::find(a.req.stopTokens.begin(), a.req.stopTokens.end(),
+                      next) != a.req.stopTokens.end()) {
+            a.done = true;
+            a.stoppedByToken = true;
+        } else if (a.generated.size() >= a.req.maxNewTokens) {
+            a.done = true;
+        }
+        return a.done;
+    };
     while (done < ntok) {
         const size_t pos = a.state.position;
+        const size_t prompt_rem =
+            pos < prompt.size() ? prompt.size() - pos : 0;
+
+        // Batched prefill: push a (chunk, d) slab of prompt rows
+        // through forwardChunk in one pass — bit-identical to the
+        // token-by-token loop below (which prefillChunk <= 1 retains
+        // as the oracle), but the GEMMs see a real batch dimension.
+        if (prompt_rem > 1 && cfg_.prefillChunk > 1) {
+            const size_t m = std::min(
+                {ntok - done, prompt_rem, cfg_.prefillChunk});
+            if (m > 1) {
+                Tensor rows({m, d});
+                for (size_t i = 0; i < m; ++i)
+                    embedInto(prompt[pos + i], rows.row(i));
+                const Tensor h = model_->backbone.forwardChunk(
+                    rows, a.state, cfg_.actScheme);
+                done += m;
+                if (pos + m < prompt.size())
+                    continue; // still mid-prefill: no logits needed yet
+                // The chunk ended on the final prompt token: its hidden
+                // row yields the first generated token, exactly as the
+                // step loop's final prefill iteration would.
+                std::copy(h.row(m - 1).begin(), h.row(m - 1).end(),
+                          x.row(0).begin());
+                const Tensor lg = model_->logitsFromHidden(x);
+                extend(ops::argmaxRow(lg.row(0)));
+                break; // one generation turn per step — autoregression
+            }
+        }
+
+        // Speculative decode: draft likely continuations from the
+        // request's own history and verify them all in one batched
+        // forwardChunk call.  Row i's argmax is the TRUE next token
+        // whenever rows [0, i] were fed true stream tokens, so greedy
+        // accept/reject reproduces plain decode bit-for-bit: the
+        // proposer only decides how many tokens this turn advances,
+        // never which ones.
+        if (cfg_.speculate && prompt_rem == 0 && ntok - done >= 2 &&
+            a.generated.size() + 1 < a.req.maxNewTokens) {
+            // history = prompt + generated; the feed token history[pos]
+            // is its last element (decode-phase position invariant).
+            std::vector<int> history(prompt);
+            history.insert(history.end(), a.generated.begin(),
+                           a.generated.end());
+            const size_t cap =
+                std::min({ntok - done - 1, cfg_.draftLen,
+                          a.req.maxNewTokens - a.generated.size() - 1});
+            std::vector<int> drafts = proposer_->propose(history, cap);
+            if (drafts.size() > cap)
+                drafts.resize(cap); // a proposer may over-draft; clamp
+            if (!drafts.empty()) {
+                const size_t k = drafts.size();
+                Tensor rows({k + 1, d});
+                embedInto(history[pos], rows.row(0));
+                for (size_t i = 0; i < k; ++i)
+                    embedInto(drafts[i], rows.row(i + 1));
+                const Tensor h = model_->backbone.forwardChunk(
+                    rows, a.state, cfg_.actScheme);
+                // Batched vocab projection: rows are independent in
+                // matmulTransB, so each logits row is bit-identical to
+                // a per-step (1, d) projection.
+                const Tensor lg = model_->logitsFromHidden(h);
+                a.specDrafted += k;
+                done += k + 1; // every verify row costs full compute
+                size_t kept = 1; // row 0's feed is always a true token
+                for (size_t i = 0; i <= k; ++i) {
+                    const int next = ops::argmaxRow(lg.row(i));
+                    const bool matched = i < k && next == drafts[i];
+                    if (matched)
+                        ++a.specAccepted;
+                    if (extend(next) || !matched)
+                        break;
+                    ++kept; // row i+1 was fed the now-confirmed draft
+                }
+                // Roll back the rows fed with rejected (or post-stop)
+                // drafts, restoring cache length == position; the
+                // truncated rows live in exclusively owned tail blocks
+                // (every shareable prefix row precedes them), so no
+                // other request can be affected.
+                if (kept < k + 1) {
+                    const size_t new_len = pos + kept;
+                    for (auto &layer : a.state.layers)
+                        layer->truncate(new_len);
+                    a.state.position = new_len;
+                }
+                break; // one generation turn per step
+            }
+        }
+
+        // Token-by-token path: mid-prefill rows when chunking is off
+        // (or the quota left m == 1), and the plain decode step.
         const int tok = pos < prompt.size()
                             ? prompt[pos]
                             : a.generated[pos - prompt.size()];
-        const auto trow =
-            model_->embedding.row(static_cast<size_t>(tok));
-        std::copy(trow.begin(), trow.end(), x.row(0).begin());
+        embedInto(tok, x.row(0));
         const Tensor h =
             model_->backbone.forwardStep(x, a.state, cfg_.actScheme);
         ++done;
@@ -228,20 +370,7 @@ ServeEngine::runRequest(ActiveRequest &a, size_t ntok, u64 step_no) const
         // This was the last prompt token or a decode token: project to
         // the vocabulary and extend the generation greedily.
         const Tensor lg = model_->logitsFromHidden(h);
-        const int next = ops::argmaxRow(lg.row(0));
-        a.generated.push_back(next);
-        if (a.firstTokenStep == 0)
-            a.firstTokenStep = step_no;
-        // Generation ends at the budget or at any stop token — the
-        // latter makes request lengths data-dependent, so eviction
-        // timing is shaped by the model's own outputs.
-        if (std::find(a.req.stopTokens.begin(), a.req.stopTokens.end(),
-                      next) != a.req.stopTokens.end()) {
-            a.done = true;
-            a.stoppedByToken = true;
-        } else if (a.generated.size() >= a.req.maxNewTokens) {
-            a.done = true;
-        }
+        extend(ops::argmaxRow(lg.row(0)));
         // Autoregression: the token just produced is the next step's
         // input, so a request never decodes twice within one step.
         break;
@@ -283,14 +412,38 @@ ServeEngine::step()
         quota[i] += extra;
         budget -= extra;
     }
+    // Pass 3 (speculative decode only): grant decode-phase requests up
+    // to draftLen verify rows on top of their guaranteed token.  Every
+    // verify row costs the same compute as a real token, so it draws
+    // from the same budget; a request that cannot emit 2+ more tokens
+    // gets nothing (its verify rows could never be kept).
+    if (cfg_.speculate) {
+        for (size_t i = 0; i < active_.size() && budget > 0; ++i) {
+            const ActiveRequest &a = active_[i];
+            if (quota[i] == 0 || a.state.position < a.req.prompt.size())
+                continue;
+            if (a.generated.size() + 1 >= a.req.maxNewTokens)
+                continue;
+            const size_t extra = std::min(
+                {budget, cfg_.draftLen,
+                 a.req.maxNewTokens - a.generated.size() - 1});
+            quota[i] += extra;
+            budget -= extra;
+        }
+    }
 
     // Execute: requests are independent, so the batch parallelizes
     // deterministically (forwardStep's inner parallel regions run
     // inline on the worker).
     std::vector<size_t> processed(active_.size(), 0);
     std::vector<size_t> gen_before(active_.size(), 0);
-    for (size_t i = 0; i < active_.size(); ++i)
+    std::vector<u64> drafted_before(active_.size(), 0);
+    std::vector<u64> accepted_before(active_.size(), 0);
+    for (size_t i = 0; i < active_.size(); ++i) {
         gen_before[i] = active_[i].generated.size();
+        drafted_before[i] = active_[i].specDrafted;
+        accepted_before[i] = active_[i].specAccepted;
+    }
     // The kernel is annotated as running under mu_: only the issuing
     // thread formally holds the lock, but workers executing chunks are
     // synchronized with it by the pool's job handoff (no other thread
@@ -313,6 +466,12 @@ ServeEngine::step()
         metrics_.tokensProcessed += processed[i];
         metrics_.tokensGenerated +=
             active_[i].generated.size() - gen_before[i];
+        metrics_.specDrafted += active_[i].specDrafted - drafted_before[i];
+        metrics_.specAccepted +=
+            active_[i].specAccepted - accepted_before[i];
+        if (active_[i].firstTokenStep == step_no)
+            metrics_.ttftSeconds.push_back(
+                static_cast<float>(active_[i].ttftSeconds));
         fp32 += active_[i].state.fp32Bytes();
     }
     size_t enc = 0;
@@ -357,6 +516,9 @@ ServeEngine::step()
         f.admitStep = a.admitStep;
         f.firstTokenStep = a.firstTokenStep;
         f.finishStep = step_no;
+        f.ttftSeconds = a.ttftSeconds;
+        f.specDrafted = a.specDrafted;
+        f.specAccepted = a.specAccepted;
         f.cacheEncodedBytes = a.state.encodedBytes();
         f.cacheFp32Bytes = a.state.fp32Bytes();
         f.sharedPrefixRows = a.sharedPrefixRows;

@@ -5,12 +5,19 @@
  * Requests (a prompt plus a generation budget and optional stop-token
  * set) enter a FIFO queue; each engine step admits pending requests
  * into the active batch, assigns every active request a share of a
- * configurable per-step token budget (decode phase: exactly one token;
- * prefill phase: a chunk of the remaining prompt — chunked prefill),
- * and runs the assigned tokens through nn::Transformer::forwardStep
- * batched across requests with util/parallel.  Finished requests are
- * evicted at the end of the step, releasing their KV-cache blocks to
- * the pool's free list without copying a byte.
+ * configurable per-step token budget (decode phase: one token, plus up
+ * to draftLen speculative drafts; prefill phase: a chunk of the
+ * remaining prompt — chunked prefill), and runs the assigned tokens
+ * batched across requests with util/parallel.  Prompt chunks go
+ * through nn::Transformer::forwardChunk as one (chunk, d) slab
+ * (batched prefill); the token-by-token forwardStep loop is retained
+ * as the parity oracle (prefillChunk <= 1).  With speculate on, a
+ * pluggable Proposer drafts likely continuations that one forwardChunk
+ * call verifies against the target logits — greedy accept/reject keeps
+ * every stream bit-identical to plain decode, and rejected draft rows
+ * roll back via KvCache::truncate before the step ends.  Finished
+ * requests are evicted at the end of the step, releasing their
+ * KV-cache blocks to the pool's free list without copying a byte.
  *
  * KV storage is paged by default (ServeConfig::pagedCache): one global
  * BlockPool per engine holds fixed-size blocks of a few token rows
@@ -50,6 +57,7 @@
 #ifndef OLIVE_SERVE_ENGINE_HPP
 #define OLIVE_SERVE_ENGINE_HPP
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -58,6 +66,7 @@
 #include "decoded_cache.hpp"
 #include "eval/perplexity.hpp"
 #include "kv_cache.hpp"
+#include "proposer.hpp"
 #include "quant/scheme.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -88,6 +97,26 @@ struct ServeConfig
     /** Working-set capacity in blocks; 0 = unbounded.  A soft cap:
      *  blocks pinned by in-flight attention are never evicted. */
     size_t decodedCacheBlocks = 0;
+
+    /**
+     * Batched prefill: prompt rows per Transformer::forwardChunk call
+     * (capped by the step's token quota).  0 or 1 retains the
+     * token-by-token forwardStep loop — the bit-exactness oracle the
+     * parity sweep compares against.
+     */
+    size_t prefillChunk = 32;
+
+    /**
+     * Speculative decode: draft up to draftLen tokens per decode turn
+     * (from @p proposer, or a default NgramProposer when null) and
+     * verify them in one forwardChunk call.  Greedy accept/reject
+     * against the target logits keeps the token streams bit-identical
+     * to speculate = false; rejected draft rows are rolled back
+     * (KvCache::truncate) before the next step.
+     */
+    bool speculate = false;
+    size_t draftLen = 4;      //!< Max drafted tokens per decode turn.
+    Proposer *proposer = nullptr; //!< Non-owning; must outlive the engine.
 };
 
 /** One generation request. */
@@ -113,6 +142,9 @@ struct FinishedRequest
     size_t cacheFp32Bytes = 0;    //!< Same cache uncompressed.
     size_t sharedPrefixRows = 0;  //!< Rows seeded by prefix sharing.
     bool stoppedByToken = false;  //!< Ended at a stop token, not budget.
+    double ttftSeconds = 0.0;     //!< Wall time, submit -> first token.
+    u64 specDrafted = 0;          //!< Draft tokens verified for it.
+    u64 specAccepted = 0;         //!< Drafts the target model confirmed.
 };
 
 /** Aggregate throughput/latency/memory accounting. */
@@ -144,6 +176,16 @@ struct ServeMetrics
     u64 decodedCacheEvictions = 0;
     u64 decodedCacheRows = 0;
     size_t decodedCachePeakBytes = 0;
+    /** Per-request wall time from submit() to its first generated
+     *  token (time-to-first-token), in finish-of-first-token order.
+     *  A measured latency: varies with the machine, never with the
+     *  thread count in token content terms. */
+    std::vector<float> ttftSeconds;
+    /** Speculative decode: drafts verified / drafts accepted.  Pure
+     *  functions of the schedule, deterministic at every thread
+     *  count (unlike the latencies). */
+    u64 specDrafted = 0;
+    u64 specAccepted = 0;
 
     /** Processed tokens per wall second. */
     double tokensPerSecond() const;
@@ -153,6 +195,12 @@ struct ServeMetrics
 
     /** p-th percentile (0..100) of step latency, in milliseconds. */
     double stepLatencyMs(double p) const;
+
+    /** p-th percentile (0..100) of time-to-first-token, in ms. */
+    double ttftMs(double p) const;
+
+    /** Accepted / drafted; 0 when nothing was drafted. */
+    double specAcceptRate() const;
 };
 
 /**
@@ -229,12 +277,16 @@ class ServeEngine
         u64 submitStep = 0;
         u64 admitStep = 0;
         u64 firstTokenStep = 0;
+        std::chrono::steady_clock::time_point submitTime;
+        double ttftSeconds = 0.0;
         DecodeState state;
         std::vector<int> generated;
         bool done = false;
         bool stoppedByToken = false;
         size_t sharedPrefixRows = 0;
         size_t reservedBlocks = 0; //!< Admission-time capacity charge.
+        u64 specDrafted = 0;
+        u64 specAccepted = 0;
     };
 
     /** FIFO admission into the active batch (see admit() in the .cpp). */
@@ -249,6 +301,10 @@ class ServeEngine
     const eval::LmModel *model_;
     ServeConfig cfg_;
     std::unique_ptr<KvScheme> scheme_;
+    /** Default n-gram proposer when speculate is on and cfg_.proposer
+     *  is null; proposer_ points at whichever is in force. */
+    std::unique_ptr<Proposer> ownedProposer_;
+    const Proposer *proposer_ = nullptr;
     std::unique_ptr<BlockPool> pool_; //!< Paged engines only.
     /** Shared decoded working set.  Declared after pool_ and before the
      *  request containers: destroying active_/pending_ releases blocks,

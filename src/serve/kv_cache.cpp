@@ -234,6 +234,18 @@ KvCache::KvCache(const KvScheme &scheme, size_t d)
 }
 
 void
+KvCache::appendRows(const Tensor &k, const Tensor &v)
+{
+    OLIVE_ASSERT(k.rank() == 2 && v.rank() == 2 && k.dim(0) == v.dim(0) &&
+                     k.dim(1) == d_ && v.dim(1) == d_,
+                 "bulk append needs matching (m, d) K and V");
+    // The oracle semantics: m ordinary appends in row order.  Storage
+    // layouts override this for speed, never for different bytes.
+    for (size_t i = 0; i < k.dim(0); ++i)
+        append(k.row(i), v.row(i));
+}
+
+void
 KvCache::withDecoded(
     const std::function<void(std::span<const KvSpan>)> &fn) const
 {
@@ -274,6 +286,17 @@ KvCacheReference::append(std::span<const float> k, std::span<const float> v)
                  "KV codec appended a payload of unexpected size");
     kMeta_.push_back(km);
     vMeta_.push_back(vm);
+}
+
+void
+KvCacheReference::truncate(size_t new_len)
+{
+    OLIVE_ASSERT(new_len <= kMeta_.size(), "truncate cannot grow the cache");
+    const size_t rb = scheme_->rowBytes(d_);
+    kBytes_.resize(new_len * rb);
+    vBytes_.resize(new_len * rb);
+    kMeta_.resize(new_len);
+    vMeta_.resize(new_len);
 }
 
 void
@@ -360,6 +383,83 @@ PagedKvCache::append(std::span<const float> k, std::span<const float> v)
                  "KV codec appended a payload of unexpected size");
     std::memcpy(pool_->vRow(tail, slot), scratch_.data(), rb);
     ++rows_;
+}
+
+void
+PagedKvCache::appendRows(const Tensor &k, const Tensor &v)
+{
+    OLIVE_ASSERT(k.rank() == 2 && v.rank() == 2 && k.dim(0) == v.dim(0) &&
+                     k.dim(1) == d_ && v.dim(1) == d_,
+                 "bulk append needs matching (m, d) K and V");
+    const size_t m = k.dim(0);
+    if (m == 0)
+        return;
+    const size_t B = pool_->blockRows();
+    const size_t start = rows_;
+    // Allocate every block the chunk spills into up front, so the
+    // per-row encode below touches no pool structure and can run in
+    // parallel.  Each receiving block — the current tail included — is
+    // exclusively owned (the append-once invariant bulk append must
+    // preserve just like append()).
+    while (table_.size() * B < start + m)
+        table_.push_back(pool_->allocate());
+    for (size_t b = start / B; b < table_.size(); ++b)
+        OLIVE_ASSERT(pool_->refcount(table_[b]) == 1,
+                     "bulk-appending into a shared block (tail blocks "
+                     "must be exclusive)");
+    const size_t rb = pool_->rowBytes();
+    // Rows encode to disjoint slots through a pure per-row codec, so
+    // the fan-out is deterministic at any thread count and byte-equal
+    // to m sequential append() calls; with prefill chunks this is where
+    // the OVP calibration cost actually parallelizes.
+    par::parallelFor(0, m, 1, [&](size_t bgn, size_t end) {
+        std::vector<u8> scratch;
+        for (size_t i = bgn; i < end; ++i) {
+            const size_t pos = start + i;
+            const u32 id = table_[pos / B];
+            const size_t slot = pos % B;
+            scratch.clear();
+            scheme_->encodeRow(k.row(i), scratch, pool_->kMeta(id, slot));
+            OLIVE_ASSERT(scratch.size() == rb,
+                         "KV codec appended a payload of unexpected size");
+            std::memcpy(pool_->kRow(id, slot), scratch.data(), rb);
+            scratch.clear();
+            scheme_->encodeRow(v.row(i), scratch, pool_->vMeta(id, slot));
+            OLIVE_ASSERT(scratch.size() == rb,
+                         "KV codec appended a payload of unexpected size");
+            std::memcpy(pool_->vRow(id, slot), scratch.data(), rb);
+        }
+    });
+    rows_ += m;
+}
+
+void
+PagedKvCache::truncate(size_t new_len)
+{
+    OLIVE_ASSERT(new_len <= rows_, "truncate cannot grow the cache");
+    if (new_len == rows_)
+        return;
+    const size_t B = pool_->blockRows();
+    const size_t keep = (new_len + B - 1) / B;
+    // Rolled-back rows only ever live in exclusively owned blocks (a
+    // shared block's rows all precede any speculative row — see the
+    // engine's rollback argument), so releasing them can never free
+    // bytes another cache still references; the refcount assert makes
+    // that proof load-bearing.
+    for (size_t b = table_.size(); b-- > keep;) {
+        OLIVE_ASSERT(pool_->refcount(table_[b]) == 1,
+                     "truncating rows out of a shared block");
+        pool_->release(table_[b]); // hook invalidates its decoded entry
+    }
+    table_.resize(keep);
+    rows_ = new_len;
+    // The kept boundary block may have decoded slots past the new
+    // length; a later append re-encodes those slots with fresh bytes,
+    // so the working set must forget them now.  Shrinking (rather than
+    // invalidating) keeps the surviving decoded prefix resident, so
+    // rollback costs no re-decode of rows it kept.
+    if (dcache_ != nullptr && new_len % B != 0)
+        dcache_->shrink(table_.back(), new_len % B);
 }
 
 void

@@ -214,6 +214,28 @@ class KvCache
     virtual void append(std::span<const float> k,
                         std::span<const float> v) = 0;
 
+    /**
+     * Bulk-append @p k / @p v (m, d): row i of each lands at logical
+     * position length()+i, in ascending order — byte-identical storage
+     * to m append() calls, because the codec encodes each row as a pure
+     * function of that row alone.  The base implementation IS the
+     * append() loop (the oracle); PagedKvCache overrides it to allocate
+     * the covering blocks up front and encode the rows in parallel —
+     * batched prefill's cache-write path.
+     */
+    virtual void appendRows(const Tensor &k, const Tensor &v);
+
+    /**
+     * Drop rows [new_len, length()) — speculative decode's rollback of
+     * rejected draft rows.  @pre the dropped rows were appended by this
+     * cache and are not shared (always true for speculative rows: they
+     * live past every shareable prefix, see engine.cpp's rollback
+     * proof); PagedKvCache asserts refcount == 1 on every block it
+     * releases.  Appending after a truncate reuses the vacated logical
+     * positions with fresh bytes.
+     */
+    virtual void truncate(size_t new_len) = 0;
+
     /** Tokens cached so far. */
     virtual size_t length() const = 0;
 
@@ -271,6 +293,7 @@ class KvCacheReference final : public KvCache
 
     void append(std::span<const float> k,
                 std::span<const float> v) override;
+    void truncate(size_t new_len) override;
     size_t length() const override { return kMeta_.size(); }
     void decodeK(Tensor &out) const override;
     void decodeV(Tensor &out) const override;
@@ -313,6 +336,8 @@ class PagedKvCache final : public KvCache
 
     void append(std::span<const float> k,
                 std::span<const float> v) override;
+    void appendRows(const Tensor &k, const Tensor &v) override;
+    void truncate(size_t new_len) override;
     size_t length() const override { return rows_; }
     void decodeK(Tensor &out) const override;
     void decodeV(Tensor &out) const override;

@@ -1,0 +1,50 @@
+#include "proposer.hpp"
+
+#include <algorithm>
+
+namespace olive {
+namespace serve {
+
+NgramProposer::NgramProposer(size_t max_ngram, size_t min_ngram)
+    : maxNgram_(max_ngram), minNgram_(min_ngram)
+{
+    OLIVE_ASSERT(min_ngram >= 1 && max_ngram >= min_ngram,
+                 "n-gram window must satisfy 1 <= min <= max");
+}
+
+std::vector<int>
+NgramProposer::propose(std::span<const int> history, size_t max_draft) const
+{
+    const size_t len = history.size();
+    if (max_draft == 0 || len < 2)
+        return {};
+    // Longest usable suffix: it must fit the history AND leave at least
+    // one earlier token to draft from.
+    const size_t top = std::min(maxNgram_, len - 1);
+    for (size_t n = top; n >= minNgram_; --n) {
+        const int *suffix = history.data() + (len - n);
+        // Most recent earlier occurrence: the match window ends at
+        // position j + n - 1 <= len - 2, scanned right to left.
+        for (size_t j = len - n - 1; j + 1 > 0; --j) {
+            if (!std::equal(suffix, suffix + n, history.data() + j))
+                continue;
+            const size_t follow = j + n; // first token after the match
+            const size_t avail = len - follow;
+            const size_t take = std::min(max_draft, avail);
+            return std::vector<int>(history.begin() + follow,
+                                    history.begin() + follow + take);
+        }
+    }
+    return {};
+}
+
+std::unique_ptr<Proposer>
+makeProposer(const std::string &id)
+{
+    if (id == "ngram")
+        return std::make_unique<NgramProposer>();
+    OLIVE_FATAL("unknown proposer \"" + id + "\" (known: ngram)");
+}
+
+} // namespace serve
+} // namespace olive

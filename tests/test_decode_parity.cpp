@@ -252,6 +252,157 @@ TEST(DecodeParity, BlockTableAttentionMatchesScratchPath)
     }
 }
 
+/**
+ * Assert that two decode states hold bitwise-identical KV planes at
+ * every layer (decoded through each cache's own codec — decode is a
+ * pure function of the stored bytes, so equal planes certify the
+ * chunked writes landed the same values the step loop wrote).
+ */
+void
+expectCachesMatch(const serve::DecodeState &a, const serve::DecodeState &b)
+{
+    ASSERT_EQ(a.position, b.position);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t l = 0; l < a.layers.size(); ++l) {
+        const serve::KvCache &ca = *a.layers[l];
+        const serve::KvCache &cb = *b.layers[l];
+        ASSERT_EQ(ca.length(), cb.length()) << "layer " << l;
+        const size_t len = ca.length();
+        if (len == 0)
+            continue;
+        const size_t d = ca.dModel();
+        Tensor ka({len, d}), kb({len, d}), va({len, d}), vb({len, d});
+        ca.decodeK(ka);
+        cb.decodeK(kb);
+        ca.decodeV(va);
+        cb.decodeV(vb);
+        ASSERT_TRUE(bitIdentical(ka.data(), kb.data()))
+            << "K plane diverged at layer " << l;
+        ASSERT_TRUE(bitIdentical(va.data(), vb.data()))
+            << "V plane diverged at layer " << l;
+    }
+}
+
+TEST(DecodeParity, BatchedPrefillMatchesStepLoop)
+{
+    // forwardChunk over an m-row slab must equal m consecutive
+    // forwardStep calls bit-for-bit: every hidden row AND every cache
+    // byte.  Swept over architectures x prompt lengths x all four KV
+    // codecs x chunk sizes (chunks that divide the prompt, leave a
+    // remainder, and exceed it — the last is the whole-prompt-at-once
+    // case).  The step loop runs on the contiguous reference cache;
+    // the chunked run is repeated on reference AND paged storage, so
+    // the sweep pins both KvCache::appendRows (sequential) and
+    // PagedKvCache::appendRows (parallel bulk encode) against the same
+    // oracle.
+    const struct
+    {
+        size_t layers, d, heads, ff;
+    } archs[] = {{2, 12, 4, 24}, {1, 8, 2, 16}};
+    const serve::KvCacheFormat fmts[] = {
+        serve::KvCacheFormat::Fp32, serve::KvCacheFormat::Olive4,
+        serve::KvCacheFormat::Olive8, serve::KvCacheFormat::Int8};
+    const size_t seqs[] = {2, 3, 5, 8, 9};
+    const size_t chunks[] = {2, 3, 4, 16};
+    u64 seed = 9000;
+    for (const auto &a : archs) {
+        const nn::Transformer m =
+            causalBackbone(a.layers, a.d, a.heads, a.ff, ++seed);
+        for (const auto fmt : fmts) {
+            const auto scheme = serve::makeKvScheme(fmt);
+            for (size_t seq : seqs) {
+                const Tensor x =
+                    randomInput(seq, a.d, seed * 17 + seq);
+                // Step-loop oracle: outputs recorded per position.
+                serve::DecodeState oracle =
+                    serve::makeDecodeState(m, *scheme);
+                std::vector<Tensor> outs;
+                Tensor x_t({1, a.d});
+                for (size_t t = 0; t < seq; ++t) {
+                    auto src = x.row(t);
+                    std::copy(src.begin(), src.end(),
+                              x_t.row(0).begin());
+                    outs.push_back(m.forwardStep(x_t, oracle, nullptr));
+                }
+                for (size_t chunk : chunks) {
+                    SCOPED_TRACE(testing::Message()
+                                 << scheme->name() << " d=" << a.d
+                                 << " seq=" << seq
+                                 << " chunk=" << chunk);
+                    serve::BlockPool pool(*scheme, a.d, 3);
+                    serve::DecodeState ref =
+                        serve::makeDecodeState(m, *scheme);
+                    serve::DecodeState paged =
+                        serve::makePagedDecodeState(m, pool);
+                    for (serve::DecodeState *st : {&ref, &paged}) {
+                        size_t pos = 0;
+                        while (pos < seq) {
+                            const size_t mm =
+                                std::min(chunk, seq - pos);
+                            Tensor slab({mm, a.d});
+                            for (size_t i = 0; i < mm; ++i) {
+                                auto src = x.row(pos + i);
+                                std::copy(src.begin(), src.end(),
+                                          slab.row(i).begin());
+                            }
+                            const Tensor h =
+                                m.forwardChunk(slab, *st, nullptr);
+                            for (size_t i = 0; i < mm; ++i)
+                                ASSERT_TRUE(bitIdentical(
+                                    h.row(i), outs[pos + i].row(0)))
+                                    << "hidden row diverged at position "
+                                    << pos + i;
+                            pos += mm;
+                        }
+                        expectCachesMatch(*st, oracle);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(DecodeParity, BatchedPrefillMatchesStepLoopWithActScheme)
+{
+    // Per-token activation quantization: the chunked path quantizes
+    // each row independently (ActQuant::PerToken), so the slab sees
+    // the same codes the step loop produced row by row.
+    OliveScheme olive4(4);
+    const nn::Transformer m = causalBackbone(2, 12, 2, 24, 77);
+    const size_t seq = 7;
+    const Tensor x = randomInput(seq, 12, 770);
+    const serve::Fp32KvScheme fp32;
+
+    serve::DecodeState oracle = serve::makeDecodeState(m, fp32);
+    std::vector<Tensor> outs;
+    Tensor x_t({1, 12});
+    for (size_t t = 0; t < seq; ++t) {
+        auto src = x.row(t);
+        std::copy(src.begin(), src.end(), x_t.row(0).begin());
+        outs.push_back(m.forwardStep(x_t, oracle, &olive4));
+    }
+    for (size_t chunk : {2u, 3u, 7u}) {
+        SCOPED_TRACE(chunk);
+        serve::DecodeState st = serve::makeDecodeState(m, fp32);
+        size_t pos = 0;
+        while (pos < seq) {
+            const size_t mm = std::min<size_t>(chunk, seq - pos);
+            Tensor slab({mm, 12});
+            for (size_t i = 0; i < mm; ++i) {
+                auto src = x.row(pos + i);
+                std::copy(src.begin(), src.end(), slab.row(i).begin());
+            }
+            const Tensor h = m.forwardChunk(slab, st, &olive4);
+            for (size_t i = 0; i < mm; ++i)
+                ASSERT_TRUE(
+                    bitIdentical(h.row(i), outs[pos + i].row(0)))
+                    << "position " << pos + i;
+            pos += mm;
+        }
+        expectCachesMatch(st, oracle);
+    }
+}
+
 TEST(DecodeParity, StepOutputsAreIndependentOfLaterTokens)
 {
     // Stepping a longer sequence never revises earlier outputs: the

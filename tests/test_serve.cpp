@@ -88,6 +88,27 @@ randomPrompts(size_t n, size_t max_len, size_t vocab, u64 seed)
     return prompts;
 }
 
+/** Per-request streams keyed by id: finish ORDER may legitimately vary
+ * with scheduling (speculation finishes requests in fewer steps), the
+ * streams themselves never may. */
+std::map<u64, std::vector<int>>
+serveWorkloadById(const eval::LmModel &lm, serve::ServeConfig cfg,
+                  const std::vector<std::vector<int>> &prompts,
+                  size_t max_new,
+                  serve::ServeMetrics *metrics_out = nullptr)
+{
+    serve::ServeEngine engine(lm, cfg);
+    for (const auto &p : prompts)
+        engine.submit(p, max_new);
+    engine.runToCompletion(100000);
+    std::map<u64, std::vector<int>> out;
+    for (const serve::FinishedRequest &f : engine.finished())
+        out[f.id] = f.generated;
+    if (metrics_out)
+        *metrics_out = engine.metrics();
+    return out;
+}
+
 /** Concatenated (id, generated...) streams, the determinism fingerprint. */
 std::vector<int>
 serveWorkload(const eval::LmModel &lm, serve::ServeConfig cfg,
@@ -632,6 +653,141 @@ TEST(ServeEngine, PerTokenActivationSchemeSupported)
     const auto prompts = randomPrompts(2, 5, lm.vocab, 11);
     const auto tokens = serveWorkload(lm, cfg, prompts, 3);
     EXPECT_EQ(tokens.size(), 2u * (1 + 3));
+}
+
+// ------------------------------------------- batched prefill + spec
+
+TEST(ServeEngine, PrefillChunkIsTokenStreamInvisible)
+{
+    // The prefill chunk size is pure scheduling: 0 and 1 run the
+    // token-by-token oracle loop, larger values the batched
+    // forwardChunk path, and every setting must emit identical
+    // streams.  TTFT bookkeeping rides along: one sample per request.
+    const eval::LmModel lm = tinyLm(90);
+    const auto prompts = randomPrompts(4, 9, lm.vocab, 16);
+    serve::ServeConfig base;
+    base.maxBatchTokens = 12;
+    base.prefillChunk = 0;
+    const auto oracle = serveWorkload(lm, base, prompts, 4);
+    for (size_t chunk : {1u, 2u, 5u, 32u}) {
+        serve::ServeConfig cfg = base;
+        cfg.prefillChunk = chunk;
+        serve::ServeMetrics m;
+        EXPECT_EQ(serveWorkload(lm, cfg, prompts, 4, &m), oracle)
+            << "prefillChunk=" << chunk;
+        EXPECT_EQ(m.ttftSeconds.size(), prompts.size());
+        EXPECT_GE(m.ttftMs(0.5), 0.0);
+    }
+}
+
+TEST(ServeEngine, SpeculationIsTokenStreamInvisible)
+{
+    // A periodic prompt gives the n-gram proposer something to chew
+    // on; whatever it drafts, the streams must match plain greedy
+    // decode and the drafted/accepted counters must reconcile.
+    const eval::LmModel lm = tinyLm(91);
+    std::vector<std::vector<int>> prompts;
+    for (int r = 0; r < 3; ++r) {
+        std::vector<int> p;
+        for (int i = 0; i < 12; ++i)
+            p.push_back(10 + r * 3 + i % 3); // 3-periodic pattern
+        prompts.push_back(std::move(p));
+    }
+    serve::ServeConfig plain;
+    plain.maxBatchTokens = 16;
+    const auto oracle = serveWorkloadById(lm, plain, prompts, 8);
+    serve::ServeConfig spec = plain;
+    spec.speculate = true;
+    for (size_t draft : {1u, 3u, 4u}) {
+        spec.draftLen = draft;
+        serve::ServeMetrics m;
+        EXPECT_EQ(serveWorkloadById(lm, spec, prompts, 8, &m), oracle)
+            << "draftLen=" << draft;
+        EXPECT_GT(m.specDrafted, 0u) << draft;
+        EXPECT_GE(m.specDrafted, m.specAccepted);
+        EXPECT_EQ(m.specAcceptRate(),
+                  static_cast<double>(m.specAccepted) /
+                      static_cast<double>(m.specDrafted));
+    }
+}
+
+TEST(ServeEngine, ExternalProposerIsUsedVerbatim)
+{
+    // A deliberately terrible proposer (always drafts token 0) may
+    // slow decoding down but can never change a stream — the verify
+    // step only accepts what greedy would have produced anyway.
+    struct ZeroProposer final : serve::Proposer
+    {
+        std::string name() const override { return "zero"; }
+        std::vector<int> propose(std::span<const int>,
+                                 size_t max_draft) const override
+        {
+            return std::vector<int>(max_draft, 0);
+        }
+    };
+    const eval::LmModel lm = tinyLm(92);
+    const auto prompts = randomPrompts(3, 7, lm.vocab, 17);
+    serve::ServeConfig plain;
+    plain.maxBatchTokens = 10;
+    const auto oracle = serveWorkloadById(lm, plain, prompts, 5);
+    ZeroProposer zero;
+    serve::ServeConfig spec = plain;
+    spec.speculate = true;
+    spec.draftLen = 2;
+    spec.proposer = &zero;
+    serve::ServeMetrics m;
+    EXPECT_EQ(serveWorkloadById(lm, spec, prompts, 5, &m), oracle);
+    EXPECT_GT(m.specDrafted, 0u);
+}
+
+TEST(ServeEngineDeathTest, SpeculateRequiresPositiveDraftLen)
+{
+    const eval::LmModel lm = tinyLm(93);
+    serve::ServeConfig cfg;
+    cfg.speculate = true;
+    cfg.draftLen = 0;
+    EXPECT_DEATH(serve::ServeEngine(lm, cfg), "draftLen >= 1");
+}
+
+// ---------------------------------------------------------- proposer
+
+TEST(NgramProposer, DraftsTheLoopContinuation)
+{
+    const serve::NgramProposer p;
+    // Suffix [2,3,1,2] recurs at the start; the tokens after that
+    // occurrence are the draft.
+    const std::vector<int> h = {1, 2, 3, 1, 2, 3, 1, 2};
+    EXPECT_EQ(p.propose(h, 4), (std::vector<int>{3, 1, 2}));
+    EXPECT_EQ(p.propose(h, 2), (std::vector<int>{3, 1}));
+}
+
+TEST(NgramProposer, MostRecentOccurrenceWins)
+{
+    const serve::NgramProposer p;
+    // [1,2] occurs twice before the suffix; the later one (followed
+    // by 9) is the loop the stream is most plausibly in.
+    const std::vector<int> h = {7, 1, 2, 5, 1, 2, 9, 1, 2};
+    EXPECT_EQ(p.propose(h, 3), (std::vector<int>{9, 1, 2}));
+    EXPECT_EQ(p.propose(h, 1), (std::vector<int>{9}));
+}
+
+TEST(NgramProposer, NoMatchNoShortHistoryNoZeroBudget)
+{
+    const serve::NgramProposer p;
+    EXPECT_TRUE(p.propose(std::vector<int>{1, 2, 3, 4, 5}, 4).empty());
+    EXPECT_TRUE(p.propose(std::vector<int>{}, 4).empty());
+    EXPECT_TRUE(p.propose(std::vector<int>{3}, 4).empty());
+    EXPECT_TRUE(p.propose(std::vector<int>{1, 2, 1, 2}, 0).empty());
+}
+
+TEST(NgramProposer, FactoryAndWindowValidation)
+{
+    const auto p = serve::makeProposer("ngram");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), "ngram");
+    EXPECT_DEATH((void)serve::makeProposer("bogus"), "unknown proposer");
+    EXPECT_DEATH(serve::NgramProposer(0), "1 <= min <= max");
+    EXPECT_DEATH(serve::NgramProposer(2, 3), "1 <= min <= max");
 }
 
 // -------------------------------------------------------- eval hook

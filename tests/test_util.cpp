@@ -305,5 +305,27 @@ TEST(ArgsDeathTest, UnknownFlagIsReportedWithKnownSet)
         "unknown flag --bogus.*known flags.*--bits.*--model.*--threads");
 }
 
+TEST(ArgsDeathTest, ServingFlagTyposNameTheSpeculationKnobs)
+{
+    // The serving example's flag set, including the prefill/speculation
+    // knobs: a near-miss spelling must die and the message must list
+    // the real flags so the user can self-correct.
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    const std::map<std::string, std::string> serving = {
+        {"prefill-chunk", "32"}, {"speculate", "0"}, {"draft-len", "4"}};
+    for (const char *bad :
+         {"--prefill_chunk=8", "--speculative", "--draftlen=2"}) {
+        const char *argv[] = {"prog", bad};
+        EXPECT_EXIT(
+            {
+                Args args(2, const_cast<char **>(argv), serving);
+                (void)args;
+            },
+            ::testing::ExitedWithCode(1),
+            "unknown flag.*known flags.*--draft-len.*--prefill-chunk"
+            ".*--speculate");
+    }
+}
+
 } // namespace
 } // namespace olive
