@@ -76,7 +76,8 @@ main()
         const auto ovp_rt = q.fakeQuant(xs, &d);
 
         const std::string tag = Table::num(max_sigma, 0);
-        t.addRow({tag, "clip-all int4", Table::num(stats::mse(xs, clip_rt), 6),
+        t.addRow({tag, "clip-all int4",
+                  Table::num(stats::mse(xs, clip_rt), 6),
                   Table::num(stats::sqnrDb(xs, clip_rt), 2), "4.00", "yes"});
         t.addRow({tag, "sparse outlier (coord list)",
                   Table::num(stats::mse(xs, sparse_rt), 6),

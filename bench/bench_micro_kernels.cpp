@@ -205,8 +205,8 @@ main(int argc, char **argv)
         OvpStats ref_st, fast_st;
         r.refSec = secondsOf(
             reps, [&] { ref_vals = codec.fakeQuantReference(xs, &ref_st); });
-        r.fastSec =
-            secondsOf(reps, [&] { fast_vals = codec.fakeQuant(xs, &fast_st); });
+        r.fastSec = secondsOf(
+            reps, [&] { fast_vals = codec.fakeQuant(xs, &fast_st); });
         r.identical = sameFloats(ref_vals, fast_vals) &&
                       ref_st.pairs == fast_st.pairs &&
                       ref_st.outlierPairs == fast_st.outlierPairs &&

@@ -199,12 +199,14 @@ main(int argc, char **argv)
     smoke::banner();
     const size_t nthreads = par::threadCount();
 
-    const size_t n_requests = args.get("requests").empty()
-                                  ? smoke::count(12, 3)
-                                  : static_cast<size_t>(args.getInt("requests"));
-    const size_t prompt_len = args.get("prompt-len").empty()
-                                  ? smoke::count(20, 5)
-                                  : static_cast<size_t>(args.getInt("prompt-len"));
+    const size_t n_requests =
+        args.get("requests").empty()
+            ? smoke::count(12, 3)
+            : static_cast<size_t>(args.getInt("requests"));
+    const size_t prompt_len =
+        args.get("prompt-len").empty()
+            ? smoke::count(20, 5)
+            : static_cast<size_t>(args.getInt("prompt-len"));
     const size_t max_new = args.get("max-new").empty()
                                ? smoke::count(12, 4)
                                : static_cast<size_t>(args.getInt("max-new"));

@@ -66,7 +66,13 @@ main()
                 "better; ceiling = vocab 1024) ==\n\n");
 
     // Paper FP32 rows (Wiki, C4) per model.
-    struct Col { const char *model; const char *ds; double target; u64 seed; };
+    struct Col
+    {
+        const char *model;
+        const char *ds;
+        double target;
+        u64 seed;
+    };
     std::vector<Col> cols = {
         {"GPT2-XL", "Wiki", 17.48, 1001}, {"GPT2-XL", "C4", 16.30, 2002},
         {"BLOOM-7B1", "Wiki", 13.05, 1001}, {"BLOOM-7B1", "C4", 14.94, 2002},

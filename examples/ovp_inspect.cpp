@@ -5,7 +5,8 @@
  * the decoded exponent-integer operands — the paper's Fig. 1b and
  * Fig. 4 as a terminal tool.
  *
- *   ./build/examples/ovp_inspect --type int4 --values "1.5,2.6,0,-98,17.6,0,7.1,-6.8"
+ *   ./build/examples/ovp_inspect --type int4 \
+ *       --values "1.5,2.6,0,-98,17.6,0,7.1,-6.8"
  */
 
 #include <cstdio>

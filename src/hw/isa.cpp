@@ -63,7 +63,8 @@ decodeVector(OvpOperandType type, int bias, const std::vector<u8> &bytes,
         const size_t base = vec_index * (k_depth / 2);
         for (size_t i = 0; i < k_depth / 2; ++i) {
             const u8 byte = bytes[base + i];
-            out[2 * i] = ExpInt{0, bits::signExtend(bits::lowNibble(byte), 4)};
+            out[2 * i] =
+                ExpInt{0, bits::signExtend(bits::lowNibble(byte), 4)};
             out[2 * i + 1] =
                 ExpInt{0, bits::signExtend(bits::highNibble(byte), 4)};
         }

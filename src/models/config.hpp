@@ -44,7 +44,8 @@ struct ModelConfig
     size_t dFf = 0;      //!< FFN inner dimension.
     size_t vocab = 0;
     size_t seqLen = 0;   //!< Evaluation sequence length.
-    size_t batch = 1;    //!< Simulator batch (paper: 2 GPT-like, 16 BERT-like).
+    size_t batch = 1;    //!< Simulator batch (paper: 2 GPT-like, 16
+                         //!< BERT-like).
     bool decoderOnly = false;
     OutlierProfile profile;
 

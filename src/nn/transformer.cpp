@@ -323,7 +323,8 @@ Tensor
 selfAttentionChunk(const Tensor &x, const Layer &layer, size_t n_heads,
                    serve::KvCache &cache, Scheme *act_scheme)
 {
-    OLIVE_ASSERT(x.rank() == 2 && x.dim(0) >= 1, "chunk input must be (m, d)");
+    OLIVE_ASSERT(x.rank() == 2 && x.dim(0) >= 1,
+                 "chunk input must be (m, d)");
     const size_t m = x.dim(0);
     const size_t d = x.dim(1);
     OLIVE_ASSERT(d == cache.dModel(), "cache width must match the model");

@@ -47,7 +47,10 @@ struct PairCensus
     u64 outlierNormal = 0;
     u64 outlierOutlier = 0;
 
-    u64 total() const { return normalNormal + outlierNormal + outlierOutlier; }
+    u64 total() const
+    {
+        return normalNormal + outlierNormal + outlierOutlier;
+    }
     double normalNormalPct() const;
     double outlierNormalPct() const;
     double outlierOutlierPct() const;

@@ -29,7 +29,8 @@ struct OliveConfig
     NormalType forcedType = NormalType::Int4; //!< Used when !adaptiveType.
     int searchPoints = 28;     //!< Threshold grid resolution.
     double searchLo = 0.25;    //!< Lowest candidate, in multiples of 3 sigma.
-    double searchHi = 6.00;    //!< Highest candidate, in multiples of 3 sigma.
+    double searchHi = 6.00;    //!< Highest candidate, in multiples of
+                               //!< 3 sigma.
     size_t sampleCap = 8192;   //!< Max elements used during the MSE search.
 };
 

@@ -29,7 +29,8 @@ Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
             value.assign(arg, eq + 1, std::string::npos);
         } else {
             name = std::move(arg);
-            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
                 value = argv[++i];
             } else {
                 value.push_back('1'); // bare boolean flag

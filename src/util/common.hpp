@@ -32,10 +32,12 @@ using u64 = std::uint64_t;
 namespace detail {
 
 /** Print a formatted diagnostic and abort the process. */
-[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
 
 /** Print a formatted diagnostic and exit(1). */
-[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
 
 } // namespace detail
 

@@ -44,7 +44,8 @@ envThreads()
     // getenv() is not reentrant against setenv(), which this codebase
     // never calls after main() starts; the one read happens on first
     // pool use.  (NOLINT: concurrency-mt-unsafe — see above.)
-    const char *env = std::getenv(kThreadsEnv); // NOLINT(concurrency-mt-unsafe)
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char *env = std::getenv(kThreadsEnv);
     if (env && *env) {
         const size_t v = parseThreadCount(env, kThreadsEnv);
         if (v > 0)

@@ -173,7 +173,8 @@ pearson(std::span<const float> a, std::span<const float> b)
 double
 matthews(std::span<const int> pred, std::span<const int> truth)
 {
-    OLIVE_ASSERT(pred.size() == truth.size(), "matthews requires equal sizes");
+    OLIVE_ASSERT(pred.size() == truth.size(),
+                 "matthews requires equal sizes");
     double tp = 0, tn = 0, fp = 0, fn = 0;
     for (size_t i = 0; i < pred.size(); ++i) {
         if (pred[i] == 1 && truth[i] == 1)
@@ -195,7 +196,8 @@ matthews(std::span<const int> pred, std::span<const int> truth)
 double
 accuracyPct(std::span<const int> pred, std::span<const int> truth)
 {
-    OLIVE_ASSERT(pred.size() == truth.size(), "accuracy requires equal sizes");
+    OLIVE_ASSERT(pred.size() == truth.size(),
+                 "accuracy requires equal sizes");
     if (pred.empty())
         return 0.0;
     size_t correct = 0;

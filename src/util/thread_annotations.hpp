@@ -77,7 +77,8 @@
     OLIVE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
 
 /** Function may not be called while holding the capabilities. */
-#define OLIVE_EXCLUDES(...) OLIVE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define OLIVE_EXCLUDES(...) \
+    OLIVE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
 /** Function returns a reference to the capability guarding its result. */
 #define OLIVE_RETURN_CAPABILITY(x) OLIVE_THREAD_ANNOTATION(lock_returned(x))

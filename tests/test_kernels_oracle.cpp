@@ -100,8 +100,8 @@ TEST_P(NormalCodecOracle, EncodeMatchesReferenceAtMidpointsAndNeighbours)
             // Probe the real-domain images of the midpoint and its
             // float neighbours: the tie-break rule must agree exactly.
             const float at = static_cast<float>(mid) * scale;
-            for (const float x :
-                 {at, std::nextafterf(at, -1e30f), std::nextafterf(at, 1e30f)}) {
+            for (const float x : {at, std::nextafterf(at, -1e30f),
+                                  std::nextafterf(at, 1e30f)}) {
                 ASSERT_EQ(codec.encode(x, scale),
                           codec.encodeReference(x, scale))
                     << "x=" << x << " scale=" << scale;

@@ -92,7 +92,8 @@ TEST(ParallelFor, ChunkBoundariesDependOnlyOnGrain)
         ASSERT_EQ(chunks.size(), par::chunkCount(5, 50, 8));
         for (size_t c = 0; c < chunks.size(); ++c) {
             EXPECT_EQ(chunks[c].first, 5 + c * 8);
-            EXPECT_EQ(chunks[c].second, std::min<size_t>(50, 5 + (c + 1) * 8));
+            EXPECT_EQ(chunks[c].second,
+                      std::min<size_t>(50, 5 + (c + 1) * 8));
             EXPECT_EQ(par::chunkIndex(5, 8, chunks[c].first), c);
         }
     }

@@ -457,7 +457,8 @@ TEST(ServeEngine, ContinuousBatchingBookkeeping)
     ASSERT_EQ(engine.finished().size(), prompts.size());
 
     const serve::ServeMetrics &m = engine.metrics();
-    EXPECT_EQ(m.tokensProcessed, total_prompt + prompts.size() * (max_new - 1));
+    EXPECT_EQ(m.tokensProcessed,
+              total_prompt + prompts.size() * (max_new - 1));
     EXPECT_EQ(m.tokensGenerated, prompts.size() * max_new);
     EXPECT_EQ(m.stepSeconds.size(), m.steps);
     EXPECT_GT(m.peakEncodedCacheBytes, 0u);
