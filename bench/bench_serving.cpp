@@ -29,13 +29,18 @@
  * served with chunked prefill vs the token-by-token loop (median TTFT
  * must strictly improve, streams bit-identical), and a
  * repetitive-suffix workload served speculatively vs plain greedy
- * (streams bit-identical, accept rate asserted positive).
+ * (streams bit-identical, accept rate asserted positive).  A final
+ * service-olive4 row scripts the same workload through the
+ * line-delimited JSON serve::Service front end and asserts the
+ * reassembled token streams bit-identical to driving the engine
+ * directly, pricing the session framing overhead.
  *
  *   ./build/bench_serving --requests 16 --max-new 16 --threads 8
  */
 
 #include <cstdio>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,8 +49,10 @@
 #include "models/config.hpp"
 #include "serve/cache_eval.hpp"
 #include "serve/engine.hpp"
+#include "serve/service.hpp"
 #include "util/args.hpp"
 #include "util/benchjson.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
 #include "util/smoke.hpp"
@@ -497,6 +504,68 @@ main(int argc, char **argv)
         spec_row("repetitive-spec", s);
         reportRow(report, "repetitive-greedy", g, greedy);
         reportRow(report, "repetitive-spec", s, spec);
+    }
+
+    // Serving front end row: the identical olive4 workload scripted
+    // through the line-delimited JSON Service (submit burst, drain,
+    // shutdown).  The Service is an observer over the engine — the
+    // per-request token streams reassembled from its token events must
+    // be bit-identical to driving the engine directly, and the session
+    // overhead (JSON framing + event emission) is what the row's
+    // throughput columns price relative to the plain olive4 row.
+    {
+        serve::ServeConfig front = scfg;
+        front.cacheFormat = serve::KvCacheFormat::Olive4;
+        const RunResult direct = runWorkload(lm, front, prompts, max_new);
+
+        serve::ServeEngine engine(lm, front);
+        std::stringstream in;
+        for (const auto &p : prompts) {
+            Json prompt = Json::array();
+            for (int tok : p)
+                prompt.push(tok);
+            in << Json::object({{"op", "submit"},
+                                {"prompt", prompt},
+                                {"max_new", max_new}})
+                      .dump()
+               << "\n";
+        }
+        in << "{\"op\":\"drain\"}\n{\"op\":\"shutdown\"}\n";
+        serve::ServiceConfig svc;
+        svc.autoDrain = false; // burst-then-drain: the direct schedule
+        serve::Service service(engine, svc);
+        std::stringstream out;
+        service.run(in, out);
+
+        std::map<u64, std::vector<int>> streamed;
+        size_t session_events = 0;
+        std::string line;
+        while (std::getline(out, line)) {
+            ++session_events;
+            const auto ev = Json::parse(line);
+            OLIVE_ASSERT(ev.has_value(),
+                         "service emitted a non-JSON line");
+            if (ev->find("event")->asString() == "token")
+                streamed[static_cast<u64>(ev->find("id")->asInt())]
+                    .push_back(
+                        static_cast<int>(ev->find("token")->asInt()));
+        }
+        OLIVE_ASSERT(streamed == direct.byId,
+                     "service front end altered the token streams");
+        RunResult run;
+        run.byId = std::move(streamed);
+        run.metrics = engine.metrics();
+        run.steps = run.metrics.steps;
+        t.addRow({"service-olive4",
+                  Table::num(run.metrics.tokensPerSecond(), 1),
+                  Table::num(run.metrics.generatedPerSecond(), 1),
+                  Table::num(run.metrics.stepLatencyMs(50.0), 3),
+                  Table::num(run.metrics.stepLatencyMs(99.0), 3),
+                  std::to_string(run.metrics.peakEncodedCacheBytes), "-",
+                  "-", "-"});
+        reportRow(report, "service-olive4", run, front)
+            .metric("session_events",
+                    static_cast<double>(session_events));
     }
     par::setThreadCount(0);
 

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Line-delimited JSON serving session over stdin/stdout: the
+ * serve::Service front end wrapped around a ServeEngine on a synthetic
+ * causal LM.  Type ops, read events (protocol in serve/service.hpp and
+ * DESIGN.md "Serving front end"):
+ *
+ *   $ ./build/example_olive_serve
+ *   {"op":"submit","prompt":[5,9,2],"max_new":8}
+ *   {"event":"accepted","id":1,"max_new":8}
+ *   {"event":"admitted","id":1}
+ *   {"event":"token","id":1,"index":0,"token":37}
+ *   ...
+ *   {"event":"done","id":1,"reason":"length","n":8,"tokens":[...]}
+ *
+ * --demo (the default under OLIVE_SMOKE, so the ctest e2e legs drive
+ * it) replaces stdin with a scripted session that exercises the whole
+ * protocol: concurrent submits against a 2-wide batch (queued
+ * backpressure), a stop-token request, an output policy, a mid-stream
+ * cancel, an already-expired deadline, stats, and a draining shutdown.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/perplexity.hpp"
+#include "models/config.hpp"
+#include "serve/engine.hpp"
+#include "serve/service.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+#include "util/smoke.hpp"
+
+using namespace olive;
+
+namespace {
+
+/** A random in-vocabulary prompt as a JSON token array. */
+Json
+randomPrompt(Rng &rng, size_t vocab, size_t len)
+{
+    Json arr = Json::array();
+    for (size_t i = 0; i < len; ++i)
+        arr.push(static_cast<int>(rng.uniformInt(vocab)));
+    return arr;
+}
+
+/** The --demo script (see the file comment). */
+std::string
+demoScript(size_t vocab, u64 seed)
+{
+    Rng rng(seed);
+    std::string s;
+    const auto op = [&](Json j) { s += j.dump() + "\n"; };
+    // Three submits against max-active 2: the third queues.
+    op(Json::object({{"op", "submit"},
+                     {"prompt", randomPrompt(rng, vocab, 6)},
+                     {"max_new", 8}}));
+    op(Json::object({{"op", "submit"},
+                     {"prompt", randomPrompt(rng, vocab, 5)},
+                     {"max_new", 8},
+                     {"stop", randomPrompt(rng, vocab, 2)}}));
+    op(Json::object({{"op", "submit"},
+                     {"prompt", randomPrompt(rng, vocab, 4)},
+                     {"max_new", 8},
+                     {"policy", "cap"}}));
+    op(Json::object({{"op", "step"}, {"n", 3}}));
+    // Cancel request 2 mid-stream; its done carries what it generated.
+    op(Json::object({{"op", "cancel"}, {"id", 2}}));
+    // An already-expired deadline: retired without generating a token.
+    op(Json::object({{"op", "submit"},
+                     {"prompt", randomPrompt(rng, vocab, 4)},
+                     {"max_new", 8},
+                     {"deadline_ms", 0}}));
+    op(Json::object({{"op", "drain"}}));
+    op(Json::object({{"op", "stats"}}));
+    op(Json::object({{"op", "shutdown"}}));
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv, {{"model", "GPT2-XL"},
+                           {"cache", "olive4"},
+                           {"batch-tokens", "8"},
+                           {"max-active", "2"},
+                           {"paged", "1"},
+                           {"block-rows", "4"},
+                           {"pool-blocks", "0"},
+                           {"share", "1"},
+                           {"decoded-cache", "1"},
+                           {"prefill-chunk", "32"},
+                           {"speculate", "0"},
+                           {"draft-len", "4"},
+                           {"auto-drain", "1"},
+                           {"policy-cap", "4"},
+                           {"demo", ""},
+                           {"seed", "17"}});
+    const bool demo = args.get("demo").empty() ? smoke::enabled()
+                                               : args.getBool("demo");
+
+    const auto config = models::byName(args.get("model"));
+    eval::LmModel lm = eval::makeLm(config, 1234);
+
+    serve::ServeConfig scfg;
+    scfg.cacheFormat = serve::parseKvCacheFormat(args.get("cache"));
+    scfg.maxBatchTokens = static_cast<size_t>(args.getInt("batch-tokens"));
+    scfg.maxActiveRequests = static_cast<size_t>(args.getInt("max-active"));
+    scfg.pagedCache = args.getBool("paged");
+    scfg.blockRows = static_cast<size_t>(args.getInt("block-rows"));
+    scfg.poolBlocks = static_cast<size_t>(args.getInt("pool-blocks"));
+    scfg.prefixSharing = args.getBool("share");
+    scfg.decodedCache = args.getBool("decoded-cache");
+    scfg.prefillChunk = static_cast<size_t>(args.getInt("prefill-chunk"));
+    scfg.speculate = args.getBool("speculate");
+    scfg.draftLen = static_cast<size_t>(args.getInt("draft-len"));
+    serve::ServeEngine engine(lm, scfg);
+
+    const serve::LengthCapPolicy cap(
+        static_cast<size_t>(args.getInt("policy-cap")));
+    serve::ServiceConfig svc;
+    svc.policies["cap"] = &cap;
+    // The demo interleaves submits and explicit steps to show queued
+    // backpressure; interactive sessions stream each request to done.
+    svc.autoDrain = demo ? false : args.getBool("auto-drain");
+    serve::Service service(engine, svc);
+
+    std::fprintf(stderr,
+                 "olive_serve: %s eval backbone, vocab %zu, cache %s, "
+                 "max-active %zu%s\n",
+                 config.name.c_str(), lm.vocab,
+                 engine.kvScheme().name().c_str(), scfg.maxActiveRequests,
+                 demo ? " [scripted demo session]" : "");
+
+    if (demo) {
+        const std::string script =
+            demoScript(lm.vocab, static_cast<u64>(args.getInt("seed")));
+        std::fputs(script.c_str(), stderr); // the ops, for the reader
+        std::istringstream in(script);
+        service.run(in, std::cout);
+    } else {
+        service.run(std::cin, std::cout);
+    }
+    return 0;
+}

@@ -110,7 +110,7 @@ ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
 
 u64
 ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens,
-                    std::vector<int> stop_tokens)
+                    std::vector<int> stop_tokens, int priority)
 {
     OLIVE_ASSERT(!prompt.empty(), "request prompt must be non-empty");
     OLIVE_ASSERT(max_new_tokens >= 1, "request must generate >= 1 token");
@@ -122,14 +122,71 @@ ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens,
                      "stop token out of range");
     const MutexLock lock(mu_);
     ActiveRequest a;
-    a.req.id = nextId_++;
+    const u64 id = nextId_++;
+    a.req.id = id;
     a.req.prompt = std::move(prompt);
     a.req.maxNewTokens = max_new_tokens;
     a.req.stopTokens = std::move(stop_tokens);
+    a.req.priority = priority;
     a.submitStep = metrics_.steps;
     a.submitTime = std::chrono::steady_clock::now();
-    pending_.push_back(std::move(a));
-    return pending_.back().req.id;
+    // Descending priority, FIFO within a priority: insert before the
+    // first strictly lower-priority entry.  All-default queues reduce
+    // to push_back — the original FIFO schedule, bit for bit.
+    auto pos = pending_.begin();
+    while (pos != pending_.end() && pos->req.priority >= priority)
+        ++pos;
+    pending_.insert(pos, std::move(a));
+    return id;
+}
+
+bool
+ServeEngine::cancel(u64 id)
+{
+    const MutexLock lock(mu_);
+    const auto retire = [&](ActiveRequest &a, bool was_active) {
+        FinishedRequest f;
+        f.id = a.req.id;
+        // Capture the cache footprint before the ActiveRequest (and
+        // with it the DecodeState) is destroyed below.
+        f.cacheEncodedBytes = a.state.encodedBytes();
+        f.cacheFp32Bytes = a.state.fp32Bytes();
+        f.prompt = std::move(a.req.prompt);
+        f.generated = std::move(a.generated);
+        f.submitStep = a.submitStep;
+        f.admitStep = a.admitStep;
+        f.firstTokenStep = a.firstTokenStep;
+        f.finishStep = metrics_.steps;
+        f.ttftSeconds = a.ttftSeconds;
+        f.specDrafted = a.specDrafted;
+        f.specAccepted = a.specAccepted;
+        f.sharedPrefixRows = a.sharedPrefixRows;
+        f.cancelled = true;
+        if (was_active)
+            committedBlocks_ -= a.reservedBlocks;
+        metrics_.requestsCancelled += 1;
+        finished_.push_back(std::move(f));
+    };
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->req.id != id)
+            continue;
+        retire(*it, /*was_active=*/false);
+        pending_.erase(it);
+        return true;
+    }
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+        if (it->req.id != id)
+            continue;
+        retire(*it, /*was_active=*/true);
+        // Erasing destroys the DecodeState: its caches drop their
+        // block references, and zero-refcount blocks recycle through
+        // the pool free list (whose release hook invalidates the
+        // decoded working set) — all inside this critical section,
+        // exactly like end-of-step eviction.
+        active_.erase(it);
+        return true;
+    }
+    return false;
 }
 
 size_t
@@ -584,6 +641,44 @@ ServeEngine::activeIds() const
     for (const ActiveRequest &a : active_)
         ids.push_back(a.req.id);
     return ids;
+}
+
+std::vector<u64>
+ServeEngine::pendingIds() const
+{
+    const MutexLock lock(mu_);
+    std::vector<u64> ids;
+    ids.reserve(pending_.size());
+    for (const ActiveRequest &a : pending_)
+        ids.push_back(a.req.id);
+    return ids;
+}
+
+std::vector<FinishedRequest>
+ServeEngine::finishedSnapshot(size_t from) const
+{
+    const MutexLock lock(mu_);
+    std::vector<FinishedRequest> out;
+    for (size_t i = from; i < finished_.size(); ++i)
+        out.push_back(finished_[i]);
+    return out;
+}
+
+std::vector<ServeEngine::ActiveProgress>
+ServeEngine::progressSnapshot() const
+{
+    const MutexLock lock(mu_);
+    std::vector<ActiveProgress> out;
+    out.reserve(active_.size());
+    for (const ActiveRequest &a : active_) {
+        ActiveProgress p;
+        p.id = a.req.id;
+        p.promptRows = a.req.prompt.size();
+        p.position = a.state.position;
+        p.generated = a.generated;
+        out.push_back(std::move(p));
+    }
+    return out;
 }
 
 const DecodeState *

@@ -126,6 +126,10 @@ struct Request
     std::vector<int> prompt;
     size_t maxNewTokens = 0;
     std::vector<int> stopTokens; //!< Generation ends at any of these.
+    /** Admission priority: higher drains first; equal priorities keep
+     *  strict FIFO order, so the default (every request at 0) is the
+     *  original FIFO schedule — the determinism suites are unchanged. */
+    int priority = 0;
 };
 
 /** A retired request with its generation and latency bookkeeping. */
@@ -142,6 +146,7 @@ struct FinishedRequest
     size_t cacheFp32Bytes = 0;    //!< Same cache uncompressed.
     size_t sharedPrefixRows = 0;  //!< Rows seeded by prefix sharing.
     bool stoppedByToken = false;  //!< Ended at a stop token, not budget.
+    bool cancelled = false;       //!< Retired by cancel(), not finished.
     double ttftSeconds = 0.0;     //!< Wall time, submit -> first token.
     u64 specDrafted = 0;          //!< Draft tokens verified for it.
     u64 specAccepted = 0;         //!< Drafts the target model confirmed.
@@ -186,6 +191,8 @@ struct ServeMetrics
      *  count (unlike the latencies). */
     u64 specDrafted = 0;
     u64 specAccepted = 0;
+    /** Requests retired through cancel() (queued or active). */
+    u64 requestsCancelled = 0;
 
     /** Processed tokens per wall second. */
     double tokensPerSecond() const;
@@ -215,10 +222,22 @@ class ServeEngine
     /**
      * Enqueue a request; returns its id.  @pre prompt non-empty.
      * Generation ends at max_new_tokens or at the first token in
-     * @p stop_tokens (which is included in the generation).
+     * @p stop_tokens (which is included in the generation).  The queue
+     * is ordered by descending @p priority, FIFO within a priority.
      */
     u64 submit(std::vector<int> prompt, size_t max_new_tokens,
-               std::vector<int> stop_tokens = {}) OLIVE_EXCLUDES(mu_);
+               std::vector<int> stop_tokens = {},
+               int priority = 0) OLIVE_EXCLUDES(mu_);
+
+    /**
+     * Retire a queued or active request immediately, releasing its
+     * KV-cache blocks and capacity reservation; it lands in finished()
+     * with cancelled = true and whatever tokens it had generated.
+     * Returns false when @p id is unknown or already finished.  Safe
+     * to call from any thread; a call during a step() serializes at
+     * the step boundary (the step's tokens land before the cancel).
+     */
+    bool cancel(u64 id) OLIVE_EXCLUDES(mu_);
 
     /**
      * Run one continuous-batching step (admit, budget, decode, evict).
@@ -246,6 +265,36 @@ class ServeEngine
 
     /** Ids of currently active requests, in batch order (test hook). */
     std::vector<u64> activeIds() const OLIVE_EXCLUDES(mu_);
+
+    /** Ids of queued (not yet admitted) requests, in queue order. */
+    std::vector<u64> pendingIds() const OLIVE_EXCLUDES(mu_);
+
+    /**
+     * Copies of finished()[from..], taken under the engine mutex — the
+     * incremental-consumption form of finished() that is safe while
+     * another thread steps.  @p from beyond the end returns empty.
+     */
+    std::vector<FinishedRequest> finishedSnapshot(size_t from = 0) const
+        OLIVE_EXCLUDES(mu_);
+
+    /** Generation progress of one active request (progressSnapshot). */
+    struct ActiveProgress
+    {
+        u64 id = 0;
+        size_t promptRows = 0;   //!< Prompt length in tokens.
+        size_t position = 0;     //!< Cache rows appended so far.
+        std::vector<int> generated; //!< Tokens emitted so far (copy).
+    };
+
+    /** Progress of every active request, in batch order, under the
+     *  engine mutex — how a streaming front end observes tokens of
+     *  requests that have not finished (and so are not yet visible
+     *  through finishedSnapshot()). */
+    std::vector<ActiveProgress> progressSnapshot() const
+        OLIVE_EXCLUDES(mu_);
+
+    /** Model vocabulary size (immutable; any thread). */
+    size_t vocab() const { return model_->vocab; }
 
     // ---- quiescent-phase accessors (valid only while no step() is in
     // flight: they hand out references into engine-guarded state) ----

@@ -1,5 +1,9 @@
 #include "args.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common.hpp"
 #include "parallel.hpp"
 
@@ -37,6 +41,10 @@ Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
                 bare = true;
             }
         }
+        if (name == "help") {
+            std::fputs(usageText(argv[0]).c_str(), stdout);
+            std::exit(0); // NOLINT(concurrency-mt-unsafe)
+        }
         auto it = values_.find(name);
         if (it == values_.end()) {
             // Report the full flag set so a typo is a one-round fix
@@ -64,6 +72,33 @@ Args::Args(int argc, char **argv, std::map<std::string, std::string> known)
             par::setThreadCount(
                 par::parseThreadCount(t.c_str(), "--threads"));
     }
+}
+
+std::string
+Args::usageText(const std::string &prog) const
+{
+    // values_ is a std::map, so the per-flag lines come out sorted.
+    std::string text = "usage: " + prog +
+                       " [--flag value | --flag=value | --flag]\n\n";
+    size_t width = sizeof("help") - 1;
+    for (const auto &kv : values_)
+        width = std::max(width, kv.first.size());
+    const auto line = [&](const std::string &name,
+                          const std::string &desc) {
+        text += "  --" + name;
+        text.append(width - name.size() + 2, ' ');
+        text += desc + "\n";
+    };
+    for (const auto &kv : values_) {
+        if (kv.first == "threads") {
+            line(kv.first, "parallel pool size (1 = serial, 0 = "
+                           "ambient default)");
+        } else {
+            line(kv.first, "(default \"" + kv.second + "\")");
+        }
+    }
+    line("help", "print this usage text and exit");
+    return text;
 }
 
 const std::string &

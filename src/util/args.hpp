@@ -5,6 +5,11 @@
  * Supports "--name value" and "--name=value" forms plus boolean
  * "--flag".  Unknown flags are a fatal (user) error.
  *
+ * Every program also implicitly accepts --help, which prints a usage
+ * text generated from the registered flag set (name plus default, one
+ * line per flag — see usageText()) to stdout and exits 0.  Nothing to
+ * wire per program: any main() that constructs an Args gets it.
+ *
  * Every program implicitly accepts --threads N, which resizes the
  * global parallel pool (util/parallel) before the workload runs: N = 1
  * forces serial, N = 0 restores the ambient default (OLIVE_THREADS if
@@ -48,6 +53,15 @@ class Args
 
     /** Positional (non-flag) arguments in order. */
     const std::vector<std::string> &positional() const { return positional_; }
+
+    /**
+     * The --help text: "usage: <prog> ..." plus one line per
+     * registered flag with its default value, sorted by name (the
+     * implicit --help and --threads lines carry fixed descriptions).
+     * Exposed so the tests can assert the generated text without
+     * spawning a process.
+     */
+    std::string usageText(const std::string &prog) const;
 
   private:
     std::map<std::string, std::string> values_;

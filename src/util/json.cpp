@@ -1,0 +1,518 @@
+#include "json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
+
+namespace olive {
+
+namespace {
+
+/** JSON string escape: quotes, backslashes, and control characters. */
+void
+escapeInto(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Strict recursive-descent parser over a byte range.  Kept as a small
+ * struct so position/error state threads through the value() recursion
+ * without globals.
+ */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+    bool failed = false;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool fail(const std::string &why)
+    {
+        if (!failed) {
+            failed = true;
+            error = why + " at byte " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool literal(const char *word, size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("invalid literal (expected ") + word +
+                        ")");
+        pos += len;
+        return true;
+    }
+
+    bool string(std::string &out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos;
+                continue;
+            }
+            if (++pos >= text.size())
+                return fail("truncated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape digit");
+                }
+                // The protocol is ASCII in practice; encode the code
+                // point as UTF-8 (surrogate pairs are rejected — no
+                // protocol field ever needs the astral planes).
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    return fail("surrogate \\u escapes unsupported");
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool number(double &out)
+    {
+        const size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        if (pos >= text.size() ||
+            !(text[pos] >= '0' && text[pos] <= '9'))
+            return fail("invalid number");
+        if (text[pos] == '0') {
+            ++pos; // no leading zeros
+        } else {
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size() ||
+                !(text[pos] >= '0' && text[pos] <= '9'))
+                return fail("invalid number (bare decimal point)");
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() ||
+                !(text[pos] >= '0' && text[pos] <= '9'))
+                return fail("invalid number (empty exponent)");
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        }
+        out = std::strtod(text.c_str() + start, nullptr);
+        return true;
+    }
+
+    bool value(Json &out, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == 'n') {
+            if (!literal("null", 4))
+                return false;
+            out = Json();
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true", 4))
+                return false;
+            out = Json(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false", 5))
+                return false;
+            out = Json(false);
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!string(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Json elem;
+                if (!value(elem, depth + 1))
+                    return false;
+                out.push(std::move(elem));
+                skipWs();
+                if (pos >= text.size())
+                    return fail("unterminated array");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                if (out.contains(key))
+                    return fail("duplicate object key \"" + key + "\"");
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':' after object key");
+                ++pos;
+                Json member;
+                if (!value(member, depth + 1))
+                    return false;
+                out.set(key, std::move(member));
+                skipWs();
+                if (pos >= text.size())
+                    return fail("unterminated object");
+                if (text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            double v = 0.0;
+            if (!number(v))
+                return false;
+            out = Json(v);
+            return true;
+        }
+        return fail("unexpected character");
+    }
+};
+
+} // namespace
+
+Json
+Json::array(std::vector<Json> elems)
+{
+    Json j;
+    j.type_ = Type::Array;
+    j.elems_ = std::move(elems);
+    return j;
+}
+
+Json
+Json::object(std::vector<std::pair<std::string, Json>> members)
+{
+    Json j;
+    j.type_ = Type::Object;
+    j.members_ = std::move(members);
+    return j;
+}
+
+std::optional<Json>
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p(text);
+    Json out;
+    if (!p.value(out, 0)) {
+        if (error)
+            *error = p.error;
+        return std::nullopt;
+    }
+    p.skipWs();
+    if (p.pos != p.text.size()) {
+        p.fail("trailing characters after document");
+        if (error)
+            *error = p.error;
+        return std::nullopt;
+    }
+    return out;
+}
+
+bool
+Json::asBool() const
+{
+    OLIVE_ASSERT(isBool(), "Json::asBool on a non-bool value");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    OLIVE_ASSERT(isNumber(), "Json::asNumber on a non-number value");
+    return num_;
+}
+
+const std::string &
+Json::asString() const
+{
+    OLIVE_ASSERT(isString(), "Json::asString on a non-string value");
+    return str_;
+}
+
+long
+Json::asInt() const
+{
+    const double v = asNumber();
+    const long n = static_cast<long>(v);
+    OLIVE_ASSERT(static_cast<double>(n) == v,
+                 "Json::asInt on a non-integral number");
+    return n;
+}
+
+const std::vector<Json> &
+Json::elements() const
+{
+    OLIVE_ASSERT(isArray(), "Json::elements on a non-array value");
+    return elems_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    OLIVE_ASSERT(isObject(), "Json::members on a non-object value");
+    return members_;
+}
+
+size_t
+Json::size() const
+{
+    if (isArray())
+        return elems_.size();
+    if (isObject())
+        return members_.size();
+    return 0;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    OLIVE_ASSERT(isObject(), "Json::find on a non-object value");
+    for (const auto &kv : members_) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+void
+Json::push(Json v)
+{
+    OLIVE_ASSERT(isArray(), "Json::push on a non-array value");
+    elems_.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    OLIVE_ASSERT(isObject(), "Json::set on a non-object value");
+    for (auto &kv : members_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpInto(out);
+    return out;
+}
+
+void
+Json::dumpInto(std::string &out) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number: {
+        if (!std::isfinite(num_)) {
+            out += "null"; // JSON has no inf/nan (benchjson convention)
+            break;
+        }
+        // Integral values print without a decimal point (ids, tokens,
+        // counts — the protocol's common case); %.17g round-trips the
+        // rest.
+        const double r = std::nearbyint(num_);
+        if (r == num_ && std::fabs(num_) < 9.007199254740992e15) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.0f", num_);
+            out += buf;
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "%.17g", num_);
+            out += buf;
+        }
+        break;
+      }
+      case Type::String:
+        escapeInto(str_, out);
+        break;
+      case Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json &e : elems_) {
+            if (!first)
+                out += ',';
+            first = false;
+            e.dumpInto(out);
+        }
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &kv : members_) {
+            if (!first)
+                out += ',';
+            first = false;
+            escapeInto(kv.first, out);
+            out += ':';
+            kv.second.dumpInto(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace olive

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Small read/write JSON value layer for the serving front end.
+ *
+ * util/benchjson is a write-only report builder; the serve::Service
+ * protocol additionally needs to *parse* client lines, so this header
+ * provides a self-contained JSON document model (null / bool / number
+ * / string / array / object) with a strict recursive-descent parser
+ * and a deterministic serializer.  No external dependency, mirroring
+ * the repository's no-new-deps rule.
+ *
+ * Design choices, sized to the line-delimited protocol:
+ *  - Numbers are stored as double.  Token ids, request ids and counts
+ *    are integers well below 2^53, so the round trip is exact; dump()
+ *    prints integral values without a decimal point and non-finite
+ *    values as null (JSON has no inf/nan — same convention as
+ *    benchjson).
+ *  - Objects preserve insertion order (vector of pairs, linear key
+ *    lookup): protocol objects hold a handful of keys, and ordered
+ *    output keeps event lines byte-deterministic for the tests.
+ *    Duplicate keys are a parse error (the protocol never emits
+ *    them and accepting the last-wins form would hide client bugs).
+ *  - parse() demands exactly one document: trailing non-whitespace is
+ *    an error, matching one-JSON-value-per-line framing.
+ */
+
+#ifndef OLIVE_UTIL_JSON_HPP
+#define OLIVE_UTIL_JSON_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olive {
+
+/** One JSON value (see file comment for representation choices). */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Null by default. */
+    Json() = default;
+
+    // Implicit constructors make literal-building code read naturally:
+    // Json::object({{"op", "submit"}, {"id", 7}}).
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double v) : type_(Type::Number), num_(v) {}
+    Json(int v) : type_(Type::Number), num_(v) {}
+    Json(long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(unsigned long v) : type_(Type::Number), num_(static_cast<double>(v))
+    {
+    }
+    Json(unsigned long long v)
+        : type_(Type::Number), num_(static_cast<double>(v))
+    {
+    }
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** Empty array / array of elements. */
+    static Json array(std::vector<Json> elems = {});
+
+    /** Empty object / object of ordered key-value pairs. */
+    static Json
+    object(std::vector<std::pair<std::string, Json>> members = {});
+
+    /**
+     * Parse exactly one JSON document from @p text (leading/trailing
+     * whitespace allowed, nothing else).  Returns std::nullopt on any
+     * syntax error and, when @p error is non-null, stores a short
+     * human-readable reason with the byte offset.
+     */
+    static std::optional<Json> parse(const std::string &text,
+                                     std::string *error = nullptr);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; each panics unless type() matches. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** asNumber() narrowed to long; panics unless integral in range. */
+    long asInt() const;
+
+    /** Array elements / object members (panic unless that type). */
+    const std::vector<Json> &elements() const;
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Array element count / object member count; 0 for scalars. */
+    size_t size() const;
+
+    /** Member lookup; nullptr when absent (panics unless object). */
+    const Json *find(const std::string &key) const;
+
+    /** True when the object has @p key (panics unless object). */
+    bool contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    /** Append an array element (panics unless array). */
+    void push(Json v);
+
+    /** Append/replace an object member (panics unless object). */
+    void set(const std::string &key, Json v);
+
+    /**
+     * Serialize compactly (no whitespace), members in insertion
+     * order.  parse(dump()) reproduces the value exactly except that
+     * non-finite numbers serialize as null.
+     */
+    std::string dump() const;
+
+  private:
+    void dumpInto(std::string &out) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> elems_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace olive
+
+#endif // OLIVE_UTIL_JSON_HPP

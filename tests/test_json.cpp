@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the util/json document model: strict parsing (the serving
+ * protocol's framing rules), deterministic serialization, round trips,
+ * and the panic-on-type-mismatch accessor contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/common.hpp"
+#include "util/json.hpp"
+
+namespace olive {
+namespace {
+
+Json
+parseOk(const std::string &text)
+{
+    std::string err;
+    const auto doc = Json::parse(text, &err);
+    EXPECT_TRUE(doc.has_value()) << text << " -> " << err;
+    return doc.value_or(Json());
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    std::string err;
+    const auto doc = Json::parse(text, &err);
+    EXPECT_FALSE(doc.has_value()) << text << " parsed unexpectedly";
+    EXPECT_FALSE(err.empty());
+    return err;
+}
+
+// ------------------------------------------------------------ parsing
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+    EXPECT_DOUBLE_EQ(parseOk("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-7").asNumber(), -7.0);
+    EXPECT_DOUBLE_EQ(parseOk("3.25").asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(parseOk("1e3").asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(parseOk("-2.5E-2").asNumber(), -0.025);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+    EXPECT_EQ(parseOk("  17  ").asInt(), 17); // outer whitespace ok
+}
+
+TEST(Json, ParsesContainers)
+{
+    const Json arr = parseOk("[1, 2, [3], {\"k\": 4}]");
+    ASSERT_TRUE(arr.isArray());
+    ASSERT_EQ(arr.size(), 4u);
+    EXPECT_EQ(arr.elements()[0].asInt(), 1);
+    EXPECT_EQ(arr.elements()[2].elements()[0].asInt(), 3);
+    EXPECT_EQ(arr.elements()[3].find("k")->asInt(), 4);
+
+    const Json obj = parseOk("{\"a\": [true], \"b\": null, \"c\": {}}");
+    ASSERT_TRUE(obj.isObject());
+    EXPECT_EQ(obj.size(), 3u);
+    EXPECT_TRUE(obj.contains("b"));
+    EXPECT_FALSE(obj.contains("z"));
+    EXPECT_EQ(obj.find("z"), nullptr);
+    EXPECT_TRUE(obj.find("c")->isObject());
+    EXPECT_TRUE(parseOk("[]").isArray());
+    EXPECT_EQ(parseOk("[]").size(), 0u);
+    EXPECT_EQ(parseOk("{}").size(), 0u);
+}
+
+TEST(Json, ParsesStringEscapes)
+{
+    EXPECT_EQ(parseOk("\"a\\n\\t\\\"\\\\b\\/\"").asString(),
+              "a\n\t\"\\b/");
+    EXPECT_EQ(parseOk("\"\\u0041\\u00e9\\u20ac\"").asString(),
+              "A\xc3\xa9\xe2\x82\xac"); // ASCII, 2-byte, 3-byte UTF-8
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    parseErr("");
+    parseErr("   ");
+    parseErr("tru");
+    parseErr("nulls");   // trailing characters after the literal
+    parseErr("1 2");     // two documents on one line
+    parseErr("[1, 2");   // unterminated array
+    parseErr("[1 2]");   // missing comma
+    parseErr("{\"a\" 1}");  // missing colon
+    parseErr("{\"a\": 1,}"); // trailing comma
+    parseErr("{a: 1}");  // unquoted key
+    parseErr("\"abc");   // unterminated string
+    parseErr("\"\\x\""); // invalid escape
+    parseErr("\"\\u12g4\""); // bad hex digit
+    parseErr("\"\\ud800\""); // surrogate
+    parseErr("01");      // leading zero
+    parseErr("1.");      // bare decimal point
+    parseErr("1e");      // empty exponent
+    parseErr("-");       // sign only
+    parseErr("[1] [2]"); // trailing garbage
+}
+
+TEST(Json, RejectsDuplicateObjectKeys)
+{
+    const std::string err = parseErr("{\"op\": 1, \"op\": 2}");
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(Json, RejectsRunawayNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    parseErr(deep);
+}
+
+TEST(Json, ErrorsCarryByteOffsets)
+{
+    const std::string err = parseErr("{\"a\": !}");
+    EXPECT_NE(err.find("at byte"), std::string::npos);
+}
+
+// ------------------------------------------------------- serialization
+
+TEST(Json, DumpIsCompactAndOrdered)
+{
+    Json ev = Json::object({{"event", "token"},
+                            {"id", 7},
+                            {"ok", true},
+                            {"x", Json()},
+                            {"arr", Json::array({1, 2, 3})}});
+    EXPECT_EQ(ev.dump(), "{\"event\":\"token\",\"id\":7,\"ok\":true,"
+                         "\"x\":null,\"arr\":[1,2,3]}");
+}
+
+TEST(Json, DumpNumbers)
+{
+    // Integral values print without a decimal point — ids and tokens
+    // must round-trip textually, not as 7.000000.
+    EXPECT_EQ(Json(7).dump(), "7");
+    EXPECT_EQ(Json(-3).dump(), "-3");
+    EXPECT_EQ(Json(0).dump(), "0");
+    EXPECT_EQ(Json(u64{1} << 50).dump(), "1125899906842624");
+    EXPECT_EQ(Json(2.5).dump(), "2.5");
+    // Non-finite values have no JSON spelling: null, as in benchjson.
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(INFINITY).dump(), "null");
+}
+
+TEST(Json, DumpEscapesStrings)
+{
+    EXPECT_EQ(Json("a\"b\\c\nd\te").dump(),
+              "\"a\\\"b\\\\c\\nd\\te\"");
+    EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, RoundTripsThroughDump)
+{
+    const char *docs[] = {
+        "null",
+        "[1,2.5,-3,\"x\",true,null]",
+        "{\"a\":{\"b\":[{\"c\":1}]},\"d\":\"e\\nf\"}",
+        "{\"prompt\":[5,9,2],\"max_new\":8,\"stop\":[0]}",
+    };
+    for (const char *doc : docs) {
+        const Json parsed = parseOk(doc);
+        EXPECT_EQ(parsed.dump(), doc); // dump is canonical for these
+        EXPECT_EQ(parseOk(parsed.dump()).dump(), parsed.dump());
+    }
+}
+
+// ---------------------------------------------------------- accessors
+
+TEST(Json, BuildersMutateInPlace)
+{
+    Json obj = Json::object();
+    obj.set("a", 1);
+    obj.set("b", "x");
+    obj.set("a", 2); // replace keeps position
+    EXPECT_EQ(obj.dump(), "{\"a\":2,\"b\":\"x\"}");
+
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push(Json::object({{"k", false}}));
+    EXPECT_EQ(arr.dump(), "[1,{\"k\":false}]");
+}
+
+TEST(JsonDeathTest, AccessorsPanicOnTypeMismatch)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    EXPECT_DEATH((void)Json(1).asString(), "non-string");
+    EXPECT_DEATH((void)Json("x").asNumber(), "non-number");
+    EXPECT_DEATH((void)Json(true).elements(), "non-array");
+    EXPECT_DEATH((void)Json().members(), "non-object");
+    EXPECT_DEATH((void)Json(2.5).asInt(), "non-integral");
+}
+
+} // namespace
+} // namespace olive

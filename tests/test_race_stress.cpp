@@ -3,7 +3,7 @@
  * Concurrency stress tier (CTest label "race"): hammers every
  * cross-thread seam of the serving stack with real std::threads so the
  * TSan build has races to find and the mutex/atomic protocols have
- * witnesses.  Four seams, matching the documented lock inventory:
+ * witnesses.  Five seams, matching the documented lock inventory:
  *
  *  1. DecodedBlockCache acquire/release churn over overlapping block
  *     ids, with a capacity cap small enough to force constant eviction
@@ -17,6 +17,10 @@
  *     threads, and ServeEngine::step() racing the snapshot accessors —
  *     with the generated token streams checked bit-identical to a
  *     serial reference engine.
+ *  5. A serve::Service session driven on one thread while other
+ *     threads hammer its cross-thread entry points (statsLine(),
+ *     cancel()) — the transcript must stay structurally valid and the
+ *     engine fully drained.
  *
  * Functional assertions here are deliberately coarse (exact values are
  * checked by the serial suites); the point of this tier is that every
@@ -30,6 +34,8 @@
 #include <atomic>
 #include <cstring>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +46,8 @@
 #include "serve/decoded_cache.hpp"
 #include "serve/engine.hpp"
 #include "serve/kv_cache.hpp"
+#include "serve/service.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
 
@@ -421,6 +429,115 @@ TEST(RaceStress, EngineStepRacesSnapshotAccessors)
     const serve::ServeMetrics m = eng.metricsSnapshot();
     EXPECT_EQ(m.tokensGenerated,
               ref.metricsSnapshot().tokensGenerated);
+}
+
+// Seam 5: the serve::Service front end.  One thread drives a whole
+// scripted session through Service::run(); concurrent callers hammer
+// the two cross-thread entry points — statsLine() (locked snapshot
+// serialization) and cancel() (reason map under the service mutex,
+// then the engine's own locked cancel).  Which requests the cancellers
+// catch is timing-dependent, so the assertions are structural: every
+// emitted line is valid JSON, every request reaches exactly one done,
+// and the engine ends fully drained with the pool empty.
+TEST(RaceStress, ServiceRunRacesStatsAndCancel)
+{
+    auto config = models::bertBase();
+    config.evalLayers = 2;
+    config.evalDModel = 24;
+    config.evalHeads = 4;
+    config.evalDFf = 48;
+    config.evalVocab = 64;
+    eval::LmModel lm;
+    lm.vocab = config.evalVocab;
+    lm.backbone = models::makeBackbone(config, 4321);
+    lm.backbone.causal = true;
+    lm.embedding = Tensor({lm.vocab, config.evalDModel});
+    Rng erng(0xdcbaULL);
+    for (auto &v : lm.embedding.data())
+        v = static_cast<float>(erng.gaussian());
+
+    serve::ServeConfig cfg;
+    cfg.maxBatchTokens = 4;
+    cfg.maxActiveRequests = 3;
+    cfg.blockRows = 4;
+    serve::ServeEngine engine(lm, cfg);
+
+    constexpr size_t kRequests = 8;
+    Rng rng(77);
+    std::stringstream in;
+    for (size_t i = 0; i < kRequests; ++i) {
+        Json prompt = Json::array();
+        const size_t len = 1 + rng.uniformInt(6);
+        for (size_t j = 0; j < len; ++j)
+            prompt.push(static_cast<int>(rng.uniformInt(lm.vocab)));
+        in << Json::object({{"op", "submit"},
+                            {"prompt", prompt},
+                            {"max_new", 12}})
+                  .dump()
+           << "\n";
+    }
+    in << "{\"op\":\"drain\"}\n{\"op\":\"shutdown\"}\n";
+
+    serve::ServiceConfig svc;
+    svc.autoDrain = false; // keep the batch full while the pollers run
+    serve::Service service(engine, svc);
+
+    std::atomic<bool> done{false};
+    std::stringstream out;
+    std::thread driver([&] {
+        service.run(in, out);
+        done.store(true, std::memory_order_relaxed);
+    });
+    std::vector<std::thread> pollers;
+    for (size_t t = 0; t < kStressThreads / 2; ++t) {
+        pollers.emplace_back([&] {
+            while (!done.load(std::memory_order_relaxed)) {
+                const std::string line = service.statsLine();
+                std::string err;
+                const auto stats = Json::parse(line, &err);
+                ASSERT_TRUE(stats.has_value()) << line << " -> " << err;
+                ASSERT_LE(static_cast<size_t>(
+                              stats->find("finished")->asInt()),
+                          service.submittedCount());
+                std::this_thread::yield();
+            }
+        });
+    }
+    for (size_t t = 0; t < kStressThreads / 2; ++t) {
+        pollers.emplace_back([&, t] {
+            Rng crng(1000 + t);
+            while (!done.load(std::memory_order_relaxed)) {
+                // Cancelling an unknown/finished id is a benign false.
+                (void)service.cancel(1 + crng.uniformInt(kRequests));
+                std::this_thread::yield();
+            }
+        });
+    }
+    driver.join();
+    for (auto &th : pollers)
+        th.join();
+
+    // Structural checks on the session transcript.
+    size_t done_events = 0;
+    std::string line;
+    while (std::getline(out, line)) {
+        std::string err;
+        const auto ev = Json::parse(line, &err);
+        ASSERT_TRUE(ev.has_value()) << line << " -> " << err;
+        const std::string &kind = ev->find("event")->asString();
+        ASSERT_NE(kind, "error") << line;
+        if (kind == "done") {
+            ++done_events;
+            ASSERT_EQ(static_cast<size_t>(ev->find("n")->asInt()),
+                      ev->find("tokens")->size());
+        }
+    }
+    EXPECT_EQ(done_events, kRequests); // exactly one terminal each
+    EXPECT_EQ(engine.finishedCount(), kRequests);
+    EXPECT_EQ(engine.pendingCount() + engine.activeCount(), 0u);
+    ASSERT_NE(engine.blockPool(), nullptr);
+    EXPECT_EQ(engine.blockPool()->blocksInUse(), 0u);
+    engine.blockPool()->checkInvariants();
 }
 
 } // namespace

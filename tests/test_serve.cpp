@@ -883,5 +883,154 @@ TEST(ServeDeterminism, DecodeStepBitIdenticalAcrossThreadCounts)
     }
 }
 
+// ------------------------------------------------- metrics percentiles
+
+// The percentile accessors must be well-defined numbers at the edge
+// populations the serving front end reads them at: zero finished
+// requests (a stats op before the first step) and exactly one sample.
+TEST(ServeMetrics, PercentilesWellDefinedAtZeroAndOneSample)
+{
+    serve::ServeMetrics m;
+    for (const double p : {50.0, 99.0, 0.0, 100.0}) {
+        EXPECT_EQ(m.stepLatencyMs(p), 0.0) << p; // empty: 0, not NaN
+        EXPECT_EQ(m.ttftMs(p), 0.0) << p;
+    }
+    EXPECT_EQ(m.specAcceptRate(), 0.0); // nothing drafted yet
+    EXPECT_EQ(m.generatedPerSecond(), 0.0);
+
+    // One sample: every percentile is that sample (no interpolation
+    // partner, no out-of-range index).
+    m.stepSeconds.push_back(0.002f);
+    m.ttftSeconds.push_back(0.004f);
+    for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+        EXPECT_FLOAT_EQ(static_cast<float>(m.stepLatencyMs(p)), 2.0f)
+            << p;
+        EXPECT_FLOAT_EQ(static_cast<float>(m.ttftMs(p)), 4.0f) << p;
+    }
+}
+
+TEST(ServeMetrics, EnginePercentilesFiniteAfterSingleRequest)
+{
+    const eval::LmModel lm = tinyLm(82);
+    serve::ServeEngine engine(lm, {});
+    // Before any work: the live stats read must already be valid.
+    serve::ServeMetrics m = engine.metricsSnapshot();
+    EXPECT_EQ(m.ttftMs(50.0), 0.0);
+    EXPECT_EQ(m.stepLatencyMs(99.0), 0.0);
+
+    engine.submit({1, 2, 3}, 4);
+    engine.runToCompletion(1000);
+    m = engine.metricsSnapshot();
+    ASSERT_EQ(m.ttftSeconds.size(), 1u);
+    for (const double p : {50.0, 99.0}) {
+        EXPECT_TRUE(std::isfinite(m.ttftMs(p))) << p;
+        EXPECT_TRUE(std::isfinite(m.stepLatencyMs(p))) << p;
+        EXPECT_GE(m.ttftMs(p), 0.0) << p;
+    }
+    EXPECT_LE(m.stepLatencyMs(50.0), m.stepLatencyMs(99.0));
+}
+
+// --------------------------------------------------------- cancel, priority
+
+// Cancelling a still-pending request retires it with zero generated
+// tokens and no admission step; the schedule of everything else is
+// untouched.
+TEST(ServeEngine, CancelPendingRequestRetiresWithoutTokens)
+{
+    const eval::LmModel lm = tinyLm(83);
+    serve::ServeConfig cfg;
+    cfg.maxActiveRequests = 1;
+    serve::ServeEngine engine(lm, cfg);
+    const auto prompts = randomPrompts(2, 6, lm.vocab, 21);
+    const u64 first = engine.submit(prompts[0], 4);
+    const u64 second = engine.submit(prompts[1], 4);
+    ASSERT_TRUE(engine.step()); // admits first; second stays pending
+    EXPECT_EQ(engine.pendingCount(), 1u);
+
+    EXPECT_FALSE(engine.cancel(9999)); // unknown id: no effect
+    EXPECT_TRUE(engine.cancel(second));
+    EXPECT_FALSE(engine.cancel(second)); // already retired
+    EXPECT_EQ(engine.pendingCount(), 0u);
+
+    engine.runToCompletion(1000);
+    ASSERT_EQ(engine.finishedCount(), 2u);
+    const serve::FinishedRequest &f = engine.finished()[0];
+    EXPECT_EQ(f.id, second); // retired at cancel time, before first
+    EXPECT_TRUE(f.cancelled);
+    EXPECT_TRUE(f.generated.empty());
+    EXPECT_EQ(f.admitStep, 0u); // never admitted
+    EXPECT_FALSE(engine.finished()[1].cancelled);
+    EXPECT_EQ(engine.finished()[1].id, first);
+    EXPECT_EQ(engine.metricsSnapshot().requestsCancelled, 1u);
+}
+
+// Cancelling an active request mid-generation frees its blocks AND its
+// worst-case reservation: a pool sized for exactly one resident
+// request can then admit the next one.
+TEST(ServeEngine, CancelActiveRequestReleasesBlocksAndReservation)
+{
+    const eval::LmModel lm = tinyLm(84);
+    serve::ServeConfig cfg;
+    cfg.maxActiveRequests = 4;
+    cfg.blockRows = 4;
+    cfg.poolBlocks = 4; // one request's worst case, exactly
+    serve::ServeEngine engine(lm, cfg);
+    const u64 first = engine.submit({1, 2, 3, 4}, 4);
+    const u64 second = engine.submit({5, 6, 7, 8}, 4);
+    ASSERT_TRUE(engine.step());
+    ASSERT_TRUE(engine.step());
+    EXPECT_EQ(engine.activeCount(), 1u); // capacity blocks the second
+    EXPECT_EQ(engine.pendingCount(), 1u);
+    EXPECT_GT(engine.blockPool()->blocksInUse(), 0u);
+
+    EXPECT_TRUE(engine.cancel(first));
+    EXPECT_EQ(engine.activeCount(), 0u);
+    EXPECT_EQ(engine.blockPool()->blocksInUse(), 0u); // all released
+    engine.blockPool()->checkInvariants();
+
+    engine.runToCompletion(1000); // the reservation is free again
+    ASSERT_EQ(engine.finishedCount(), 2u);
+    EXPECT_TRUE(engine.finished()[0].cancelled);
+    EXPECT_EQ(engine.finished()[0].id, first);
+    EXPECT_GE(engine.finished()[0].generated.size(), 1u); // mid-stream
+    const serve::FinishedRequest &f = engine.finished()[1];
+    EXPECT_EQ(f.id, second);
+    EXPECT_FALSE(f.cancelled);
+    EXPECT_EQ(f.generated.size(), 4u);
+    EXPECT_EQ(engine.blockPool()->blocksInUse(), 0u);
+    engine.blockPool()->checkInvariants();
+}
+
+// Higher priority jumps the admission queue; ties keep FIFO order, so
+// all-default submissions reproduce the historical schedule exactly.
+TEST(ServeEngine, PriorityOrdersAdmissionWithFifoTies)
+{
+    const eval::LmModel lm = tinyLm(85);
+    const auto prompts = randomPrompts(3, 6, lm.vocab, 22);
+    serve::ServeConfig cfg;
+    cfg.maxActiveRequests = 1;
+
+    serve::ServeEngine engine(lm, cfg);
+    const u64 a = engine.submit(prompts[0], 3, {}, 0);
+    const u64 b = engine.submit(prompts[1], 3, {}, 1);
+    const u64 c = engine.submit(prompts[2], 3, {}, 1);
+    EXPECT_EQ(engine.pendingIds(), (std::vector<u64>{b, c, a}));
+    engine.runToCompletion(1000);
+    ASSERT_EQ(engine.finishedCount(), 3u);
+    EXPECT_EQ(engine.finished()[0].id, b);
+    EXPECT_EQ(engine.finished()[1].id, c);
+    EXPECT_EQ(engine.finished()[2].id, a);
+
+    // Default priorities: bit-identical streams and finish order to
+    // the pre-priority engine (the determinism contract's schedule).
+    const auto byId = serveWorkloadById(lm, cfg, prompts, 3);
+    serve::ServeEngine plain(lm, cfg);
+    for (const auto &p : prompts)
+        plain.submit(p, 3);
+    plain.runToCompletion(1000);
+    for (const serve::FinishedRequest &f : plain.finished())
+        EXPECT_EQ(f.generated, byId.at(f.id));
+}
+
 } // namespace
 } // namespace olive

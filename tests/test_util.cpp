@@ -327,5 +327,39 @@ TEST(ArgsDeathTest, ServingFlagTyposNameTheSpeculationKnobs)
     }
 }
 
+TEST(Args, UsageTextListsEveryFlagWithDefaults)
+{
+    const char *argv[] = {"prog"};
+    Args args(1, const_cast<char **>(argv),
+              {{"model", "GPT2-XL"}, {"bits", "4"}, {"out", ""}});
+    const std::string text = args.usageText("prog");
+    // Header, then one sorted line per flag with its default, then the
+    // fixed descriptions for the implicit --threads and --help.
+    EXPECT_EQ(text.rfind("usage: prog [--flag value", 0), 0u) << text;
+    EXPECT_NE(text.find("--bits"), std::string::npos);
+    EXPECT_NE(text.find("(default \"GPT2-XL\")"), std::string::npos);
+    EXPECT_NE(text.find("(default \"\")"), std::string::npos);
+    EXPECT_NE(text.find("--threads"), std::string::npos);
+    EXPECT_NE(text.find("parallel pool size"), std::string::npos);
+    EXPECT_NE(text.find("--help"), std::string::npos);
+    EXPECT_LT(text.find("--bits"), text.find("--model")); // sorted
+    EXPECT_LT(text.find("--model"), text.find("--out"));
+}
+
+TEST(ArgsDeathTest, HelpPrintsUsageAndExitsZero)
+{
+    // --help is implicit on every program: it prints the generated
+    // usage text to stdout and exits 0 before any flag is applied —
+    // even when other (or unknown) flags surround it.
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    const char *argv[] = {"prog", "--bits=8", "--help", "--bogus=1"};
+    EXPECT_EXIT(
+        {
+            Args args(4, const_cast<char **>(argv), {{"bits", "4"}});
+            (void)args;
+        },
+        ::testing::ExitedWithCode(0), "");
+}
+
 } // namespace
 } // namespace olive
