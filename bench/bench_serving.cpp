@@ -106,6 +106,18 @@ runChecked(const eval::LmModel &lm, const serve::ServeConfig &cfg,
     return run;
 }
 
+/** Did this run actually share rows, or merely have sharing enabled?
+ *  "prefix_sharing" reports the config switch; random-prompt rows kept
+ *  it on while exercising nothing, which read as misleading — so every
+ *  row also reports "sharing_active", true only when prefix sharing
+ *  demonstrably fired (rows seeded from a donor, or pool bytes saved
+ *  by multi-reference blocks). */
+bool
+sharingActive(const serve::ServeMetrics &m)
+{
+    return m.sharedPrefillRowsSkipped > 0 || m.peakSharedSavedBytes > 0;
+}
+
 BenchReport::Entry &
 reportRow(BenchReport &report, const std::string &name, const RunResult &r,
           const serve::ServeConfig &cfg)
@@ -133,6 +145,7 @@ reportRow(BenchReport &report, const std::string &name, const RunResult &r,
         .metric("block_rows",
                 cfg.pagedCache ? static_cast<double>(cfg.blockRows) : 0.0)
         .metric("prefix_sharing", cfg.prefixSharing ? 1.0 : 0.0)
+        .metric("sharing_active", sharingActive(m) ? 1.0 : 0.0)
         .metric("peak_shared_saved_bytes",
                 static_cast<double>(m.peakSharedSavedBytes))
         .metric("cow_copy_rows", static_cast<double>(m.cowCopyRows))
@@ -383,6 +396,13 @@ main(int argc, char **argv)
                      "admission/eviction copied payload bytes");
         OLIVE_ASSERT(shared.metrics.sharedPrefillRowsSkipped > 0,
                      "shared-prefix workload shared nothing");
+        // The sharing_active column must separate "enabled" from
+        // "exercised": the shared-prefix row fires it, its unshared
+        // twin (and the random-prompt rows above) must not.
+        OLIVE_ASSERT(sharingActive(shared.metrics),
+                     "shared-prefix row failed to flag sharing_active");
+        OLIVE_ASSERT(!sharingActive(unshared.metrics),
+                     "unshared row claimed active sharing");
         for (const auto &[name, run] :
              {std::pair<const char *, const RunResult &>(
                   "kv-fp32-shared-prefix", shared),

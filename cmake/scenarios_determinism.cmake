@@ -1,0 +1,35 @@
+# Cross-process determinism gate for the scenario matrix: run
+# bench_serving_scenarios twice as separate processes and demand the
+# timing-free per-request stream files (--streams-out) compare equal
+# byte for byte.  Any wall-clock-dependent field lives only in the
+# BENCH report, so a diff here means a scheduling or sampling
+# divergence, never jitter.
+#
+# Usage:
+#   cmake -DBENCH=<bench binary> -DWORKDIR=<scratch dir> -P <this file>
+# OLIVE_SMOKE / OLIVE_THREADS are inherited from the environment.
+
+if(NOT BENCH OR NOT WORKDIR)
+    message(FATAL_ERROR "pass -DBENCH=<binary> and -DWORKDIR=<dir>")
+endif()
+
+foreach(run a b)
+    execute_process(
+        COMMAND ${BENCH}
+                --out=${WORKDIR}/BENCH_scenarios_det_${run}.json
+                --streams-out=${WORKDIR}/scenario_streams_${run}.json
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "scenario bench run '${run}' failed (${rc})")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/scenario_streams_a.json
+            ${WORKDIR}/scenario_streams_b.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "scenario replay streams differ between identical runs")
+endif()

@@ -18,9 +18,17 @@
  * protocol: concurrent submits against a 2-wide batch (queued
  * backpressure), a stop-token request, an output policy, a mid-stream
  * cancel, an already-expired deadline, stats, and a draining shutdown.
+ *
+ * --scenario scripts a session from a seeded workload trace (built-in
+ * name or a Workload::dump() file) instead: each turn-0 request
+ * becomes a submit op at its arrival tick (step ops cover the gaps).
+ * Only turn-0 requests are scripted — a follow-up turn's prompt
+ * embeds the model's reply, which a static script cannot reference;
+ * use example_serving --scenario for full multi-turn replay.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -30,7 +38,9 @@
 #include "models/config.hpp"
 #include "serve/engine.hpp"
 #include "serve/service.hpp"
+#include "serve/workload.hpp"
 #include "util/args.hpp"
+#include "util/common.hpp"
 #include "util/json.hpp"
 #include "util/random.hpp"
 #include "util/smoke.hpp"
@@ -82,6 +92,56 @@ demoScript(size_t vocab, u64 seed)
     return s;
 }
 
+/** Script a trace's turn-0 submissions (see the file comment). */
+std::string
+scenarioScript(const std::string &arg, size_t vocab)
+{
+    serve::Workload w = [&] {
+        std::ifstream in(arg);
+        if (in) {
+            std::stringstream text;
+            text << in.rdbuf();
+            return serve::Workload::parse(text.str());
+        }
+        return serve::Workload::generate(
+            serve::Workload::namedSpec(arg));
+    }();
+    OLIVE_ASSERT(w.spec().vocab <= vocab,
+                 "scenario vocabulary exceeds the model's");
+
+    std::string s;
+    size_t tick = 0;
+    for (const auto &r : w.requests()) {
+        if (r.turn != 0)
+            continue; // Later turns need replies (file comment).
+        if (r.submitStep > tick) {
+            s += Json::object(
+                     {{"op", "step"},
+                      {"n", static_cast<int>(r.submitStep - tick)}})
+                     .dump() +
+                 "\n";
+            tick = r.submitStep;
+        }
+        Json prompt = Json::array();
+        for (const int t : r.userTokens)
+            prompt.push(t);
+        Json op = Json::object(
+            {{"op", "submit"},
+             {"prompt", prompt},
+             {"max_new", static_cast<int>(r.maxNew)}});
+        if (!r.stopTokens.empty()) {
+            Json stops = Json::array();
+            for (const int t : r.stopTokens)
+                stops.push(t);
+            op.set("stop", stops);
+        }
+        s += op.dump() + "\n";
+    }
+    s += "{\"op\":\"drain\"}\n{\"op\":\"stats\"}\n"
+         "{\"op\":\"shutdown\"}\n";
+    return s;
+}
+
 } // namespace
 
 int
@@ -102,9 +162,13 @@ main(int argc, char **argv)
                            {"auto-drain", "1"},
                            {"policy-cap", "4"},
                            {"demo", ""},
+                           {"scenario", ""},
                            {"seed", "17"}});
-    const bool demo = args.get("demo").empty() ? smoke::enabled()
-                                               : args.getBool("demo");
+    const std::string scenario = args.get("scenario");
+    const bool demo = !scenario.empty() ? false
+                      : args.get("demo").empty()
+                          ? smoke::enabled()
+                          : args.getBool("demo");
 
     const auto config = models::byName(args.get("model"));
     eval::LmModel lm = eval::makeLm(config, 1234);
@@ -137,9 +201,16 @@ main(int argc, char **argv)
                  "max-active %zu%s\n",
                  config.name.c_str(), lm.vocab,
                  engine.kvScheme().name().c_str(), scfg.maxActiveRequests,
-                 demo ? " [scripted demo session]" : "");
+                 !scenario.empty() ? " [scripted scenario session]"
+                 : demo           ? " [scripted demo session]"
+                                  : "");
 
-    if (demo) {
+    if (!scenario.empty()) {
+        const std::string script = scenarioScript(scenario, lm.vocab);
+        std::fputs(script.c_str(), stderr); // the ops, for the reader
+        std::istringstream in(script);
+        service.run(in, std::cout);
+    } else if (demo) {
         const std::string script =
             demoScript(lm.vocab, static_cast<u64>(args.getInt("seed")));
         std::fputs(script.c_str(), stderr); // the ops, for the reader

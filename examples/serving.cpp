@@ -9,9 +9,20 @@
  * chosen cache codec costs in model quality (serve::cacheImpact).
  *
  *   ./build/example_serving --cache olive4 --requests 8 --max-new 12
+ *
+ * --scenario replaces the random burst with a seeded workload trace
+ * replayed through serve::replayTrace — pass a built-in scenario name
+ * (uniform, poisson, bursty, diurnal, shared-system, multi-turn) or
+ * the path of a trace file written by Workload::dump().  Multi-turn
+ * scenarios pair naturally with --retain, which keeps retired
+ * prefixes shareable for follow-up turns:
+ *
+ *   ./build/example_serving --scenario multi-turn --retain 1
  */
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,12 +30,30 @@
 #include "models/config.hpp"
 #include "serve/cache_eval.hpp"
 #include "serve/engine.hpp"
+#include "serve/workload.hpp"
 #include "util/args.hpp"
 #include "util/random.hpp"
 #include "util/smoke.hpp"
 #include "util/table.hpp"
 
 using namespace olive;
+
+namespace {
+
+/** --scenario: a trace file path if one exists, else a built-in name. */
+serve::Workload
+loadScenario(const std::string &arg)
+{
+    std::ifstream in(arg);
+    if (in) {
+        std::stringstream text;
+        text << in.rdbuf();
+        return serve::Workload::parse(text.str());
+    }
+    return serve::Workload::generate(serve::Workload::namedSpec(arg));
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -42,6 +71,9 @@ main(int argc, char **argv)
                            {"decoded-cache", "1"},
                            {"decoded-cache-blocks", "0"},
                            {"share", "1"},
+                           {"retain", "0"},
+                           {"retain-blocks", "0"},
+                           {"scenario", ""},
                            {"shared-prefix", "0"},
                            {"stop-tokens", "0"},
                            {"prefill-chunk", "32"},
@@ -79,6 +111,8 @@ main(int argc, char **argv)
     scfg.blockRows = static_cast<size_t>(args.getInt("block-rows"));
     scfg.poolBlocks = static_cast<size_t>(args.getInt("pool-blocks"));
     scfg.prefixSharing = args.getBool("share");
+    scfg.retainPrefixes = args.getBool("retain");
+    scfg.retainBlocks = static_cast<size_t>(args.getInt("retain-blocks"));
     scfg.decodedCache = args.getBool("decoded-cache");
     scfg.decodedCacheBlocks =
         static_cast<size_t>(args.getInt("decoded-cache-blocks"));
@@ -120,32 +154,49 @@ main(int argc, char **argv)
     }
     std::printf("\n");
 
-    Rng rng(static_cast<u64>(args.getInt("seed")));
-    // --shared-prefix: all requests extend one common prompt prefix so
-    // the paged cache's prefix sharing has something to deduplicate.
-    std::vector<int> common;
-    if (args.getBool("shared-prefix")) {
-        common.resize(2 * prompt_len);
-        for (auto &t : common)
-            t = static_cast<int>(rng.uniformInt(lm.vocab));
+    size_t steps = 0;
+    if (!args.get("scenario").empty()) {
+        const serve::Workload w = loadScenario(args.get("scenario"));
+        std::printf("scenario: %zu requests over %zu sessions (seed "
+                    "%llu, vocab %zu)\n",
+                    w.requests().size(), w.spec().sessions,
+                    static_cast<unsigned long long>(w.spec().seed),
+                    w.spec().vocab);
+        const serve::ReplayResult rr = serve::replayTrace(engine, w);
+        std::printf("replay: %zu ticks, peak pending %zu, peak active "
+                    "%zu\n\n",
+                    rr.ticks, rr.peakPending, rr.peakActive);
+        steps = static_cast<size_t>(engine.metrics().steps);
+    } else {
+        Rng rng(static_cast<u64>(args.getInt("seed")));
+        // --shared-prefix: all requests extend one common prompt prefix
+        // so the paged cache's prefix sharing has something to
+        // deduplicate.
+        std::vector<int> common;
+        if (args.getBool("shared-prefix")) {
+            common.resize(2 * prompt_len);
+            for (auto &t : common)
+                t = static_cast<int>(rng.uniformInt(lm.vocab));
+        }
+        // --stop-tokens N: give every request N random stop tokens,
+        // making generation lengths data-dependent.
+        const size_t n_stops =
+            static_cast<size_t>(args.getInt("stop-tokens"));
+        for (size_t r = 0; r < n_requests; ++r) {
+            // Varied prompt lengths exercise chunked prefill+admission.
+            const size_t len =
+                1 + prompt_len / 2 + rng.uniformInt(prompt_len);
+            std::vector<int> prompt = common;
+            for (size_t i = 0; i < len; ++i)
+                prompt.push_back(
+                    static_cast<int>(rng.uniformInt(lm.vocab)));
+            std::vector<int> stops(n_stops);
+            for (auto &t : stops)
+                t = static_cast<int>(rng.uniformInt(lm.vocab));
+            engine.submit(std::move(prompt), max_new, std::move(stops));
+        }
+        steps = engine.runToCompletion();
     }
-    // --stop-tokens N: give every request N random stop tokens, making
-    // generation lengths data-dependent.
-    const size_t n_stops =
-        static_cast<size_t>(args.getInt("stop-tokens"));
-    for (size_t r = 0; r < n_requests; ++r) {
-        // Varied prompt lengths exercise chunked prefill + admission.
-        const size_t len = 1 + prompt_len / 2 + rng.uniformInt(prompt_len);
-        std::vector<int> prompt = common;
-        for (size_t i = 0; i < len; ++i)
-            prompt.push_back(static_cast<int>(rng.uniformInt(lm.vocab)));
-        std::vector<int> stops(n_stops);
-        for (auto &t : stops)
-            t = static_cast<int>(rng.uniformInt(lm.vocab));
-        engine.submit(std::move(prompt), max_new, std::move(stops));
-    }
-
-    const size_t steps = engine.runToCompletion();
 
     Table per_req({"Req", "Prompt", "Generated", "Admit", "First tok",
                    "TTFT ms", "Finish", "Shared", "Accept", "Stop?",
@@ -215,6 +266,18 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         m.sharedPrefillRowsSkipped),
                     static_cast<unsigned long long>(m.cowCopyRows));
+    }
+    if (scfg.retainPrefixes) {
+        std::printf("prefix retention: %llu stored, %llu hits, %llu "
+                    "prefill rows seeded, %llu evictions, peak %zu B "
+                    "held\n",
+                    static_cast<unsigned long long>(m.retentionStored),
+                    static_cast<unsigned long long>(m.retentionHits),
+                    static_cast<unsigned long long>(
+                        m.retentionSharedRows),
+                    static_cast<unsigned long long>(
+                        m.retentionEvictions),
+                    m.retainedPeakBytes);
     }
     if (engine.decodedCache()) {
         std::printf("decoded cache: %llu hits / %llu misses / %llu "

@@ -145,8 +145,17 @@ void
 BlockPool::release(u32 id)
 {
     const MutexLock lock(mu_);
+    releaseLocked(id);
+}
+
+void
+BlockPool::releaseLocked(u32 id)
+{
     Block &b = liveLocked(id);
     if (b.refcount.fetch_sub(1, std::memory_order_relaxed) == 1) {
+        OLIVE_ASSERT(b.retainedRefs == 0,
+                     "last reference released out from under the "
+                     "retention cache");
         --blocksInUse_;
         freeList_.push_back(id);
         // The payload is now recyclable: give the decoded working set
@@ -159,6 +168,29 @@ BlockPool::release(u32 id)
     } else {
         --sharedBlocks_;
     }
+}
+
+void
+BlockPool::retainRetained(u32 id)
+{
+    const MutexLock lock(mu_);
+    Block &b = liveLocked(id);
+    b.refcount.fetch_add(1, std::memory_order_relaxed);
+    ++sharedBlocks_;
+    if (b.retainedRefs++ == 0)
+        ++retainedBlocks_;
+}
+
+void
+BlockPool::releaseRetained(u32 id)
+{
+    const MutexLock lock(mu_);
+    Block &b = liveLocked(id);
+    OLIVE_ASSERT(b.retainedRefs > 0,
+                 "block holds no retention reference to release");
+    if (--b.retainedRefs == 0)
+        --retainedBlocks_;
+    releaseLocked(id);
 }
 
 int
@@ -290,6 +322,20 @@ BlockPool::payloadCopyRows() const
     return payloadCopyRows_;
 }
 
+size_t
+BlockPool::retainedBlocks() const
+{
+    const MutexLock lock(mu_);
+    return retainedBlocks_;
+}
+
+size_t
+BlockPool::retainedBytes() const
+{
+    const MutexLock lock(mu_);
+    return retainedBlocks_ * blockBytes();
+}
+
 void
 BlockPool::checkInvariants() const
 {
@@ -297,19 +343,26 @@ BlockPool::checkInvariants() const
     OLIVE_ASSERT(publishedBlocks_.load(std::memory_order_relaxed) ==
                      blocks_.size(),
                  "published block count drifted from the index");
-    size_t in_use = 0, extra_refs = 0;
+    size_t in_use = 0, extra_refs = 0, retained = 0;
     for (const auto &b : blocks_) {
         const int refs = b->refcount.load(std::memory_order_relaxed);
         OLIVE_ASSERT(refs >= 0, "negative block refcount");
+        OLIVE_ASSERT(b->retainedRefs >= 0 && b->retainedRefs <= refs,
+                     "retention references exceed the block refcount");
         if (refs > 0) {
             ++in_use;
             extra_refs += static_cast<size_t>(refs) - 1;
+            if (b->retainedRefs > 0)
+                ++retained;
         }
     }
     OLIVE_ASSERT(in_use == blocksInUse_,
                  "blocksInUse drifted from the per-block refcounts");
     OLIVE_ASSERT(extra_refs == sharedBlocks_,
                  "sharedBlocks drifted from the per-block refcounts");
+    OLIVE_ASSERT(retained == retainedBlocks_,
+                 "retainedBlocks drifted from the per-block retention "
+                 "refcounts");
     OLIVE_ASSERT(in_use + freeList_.size() == blocks_.size(),
                  "free list does not cover exactly the refcount-0 blocks");
     // bytesInUse() is blocksInUse_ x blockBytes() by definition now

@@ -111,6 +111,18 @@ class BlockPool
      */
     void release(u32 id) OLIVE_EXCLUDES(mu_);
 
+    /**
+     * retain()/release() variants for the engine's cached-prefix
+     * retention LRU, tracked separately so pool stats can report how
+     * many blocks (and bytes) outlive every owning request.  A
+     * retention reference is an ordinary reference plus per-block
+     * retention bookkeeping; checkInvariants() recomputes it and
+     * asserts a plain release() never drops a block's last reference
+     * while a retention reference is outstanding.
+     */
+    void retainRetained(u32 id) OLIVE_EXCLUDES(mu_);
+    void releaseRetained(u32 id) OLIVE_EXCLUDES(mu_);
+
     /** Current reference count (0 = free). */
     int refcount(u32 id) const OLIVE_EXCLUDES(mu_);
 
@@ -152,6 +164,10 @@ class BlockPool
     size_t sharedSavedBytes() const OLIVE_EXCLUDES(mu_);
     /** Rows whose payload was ever memcpy'd (copy-on-write only). */
     u64 payloadCopyRows() const OLIVE_EXCLUDES(mu_);
+    /** Blocks holding >= 1 retention reference (cached-prefix LRU). */
+    size_t retainedBlocks() const OLIVE_EXCLUDES(mu_);
+    /** Pool bytes those blocks occupy: retainedBlocks() x blockBytes(). */
+    size_t retainedBytes() const OLIVE_EXCLUDES(mu_);
 
     /**
      * Test hook: recompute every aggregate (blocks in use, shared
@@ -171,6 +187,10 @@ class BlockPool
          *  struct), atomic because live()'s lock-free liveness assert
          *  reads it — see the orderings documented at each access. */
         std::atomic<int> refcount{0};
+        /** How many of those references belong to the engine's
+         *  cached-prefix retention LRU.  Read and written only under
+         *  the pool's mu_ (plain int is sound); always <= refcount. */
+        int retainedRefs = 0;
     };
 
     /** Lock-free liveness check + lookup for the row accessors. */
@@ -180,6 +200,9 @@ class BlockPool
     /** Same check under the pool lock (structural mutation paths). */
     Block &liveLocked(u32 id) OLIVE_REQUIRES(mu_);
     const Block &liveLocked(u32 id) const OLIVE_REQUIRES(mu_);
+
+    /** Body of release(), shared with releaseRetained(). */
+    void releaseLocked(u32 id) OLIVE_REQUIRES(mu_);
 
     const KvScheme *scheme_;
     size_t d_;
@@ -206,6 +229,8 @@ class BlockPool
     size_t sharedBlocks_ OLIVE_GUARDED_BY(mu_) = 0;
     size_t peakBytes_ OLIVE_GUARDED_BY(mu_) = 0;
     u64 payloadCopyRows_ OLIVE_GUARDED_BY(mu_) = 0;
+    /** Blocks with retainedRefs > 0. */
+    size_t retainedBlocks_ OLIVE_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace serve

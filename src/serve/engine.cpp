@@ -108,6 +108,15 @@ ServeEngine::ServeEngine(const eval::LmModel &model, ServeConfig config)
     }
 }
 
+ServeEngine::~ServeEngine()
+{
+    // Retained prefixes hold pool references outside any DecodeState;
+    // drop them here, while pool_ (a later-destroyed member) is alive.
+    const MutexLock lock(mu_);
+    while (!retained_.empty())
+        evictOldestRetained();
+}
+
 u64
 ServeEngine::submit(std::vector<int> prompt, size_t max_new_tokens,
                     std::vector<int> stop_tokens, int priority)
@@ -177,6 +186,10 @@ ServeEngine::cancel(u64 id)
     for (auto it = active_.begin(); it != active_.end(); ++it) {
         if (it->req.id != id)
             continue;
+        // Whatever prefix the request had cached is still valid K/V of
+        // its tokens — retain it (if configured) before the retire
+        // below moves the token vectors out.
+        retainPrefix(*it);
         retire(*it, /*was_active=*/true);
         // Erasing destroys the DecodeState: its caches drop their
         // block references, and zero-refcount blocks recycle through
@@ -203,6 +216,72 @@ ServeEngine::worstCaseBlocks(const Request &req) const
     return per_layer * model_->backbone.layers.size();
 }
 
+void
+ServeEngine::retainPrefix(ActiveRequest &a)
+{
+    if (!cfg_.retainPrefixes || !cfg_.pagedCache || !cfg_.prefixSharing)
+        return;
+    // Cache length == position at every retire point (speculative
+    // rollback restores it before the step ends); a sub-block prefix
+    // would share nothing, so it is not worth a retention entry.
+    const size_t rows = a.state.position;
+    if (rows < cfg_.blockRows)
+        return;
+    RetainedPrefix e;
+    e.rows = rows;
+    e.tokens = a.req.prompt;
+    for (int tok : a.generated) {
+        if (e.tokens.size() >= rows)
+            break;
+        e.tokens.push_back(tok);
+    }
+    e.tokens.resize(std::min(e.tokens.size(), rows));
+    e.tables.reserve(a.state.layers.size());
+    for (const auto &layer : a.state.layers) {
+        const auto &paged = static_cast<const PagedKvCache &>(*layer);
+        std::vector<u32> t;
+        t.reserve(paged.blockCount());
+        for (size_t b = 0; b < paged.blockCount(); ++b)
+            t.push_back(paged.blockId(b));
+        e.blocks += t.size();
+        e.tables.push_back(std::move(t));
+    }
+    // The retention budget evicts oldest-first; an entry that would
+    // not fit even alone is simply not retained.
+    if (cfg_.retainBlocks > 0) {
+        if (e.blocks > cfg_.retainBlocks)
+            return;
+        while (retainedHeldBlocks_ + e.blocks > cfg_.retainBlocks)
+            evictOldestRetained();
+    }
+    // References go on before the retiring DecodeState drops its own —
+    // the blocks never hit refcount 0, so their payload (and any
+    // decoded working-set entries) survives untouched.
+    for (const auto &t : e.tables)
+        for (u32 id : t)
+            pool_->retainRetained(id);
+    retainedHeldBlocks_ += e.blocks;
+    metrics_.retentionStored += 1;
+    metrics_.retainedBlocks = pool_->retainedBlocks();
+    metrics_.retainedPeakBytes =
+        std::max(metrics_.retainedPeakBytes, pool_->retainedBytes());
+    retained_.push_back(std::move(e));
+}
+
+void
+ServeEngine::evictOldestRetained()
+{
+    OLIVE_ASSERT(!retained_.empty(), "no retained prefix to evict");
+    const RetainedPrefix &e = retained_.front();
+    for (const auto &t : e.tables)
+        for (u32 id : t)
+            pool_->releaseRetained(id);
+    retainedHeldBlocks_ -= e.blocks;
+    metrics_.retentionEvictions += 1;
+    metrics_.retainedBlocks = pool_->retainedBlocks();
+    retained_.pop_front();
+}
+
 /**
  * FIFO admission.  For a paged engine each candidate passes two gates
  * before it is admitted, and admission stops at the first candidate
@@ -218,14 +297,20 @@ ServeEngine::worstCaseBlocks(const Request &req) const
  *     candidate admits unshared).
  *  2. Capacity reservation (poolBlocks > 0): the candidate's
  *     worst-case block count must fit beside the reservations of all
- *     active requests, so BlockPool::allocate can never fail mid-step.
+ *     active requests PLUS the blocks the retention LRU holds (those
+ *     references live outside the reservation sum), so
+ *     BlockPool::allocate can never fail mid-step.  Retained entries
+ *     are evicted, LRU first, before the gate ever stalls a candidate
+ *     — retention may only save work, never delay admission.
  *
  * An admitted candidate with a shareable cached prefix seeds its block
  * tables from the donor: full blocks by reference, the partial
  * boundary block by copy-on-write, and its decode position skips past
  * the seeded rows (bit-exact — causal K/V rows are pure functions of
  * the tokens at or before them, and activation quantization is
- * per-token).
+ * per-token).  Retained prefixes of retired requests compete with live
+ * donors on rows covered; they need no deferral (their rows are all
+ * cached already), and a tie prefers the live donor.
  */
 void
 ServeEngine::admit()
@@ -234,6 +319,8 @@ ServeEngine::admit()
         ActiveRequest &cand = pending_.front();
         size_t share_rows = 0;
         size_t donor_idx = active_.size();
+        auto retained_it = retained_.end();
+        size_t retained_rows = 0;
         if (cfg_.pagedCache && cfg_.prefixSharing) {
             size_t best_future = 0;
             for (size_t i = 0; i < active_.size(); ++i) {
@@ -251,15 +338,49 @@ ServeEngine::admit()
                     donor_idx = i;
                 }
             }
-            if (best_future > share_rows)
+            for (auto it = retained_.begin(); it != retained_.end();
+                 ++it) {
+                const size_t cap =
+                    std::min(it->rows, cand.req.prompt.size() - 1);
+                size_t lcp = 0;
+                while (lcp < cap &&
+                       it->tokens[lcp] == cand.req.prompt[lcp])
+                    ++lcp;
+                if (lcp < cfg_.blockRows)
+                    continue;
+                if (lcp > share_rows && lcp > retained_rows) {
+                    retained_rows = lcp;
+                    retained_it = it;
+                }
+            }
+            if (best_future > std::max(share_rows, retained_rows))
                 break; // gate 1: wait for the warm donor
+            // Touch the matched entry to most-recently-used now, so
+            // the capacity gate below evicts it last.
+            if (retained_it != retained_.end())
+                retained_.splice(retained_.end(), retained_,
+                                 retained_it);
         }
         if (cfg_.pagedCache && cfg_.poolBlocks > 0) {
             const size_t need = worstCaseBlocks(cand.req);
+            // Evict retained prefixes before stalling: each eviction
+            // releases references outside the reservation sum, so the
+            // gate below can only get easier.  The matched entry sits
+            // at MRU; losing it (last resort) just forfeits the share.
+            while (committedBlocks_ + retainedHeldBlocks_ + need >
+                       cfg_.poolBlocks &&
+                   !retained_.empty()) {
+                if (retained_it == retained_.begin()) {
+                    retained_it = retained_.end();
+                    retained_rows = 0;
+                }
+                evictOldestRetained();
+            }
             OLIVE_ASSERT(!active_.empty() || need <= cfg_.poolBlocks,
                          "block pool is smaller than a single request's "
                          "worst-case cache");
-            if (committedBlocks_ + need > cfg_.poolBlocks)
+            if (committedBlocks_ + retainedHeldBlocks_ + need >
+                cfg_.poolBlocks)
                 break; // gate 2: wait for evictions to release blocks
         }
 
@@ -271,7 +392,22 @@ ServeEngine::admit()
                 makePagedDecodeState(model_->backbone, *pool_, dcache_.get());
             a.reservedBlocks = worstCaseBlocks(a.req);
             committedBlocks_ += a.reservedBlocks;
-            if (share_rows > 0) {
+            if (retained_it != retained_.end()) {
+                // Seed from the retained prefix of a retired request:
+                // same mechanics and bit-exactness argument as the
+                // live-donor path, minus any live donor.
+                const RetainedPrefix &e = *retained_it;
+                for (size_t li = 0; li < a.state.layers.size(); ++li) {
+                    static_cast<PagedKvCache &>(*a.state.layers[li])
+                        .shareFromTable(e.tables[li], e.rows,
+                                        retained_rows);
+                }
+                a.state.position = retained_rows;
+                a.sharedPrefixRows = retained_rows;
+                metrics_.sharedPrefillRowsSkipped += retained_rows;
+                metrics_.retentionHits += 1;
+                metrics_.retentionSharedRows += retained_rows;
+            } else if (share_rows > 0) {
                 const DecodeState &donor = active_[donor_idx].state;
                 for (size_t li = 0; li < a.state.layers.size(); ++li) {
                     static_cast<PagedKvCache &>(*a.state.layers[li])
@@ -537,6 +673,9 @@ ServeEngine::step()
         metrics_.peakSharedSavedBytes = std::max(
             metrics_.peakSharedSavedBytes, pool_->sharedSavedBytes());
         metrics_.cowCopyRows = pool_->payloadCopyRows();
+        metrics_.retainedBlocks = pool_->retainedBlocks();
+        metrics_.retainedPeakBytes = std::max(metrics_.retainedPeakBytes,
+                                              pool_->retainedBytes());
         if (dcache_) {
             // Cumulative counters sampled, not accumulated — the cache
             // already sums across steps.
@@ -565,6 +704,7 @@ ServeEngine::step()
             still.push_back(std::move(a));
             continue;
         }
+        retainPrefix(a); // before the moves below consume its tokens
         FinishedRequest f;
         f.id = a.req.id;
         f.prompt = std::move(a.req.prompt);
@@ -679,6 +819,21 @@ ServeEngine::progressSnapshot() const
         out.push_back(std::move(p));
     }
     return out;
+}
+
+size_t
+ServeEngine::retainedBlockCount() const
+{
+    const MutexLock lock(mu_);
+    return retainedHeldBlocks_;
+}
+
+void
+ServeEngine::clearRetainedPrefixes()
+{
+    const MutexLock lock(mu_);
+    while (!retained_.empty())
+        evictOldestRetained();
 }
 
 const DecodeState *

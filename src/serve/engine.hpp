@@ -28,9 +28,13 @@
  * request reference the donor's full prefix blocks read-only
  * (refcounted, copy-on-write at the first divergent partial block) and
  * skip recomputing the shared rows — bit-exactly, because causal K/V
- * rows depend only on the tokens at or before them.  The contiguous
- * layout survives as pagedCache = false, the oracle configuration the
- * churn-fuzz suite compares against.
+ * rows depend only on the tokens at or before them.  With
+ * retainPrefixes on, retiring requests additionally park their block
+ * tables in a bounded retention LRU so a later request (the next turn
+ * of a conversation) can share the prefix with no live donor; retained
+ * blocks are evicted under pool pressure before any admission stall.
+ * The contiguous layout survives as pagedCache = false, the oracle
+ * configuration the churn-fuzz suite compares against.
  *
  * Determinism contract: admission, budgeting, sharing and eviction are
  * pure functions of the queue state, and each request's step work is a
@@ -59,6 +63,7 @@
 
 #include <chrono>
 #include <deque>
+#include <list>
 #include <memory>
 #include <vector>
 
@@ -85,6 +90,26 @@ struct ServeConfig
     size_t blockRows = 4;    //!< Token rows per block (paged only).
     size_t poolBlocks = 0;   //!< Pool capacity in blocks; 0 = unbounded.
     bool prefixSharing = true; //!< Share prompt-prefix blocks (paged only).
+
+    /**
+     * Cached-prefix retention (paged + prefixSharing only): when a
+     * request retires, keep its block tables alive in a bounded LRU so
+     * a follow-up request — e.g. the next turn of a conversation that
+     * re-submits prompt + reply as its prefix — can seed via
+     * shareFromTable with no live donor.  Retained blocks are extra
+     * references outside the admission reservation sum, so the
+     * capacity gate counts them and evicts retained entries (LRU
+     * first) before it ever stalls a candidate: retention can only
+     * save work, never delay admission.  Token streams are unaffected
+     * by construction — the fuzz tier compares on vs off bit for bit.
+     */
+    bool retainPrefixes = false;
+    /**
+     * Retention budget in blocks (block-table entries summed across
+     * layers and entries); 0 = unbounded.  A retiring prefix larger
+     * than the whole budget is simply not retained.
+     */
+    size_t retainBlocks = 0;
 
     /**
      * Decoded-block working set (paged only): attention reads FP32
@@ -193,6 +218,18 @@ struct ServeMetrics
     u64 specAccepted = 0;
     /** Requests retired through cancel() (queued or active). */
     u64 requestsCancelled = 0;
+    /** Cached-prefix retention counters (all 0 when retainPrefixes is
+     *  off).  retainedBlocks/retainedPeakBytes are pool-level (each
+     *  distinct block counted once however many entries hold it);
+     *  retentionEvictions counts entries dropped for any reason —
+     *  admission pressure, the retainBlocks cap, or an explicit
+     *  clearRetainedPrefixes(). */
+    u64 retentionStored = 0;  //!< Retired prefixes entered into the LRU.
+    u64 retentionHits = 0;    //!< Admissions seeded from a retained prefix.
+    u64 retentionSharedRows = 0; //!< Prefill rows those admissions skipped.
+    u64 retentionEvictions = 0;  //!< Entries dropped from the LRU.
+    size_t retainedBlocks = 0;   //!< Pool blocks retention holds now.
+    size_t retainedPeakBytes = 0; //!< Peak pool bytes held by retention.
 
     /** Processed tokens per wall second. */
     double tokensPerSecond() const;
@@ -218,6 +255,9 @@ class ServeEngine
 {
   public:
     ServeEngine(const eval::LmModel &model, ServeConfig config);
+
+    /** Releases every retained prefix reference before the pool dies. */
+    ~ServeEngine();
 
     /**
      * Enqueue a request; returns its id.  @pre prompt non-empty.
@@ -293,6 +333,15 @@ class ServeEngine
     std::vector<ActiveProgress> progressSnapshot() const
         OLIVE_EXCLUDES(mu_);
 
+    /** Block references the retention LRU holds right now, summed over
+     *  entries and layers (the capacity-gate charge; the pool's
+     *  retainedBlocks() is the each-block-once view). */
+    size_t retainedBlockCount() const OLIVE_EXCLUDES(mu_);
+
+    /** Drop every retained prefix, releasing its block references —
+     *  counted in retentionEvictions.  Safe from any thread. */
+    void clearRetainedPrefixes() OLIVE_EXCLUDES(mu_);
+
     /** Model vocabulary size (immutable; any thread). */
     size_t vocab() const { return model_->vocab; }
 
@@ -338,8 +387,30 @@ class ServeEngine
         u64 specAccepted = 0;
     };
 
+    /**
+     * One retired request's cached prefix, kept alive past its
+     * lifetime by retention references on every table entry.  tokens
+     * holds the first rows entries of prompt ++ generated — exactly
+     * the tokens whose K/V rows the tables cover, which is what a
+     * follow-up prompt is prefix-matched against.
+     */
+    struct RetainedPrefix
+    {
+        std::vector<int> tokens;
+        size_t rows = 0;   //!< Cache rows the tables cover.
+        size_t blocks = 0; //!< Table entries summed across layers.
+        std::vector<std::vector<u32>> tables; //!< Per-layer block ids.
+    };
+
     /** FIFO admission into the active batch (see admit() in the .cpp). */
     void admit() OLIVE_REQUIRES(mu_);
+
+    /** Enter a retiring request's prefix into the retention LRU (no-op
+     *  unless retention applies and the prefix spans >= one block). */
+    void retainPrefix(ActiveRequest &a) OLIVE_REQUIRES(mu_);
+
+    /** Drop the least-recently-used retained prefix. */
+    void evictOldestRetained() OLIVE_REQUIRES(mu_);
 
     /** Worst-case pool blocks @p req can ever reference, all layers. */
     size_t worstCaseBlocks(const Request &req) const;
@@ -373,6 +444,14 @@ class ServeEngine
     std::deque<ActiveRequest> pending_ OLIVE_GUARDED_BY(mu_);
     std::vector<ActiveRequest> active_ OLIVE_GUARDED_BY(mu_);
     std::vector<FinishedRequest> finished_ OLIVE_GUARDED_BY(mu_);
+    /** Retention LRU: front is the eviction victim, a matched entry is
+     *  spliced to the back.  std::list so the in-flight match iterator
+     *  survives evicting other entries during the capacity gate. */
+    std::list<RetainedPrefix> retained_ OLIVE_GUARDED_BY(mu_);
+    /** Sum of retained_ entry block counts (the capacity-gate charge;
+     *  a block shared by two entries is deliberately counted twice —
+     *  conservative, so the reservation proof stays airtight). */
+    size_t retainedHeldBlocks_ OLIVE_GUARDED_BY(mu_) = 0;
     ServeMetrics metrics_ OLIVE_GUARDED_BY(mu_);
     u64 nextId_ OLIVE_GUARDED_BY(mu_) = 1;
 };

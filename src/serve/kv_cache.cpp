@@ -536,26 +536,38 @@ PagedKvCache::withDecoded(
 void
 PagedKvCache::shareFrom(const PagedKvCache &donor, size_t rows)
 {
+    OLIVE_ASSERT(donor.pool_ == pool_, "sharing requires a common pool");
+    shareFromTable(donor.table_, donor.rows_, rows);
+}
+
+void
+PagedKvCache::shareFromTable(std::span<const u32> table, size_t donor_rows,
+                             size_t rows)
+{
     OLIVE_ASSERT(rows_ == 0 && table_.empty(),
                  "prefix sharing requires an empty cache");
-    OLIVE_ASSERT(donor.pool_ == pool_, "sharing requires a common pool");
-    OLIVE_ASSERT(rows <= donor.rows_, "donor does not cover the prefix");
+    OLIVE_ASSERT(rows <= donor_rows, "donor does not cover the prefix");
+    OLIVE_ASSERT(donor_rows <= table.size() * pool_->blockRows(),
+                 "stored block table shorter than its row count");
     if (rows == 0)
         return;
     const size_t B = pool_->blockRows();
-    // Full blocks are immutable (the donor only writes its tail), so
-    // they are shared by reference: refcount up, zero payload copies.
+    // Full blocks are immutable (the donor only ever wrote its tail),
+    // so they are shared by reference: refcount up, zero payload
+    // copies.  This holds whether the table belongs to a live donor
+    // cache or to a retained prefix of a retired one — retention never
+    // appends, so every covered block is frozen either way.
     const size_t full = rows / B;
     for (size_t b = 0; b < full; ++b) {
-        pool_->retain(donor.table_[b]);
-        table_.push_back(donor.table_[b]);
+        pool_->retain(table[b]);
+        table_.push_back(table[b]);
     }
     // Copy-on-write at the first divergent block: the trailing partial
     // rows land in a fresh exclusive block this cache can append into.
     const size_t partial = rows % B;
     if (partial > 0) {
         const u32 fresh = pool_->allocate();
-        pool_->copyRows(donor.table_[full], fresh, partial);
+        pool_->copyRows(table[full], fresh, partial);
         table_.push_back(fresh);
     }
     rows_ = rows;

@@ -354,6 +354,20 @@ class PagedKvCache final : public KvCache
      */
     void shareFrom(const PagedKvCache &donor, size_t rows);
 
+    /**
+     * shareFrom() without a live donor cache: seed this (empty) cache
+     * with the first @p rows of a stored block table covering
+     * @p donor_rows live rows — the engine's cached-prefix retention
+     * holds the references that keep those blocks alive after the
+     * donor request retired.  Identical mechanics (full covered
+     * blocks by reference, a trailing partial block by copy-on-write)
+     * and the identical bit-exactness argument: causal K/V rows are
+     * pure functions of the tokens at or before them, wherever the
+     * bytes happen to live.
+     */
+    void shareFromTable(std::span<const u32> table, size_t donor_rows,
+                        size_t rows);
+
     /** Block-table length (referenced blocks), for accounting/tests. */
     size_t blockCount() const { return table_.size(); }
 

@@ -1,0 +1,708 @@
+#include "workload.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "util/random.hpp"
+
+namespace olive {
+namespace serve {
+
+namespace {
+
+/** Tick cap for replayTrace when the caller sets none. */
+constexpr size_t kDefaultReplayTickCap = 1'000'000;
+
+/** Per-arrival walk caps so malformed probabilities cannot spin. */
+constexpr size_t kMaxGeometricGap = 1 << 16;
+constexpr size_t kMaxDiurnalWalk = 1 << 18;
+
+const char *
+arrivalKindName(ArrivalSpec::Kind k)
+{
+    switch (k) {
+    case ArrivalSpec::Kind::Uniform:
+        return "uniform";
+    case ArrivalSpec::Kind::Poisson:
+        return "poisson";
+    case ArrivalSpec::Kind::Bursty:
+        return "bursty";
+    case ArrivalSpec::Kind::Diurnal:
+        return "diurnal";
+    }
+    OLIVE_PANIC("unreachable arrival kind");
+}
+
+ArrivalSpec::Kind
+arrivalKindFromName(const std::string &name)
+{
+    if (name == "uniform")
+        return ArrivalSpec::Kind::Uniform;
+    if (name == "poisson")
+        return ArrivalSpec::Kind::Poisson;
+    if (name == "bursty")
+        return ArrivalSpec::Kind::Bursty;
+    if (name == "diurnal")
+        return ArrivalSpec::Kind::Diurnal;
+    OLIVE_PANIC("unknown arrival kind: " + name);
+}
+
+const char *
+lengthKindName(LengthSpec::Kind k)
+{
+    switch (k) {
+    case LengthSpec::Kind::Fixed:
+        return "fixed";
+    case LengthSpec::Kind::Uniform:
+        return "uniform";
+    case LengthSpec::Kind::LogNormalish:
+        return "lognormal";
+    }
+    OLIVE_PANIC("unreachable length kind");
+}
+
+LengthSpec::Kind
+lengthKindFromName(const std::string &name)
+{
+    if (name == "fixed")
+        return LengthSpec::Kind::Fixed;
+    if (name == "uniform")
+        return LengthSpec::Kind::Uniform;
+    if (name == "lognormal")
+        return LengthSpec::Kind::LogNormalish;
+    OLIVE_PANIC("unknown length kind: " + name);
+}
+
+void
+validateArrival(const ArrivalSpec &a)
+{
+    switch (a.kind) {
+    case ArrivalSpec::Kind::Uniform:
+        break;
+    case ArrivalSpec::Kind::Poisson:
+        OLIVE_ASSERT(a.den >= 1 && a.num >= 1 && a.num <= a.den,
+                     "arrival probability must be num/den in (0, 1]");
+        break;
+    case ArrivalSpec::Kind::Bursty:
+        OLIVE_ASSERT(a.burstSize >= 1, "bursts must hold >= 1 arrival");
+        break;
+    case ArrivalSpec::Kind::Diurnal:
+        OLIVE_ASSERT(a.den >= 1 && a.num >= 1 && a.num <= a.den,
+                     "arrival probability must be num/den in (0, 1]");
+        OLIVE_ASSERT(a.peakNum >= a.num && a.peakNum <= a.den,
+                     "diurnal peak must lie in [num, den]");
+        OLIVE_ASSERT(a.period >= 2,
+                     "diurnal period must be >= 2 ticks");
+        break;
+    }
+}
+
+void
+validateLength(const LengthSpec &l)
+{
+    OLIVE_ASSERT(l.value >= 1 && l.lo >= 1 && l.median >= 1,
+                 "lengths must be >= 1 token");
+    OLIVE_ASSERT(l.hi >= l.lo, "length bounds must satisfy hi >= lo");
+}
+
+/** One length draw — integer arithmetic only (file comment). */
+size_t
+sampleLength(Rng &rng, const LengthSpec &l)
+{
+    switch (l.kind) {
+    case LengthSpec::Kind::Fixed:
+        return l.value;
+    case LengthSpec::Kind::Uniform:
+        return l.lo + static_cast<size_t>(
+                          rng.uniformInt(u64{l.hi - l.lo} + 1));
+    case LengthSpec::Kind::LogNormalish: {
+        // Doubling tail: k trailing zero bits of a raw draw is
+        // geometric(1/2); cap the doublings, jitter by +- median/2,
+        // clamp into [lo, hi].
+        const size_t k = std::min<size_t>(
+            l.tailCap,
+            static_cast<size_t>(std::countr_zero(rng.next())));
+        const size_t base = l.median << k;
+        const size_t jitter =
+            static_cast<size_t>(rng.uniformInt(u64{l.median}));
+        const size_t raw = base + jitter - std::min(base, l.median / 2);
+        return std::clamp(raw, l.lo, l.hi);
+    }
+    }
+    OLIVE_PANIC("unreachable length kind");
+}
+
+/** Arrival ticks for @p n conversation openings, nondecreasing. */
+std::vector<size_t>
+sampleArrivals(Rng &rng, const ArrivalSpec &a, size_t n)
+{
+    std::vector<size_t> out;
+    out.reserve(n);
+    const auto jitterDraw = [&]() -> size_t {
+        return a.jitter > 0 ? static_cast<size_t>(
+                                  rng.uniformInt(u64{a.jitter} + 1))
+                            : 0;
+    };
+    switch (a.kind) {
+    case ArrivalSpec::Kind::Uniform: {
+        size_t t = jitterDraw();
+        for (size_t i = 0; i < n; ++i) {
+            out.push_back(t);
+            t += a.gap + jitterDraw();
+        }
+        break;
+    }
+    case ArrivalSpec::Kind::Poisson: {
+        // Geometric inter-arrival gaps: count per-tick Bernoulli
+        // failures at probability num/den (capped so a tiny rate
+        // cannot spin forever).
+        size_t t = 0;
+        for (size_t i = 0; i < n; ++i) {
+            size_t gap = 0;
+            while (gap < kMaxGeometricGap &&
+                   rng.uniformInt(a.den) >= a.num)
+                ++gap;
+            t += gap;
+            out.push_back(t);
+        }
+        break;
+    }
+    case ArrivalSpec::Kind::Bursty: {
+        // On/off: burstSize arrivals land on one tick, then the line
+        // goes idle for gap (+ jitter) ticks.
+        size_t t = 0;
+        size_t in_burst = 0;
+        for (size_t i = 0; i < n; ++i) {
+            out.push_back(t);
+            if (++in_burst == a.burstSize) {
+                in_burst = 0;
+                t += a.gap + jitterDraw() + 1;
+            }
+        }
+        break;
+    }
+    case ArrivalSpec::Kind::Diurnal: {
+        // Triangle-wave ramp of the per-tick arrival probability
+        // between num/den and peakNum/den over one period.
+        size_t t = 0;
+        const size_t half = a.period / 2;
+        for (size_t i = 0; i < n; ++i) {
+            size_t walked = 0;
+            for (;;) {
+                const size_t phase = t % a.period;
+                const size_t tri =
+                    phase < half ? phase : a.period - phase;
+                const u64 prob =
+                    a.num + (a.peakNum - a.num) * u64{tri} /
+                                std::max<u64>(1, half);
+                const bool hit = rng.uniformInt(a.den) < prob;
+                if (hit || ++walked >= kMaxDiurnalWalk)
+                    break;
+                ++t;
+            }
+            out.push_back(t);
+        }
+        break;
+    }
+    }
+    return out;
+}
+
+u64
+getU64(const Json &obj, const std::string &key)
+{
+    const Json *v = obj.find(key);
+    OLIVE_ASSERT(v != nullptr, "trace document misses key: " + key);
+    const long n = v->asInt();
+    OLIVE_ASSERT(n >= 0, "trace value must be non-negative: " + key);
+    return static_cast<u64>(n);
+}
+
+size_t
+getSize(const Json &obj, const std::string &key)
+{
+    return static_cast<size_t>(getU64(obj, key));
+}
+
+std::vector<int>
+getTokens(const Json &obj, const std::string &key)
+{
+    const Json *v = obj.find(key);
+    OLIVE_ASSERT(v != nullptr && v->isArray(),
+                 "trace document misses token array: " + key);
+    std::vector<int> out;
+    out.reserve(v->size());
+    for (const Json &e : v->elements())
+        out.push_back(static_cast<int>(e.asInt()));
+    return out;
+}
+
+Json
+tokensToJson(const std::vector<int> &toks)
+{
+    Json arr = Json::array();
+    for (int t : toks)
+        arr.push(Json(t));
+    return arr;
+}
+
+} // namespace
+
+Workload
+Workload::generate(const WorkloadSpec &spec)
+{
+    OLIVE_ASSERT(spec.sessions >= 1, "workload needs >= 1 session");
+    OLIVE_ASSERT(spec.vocab >= 2, "workload vocabulary must be >= 2");
+    OLIVE_ASSERT(spec.turnsMin >= 1 && spec.turnsMax >= spec.turnsMin,
+                 "turns must satisfy 1 <= turnsMin <= turnsMax");
+    OLIVE_ASSERT(spec.systemPromptPercent <= 100 &&
+                     spec.stopPercent <= 100,
+                 "population percentages must be <= 100");
+    validateArrival(spec.arrival);
+    validateLength(spec.promptLen);
+    validateLength(spec.outputLen);
+
+    Rng rng(spec.seed);
+    const u64 vocab = spec.vocab;
+    const auto token = [&]() {
+        return static_cast<int>(rng.uniformInt(vocab));
+    };
+
+    std::vector<int> sys;
+    sys.reserve(spec.systemPromptLen);
+    for (size_t i = 0; i < spec.systemPromptLen; ++i)
+        sys.push_back(token());
+
+    const std::vector<size_t> arrivals =
+        sampleArrivals(rng, spec.arrival, spec.sessions);
+
+    Workload w;
+    w.spec_ = spec;
+    for (size_t s = 0; s < spec.sessions; ++s) {
+        const size_t turns =
+            spec.turnsMin +
+            static_cast<size_t>(rng.uniformInt(
+                u64{spec.turnsMax - spec.turnsMin} + 1));
+        const bool member =
+            spec.systemPromptLen > 0 &&
+            rng.uniformInt(100) < spec.systemPromptPercent;
+        for (size_t t = 0; t < turns; ++t) {
+            WorkloadRequest r;
+            r.id = static_cast<u64>(w.requests_.size()) + 1;
+            r.conversation = static_cast<u64>(s) + 1;
+            r.turn = t;
+            if (t == 0) {
+                r.submitStep = arrivals[s];
+                if (member)
+                    r.userTokens = sys;
+            } else {
+                r.gapSteps = spec.turnGapSteps;
+            }
+            const size_t plen = sampleLength(rng, spec.promptLen);
+            for (size_t i = 0; i < plen; ++i)
+                r.userTokens.push_back(token());
+            r.maxNew = sampleLength(rng, spec.outputLen);
+            if (spec.stopTokenCount > 0 &&
+                rng.uniformInt(100) < spec.stopPercent) {
+                for (size_t i = 0; i < spec.stopTokenCount; ++i)
+                    r.stopTokens.push_back(token());
+            }
+            w.requests_.push_back(std::move(r));
+        }
+    }
+    w.validate();
+    return w;
+}
+
+std::vector<std::string>
+Workload::scenarioNames()
+{
+    return {"uniform",       "poisson",   "bursty",
+            "diurnal",       "shared-system", "multi-turn"};
+}
+
+WorkloadSpec
+Workload::namedSpec(const std::string &name)
+{
+    WorkloadSpec s;
+    s.vocab = 64;
+    if (name == "uniform") {
+        s.seed = 101;
+        s.sessions = 12;
+        s.arrival.kind = ArrivalSpec::Kind::Uniform;
+        s.arrival.gap = 2;
+        s.promptLen = {LengthSpec::Kind::Fixed, 20, 1, 64, 16, 3};
+        s.outputLen = {LengthSpec::Kind::Fixed, 10, 1, 64, 16, 3};
+        return s;
+    }
+    if (name == "poisson") {
+        s.seed = 202;
+        s.sessions = 12;
+        s.arrival.kind = ArrivalSpec::Kind::Poisson;
+        s.arrival.num = 1;
+        s.arrival.den = 3;
+        s.promptLen = {LengthSpec::Kind::LogNormalish, 16, 8, 48, 16, 2};
+        s.outputLen = {LengthSpec::Kind::Uniform, 8, 4, 12, 8, 2};
+        return s;
+    }
+    if (name == "bursty") {
+        s.seed = 303;
+        s.sessions = 12;
+        s.arrival.kind = ArrivalSpec::Kind::Bursty;
+        s.arrival.burstSize = 4;
+        s.arrival.gap = 10;
+        s.promptLen = {LengthSpec::Kind::Uniform, 16, 12, 24, 16, 2};
+        s.outputLen = {LengthSpec::Kind::Fixed, 8, 1, 64, 8, 2};
+        return s;
+    }
+    if (name == "diurnal") {
+        s.seed = 404;
+        s.sessions = 12;
+        s.arrival.kind = ArrivalSpec::Kind::Diurnal;
+        s.arrival.num = 1;
+        s.arrival.den = 8;
+        s.arrival.peakNum = 6;
+        s.arrival.period = 24;
+        s.promptLen = {LengthSpec::Kind::Uniform, 16, 12, 24, 16, 2};
+        s.outputLen = {LengthSpec::Kind::Fixed, 8, 1, 64, 8, 2};
+        return s;
+    }
+    if (name == "shared-system") {
+        s.seed = 505;
+        s.sessions = 12;
+        s.arrival.kind = ArrivalSpec::Kind::Poisson;
+        s.arrival.num = 1;
+        s.arrival.den = 2;
+        s.promptLen = {LengthSpec::Kind::Uniform, 8, 6, 12, 8, 2};
+        s.outputLen = {LengthSpec::Kind::Fixed, 8, 1, 64, 8, 2};
+        s.systemPromptLen = 24;
+        s.systemPromptPercent = 100;
+        return s;
+    }
+    if (name == "multi-turn") {
+        s.seed = 606;
+        s.sessions = 6;
+        s.arrival.kind = ArrivalSpec::Kind::Uniform;
+        s.arrival.gap = 3;
+        s.promptLen = {LengthSpec::Kind::Uniform, 12, 8, 16, 12, 2};
+        s.outputLen = {LengthSpec::Kind::Fixed, 8, 1, 64, 8, 2};
+        s.turnsMin = 3;
+        s.turnsMax = 3;
+        s.turnGapSteps = 1;
+        return s;
+    }
+    OLIVE_PANIC("unknown scenario name: " + name);
+}
+
+Json
+Workload::toJson() const
+{
+    const WorkloadSpec &s = spec_;
+    Json arrival = Json::object({
+        {"kind", arrivalKindName(s.arrival.kind)},
+        {"gap", s.arrival.gap},
+        {"jitter", s.arrival.jitter},
+        {"num", s.arrival.num},
+        {"den", s.arrival.den},
+        {"burst_size", s.arrival.burstSize},
+        {"peak_num", s.arrival.peakNum},
+        {"period", s.arrival.period},
+    });
+    const auto lengthJson = [](const LengthSpec &l) {
+        return Json::object({
+            {"kind", lengthKindName(l.kind)},
+            {"value", l.value},
+            {"lo", l.lo},
+            {"hi", l.hi},
+            {"median", l.median},
+            {"tail_cap", l.tailCap},
+        });
+    };
+    Json spec = Json::object({
+        {"seed", std::to_string(s.seed)},
+        {"sessions", s.sessions},
+        {"vocab", s.vocab},
+        {"arrival", std::move(arrival)},
+        {"prompt_len", lengthJson(s.promptLen)},
+        {"output_len", lengthJson(s.outputLen)},
+        {"system_prompt_len", s.systemPromptLen},
+        {"system_prompt_percent", s.systemPromptPercent},
+        {"turns_min", s.turnsMin},
+        {"turns_max", s.turnsMax},
+        {"turn_gap_steps", s.turnGapSteps},
+        {"stop_token_count", s.stopTokenCount},
+        {"stop_percent", s.stopPercent},
+    });
+    Json reqs = Json::array();
+    for (const WorkloadRequest &r : requests_) {
+        reqs.push(Json::object({
+            {"id", r.id},
+            {"conversation", r.conversation},
+            {"turn", r.turn},
+            {"submit_step", r.submitStep},
+            {"gap_steps", r.gapSteps},
+            {"max_new", r.maxNew},
+            {"user_tokens", tokensToJson(r.userTokens)},
+            {"stop_tokens", tokensToJson(r.stopTokens)},
+        }));
+    }
+    return Json::object({
+        {"spec", std::move(spec)},
+        {"requests", std::move(reqs)},
+    });
+}
+
+Workload
+Workload::fromJson(const Json &doc)
+{
+    OLIVE_ASSERT(doc.isObject(), "trace document must be an object");
+    const Json *spec = doc.find("spec");
+    const Json *reqs = doc.find("requests");
+    OLIVE_ASSERT(spec != nullptr && spec->isObject() &&
+                     reqs != nullptr && reqs->isArray(),
+                 "trace document needs spec and requests");
+
+    Workload w;
+    WorkloadSpec &s = w.spec_;
+    {
+        const Json *seed = spec->find("seed");
+        OLIVE_ASSERT(seed != nullptr && seed->isString(),
+                     "trace spec seed must be a decimal string");
+        s.seed = std::stoull(seed->asString());
+    }
+    s.sessions = getSize(*spec, "sessions");
+    s.vocab = getSize(*spec, "vocab");
+    {
+        const Json *a = spec->find("arrival");
+        OLIVE_ASSERT(a != nullptr && a->isObject(),
+                     "trace spec needs an arrival object");
+        const Json *kind = a->find("kind");
+        OLIVE_ASSERT(kind != nullptr && kind->isString(),
+                     "arrival kind must be a string");
+        s.arrival.kind = arrivalKindFromName(kind->asString());
+        s.arrival.gap = getSize(*a, "gap");
+        s.arrival.jitter = getSize(*a, "jitter");
+        s.arrival.num = getU64(*a, "num");
+        s.arrival.den = getU64(*a, "den");
+        s.arrival.burstSize = getSize(*a, "burst_size");
+        s.arrival.peakNum = getU64(*a, "peak_num");
+        s.arrival.period = getSize(*a, "period");
+    }
+    const auto lengthFrom = [&](const char *key) {
+        const Json *l = spec->find(key);
+        OLIVE_ASSERT(l != nullptr && l->isObject(),
+                     std::string("trace spec needs length object ") +
+                         key);
+        const Json *kind = l->find("kind");
+        OLIVE_ASSERT(kind != nullptr && kind->isString(),
+                     "length kind must be a string");
+        LengthSpec out;
+        out.kind = lengthKindFromName(kind->asString());
+        out.value = getSize(*l, "value");
+        out.lo = getSize(*l, "lo");
+        out.hi = getSize(*l, "hi");
+        out.median = getSize(*l, "median");
+        out.tailCap = getSize(*l, "tail_cap");
+        return out;
+    };
+    s.promptLen = lengthFrom("prompt_len");
+    s.outputLen = lengthFrom("output_len");
+    s.systemPromptLen = getSize(*spec, "system_prompt_len");
+    s.systemPromptPercent = getU64(*spec, "system_prompt_percent");
+    s.turnsMin = getSize(*spec, "turns_min");
+    s.turnsMax = getSize(*spec, "turns_max");
+    s.turnGapSteps = getSize(*spec, "turn_gap_steps");
+    s.stopTokenCount = getSize(*spec, "stop_token_count");
+    s.stopPercent = getU64(*spec, "stop_percent");
+
+    for (const Json &e : reqs->elements()) {
+        OLIVE_ASSERT(e.isObject(), "trace request must be an object");
+        WorkloadRequest r;
+        r.id = getU64(e, "id");
+        r.conversation = getU64(e, "conversation");
+        r.turn = getSize(e, "turn");
+        r.submitStep = getSize(e, "submit_step");
+        r.gapSteps = getSize(e, "gap_steps");
+        r.maxNew = getSize(e, "max_new");
+        r.userTokens = getTokens(e, "user_tokens");
+        r.stopTokens = getTokens(e, "stop_tokens");
+        w.requests_.push_back(std::move(r));
+    }
+    w.validate();
+    return w;
+}
+
+Workload
+Workload::parse(const std::string &text)
+{
+    std::string err;
+    const std::optional<Json> doc = Json::parse(text, &err);
+    OLIVE_ASSERT(doc.has_value(), "trace parse error: " + err);
+    return fromJson(*doc);
+}
+
+void
+Workload::validate() const
+{
+    OLIVE_ASSERT(spec_.vocab >= 2, "trace vocabulary must be >= 2");
+    // Per-conversation turn counters: turns must appear contiguously
+    // ascending, so the replay can chain prompt -> reply -> prompt.
+    std::vector<size_t> next_turn(spec_.sessions, 0);
+    size_t last_opening = 0;
+    for (size_t i = 0; i < requests_.size(); ++i) {
+        const WorkloadRequest &r = requests_[i];
+        OLIVE_ASSERT(r.id == static_cast<u64>(i) + 1,
+                     "trace ids must be dense and 1-based");
+        OLIVE_ASSERT(r.conversation >= 1 &&
+                         r.conversation <= spec_.sessions,
+                     "trace conversation id out of range");
+        size_t &turn = next_turn[r.conversation - 1];
+        OLIVE_ASSERT(r.turn == turn,
+                     "conversation turns must be contiguous");
+        ++turn;
+        if (r.turn == 0) {
+            OLIVE_ASSERT(r.submitStep >= last_opening,
+                         "turn-0 arrival ticks must be nondecreasing");
+            last_opening = r.submitStep;
+        } else {
+            OLIVE_ASSERT(r.submitStep == 0,
+                         "later turns schedule relatively (gapSteps)");
+        }
+        OLIVE_ASSERT(!r.userTokens.empty(),
+                     "every turn needs >= 1 fresh token");
+        OLIVE_ASSERT(r.maxNew >= 1, "maxNew must be >= 1");
+        for (int t : r.userTokens)
+            OLIVE_ASSERT(t >= 0 &&
+                             static_cast<size_t>(t) < spec_.vocab,
+                         "trace token out of vocabulary");
+        for (int t : r.stopTokens)
+            OLIVE_ASSERT(t >= 0 &&
+                             static_cast<size_t>(t) < spec_.vocab,
+                         "trace stop token out of vocabulary");
+    }
+}
+
+ReplayResult
+replayTrace(ServeEngine &engine, const Workload &workload,
+            const ReplayOptions &opts)
+{
+    workload.validate();
+    OLIVE_ASSERT(engine.vocab() >= workload.spec().vocab,
+                 "engine model vocabulary cannot cover the trace");
+    OLIVE_ASSERT(engine.pendingCount() == 0 &&
+                     engine.activeCount() == 0 &&
+                     engine.finishedCount() == 0,
+                 "trace replay needs a fresh engine");
+
+    const auto &reqs = workload.requests();
+    ReplayResult out;
+    out.requests.resize(reqs.size());
+
+    // Trace index of each (conversation, turn) so a finishing turn can
+    // schedule its successor.
+    std::vector<std::vector<size_t>> conv_turns(
+        workload.spec().sessions);
+    for (size_t i = 0; i < reqs.size(); ++i)
+        conv_turns[reqs[i].conversation - 1].push_back(i);
+
+    /** A submittable request: due tick plus its full prompt. */
+    struct Due
+    {
+        size_t tick = 0;
+        size_t idx = 0;
+        std::vector<int> prompt;
+    };
+    std::vector<Due> waiting;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        if (reqs[i].turn != 0)
+            continue;
+        waiting.push_back(
+            Due{reqs[i].submitStep, i, reqs[i].userTokens});
+    }
+
+    std::unordered_map<u64, size_t> engine_to_trace;
+    size_t finished_seen = 0;
+    size_t done = 0;
+    size_t tick = 0;
+    const size_t cap =
+        opts.maxTicks > 0 ? opts.maxTicks : kDefaultReplayTickCap;
+    while (done < reqs.size()) {
+        OLIVE_ASSERT(tick < cap, "trace replay did not drain");
+        // Submit everything due this tick, ordered by (due tick,
+        // trace position) — a pure function of the trace and the
+        // engine's own outputs, so the schedule is deterministic.
+        std::vector<size_t> ready;
+        for (size_t i = 0; i < waiting.size(); ++i)
+            if (waiting[i].tick <= tick)
+                ready.push_back(i);
+        std::sort(ready.begin(), ready.end(),
+                  [&](size_t a, size_t b) {
+                      if (waiting[a].tick != waiting[b].tick)
+                          return waiting[a].tick < waiting[b].tick;
+                      return waiting[a].idx < waiting[b].idx;
+                  });
+        for (size_t i : ready) {
+            Due &d = waiting[i];
+            const WorkloadRequest &r = reqs[d.idx];
+            out.requests[d.idx].promptTokens = d.prompt.size();
+            const u64 eid = engine.submit(std::move(d.prompt),
+                                          r.maxNew, r.stopTokens);
+            out.requests[d.idx].traceId = r.id;
+            out.requests[d.idx].engineId = eid;
+            engine_to_trace.emplace(eid, d.idx);
+        }
+        for (auto it = ready.rbegin(); it != ready.rend(); ++it)
+            waiting.erase(waiting.begin() +
+                          static_cast<std::ptrdiff_t>(*it));
+        out.peakPending =
+            std::max(out.peakPending, engine.pendingCount());
+
+        engine.step();
+        if (opts.onStep)
+            opts.onStep(engine);
+        out.peakPending =
+            std::max(out.peakPending, engine.pendingCount());
+        out.peakActive =
+            std::max(out.peakActive, engine.activeCount());
+
+        const std::vector<FinishedRequest> fresh =
+            engine.finishedSnapshot(finished_seen);
+        finished_seen += fresh.size();
+        for (const FinishedRequest &f : fresh) {
+            const size_t idx = engine_to_trace.at(f.id);
+            const WorkloadRequest &r = reqs[idx];
+            ReplayRequestResult &rr = out.requests[idx];
+            rr.generated = f.generated;
+            rr.sharedPrefixRows = f.sharedPrefixRows;
+            rr.submitStep = f.submitStep;
+            rr.firstTokenStep = f.firstTokenStep;
+            rr.finishStep = f.finishStep;
+            rr.ttftSeconds = f.ttftSeconds;
+            rr.stoppedByToken = f.stoppedByToken;
+            ++done;
+            // Chain the conversation: the next turn's prompt is the
+            // whole dialogue so far plus its fresh user tokens.
+            const auto &chain = conv_turns[r.conversation - 1];
+            if (r.turn + 1 < chain.size()) {
+                const size_t nxt = chain[r.turn + 1];
+                Due d;
+                d.tick = tick + reqs[nxt].gapSteps;
+                d.idx = nxt;
+                d.prompt = f.prompt;
+                d.prompt.insert(d.prompt.end(), f.generated.begin(),
+                                f.generated.end());
+                d.prompt.insert(d.prompt.end(),
+                                reqs[nxt].userTokens.begin(),
+                                reqs[nxt].userTokens.end());
+                waiting.push_back(std::move(d));
+            }
+        }
+        ++tick;
+    }
+    out.ticks = tick;
+    return out;
+}
+
+} // namespace serve
+} // namespace olive

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Seeded serving-workload generator and trace replay.
+ *
+ * Every serving claim needs more than one hand-rolled request shape:
+ * this header turns a small composable spec — an arrival process
+ * (uniform, Poisson, bursty on/off, diurnal ramp), prompt/output
+ * length distributions (fixed, uniform, log-normal-ish), an optional
+ * shared-system-prompt population, and multi-turn conversations that
+ * re-submit the prior turns as their prefix — into a concrete request
+ * trace, deterministically from a seed.
+ *
+ * Determinism contract: generation samples exclusively through the
+ * repository's own xoshiro256** / SplitMix64 Rng (util/random) using
+ * integer arithmetic only — no std:: distributions (their outputs
+ * differ across libstdc++/libc++) and no floating point (libm calls
+ * are not correctly-rounded everywhere).  The same seed therefore
+ * yields the byte-identical trace on every platform, at every
+ * OLIVE_THREADS value, and across process runs; the workload test
+ * tier pins this against a golden dump.
+ *
+ * Traces serialize through util/json (Workload::toJson/fromJson), so a
+ * scenario is a committable artifact: all numbers are integers below
+ * 2^53 (the u64 seed travels as a decimal string), making the round
+ * trip bit-exact.
+ *
+ * replayTrace() drives a ServeEngine with a trace: turn-0 requests are
+ * submitted at their arrival ticks, and each later turn is submitted
+ * gapSteps ticks after its predecessor finishes, with prompt = prior
+ * prompt + prior reply + its own user tokens — the multi-turn chat
+ * pattern that makes the engine's cached-prefix retention
+ * load-bearing (the donor has retired by the time the next turn
+ * arrives).  The replay schedule is a pure function of tick counts and
+ * engine outputs, so per-request token streams are bit-identical at
+ * every thread count and across runs.
+ */
+
+#ifndef OLIVE_SERVE_WORKLOAD_HPP
+#define OLIVE_SERVE_WORKLOAD_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+#include "util/json.hpp"
+
+namespace olive {
+namespace serve {
+
+/** Arrival process of conversation openings, in engine-tick units. */
+struct ArrivalSpec
+{
+    enum class Kind
+    {
+        Uniform, //!< Fixed gap (+ uniform jitter) between arrivals.
+        Poisson, //!< Geometric gaps: per-tick probability num/den.
+        Bursty,  //!< burstSize arrivals at once, then an idle gap.
+        Diurnal, //!< Per-tick probability ramps num/den..peakNum/den.
+    };
+    Kind kind = Kind::Uniform;
+    size_t gap = 2;    //!< Uniform/Bursty: idle ticks between arrivals.
+    size_t jitter = 0; //!< Uniform/Bursty: extra uniform [0, jitter].
+    u64 num = 1;       //!< Poisson/Diurnal: probability numerator.
+    u64 den = 4;       //!< Poisson/Diurnal: probability denominator.
+    size_t burstSize = 4; //!< Bursty: arrivals per burst.
+    u64 peakNum = 4;      //!< Diurnal: numerator at the ramp peak.
+    size_t period = 64;   //!< Diurnal: triangle-wave period in ticks.
+};
+
+/** Token-count distribution (prompt lengths, generation budgets). */
+struct LengthSpec
+{
+    enum class Kind
+    {
+        Fixed,
+        Uniform,      //!< Inclusive [lo, hi].
+        LogNormalish, //!< Doubling tail around median, clamped [lo, hi].
+    };
+    Kind kind = Kind::Fixed;
+    size_t value = 16; //!< Fixed only.
+    size_t lo = 8;     //!< Uniform bounds; LogNormalish clamp floor.
+    size_t hi = 32;    //!< Uniform bounds; LogNormalish clamp ceiling.
+    /** LogNormalish: the length is median << k with k geometric(1/2)
+     *  (capped at tailCap doublings) plus uniform jitter of +- half a
+     *  median — a heavy multiplicative tail from integer ops only. */
+    size_t median = 16;
+    size_t tailCap = 3;
+};
+
+/** One composable scenario description (the committable grammar). */
+struct WorkloadSpec
+{
+    u64 seed = 1;
+    size_t sessions = 8; //!< Conversations (single-turn: requests).
+    size_t vocab = 64;   //!< Tokens are sampled from [0, vocab).
+    ArrivalSpec arrival;
+    LengthSpec promptLen; //!< Fresh user tokens per turn.
+    LengthSpec outputLen; //!< maxNewTokens per turn.
+    /** Shared system prompt: systemPromptLen tokens generated once and
+     *  prepended to the first turn of systemPromptPercent % of the
+     *  sessions (0 disables) — the population whose prefixes the
+     *  engine can share. */
+    size_t systemPromptLen = 0;
+    u64 systemPromptPercent = 0;
+    /** Turns per conversation, uniform in [turnsMin, turnsMax]; turn
+     *  n+1 is submitted turnGapSteps ticks after turn n finishes. */
+    size_t turnsMin = 1;
+    size_t turnsMax = 1;
+    size_t turnGapSteps = 0;
+    /** stopPercent % of requests carry stopTokenCount stop tokens. */
+    size_t stopTokenCount = 0;
+    u64 stopPercent = 0;
+};
+
+/** One trace entry.  Turn 0 carries an absolute arrival tick; later
+ *  turns carry a relative gap after their predecessor finishes (their
+ *  full prompt depends on the model's reply, so the trace stores only
+ *  the fresh user tokens). */
+struct WorkloadRequest
+{
+    u64 id = 0;           //!< 1-based position in the trace.
+    u64 conversation = 0; //!< 1-based session id.
+    size_t turn = 0;      //!< 0-based turn within the conversation.
+    size_t submitStep = 0; //!< Turn 0: earliest submit tick.
+    size_t gapSteps = 0;   //!< Turn > 0: ticks after the prior turn.
+    std::vector<int> userTokens; //!< This turn's fresh tokens.
+    size_t maxNew = 1;
+    std::vector<int> stopTokens;
+};
+
+/** A generated (or deserialized) trace plus the spec that made it. */
+class Workload
+{
+  public:
+    /** Deterministically expand @p spec into a trace (file comment). */
+    static Workload generate(const WorkloadSpec &spec);
+
+    /** Built-in scenario spec by name; fatal on an unknown name. */
+    static WorkloadSpec namedSpec(const std::string &name);
+
+    /** Names namedSpec() accepts (the bench matrix order). */
+    static std::vector<std::string> scenarioNames();
+
+    const WorkloadSpec &spec() const { return spec_; }
+    const std::vector<WorkloadRequest> &requests() const
+    {
+        return requests_;
+    }
+
+    /** Trace document: {"spec": {...}, "requests": [...]}. */
+    Json toJson() const;
+
+    /** Inverse of toJson(); panics on a malformed document. */
+    static Workload fromJson(const Json &doc);
+
+    /** toJson().dump() — the byte-deterministic trace artifact. */
+    std::string dump() const { return toJson().dump(); }
+
+    /** Parse a dump()ed trace; panics on a syntax error. */
+    static Workload parse(const std::string &text);
+
+    /** Panic unless the trace is structurally sound (dense 1-based
+     *  ids, contiguous turns, in-range tokens, maxNew >= 1). */
+    void validate() const;
+
+  private:
+    WorkloadSpec spec_;
+    std::vector<WorkloadRequest> requests_;
+};
+
+/** replayTrace() knobs. */
+struct ReplayOptions
+{
+    /** Tick cap before the replay panics (0 = a generous default). */
+    size_t maxTicks = 0;
+    /** Invoked after every engine step (test invariant hook). */
+    std::function<void(ServeEngine &)> onStep;
+};
+
+/** Outcome of one trace request (index = trace id - 1). */
+struct ReplayRequestResult
+{
+    u64 traceId = 0;
+    u64 engineId = 0;
+    size_t promptTokens = 0; //!< Full prompt actually submitted.
+    std::vector<int> generated;
+    size_t sharedPrefixRows = 0;
+    u64 submitStep = 0;     //!< Engine-step domain (deterministic).
+    u64 firstTokenStep = 0;
+    u64 finishStep = 0;
+    double ttftSeconds = 0.0; //!< Measured wall time (machine-varying).
+    bool stoppedByToken = false;
+};
+
+/** Replay summary: per-request outcomes plus queue-shape facts. */
+struct ReplayResult
+{
+    std::vector<ReplayRequestResult> requests;
+    size_t ticks = 0;       //!< Scheduler ticks (>= engine steps).
+    size_t peakPending = 0; //!< Max queued-not-admitted observed.
+    size_t peakActive = 0;  //!< Max batch occupancy observed.
+};
+
+/**
+ * Drive @p engine through @p workload (semantics in the file
+ * comment).  The engine must be fresh (no prior submissions) and its
+ * model vocabulary must cover the workload's.  Deterministic: the
+ * same engine config and trace yield bit-identical per-request
+ * streams at every thread count.
+ */
+ReplayResult replayTrace(ServeEngine &engine, const Workload &workload,
+                         const ReplayOptions &opts = {});
+
+} // namespace serve
+} // namespace olive
+
+#endif // OLIVE_SERVE_WORKLOAD_HPP

@@ -3,7 +3,7 @@
  * Concurrency stress tier (CTest label "race"): hammers every
  * cross-thread seam of the serving stack with real std::threads so the
  * TSan build has races to find and the mutex/atomic protocols have
- * witnesses.  Five seams, matching the documented lock inventory:
+ * witnesses.  Six seams, matching the documented lock inventory:
  *
  *  1. DecodedBlockCache acquire/release churn over overlapping block
  *     ids, with a capacity cap small enough to force constant eviction
@@ -21,6 +21,11 @@
  *     threads hammer its cross-thread entry points (statsLine(),
  *     cancel()) — the transcript must stay structurally valid and the
  *     engine fully drained.
+ *  6. Cached-prefix retention under a tight pool: a stepping engine
+ *     whose admission gate evicts retained prefixes races a follow-up
+ *     submitter (multi-turn chat via finishedSnapshot), cancellers,
+ *     and a snapshot poller watching the retention counters stay
+ *     monotone and the pool accounting stay whole-block.
  *
  * Functional assertions here are deliberately coarse (exact values are
  * checked by the serial suites); the point of this tier is that every
@@ -33,6 +38,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -538,6 +544,165 @@ TEST(RaceStress, ServiceRunRacesStatsAndCancel)
     ASSERT_NE(engine.blockPool(), nullptr);
     EXPECT_EQ(engine.blockPool()->blocksInUse(), 0u);
     engine.blockPool()->checkInvariants();
+}
+
+// Seam 6: retention eviction inside the admission gate racing the
+// other cross-thread entry points.  A driver thread steps a paged
+// engine with retainPrefixes on and a pool tight enough that retained
+// prefixes must be evicted before later turns can admit; a submitter
+// thread chains multi-turn conversations through finishedSnapshot()
+// (each follow-up re-submits prompt + reply, the retention hit path);
+// cancellers retire a fixed subset of ids mid-flight; a poller watches
+// the retention counters stay monotone and the pool accounting stay
+// whole-block.  Which admissions hit a retained donor is timing-
+// dependent, so the end-state assertions are structural: every
+// conversation completes its turns, retention stored and (pressure-)
+// evicted entries, and clearing the LRU leaves the pool empty.
+TEST(RaceStress, RetentionEvictionRacesSubmitCancelSnapshot)
+{
+    auto config = models::bertBase();
+    config.evalLayers = 2;
+    config.evalDModel = 24;
+    config.evalHeads = 4;
+    config.evalDFf = 48;
+    config.evalVocab = 64;
+    eval::LmModel lm;
+    lm.vocab = config.evalVocab;
+    lm.backbone = models::makeBackbone(config, 777);
+    lm.backbone.causal = true;
+    lm.embedding = Tensor({lm.vocab, config.evalDModel});
+    Rng erng(0x7777ULL);
+    for (auto &v : lm.embedding.data())
+        v = static_cast<float>(erng.gaussian());
+
+    constexpr size_t kConversations = 5;
+    constexpr size_t kTurns = 3;
+    constexpr size_t kTotal = kConversations * kTurns;
+    constexpr size_t kMaxNew = 4;
+
+    serve::ServeConfig cfg;
+    cfg.maxBatchTokens = 6;
+    cfg.maxActiveRequests = 2;
+    cfg.blockRows = 4;
+    cfg.retainPrefixes = true;
+    // Tight pool: far below the ~4 blocks each retiring turn retains
+    // times kTotal retirements, but above the worst single admission
+    // (final-turn prompt <= 16, rows <= 19, 5 blocks x 2 layers), so
+    // the gate must evict retained entries yet never deadlocks.
+    cfg.poolBlocks = 16;
+    serve::ServeEngine eng(lm, cfg);
+
+    // Turn-0 prompts submitted before any thread starts; the id ->
+    // conversation map is owned by the submitter thread afterwards.
+    Rng rng(31337);
+    std::map<u64, size_t> conversationOf;
+    std::map<size_t, size_t> turnsDone;
+    for (size_t c = 0; c < kConversations; ++c) {
+        std::vector<int> p(4 + rng.uniformInt(3));
+        for (auto &tok : p)
+            tok = static_cast<int>(rng.uniformInt(lm.vocab));
+        conversationOf[eng.submit(p, kMaxNew)] = c;
+    }
+
+    std::atomic<bool> done{false};
+    std::thread driver([&] {
+        while (eng.finishedCount() < kTotal) {
+            if (!eng.step())
+                std::this_thread::yield();
+        }
+    });
+    std::thread submitter([&] {
+        size_t from = 0;
+        size_t seen = 0;
+        Rng srng(0x515ULL);
+        while (seen < kTotal) {
+            const auto batch = eng.finishedSnapshot(from);
+            if (batch.empty()) {
+                std::this_thread::yield();
+                continue;
+            }
+            from += batch.size();
+            seen += batch.size();
+            for (const auto &f : batch) {
+                const size_t c = conversationOf.at(f.id);
+                const size_t turn = ++turnsDone[c];
+                if (turn >= kTurns)
+                    continue;
+                // Next turn: prior prompt + reply + one fresh token.
+                std::vector<int> p = f.prompt;
+                p.insert(p.end(), f.generated.begin(),
+                         f.generated.end());
+                p.push_back(static_cast<int>(
+                    srng.uniformInt(lm.vocab)));
+                conversationOf[eng.submit(p, kMaxNew)] = c;
+            }
+        }
+    });
+    std::vector<std::thread> hammers;
+    for (size_t t = 0; t < 2; ++t) {
+        hammers.emplace_back([&, t] { // cancellers: ids 5, 10, 15 only
+            Rng crng(900 + t);
+            while (!done.load(std::memory_order_relaxed)) {
+                const u64 id = 5 * (1 + crng.uniformInt(kTotal / 5));
+                (void)eng.cancel(id);
+                std::this_thread::yield();
+            }
+        });
+    }
+    hammers.emplace_back([&] { // retention/pool snapshot poller
+        u64 last_stored = 0;
+        u64 last_evicted = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+            const serve::ServeMetrics m = eng.metricsSnapshot();
+            ASSERT_GE(m.retentionStored, last_stored);
+            ASSERT_GE(m.retentionEvictions, last_evicted);
+            last_stored = m.retentionStored;
+            last_evicted = m.retentionEvictions;
+            ASSERT_LE(m.retainedBlocks, cfg.poolBlocks);
+            // Separate locked call; values may move between the two,
+            // so exercise it without cross-snapshot comparison.
+            (void)eng.retainedBlockCount();
+            ASSERT_EQ(eng.blockPool()->retainedBytes() %
+                          eng.blockPool()->blockBytes(),
+                      0u);
+            eng.blockPool()->checkInvariants();
+            std::this_thread::yield();
+        }
+    });
+    driver.join();
+    submitter.join();
+    done.store(true, std::memory_order_relaxed);
+    for (auto &th : hammers)
+        th.join();
+
+    // Every conversation ran its full turn budget, cancelled or not.
+    EXPECT_EQ(eng.finishedCount(), kTotal);
+    EXPECT_EQ(eng.pendingCount() + eng.activeCount(), 0u);
+    for (const auto &[c, turns] : turnsDone)
+        EXPECT_EQ(turns, kTurns) << "conversation " << c;
+    for (const auto &f : eng.finished())
+        for (const int tok : f.generated) {
+            EXPECT_GE(tok, 0);
+            EXPECT_LT(tok, static_cast<int>(lm.vocab));
+        }
+
+    // Retention did real work under pressure: uncancelled turns store
+    // >= 4 blocks each, so the cumulative footprint exceeds the pool
+    // many times over and the gate must have evicted.
+    const serve::ServeMetrics m = eng.metricsSnapshot();
+    EXPECT_GT(m.retentionStored, 0u);
+    EXPECT_GT(m.retentionEvictions, 0u);
+
+    // At rest every live block is a retained block, and clearing the
+    // LRU drains the pool completely.
+    ASSERT_NE(eng.blockPool(), nullptr);
+    EXPECT_EQ(eng.blockPool()->blocksInUse(),
+              eng.blockPool()->retainedBlocks());
+    eng.blockPool()->checkInvariants();
+    eng.clearRetainedPrefixes();
+    EXPECT_EQ(eng.retainedBlockCount(), 0u);
+    EXPECT_EQ(eng.blockPool()->blocksInUse(), 0u);
+    EXPECT_EQ(eng.blockPool()->retainedBlocks(), 0u);
 }
 
 } // namespace

@@ -1032,5 +1032,179 @@ TEST(ServeEngine, PriorityOrdersAdmissionWithFifoTies)
         EXPECT_EQ(f.generated, byId.at(f.id));
 }
 
+// ------------------------------------------------ cached-prefix retention
+
+// Retention defaults to off, and off means off: retiring requests
+// release every block and the retention counters never move.
+TEST(ServeRetention, DisabledByDefaultReleasesEverything)
+{
+    const eval::LmModel lm = tinyLm(86);
+    EXPECT_FALSE(serve::ServeConfig{}.retainPrefixes);
+    serve::ServeEngine engine(lm, {});
+    engine.submit({1, 2, 3, 4, 5, 6}, 4);
+    engine.runToCompletion(1000);
+    EXPECT_EQ(engine.blockPool()->blocksInUse(), 0u);
+    EXPECT_EQ(engine.blockPool()->retainedBlocks(), 0u);
+    EXPECT_EQ(engine.retainedBlockCount(), 0u);
+    EXPECT_EQ(engine.metricsSnapshot().retentionStored, 0u);
+    engine.blockPool()->checkInvariants();
+}
+
+// The multi-turn chat pattern: a follow-up request extending a RETIRED
+// request's prompt + reply seeds from the retention LRU with no live
+// donor, skips the shared prefill rows, and still generates the
+// bit-identical stream a retention-free engine produces.
+TEST(ServeRetention, SharesFromRetiredDonorBitExactly)
+{
+    const eval::LmModel lm = tinyLm(87);
+    const auto prompts = randomPrompts(1, 5, lm.vocab, 31);
+    std::vector<int> first = prompts[0];
+    first.push_back(7); // length >= 2 so a block-aligned prefix exists
+
+    const auto run = [&](bool retain, serve::ServeMetrics *m) {
+        serve::ServeConfig cfg;
+        cfg.retainPrefixes = retain;
+        cfg.blockRows = 2;
+        serve::ServeEngine engine(lm, cfg);
+        engine.submit(first, 4);
+        engine.runToCompletion(1000);
+        // The donor is fully retired before the follow-up exists.
+        EXPECT_EQ(engine.activeCount(), 0u);
+        std::vector<int> follow = first;
+        const auto &ga = engine.finished()[0].generated;
+        follow.insert(follow.end(), ga.begin(), ga.end());
+        follow.push_back(3);
+        engine.submit(follow, 4);
+        engine.runToCompletion(1000);
+        *m = engine.metricsSnapshot();
+        const serve::FinishedRequest &f = engine.finished()[1];
+        if (retain) {
+            EXPECT_GT(f.sharedPrefixRows, 0u);
+        } else {
+            EXPECT_EQ(f.sharedPrefixRows, 0u);
+        }
+        return f.generated;
+    };
+    serve::ServeMetrics on, off;
+    const auto a = run(true, &on);
+    const auto b = run(false, &off);
+    EXPECT_EQ(a, b); // retention is invisible in the streams
+    EXPECT_EQ(on.retentionStored, 2u); // both retirements parked
+    EXPECT_EQ(on.retentionHits, 1u);
+    EXPECT_GT(on.retentionSharedRows, 0u);
+    EXPECT_EQ(on.retentionSharedRows, on.sharedPrefillRowsSkipped);
+    EXPECT_EQ(off.retentionStored, 0u);
+    EXPECT_EQ(off.retentionHits, 0u);
+}
+
+// The retainBlocks budget is a hard cap: storing a new entry evicts
+// oldest-first until it fits, and the held-block count never exceeds
+// the budget.
+TEST(ServeRetention, RetainBlocksCapEvictsOldest)
+{
+    const eval::LmModel lm = tinyLm(88);
+    // Equal-length prompts: both retirements park equal-sized entries,
+    // so a one-entry budget must evict (an OVERSIZED entry would be
+    // skipped instead — that path is pinned separately below).
+    const std::vector<std::vector<int>> prompts = {{1, 2, 3, 4, 5, 6},
+                                                   {9, 8, 7, 6, 5, 4}};
+
+    // Learn one entry's size from an unbounded engine first.
+    serve::ServeConfig cfg;
+    cfg.retainPrefixes = true;
+    cfg.blockRows = 2;
+    size_t entry_blocks = 0;
+    {
+        serve::ServeEngine probe(lm, cfg);
+        probe.submit(prompts[0], 3);
+        probe.runToCompletion(1000);
+        entry_blocks = probe.retainedBlockCount();
+        ASSERT_GT(entry_blocks, 0u);
+    }
+    // Budget for roughly one entry: the second retirement must evict
+    // the first, and the count must never exceed the cap.
+    cfg.retainBlocks = entry_blocks;
+    serve::ServeEngine engine(lm, cfg);
+    for (const auto &p : prompts) {
+        engine.submit(p, 3);
+        engine.runToCompletion(1000);
+        EXPECT_LE(engine.retainedBlockCount(), cfg.retainBlocks);
+    }
+    const serve::ServeMetrics m = engine.metricsSnapshot();
+    EXPECT_EQ(m.retentionStored, 2u);
+    EXPECT_GE(m.retentionEvictions, 1u);
+    engine.blockPool()->checkInvariants();
+
+    // An entry larger than the whole budget is simply not retained.
+    serve::ServeConfig tiny_cfg = cfg;
+    tiny_cfg.retainBlocks = 1;
+    serve::ServeEngine tiny(lm, tiny_cfg);
+    tiny.submit(prompts[0], 3);
+    tiny.runToCompletion(1000);
+    EXPECT_EQ(tiny.metricsSnapshot().retentionStored, 0u);
+    EXPECT_EQ(tiny.blockPool()->blocksInUse(), 0u);
+}
+
+// Retained blocks sit outside the admission reservation sum, so the
+// capacity gate evicts them before it ever stalls: a pool with room
+// for exactly one request admits the follow-up immediately even when
+// retention holds the whole pool.
+TEST(ServeRetention, PoolPressureEvictsRetainedBeforeStall)
+{
+    const eval::LmModel lm = tinyLm(89);
+    serve::ServeConfig cfg;
+    cfg.retainPrefixes = true;
+    cfg.blockRows = 4;
+    // Worst case for one request: ceil((4 + 4 - 1) / 4) * 2 layers.
+    cfg.poolBlocks = 2 * lm.backbone.layers.size();
+    serve::ServeEngine engine(lm, cfg);
+    engine.submit({1, 2, 3, 4}, 4);
+    engine.runToCompletion(1000);
+    EXPECT_GT(engine.blockPool()->retainedBlocks(), 0u);
+
+    // An unrelated request needing the whole pool: admission must
+    // evict the retained prefix and admit on the next step, never
+    // stall (retention can only save work, never delay admission).
+    engine.submit({9, 10, 11, 12}, 4);
+    ASSERT_TRUE(engine.step());
+    EXPECT_EQ(engine.activeCount(), 1u); // admitted, no stall
+    EXPECT_EQ(engine.pendingCount(), 0u);
+    engine.runToCompletion(1000);
+    ASSERT_EQ(engine.finishedCount(), 2u);
+    EXPECT_EQ(engine.finished()[1].generated.size(), 4u);
+    EXPECT_GE(engine.metricsSnapshot().retentionEvictions, 1u);
+    engine.blockPool()->checkInvariants();
+}
+
+// clearRetainedPrefixes drops every reference: the drained pool goes
+// back to zero blocks in use and the byte accounting follows.
+TEST(ServeRetention, ClearReleasesAllRetainedBlocks)
+{
+    const eval::LmModel lm = tinyLm(95);
+    serve::ServeConfig cfg;
+    cfg.retainPrefixes = true;
+    cfg.blockRows = 2;
+    serve::ServeEngine engine(lm, cfg);
+    for (const auto &p : randomPrompts(2, 6, lm.vocab, 35)) {
+        engine.submit(p, 3);
+        engine.runToCompletion(1000);
+    }
+    const serve::BlockPool *pool = engine.blockPool();
+    // Everything still alive is alive only because retention holds it.
+    EXPECT_GT(pool->retainedBlocks(), 0u);
+    EXPECT_EQ(pool->blocksInUse(), pool->retainedBlocks());
+    EXPECT_GT(pool->retainedBytes(), 0u);
+    EXPECT_GE(engine.retainedBlockCount(), pool->retainedBlocks());
+    pool->checkInvariants();
+
+    engine.clearRetainedPrefixes();
+    EXPECT_EQ(pool->blocksInUse(), 0u);
+    EXPECT_EQ(pool->retainedBlocks(), 0u);
+    EXPECT_EQ(pool->retainedBytes(), 0u);
+    EXPECT_EQ(engine.retainedBlockCount(), 0u);
+    EXPECT_EQ(engine.metricsSnapshot().retentionEvictions, 2u);
+    pool->checkInvariants();
+}
+
 } // namespace
 } // namespace olive

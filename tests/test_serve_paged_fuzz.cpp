@@ -35,6 +35,7 @@
 #include "models/config.hpp"
 #include "models/synthetic.hpp"
 #include "serve/engine.hpp"
+#include "serve/workload.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
 
@@ -465,6 +466,152 @@ TEST(SpeculativeFuzz, StreamsBitIdenticalToGreedyDecode)
         << "speculation never ran beside prefix sharing";
     EXPECT_GT(stopped_total, 0u)
         << "speculation never ran into a stop token";
+}
+
+/** A random multi-turn conversation workload: the churn pattern the
+ *  cached-prefix retention LRU exists for — every turn after the first
+ *  re-submits prompt + reply as its prefix AFTER the donor retired. */
+serve::WorkloadSpec
+randomMultiTurnSpec(Rng &rng, size_t vocab)
+{
+    serve::WorkloadSpec s;
+    s.seed = rng.next();
+    s.sessions = 2 + rng.uniformInt(3);
+    s.vocab = vocab;
+    s.arrival.kind = serve::ArrivalSpec::Kind::Uniform;
+    s.arrival.gap = rng.uniformInt(3);
+    s.promptLen.kind = serve::LengthSpec::Kind::Uniform;
+    s.promptLen.lo = 2;
+    s.promptLen.hi = 8;
+    s.outputLen.kind = serve::LengthSpec::Kind::Uniform;
+    s.outputLen.lo = 2;
+    s.outputLen.hi = 5;
+    s.turnsMin = 2;
+    s.turnsMax = 3;
+    s.turnGapSteps = rng.uniformInt(2);
+    if (rng.uniformInt(2) == 0) {
+        // Stop tokens make turn lengths data-dependent, so retained
+        // prefixes end at genuinely random row counts.
+        s.stopTokenCount = 1 + rng.uniformInt(2);
+        s.stopPercent = 50;
+    }
+    return s;
+}
+
+// The retention acceptance bar: 100 seeded multi-turn churn schedules,
+// each replayed with retention on and off, streams compared bit for
+// bit (retention must be invisible in token space).  Pool invariants
+// are re-checked after every step; after the drain every block still
+// in use must be held by retention and exactly balance the pool's
+// retained-block accounting, and clearRetainedPrefixes must return the
+// pool to zero.  A third of the schedules run with a tiny retention
+// budget and a third with a pool capacity barely above the largest
+// request, so LRU-cap evictions and evict-before-stall pressure both
+// fire (meta-asserted below).
+TEST(RetentionFuzz, MultiTurnChurnRetentionIsStreamInvisible)
+{
+    const eval::LmModel lm = fuzzLm(4242);
+    const size_t n_layers = lm.backbone.layers.size();
+    u64 hits = 0, stored = 0, evicted_cap = 0, evicted_pressure = 0;
+    for (u64 seed = 1; seed <= 100; ++seed) {
+        Rng rng(seed * 6151);
+        const serve::Workload w =
+            serve::Workload::generate(randomMultiTurnSpec(rng, lm.vocab));
+
+        serve::ServeConfig cfg;
+        switch (rng.uniformInt(4)) {
+        case 0:
+            cfg.cacheFormat = serve::KvCacheFormat::Olive4;
+            break;
+        case 1:
+            cfg.cacheFormat = serve::KvCacheFormat::Int8;
+            break;
+        default:
+            cfg.cacheFormat = serve::KvCacheFormat::Fp32;
+            break;
+        }
+        cfg.maxBatchTokens = 1 + rng.uniformInt(8);
+        cfg.maxActiveRequests = 1 + rng.uniformInt(4);
+        cfg.blockRows = 1 + rng.uniformInt(5);
+        const u64 pressure_kind = rng.uniformInt(3);
+        if (pressure_kind == 1) {
+            cfg.retainBlocks = 1 + rng.uniformInt(8 * n_layers);
+        } else if (pressure_kind == 2) {
+            // Pool barely above the worst single request of the whole
+            // trace: chained turn prompts grow, so admission must
+            // repeatedly evict retained prefixes before stalling.
+            std::map<u64, size_t> chain_rows;
+            size_t worst = 0;
+            for (const serve::WorkloadRequest &r : w.requests()) {
+                size_t &cum = chain_rows[r.conversation];
+                cum += r.userTokens.size() + r.maxNew;
+                worst = std::max(worst, cum);
+            }
+            const size_t blocks =
+                (worst + cfg.blockRows - 1) / cfg.blockRows * n_layers;
+            cfg.poolBlocks = blocks + rng.uniformInt(blocks);
+        }
+        SCOPED_TRACE(testing::Message()
+                     << "seed=" << seed << " blockRows=" << cfg.blockRows
+                     << " retainBlocks=" << cfg.retainBlocks << " pool="
+                     << cfg.poolBlocks);
+
+        serve::ReplayOptions opts;
+        opts.onStep = [](serve::ServeEngine &e) {
+            if (const serve::BlockPool *pool = e.blockPool())
+                pool->checkInvariants();
+        };
+        const auto replay = [&](bool retain, serve::ServeMetrics *m) {
+            serve::ServeConfig c = cfg;
+            c.retainPrefixes = retain;
+            serve::ServeEngine eng(lm, c);
+            const serve::ReplayResult r =
+                serve::replayTrace(eng, w, opts);
+            *m = eng.metricsSnapshot();
+            const serve::BlockPool *pool = eng.blockPool();
+            // Drained: whatever is still alive, retention holds — and
+            // the pool's own byte accounting must agree exactly.
+            EXPECT_EQ(pool->blocksInUse(), pool->retainedBlocks());
+            EXPECT_GE(eng.retainedBlockCount(), pool->retainedBlocks());
+            EXPECT_EQ(pool->retainedBytes(),
+                      pool->retainedBlocks() * pool->blockBytes());
+            pool->checkInvariants();
+            eng.clearRetainedPrefixes();
+            EXPECT_EQ(pool->blocksInUse(), 0u);
+            EXPECT_EQ(pool->retainedBlocks(), 0u);
+            EXPECT_EQ(eng.retainedBlockCount(), 0u);
+            pool->checkInvariants();
+            std::vector<std::vector<int>> streams;
+            streams.reserve(r.requests.size());
+            for (const serve::ReplayRequestResult &q : r.requests)
+                streams.push_back(q.generated);
+            return streams;
+        };
+        serve::ServeMetrics on, off;
+        const auto a = replay(true, &on);
+        const auto b = replay(false, &off);
+        EXPECT_EQ(a, b) << "retention changed a token stream";
+        // A tiny retainBlocks budget may legitimately reject every
+        // entry as oversized; an unbounded LRU must always store.
+        if (cfg.retainBlocks == 0) {
+            EXPECT_GT(on.retentionStored, 0u);
+        }
+        EXPECT_EQ(off.retentionStored, 0u);
+        EXPECT_EQ(off.retentionHits, 0u);
+        hits += on.retentionHits;
+        stored += on.retentionStored;
+        if (pressure_kind == 1)
+            evicted_cap += on.retentionEvictions;
+        else if (pressure_kind == 2)
+            evicted_pressure += on.retentionEvictions;
+    }
+    // The fuzz must exercise what it claims to pin down: real LRU
+    // hits, cap-driven evictions, and pressure-driven evictions.
+    EXPECT_GT(hits, 0u) << "no follow-up turn ever hit the LRU";
+    EXPECT_GT(stored, 0u);
+    EXPECT_GT(evicted_cap, 0u) << "the retainBlocks cap never bound";
+    EXPECT_GT(evicted_pressure, 0u)
+        << "pool pressure never evicted a retained prefix";
 }
 
 // In-process thread-count sweep over a few schedules, mirroring the
